@@ -1,0 +1,33 @@
+"""Shared configuration for the paper-reproduction benchmark harness.
+
+Every module regenerates one table or figure of the paper.  Results are
+printed as aligned text tables (the paper's bar charts, as numbers) in
+addition to the pytest-benchmark timings, so a single
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full evaluation section.  Trial counts are laptop-sized by
+default; set ``REPRO_BENCH_TRIALS`` to raise them (the paper's scalability
+experiments use 10^6).
+"""
+
+import os
+
+import pytest
+
+
+def bench_trials(default: int) -> int:
+    """Trial count for scalability benches, overridable via env var."""
+    value = os.environ.get("REPRO_BENCH_TRIALS")
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def print_table():
+    """Print a table under ``-s`` without tripping pytest's capture."""
+
+    def _print(text: str) -> None:
+        print()
+        print(text)
+
+    return _print

@@ -1,0 +1,228 @@
+"""Ablation benchmarks: what each ingredient of the optimization buys.
+
+Compares, on representative Table I workloads under the Yorktown model:
+
+* ``baseline``            — every trial from scratch,
+* ``dedup_only``          — duplicate trials eliminated, no prefix sharing,
+* ``consecutive_raw``     — prefix reuse between consecutive trials in raw
+                            sampling order (reuse without reordering),
+* ``consecutive_sorted``  — the same after Algorithm 1's reordering,
+* ``full``                — the paper's trie execution with the snapshot
+                            stack (reordering + multi-state reuse + drop).
+
+Also benchmarks the two reorder implementations (recursive Algorithm 1 vs
+lexicographic sort) for the DESIGN.md equivalence claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import rows_to_table
+from repro.bench import build_compiled_benchmark
+from repro.circuits import layerize
+from repro.core import reorder_trials, reorder_trials_recursive
+from repro.experiments import ablation_report
+from repro.noise import ibm_yorktown, sample_trials
+
+WORKLOADS = ("bv4", "qft4", "qv_n5d3", "qv_n5d5")
+TRIALS = 2048
+
+
+def _trials_for(name):
+    layered = layerize(build_compiled_benchmark(name))
+    trials = sample_trials(
+        layered, ibm_yorktown(), TRIALS, np.random.default_rng(11)
+    )
+    return layered, trials
+
+
+@pytest.fixture(scope="module")
+def reports():
+    result = {}
+    for name in WORKLOADS:
+        layered, trials = _trials_for(name)
+        result[name] = ablation_report(layered, trials)
+    return result
+
+
+def test_ablation_table(benchmark, print_table, reports):
+    layered, trials = _trials_for("qft4")
+    benchmark.pedantic(
+        ablation_report, args=(layered, trials), rounds=1, iterations=1
+    )
+    rows = []
+    for name, report in reports.items():
+        base = report["baseline"]
+        rows.append(
+            {
+                "benchmark": name,
+                **{key: value / base for key, value in report.items()},
+            }
+        )
+    print_table(
+        rows_to_table(
+            rows, title=f"Ablations: normalized ops ({TRIALS} trials, Yorktown)"
+        )
+    )
+    # Shape checks for --benchmark-only runs.
+    for report in reports.values():
+        assert report["dedup_only"] < report["baseline"]
+        assert report["consecutive_sorted"] < 0.85 * report["consecutive_raw"]
+        assert report["full"] <= report["consecutive_sorted"]
+        assert 1 - report["full"] / report["baseline"] > 0.6
+
+
+class TestAblationShape:
+    def test_each_ingredient_contributes(self, reports):
+        for report in reports.values():
+            assert report["dedup_only"] < report["baseline"]
+            assert report["consecutive_sorted"] < report["consecutive_raw"]
+            assert report["full"] <= report["consecutive_sorted"]
+
+    def test_reordering_is_the_big_lever(self, reports):
+        """Sorting roughly halves (or better) the consecutive-reuse cost."""
+        for name, report in reports.items():
+            assert report["consecutive_sorted"] < 0.85 * report["consecutive_raw"]
+
+    def test_full_saving_band(self, reports):
+        for report in reports.values():
+            saving = 1 - report["full"] / report["baseline"]
+            assert saving > 0.6
+
+
+class TestReorderImplementations:
+    @pytest.fixture(scope="class")
+    def trial_set(self):
+        layered, trials = _trials_for("qv_n5d4")
+        return trials
+
+    def test_sort_reorder_speed(self, benchmark, trial_set):
+        result = benchmark(reorder_trials, trial_set)
+        assert len(result) == len(trial_set)
+
+    def test_recursive_reorder_speed(self, benchmark, trial_set):
+        result = benchmark.pedantic(
+            reorder_trials_recursive, args=(trial_set,), rounds=3, iterations=1
+        )
+        assert result == reorder_trials(trial_set)
+
+
+def test_chunked_execution_sweep(benchmark, print_table):
+    """Cross-chunk sharing loss: parallel workers / batched generation."""
+    from repro.experiments import chunk_sweep
+    from repro.core import baseline_operation_count
+
+    layered, trials = _trials_for("qft4")
+    sweep = benchmark.pedantic(
+        chunk_sweep,
+        args=(layered, trials),
+        kwargs={"chunk_counts": (1, 2, 4, 8, 16, 64, 256)},
+        rounds=1,
+        iterations=1,
+    )
+    baseline = baseline_operation_count(layered, trials)
+    rows = [
+        {"chunks": k, "normalized_ops": v / baseline}
+        for k, v in sorted(sweep.items())
+    ]
+    print_table(
+        rows_to_table(
+            rows,
+            title=(
+                "Chunked execution (qft4, 2048 trials): cost of splitting "
+                "the batch across independent workers"
+            ),
+        )
+    )
+    values = [sweep[k] for k in sorted(sweep)]
+    assert values == sorted(values)
+    # Even 256-way chunking keeps a healthy share of the saving.
+    assert values[-1] < baseline
+
+
+def test_compiler_quality_ablation(benchmark, print_table):
+    """Peephole optimization vs the raw router output.
+
+    Fewer gates means fewer error positions: trials get cleaner (higher
+    error-free fraction) AND each trial is cheaper, so both the absolute
+    cost and the noise profile shift.  This quantifies how compilation
+    quality interacts with the paper's technique.
+    """
+    import numpy as np
+
+    from repro.bench import build_compiled_benchmark
+    from repro.circuits import layerize
+    from repro.core import NoisySimulator
+    from repro.noise import ibm_yorktown
+
+    def measure(name, optimized):
+        circuit = build_compiled_benchmark(name, optimized=optimized)
+        sim = NoisySimulator(circuit, ibm_yorktown(), seed=4)
+        metrics = sim.analyze(TRIALS)
+        return circuit, metrics
+
+    rows = []
+    for name in ("grover", "qft4", "qv_n5d4"):
+        raw_circuit, raw_metrics = measure(name, False)
+        opt_circuit, opt_metrics = measure(name, True)
+        rows.append(
+            {
+                "benchmark": name,
+                "gates_raw": len(raw_circuit.gate_ops()),
+                "gates_opt": len(opt_circuit.gate_ops()),
+                "ops_raw": raw_metrics.optimized_ops,
+                "ops_opt": opt_metrics.optimized_ops,
+                "saving_raw": raw_metrics.computation_saving,
+                "saving_opt": opt_metrics.computation_saving,
+            }
+        )
+    benchmark.pedantic(measure, args=("qft4", True), rounds=1, iterations=1)
+    print_table(
+        rows_to_table(
+            rows,
+            title=f"Compiler quality: raw router vs peephole passes ({TRIALS} trials)",
+        )
+    )
+    for row in rows:
+        assert row["gates_opt"] <= row["gates_raw"]
+        # Optimizing the circuit never hurts the absolute optimized cost.
+        assert row["ops_opt"] <= row["ops_raw"]
+
+
+def test_router_comparison(benchmark, print_table):
+    """Greedy vs lookahead (SABRE-style) routing on the Table I workloads."""
+    from repro.bench import build_benchmark
+    from repro.mapping import (
+        decompose_to_basis,
+        route_circuit,
+        route_circuit_lookahead,
+        yorktown_coupling,
+    )
+
+    coupling = yorktown_coupling()
+    rows = []
+    for name in ("qft5", "qv_n5d3", "qv_n5d5", "grover"):
+        basis = decompose_to_basis(build_benchmark(name))
+        layout = {i: i for i in range(basis.num_qubits)}
+        greedy = route_circuit(basis, coupling, initial_layout=dict(layout))
+        sabre = route_circuit_lookahead(
+            basis, coupling, initial_layout=dict(layout)
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "greedy_swaps": greedy.swaps_inserted,
+                "sabre_swaps": sabre.swaps_inserted,
+            }
+        )
+    benchmark.pedantic(
+        route_circuit_lookahead,
+        args=(decompose_to_basis(build_benchmark("qv_n5d5")), coupling),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        rows_to_table(rows, title="Router comparison: SWAPs inserted (Yorktown)")
+    )
+    for row in rows:
+        assert row["sabre_swaps"] <= row["greedy_swaps"] + 1

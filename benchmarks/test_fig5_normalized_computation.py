@@ -1,0 +1,98 @@
+"""Fig. 5: normalized computation on the realistic Yorktown model.
+
+Regenerates the full benchmark x trial-count grid (12 benchmarks, 1024 to
+8192 trials) and asserts the paper's qualitative claims:
+
+* ~80 % average computation saving (paper: 75-85 % as trials grow),
+* the saving grows monotonically with the trial count,
+* the worst case is the largest benchmark (``qv_n5d5``-class circuits),
+  and even it saves more than half the computation at 8192 trials
+  (paper worst case: 57 % saving for qv_n5d5 at 8192 trials).
+"""
+
+import pytest
+
+from repro.analysis import rows_to_table
+from repro.experiments import (
+    REALISTIC_TRIAL_COUNTS,
+    fig5_rows,
+    run_realistic_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_realistic_experiment(seed=2020)
+
+
+def test_fig5_regeneration(benchmark, print_table):
+    records = benchmark.pedantic(
+        run_realistic_experiment, kwargs={"seed": 2020}, rounds=1, iterations=1
+    )
+    print_table(
+        rows_to_table(
+            fig5_rows(records),
+            title="Fig. 5: normalized computation, Yorktown model",
+        )
+    )
+    assert len(records) == 12 * len(REALISTIC_TRIAL_COUNTS)
+    # Shape checks (duplicated from TestFig5Shape so they also run under
+    # --benchmark-only, which skips non-benchmark tests).
+    for num_trials in REALISTIC_TRIAL_COUNTS:
+        values = [
+            r.normalized_computation for r in records if r.num_trials == num_trials
+        ]
+        assert 0.7 <= 1.0 - sum(values) / len(values) <= 0.99
+    at_8192 = {
+        r.benchmark: r.normalized_computation
+        for r in records
+        if r.num_trials == 8192
+    }
+    assert max(at_8192.values()) < 0.5
+    assert max(at_8192, key=at_8192.get) in {"qv_n5d5", "qv_n5d4", "qft5"}
+
+
+class TestFig5Shape:
+    def test_average_saving_in_paper_band(self, records):
+        for num_trials in REALISTIC_TRIAL_COUNTS:
+            values = [
+                r.normalized_computation
+                for r in records
+                if r.num_trials == num_trials
+            ]
+            average_saving = 1.0 - sum(values) / len(values)
+            assert 0.7 <= average_saving <= 0.99
+
+    def test_saving_grows_with_trials(self, records):
+        by_benchmark = {}
+        for record in records:
+            by_benchmark.setdefault(record.benchmark, {})[
+                record.num_trials
+            ] = record.normalized_computation
+        for values in by_benchmark.values():
+            ordered = [values[n] for n in REALISTIC_TRIAL_COUNTS]
+            assert ordered == sorted(ordered, reverse=True)
+
+    def test_worst_case_is_a_large_benchmark(self, records):
+        at_8192 = {
+            r.benchmark: r.normalized_computation
+            for r in records
+            if r.num_trials == 8192
+        }
+        worst = max(at_8192, key=at_8192.get)
+        assert worst in {"qv_n5d5", "qv_n5d4", "qft5"}
+
+    def test_worst_case_still_saves_half(self, records):
+        at_8192 = [
+            r.normalized_computation for r in records if r.num_trials == 8192
+        ]
+        assert max(at_8192) < 0.5
+
+    def test_small_benchmarks_save_most(self, records):
+        at_1024 = {
+            r.benchmark: r.normalized_computation
+            for r in records
+            if r.num_trials == 1024
+        }
+        assert at_1024["rb"] < at_1024["qv_n5d5"]
+        assert at_1024["bv4"] < at_1024["qft5"]

@@ -1,0 +1,57 @@
+"""Fig. 6: memory consumption (Maintained State Vectors), realistic model.
+
+Regenerates the per-benchmark MSV counts at 1024 trials and checks the
+paper's claims: MSVs stay single-digit (paper: 3 for ``rb`` up to 6 for
+``qft5`` / ``qv_n5d5``) and do not change significantly when the trial
+count grows from 1024 to 8192.
+"""
+
+import pytest
+
+from repro.analysis import rows_to_table
+from repro.experiments import fig6_rows, run_realistic_experiment
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_realistic_experiment(trial_counts=(1024, 8192), seed=2020)
+
+
+def test_fig6_regeneration(benchmark, print_table):
+    records = benchmark.pedantic(
+        run_realistic_experiment,
+        kwargs={"trial_counts": (1024,), "seed": 2020},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        rows_to_table(
+            fig6_rows(records, num_trials=1024),
+            title="Fig. 6: maintained state vectors (1024 trials)",
+        )
+    )
+    assert len(records) == 12
+    # Shape check for --benchmark-only runs: single-digit MSVs everywhere.
+    for record in records:
+        assert 2 <= record.peak_msv <= 9
+
+
+class TestFig6Shape:
+    def test_msv_single_digit(self, records):
+        for record in records:
+            assert 2 <= record.peak_msv <= 9
+
+    def test_msv_insensitive_to_trial_count(self, records):
+        """Paper: 'this result does not significantly change' 1024 -> 8192."""
+        by_benchmark = {}
+        for record in records:
+            by_benchmark.setdefault(record.benchmark, {})[
+                record.num_trials
+            ] = record.peak_msv
+        for values in by_benchmark.values():
+            assert abs(values[8192] - values[1024]) <= 2
+
+    def test_msv_far_below_trial_count(self, records):
+        """The whole point: thousands of trials, a handful of states."""
+        for record in records:
+            assert record.peak_msv < 10 < record.num_trials

@@ -1,0 +1,71 @@
+"""Fig. 8: memory consumption (MSVs) on large artificial devices.
+
+Same sweep as Fig. 7, reporting peak Maintained State Vectors.  Paper
+claims: ~6 on average, growing slowly with circuit depth, *decreasing*
+with more qubits (more error positions -> two trials rarely share the
+same injected error).
+"""
+
+import pytest
+
+from conftest import bench_trials
+from repro.analysis import rows_to_table
+from repro.experiments import fig8_rows, run_scalability_experiment
+
+TRIALS = bench_trials(20_000)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_scalability_experiment(num_trials=TRIALS, seed=2020)
+
+
+def test_fig8_regeneration(benchmark, print_table, records):
+    benchmark.pedantic(
+        run_scalability_experiment,
+        kwargs={
+            "sizes": ((10, 5),),
+            "error_levels": (1e-4,),
+            "num_trials": TRIALS,
+            "seed": 2020,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        rows_to_table(
+            fig8_rows(records),
+            title=f"Fig. 8: maintained state vectors ({TRIALS} trials)",
+        )
+    )
+    assert len(records) == 28
+    # Shape checks for --benchmark-only runs.
+    for record in records:
+        assert 2 <= record.peak_msv <= 10
+    average = sum(r.peak_msv for r in records) / len(records)
+    assert 3.0 <= average <= 8.0
+
+
+class TestFig8Shape:
+    def test_msv_single_digit_everywhere(self, records):
+        for record in records:
+            assert 2 <= record.peak_msv <= 10
+
+    def test_msv_average_near_paper(self, records):
+        average = sum(r.peak_msv for r in records) / len(records)
+        assert 3.0 <= average <= 8.0
+
+    def test_msv_negligible_vs_baseline_memory(self, records):
+        """MSVs stay constant-scale while trials grow unbounded."""
+        for record in records:
+            assert record.peak_msv <= 10
+            assert record.num_trials >= 1000
+
+    def test_msv_does_not_explode_with_depth(self, records):
+        n10 = {
+            (r.depth, r.single_rate): r.peak_msv
+            for r in records
+            if r.num_qubits == 10
+        }
+        for rate in (1e-3, 1e-4):
+            assert n10[(20, rate)] - n10[(5, rate)] <= 3

@@ -1,0 +1,55 @@
+"""Table I: benchmark characteristics (paper vs this repo's compiler).
+
+Regenerates the qubit / single-gate / CNOT / measurement counts of all
+twelve benchmarks after compilation to the IBM Yorktown device, next to
+the paper's Enfield-compiled numbers.  Exact equality is not expected (our
+router replaces Enfield); the assertions pin the reproduction contract:
+same qubit and measurement counts, same order of magnitude for gates.
+"""
+
+import pytest
+
+from repro.analysis import rows_to_table
+from repro.bench import TABLE1_BENCHMARKS, table1_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_rows()
+
+
+def test_table1_regeneration(benchmark, print_table):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    print_table(
+        rows_to_table(
+            rows, title="Table I: benchmark characteristics (paper vs ours)"
+        )
+    )
+    assert len(rows) == 12
+    # Contract checks for --benchmark-only runs.
+    for row in rows:
+        assert row["qubits_used"] == row["qubits_paper"]
+        assert row["measure_ours"] == row["measure_paper"]
+        assert row["cnot_ours"] <= 4 * row["cnot_paper"] + 8
+        assert row["single_ours"] <= 4 * row["single_paper"] + 8
+
+
+class TestTable1Contract:
+    def test_qubit_counts_exact(self, rows):
+        for row in rows:
+            assert row["qubits_used"] == row["qubits_paper"]
+
+    def test_measure_counts_exact(self, rows):
+        for row in rows:
+            assert row["measure_ours"] == row["measure_paper"]
+
+    def test_gate_counts_same_magnitude(self, rows):
+        for row in rows:
+            assert row["cnot_ours"] <= 4 * row["cnot_paper"] + 8
+            assert row["single_ours"] <= 4 * row["single_paper"] + 8
+
+    def test_qv_depth_scales_cnots(self, rows):
+        by_name = {row["name"]: row for row in rows}
+        cnots = [by_name[f"qv_n5d{d}"]["cnot_ours"] for d in (2, 3, 4, 5)]
+        assert cnots == sorted(cnots)
+        assert cnots[-1] > cnots[0]

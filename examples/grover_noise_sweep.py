@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Algorithm-quality study: how noise degrades Grover search.
+
+Sweeps the device error rate from noiseless to 10x today's hardware and
+measures the probability that 3-qubit Grover search still returns the
+marked item — the kind of NISQ algorithm evaluation the paper's intro
+motivates as the reason noisy simulation matters.  Every sweep point also
+reports the optimizer's computation saving, showing how the saving shrinks
+as errors (and therefore distinct trials) multiply.
+
+Run:  python examples/grover_noise_sweep.py [--trials 2000]
+"""
+
+import argparse
+
+from repro import NoisySimulator, artificial_model
+from repro.analysis import render_table
+from repro.bench import grover
+from repro.mapping import compile_for_device, yorktown_coupling
+from repro.noise import NoiseModel
+
+SINGLE_QUBIT_RATES = [0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2]
+MARKED = "101"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    circuit = compile_for_device(grover(MARKED), yorktown_coupling())
+    rows = []
+    for rate in SINGLE_QUBIT_RATES:
+        model = (
+            NoiseModel.noiseless() if rate == 0.0 else artificial_model(rate)
+        )
+        sim = NoisySimulator(circuit, model, seed=args.seed)
+        result = sim.run(num_trials=args.trials)
+        marked_count = sum(
+            count
+            for bits, count in result.counts.items()
+            if bits[:3] == MARKED
+        )
+        rows.append(
+            [
+                f"{rate:g}" if rate else "noiseless",
+                f"{marked_count / args.trials:.3f}",
+                f"{result.metrics.computation_saving:.1%}",
+                result.metrics.num_distinct_trials,
+            ]
+        )
+
+    print(
+        render_table(
+            ["1q error rate", f"P(find {MARKED})", "ops saved", "distinct trials"],
+            rows,
+            title=(
+                f"Grover search under increasing noise "
+                f"({args.trials} trials, marked state |{MARKED}>)"
+            ),
+        )
+    )
+    print(
+        "\nAs the error rate grows the marked-state probability decays"
+        "\ntoward 1/8 (random guessing), the trial set diversifies, and the"
+        "\noptimizer's saving shrinks — exactly the scalability trade-off"
+        "\nthe paper's Fig. 7 quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Observable estimation under noise: a variational-algorithm workload.
+
+The paper's introduction motivates noisy simulation with NISQ algorithm
+development — variational algorithms in particular, which consume Pauli
+expectation values rather than bitstrings.  This example prepares a
+parameterized two-qubit ansatz, estimates the energy of a toy Hamiltonian
+
+    H = 0.5 * ZZ - 0.3 * XX + 0.2 * ZI
+
+under increasing hardware noise (including idle-qubit errors, the paper's
+"errors without an operation"), and compares three estimates:
+
+* the exact noiseless value,
+* the exact *noisy* value from density-matrix channel evolution,
+* the Monte-Carlo ensemble estimate from the trial-reordering executor —
+  which must converge to the exact noisy value.
+
+Run:  python examples/observable_estimation.py [--trials 4000]
+"""
+
+import argparse
+import math
+
+from repro import NoisySimulator, QuantumCircuit, layerize
+from repro.analysis import render_table
+from repro.noise import NoiseModel
+from repro.sim import Observable, Statevector, run_layered_density
+
+HAMILTONIAN = Observable({"ZZ": 0.5, "XX": -0.3, "ZI": 0.2})
+
+
+def ansatz(theta: float) -> QuantumCircuit:
+    """A tiny hardware-efficient ansatz."""
+    circuit = QuantumCircuit(2, name="ansatz")
+    circuit.ry(theta, 0)
+    circuit.ry(theta / 2, 1)
+    circuit.cx(0, 1)
+    circuit.ry(-theta / 3, 1)
+    return circuit
+
+
+def noiseless_energy(theta: float) -> float:
+    state = Statevector(2)
+    for op in ansatz(theta).gate_ops():
+        state.apply_op(op)
+    return HAMILTONIAN.expectation(state)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=4000)
+    parser.add_argument("--theta", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    circuit = ansatz(args.theta)
+    ideal = noiseless_energy(args.theta)
+    print(f"ansatz angle theta = {args.theta}")
+    print(f"noiseless <H>      = {ideal:+.5f}\n")
+
+    rows = []
+    for rate in (1e-4, 1e-3, 5e-3, 2e-2):
+        model = NoiseModel(
+            default_single=rate,
+            default_two=10 * rate,
+            idle_error=rate / 2,  # decay-style errors on idle qubits
+        )
+        exact_noisy = HAMILTONIAN.expectation_density(
+            run_layered_density(layerize(circuit), model)
+        )
+        sim = NoisySimulator(circuit, model, seed=args.seed)
+        estimate = sim.expectation(HAMILTONIAN, num_trials=args.trials)
+        metrics = sim.analyze(args.trials)
+        rows.append(
+            [
+                f"{rate:g}",
+                f"{exact_noisy:+.5f}",
+                f"{estimate:+.5f}",
+                f"{abs(estimate - exact_noisy):.5f}",
+                f"{metrics.computation_saving:.1%}",
+            ]
+        )
+
+    print(
+        render_table(
+            ["1q error", "exact noisy <H>", "MC estimate", "|error|", "ops saved"],
+            rows,
+            title=f"Noisy energy estimation ({args.trials} trials per point)",
+        )
+    )
+    print(
+        "\nThe Monte-Carlo estimate tracks the exact channel value at every"
+        "\nnoise level while the reordered executor evaluates each distinct"
+        "\nfinal state only once — expectation estimation inherits the full"
+        "\ncomputation saving."
+    )
+
+
+if __name__ == "__main__":
+    main()

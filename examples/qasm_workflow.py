@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""OpenQASM workflow: import a program, compile it to a device, simulate.
+
+Shows the interchange path a downstream user would take: parse an
+OpenQASM 2.0 program (the format the paper's benchmarks ship in), compile
+it to the Yorktown device, run the optimized noisy simulation, and export
+the compiled circuit back to QASM.
+
+Run:  python examples/qasm_workflow.py
+"""
+
+from repro import NoisySimulator, ibm_yorktown, parse_qasm, to_qasm
+from repro.mapping import compile_for_device, yorktown_coupling
+
+GHZ_QASM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+barrier q;
+measure q -> c;
+"""
+
+
+def main() -> None:
+    # 1. Import.
+    logical = parse_qasm(GHZ_QASM, name="ghz3")
+    print(f"parsed: {logical!r}")
+    print(f"ops: {logical.count_ops()}\n")
+
+    # 2. Compile to the device (basis + routing).
+    compiled = compile_for_device(logical, yorktown_coupling())
+    print(f"compiled to Yorktown: {compiled.count_ops()}\n")
+
+    # 3. Simulate with the realistic noise model.
+    sim = NoisySimulator(compiled, ibm_yorktown(), seed=3)
+    result = sim.run(num_trials=2048)
+    print("noisy GHZ output (ideal: only 000 and 111):")
+    for bits, count in sorted(result.counts.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1, count * 60 // 2048)
+        print(f"  |{bits}>  {count:5d}  {bar}")
+    ghz_weight = (
+        result.counts.get("000", 0) + result.counts.get("111", 0)
+    ) / 2048
+    print(f"\nGHZ-subspace weight under noise: {ghz_weight:.3f}")
+    print(f"computation saved by reordering: "
+          f"{result.metrics.computation_saving:.1%}\n")
+
+    # 4. Export the compiled circuit back to OpenQASM.
+    text = to_qasm(compiled)
+    print("compiled circuit, first 10 QASM lines:")
+    for line in text.splitlines()[:10]:
+        print(f"  {line}")
+    round_trip = parse_qasm(text)
+    assert len(round_trip.gate_ops()) == len(compiled.gate_ops())
+    print("\nround-trip parse OK "
+          f"({len(round_trip.gate_ops())} gates preserved)")
+
+
+if __name__ == "__main__":
+    main()

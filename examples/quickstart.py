@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: noisy simulation of a Bell circuit with and without the
+trial-reordering optimization.
+
+Builds a 2-qubit Bell circuit, attaches the IBM Yorktown noise model, runs
+1024 Monte-Carlo error-injection trials both ways, and shows that the
+optimized run produces the same output distribution for a fraction of the
+matrix-vector work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NoisySimulator, QuantumCircuit, ibm_yorktown
+from repro.analysis import total_variation_distance
+
+
+def main() -> None:
+    # 1. Build a circuit (qubit 0 is the most significant bit).
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure_all()
+
+    # 2. Attach a noise model — here the real calibration data of IBM's
+    #    5-qubit Yorktown chip (paper Fig. 4).
+    model = ibm_yorktown()
+
+    # 3. Run the Monte-Carlo noisy simulation.  mode="optimized" is the
+    #    paper's scheme: trials are sampled up front, reordered to maximize
+    #    shared prefixes, and executed with prefix-state caching.
+    sim = NoisySimulator(circuit, model, seed=2020)
+    trials = sim.sample(1024)
+
+    optimized = sim.run(trials=trials, mode="optimized")
+    baseline = sim.run(trials=trials, mode="baseline")
+
+    print("== output distribution (optimized) ==")
+    for bits, count in sorted(optimized.counts.items()):
+        print(f"  |{bits}>  {count:5d}  ({count / 1024:.3f})")
+
+    print("\n== cost comparison on the SAME 1024 trials ==")
+    print(f"  baseline basic ops : {baseline.metrics.optimized_ops}")
+    print(f"  optimized basic ops: {optimized.metrics.optimized_ops}")
+    print(
+        f"  computation saved  : "
+        f"{optimized.metrics.computation_saving:.1%} "
+        f"(paper reports ~80% on average)"
+    )
+    print(f"  peak state vectors : {optimized.metrics.peak_msv} "
+          f"(baseline keeps 1; the overhead stays single-digit)")
+
+    tv = total_variation_distance(optimized.counts, baseline.counts)
+    print(f"\n  distribution TV distance optimized vs baseline: {tv:.4f}")
+    print("  (both modes are mathematically equivalent; any difference is")
+    print("   measurement-sampling noise)")
+
+
+if __name__ == "__main__":
+    main()

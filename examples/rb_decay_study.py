@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Randomized-benchmarking decay under tunable noise.
+
+Runs the full RB protocol on the noisy simulator: survival probability of
+|00> vs sequence length, fit to ``A * p**m + B``, with the error-per-round
+extracted from the fit — the standard way real devices are characterized,
+here driven entirely by the trial-reordering simulation engine.
+
+Run:  python examples/rb_decay_study.py [--rate 2e-3]
+"""
+
+import argparse
+
+from repro.analysis import render_table
+from repro.experiments.rb_decay import fit_rb_decay, run_rb_decay
+from repro.noise import NoiseModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=2e-3)
+    parser.add_argument("--trials", type=int, default=384)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    model = NoiseModel.uniform(args.rate)
+    points = run_rb_decay(
+        model,
+        lengths=(1, 2, 4, 8, 16, 32),
+        trials_per_sequence=args.trials,
+        seed=args.seed,
+    )
+
+    rows = [
+        [
+            point.length,
+            f"{point.survival:.4f}",
+            f"{point.computation_saving:.1%}",
+        ]
+        for point in points
+    ]
+    print(
+        render_table(
+            ["sequence length", "P(|00> survives)", "ops saved"],
+            rows,
+            title=(
+                f"2-qubit randomized benchmarking, 1q rate {args.rate:g} "
+                f"(2q/meas 10x)"
+            ),
+        )
+    )
+
+    amplitude, decay_p, floor = fit_rb_decay(points)
+    print(f"\nfit: survival = {amplitude:.3f} * {decay_p:.5f}**m + {floor:.3f}")
+    print(f"average error per RB round: {1 - decay_p:.5f}")
+    print(
+        "\nLonger sequences decay toward the uniform floor (0.25 for two"
+        "\nqubits) while the per-point computation saving stays high — RB's"
+        "\nmany repeated short circuits are the optimizer's best case."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scalability study: the paper's Sec. V-B experiment (Figs. 7 and 8).
+
+Quantum Volume circuits up to 40 qubits under artificial error models
+(single-qubit rates 1e-3 .. 1e-4; two-qubit and measurement 10x).  Uses
+the counting backend: the paper's metric — the number of matrix-vector
+multiplications — depends only on the trial schedule, so no 2**40
+amplitude vector is ever allocated and the study runs on a laptop.
+
+Run:  python examples/scalability_study.py [--trials 20000] [--full]
+      (--full runs the paper's complete n10..n40 grid; default is a
+       reduced grid for a fast demonstration)
+"""
+
+import argparse
+import time
+
+from repro.analysis import rows_to_table
+from repro.experiments import (
+    fig7_rows,
+    fig8_rows,
+    run_scalability_experiment,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's complete size grid (slower)",
+    )
+    args = parser.parse_args()
+
+    sizes = None if args.full else ((10, 5), (10, 10), (10, 20), (20, 20))
+    kwargs = {"num_trials": args.trials, "seed": args.seed}
+    if sizes is not None:
+        kwargs["sizes"] = sizes
+
+    start = time.perf_counter()
+    records = run_scalability_experiment(**kwargs)
+    elapsed = time.perf_counter() - start
+
+    print(
+        rows_to_table(
+            fig7_rows(records),
+            title=f"Fig. 7: normalized computation ({args.trials} trials)",
+        )
+    )
+    print()
+    print(
+        rows_to_table(
+            fig8_rows(records),
+            title=f"Fig. 8: maintained state vectors ({args.trials} trials)",
+        )
+    )
+
+    values = [r.normalized_computation for r in records]
+    print(f"\naverage computation saving: {1 - sum(values) / len(values):.1%}")
+    print(f"wall time: {elapsed:.1f}s for {len(records)} configurations")
+    print(
+        "\nTrends to note (matching the paper): lower error rates save"
+        "\ndramatically more (future devices); larger/deeper circuits save"
+        "\nless; MSVs stay single-digit throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

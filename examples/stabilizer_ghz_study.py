@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Composing the paper's optimization with stabilizer simulation.
+
+The paper's Sec. II notes its inter-trial optimization is orthogonal to
+single-trial accelerations like stabilizer (CHP) simulation.  This example
+composes the two: noisy GHZ-state preparation on up to 100 qubits — far
+beyond any statevector — where the injected Pauli errors keep every trial
+inside the Clifford formalism, and the trial reordering still eliminates
+the redundant tableau updates across trials.
+
+Reports, per register size: GHZ-subspace weight under noise (how often the
+all-0/all-1 branches survive), the computation saving, and the peak MSV
+(tableaus instead of statevectors, but the same reuse structure).
+
+Run:  python examples/stabilizer_ghz_study.py [--trials 400]
+"""
+
+import argparse
+import time
+
+from repro import NoisySimulator, QuantumCircuit
+from repro.analysis import render_table
+from repro.noise import NoiseModel
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, name=f"ghz{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure_all()
+    return circuit
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=400)
+    parser.add_argument("--rate", type=float, default=1e-4)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    model = NoiseModel.uniform(args.rate)
+    rows = []
+    for num_qubits in (10, 25, 50, 100):
+        circuit = ghz(num_qubits)
+        sim = NoisySimulator(circuit, model, seed=args.seed)
+        start = time.perf_counter()
+        result = sim.run(num_trials=args.trials, backend="stabilizer")
+        elapsed = time.perf_counter() - start
+        ghz_weight = (
+            result.counts.get("0" * num_qubits, 0)
+            + result.counts.get("1" * num_qubits, 0)
+        ) / args.trials
+        rows.append(
+            [
+                num_qubits,
+                f"{ghz_weight:.3f}",
+                f"{result.metrics.computation_saving:.1%}",
+                result.metrics.peak_msv,
+                f"{elapsed:.2f}s",
+            ]
+        )
+
+    print(
+        render_table(
+            ["qubits", "GHZ-subspace weight", "ops saved", "peak MSV", "time"],
+            rows,
+            title=(
+                f"Noisy GHZ preparation on the stabilizer backend "
+                f"({args.trials} trials, 1q rate {args.rate:g})"
+            ),
+        )
+    )
+    print(
+        "\nA 100-qubit statevector would need 2^100 amplitudes; the CHP"
+        "\ntableau needs ~2.5 KB — and the trial reordering still removes"
+        "\nthe bulk of the per-trial work, showing the paper's optimization"
+        "\ncomposes with single-trial simulation accelerations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Anatomy of the optimization: watch Algorithm 1 work on a tiny case.
+
+Reconstructs the paper's Fig. 2 walkthrough: a 3-layer circuit, one
+error-free trial plus three single-error trials.  Prints the trials before
+and after reordering, the prefix trie, the generated execution plan, and
+the resulting operation/memory accounting — the fastest way to understand
+what the scheduler actually does.
+
+Run:  python examples/trial_reordering_anatomy.py
+"""
+
+from repro import QuantumCircuit, layerize
+from repro.core import (
+    ErrorEvent,
+    baseline_operation_count,
+    build_plan,
+    make_trial,
+    reorder_trials,
+    run_optimized,
+)
+from repro.core.schedule import Advance, Finish, Inject, Restore, Snapshot
+from repro.core.trie import build_trie
+from repro.sim import CountingBackend
+
+
+def describe(instruction) -> str:
+    if isinstance(instruction, Advance):
+        return f"advance layers [{instruction.start_layer} -> {instruction.end_layer})"
+    if isinstance(instruction, Snapshot):
+        return f"snapshot working state into slot {instruction.slot}"
+    if isinstance(instruction, Inject):
+        return f"inject error {instruction.event}"
+    if isinstance(instruction, Restore):
+        return f"restore slot {instruction.slot} (and drop it)"
+    if isinstance(instruction, Finish):
+        return f"finish trial(s) {list(instruction.trial_indices)}"
+    return repr(instruction)
+
+
+def main() -> None:
+    # A 3-layer circuit: the setting of the paper's Fig. 2.
+    circuit = QuantumCircuit(2, name="fig2")
+    circuit.h(0).h(1)      # layer 0
+    circuit.cx(0, 1)       # layer 1
+    circuit.h(0).h(1)      # layer 2
+    circuit.measure_all()
+    layered = layerize(circuit)
+    print(f"circuit: {layered.num_layers} layers, {layered.num_gates} gates\n")
+
+    trials = [
+        make_trial([]),                       # the error-free execution
+        make_trial([ErrorEvent(2, 0, "x")]),  # paper's trial 1 (late error)
+        make_trial([ErrorEvent(1, 0, "x")]),  # paper's trial 2 (middle)
+        make_trial([ErrorEvent(0, 0, "x")]),  # paper's trial 3 (early)
+    ]
+
+    print("trials as sampled:")
+    for index, trial in enumerate(trials):
+        print(f"  [{index}] {trial}")
+
+    print("\nafter Algorithm 1 (lexicographic reorder):")
+    for trial in reorder_trials(trials):
+        print(f"      {trial}")
+
+    trie = build_trie(trials)
+    print(f"\nprefix trie: {trie.num_nodes} nodes, "
+          f"{trie.count_branch_nodes()} branch node(s)")
+    for node, path in trie.iter_nodes():
+        indent = "  " * (len(path) + 1)
+        label = str(path[-1]) if path else "root"
+        terminals = f"  <- finishes {node.terminal_trials}" if node.terminal_trials else ""
+        print(f"{indent}{label}{terminals}")
+
+    plan = build_plan(layered, trials)
+    print("\nexecution plan:")
+    for instruction in plan:
+        print(f"  {describe(instruction)}")
+
+    backend = CountingBackend(layered)
+    outcome = run_optimized(layered, trials, backend, plan=plan)
+    baseline = baseline_operation_count(layered, trials)
+    print("\naccounting:")
+    print(f"  baseline ops : {baseline}  (4 trials x {layered.num_gates} gates + errors)")
+    print(f"  optimized ops: {outcome.ops_applied}")
+    print(f"  saving       : {1 - outcome.ops_applied / baseline:.1%}")
+    print(f"  peak MSV     : {outcome.peak_msv} "
+          f"(stored snapshots peak: {outcome.peak_stored} — the paper's "
+          "'only one state vector needs to be stored')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Realistic-device study: the paper's Sec. V-A experiment, end to end.
+
+For every Table I benchmark: compile it to the IBM Yorktown device
+(basis decomposition + SWAP routing over the bowtie coupling graph),
+attach the Fig. 4 calibration noise model, and measure
+
+* the algorithm's output quality under noise (probability of the ideal
+  answer, where one exists), and
+* the computation saving and MSV overhead of the trial-reordering
+  optimization (Figs. 5 and 6).
+
+Run:  python examples/yorktown_device_study.py [--trials 1024]
+"""
+
+import argparse
+
+from repro import NoisySimulator, ibm_yorktown
+from repro.analysis import render_table
+from repro.bench import benchmark_names, build_benchmark, build_compiled_benchmark
+
+#: Ideal (noise-free) winning outcome per benchmark, where well-defined.
+EXPECTED_WINNERS = {
+    "rb": "00",
+    "grover": "111",
+    "7x1mod15": "0111",
+    "bv4": "111",
+    "bv5": "1111",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args()
+
+    model = ibm_yorktown()
+    rows = []
+    for name in benchmark_names():
+        logical = build_benchmark(name)
+        compiled = build_compiled_benchmark(name)
+        sim = NoisySimulator(compiled, model, seed=args.seed)
+        result = sim.run(num_trials=args.trials)
+
+        winner = max(result.counts, key=result.counts.get)
+        expected = EXPECTED_WINNERS.get(name)
+        if expected is not None:
+            # Compare on the measured clbits only.
+            num_clbits = logical.num_clbits
+            fidelity = result.counts.get(
+                expected.ljust(compiled.num_clbits, "0")[: compiled.num_clbits],
+                0,
+            )
+            success = f"{fidelity / args.trials:.3f}"
+        else:
+            success = "-"
+
+        rows.append(
+            [
+                name,
+                compiled.num_single_qubit_gates(),
+                compiled.num_two_qubit_gates(),
+                success,
+                f"{result.metrics.computation_saving:.1%}",
+                result.metrics.peak_msv,
+            ]
+        )
+
+    print(
+        render_table(
+            ["benchmark", "1q gates", "CNOTs", "P(ideal answer)", "ops saved", "MSV"],
+            rows,
+            title=(
+                f"IBM Yorktown study: {args.trials} error-injection trials "
+                "per benchmark"
+            ),
+        )
+    )
+    print(
+        "\nNoise lowers the ideal-answer probability below 1.0; the"
+        "\noptimization leaves results untouched while cutting most of the"
+        "\nmatrix-vector work (paper Fig. 5) with single-digit MSVs (Fig. 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — Eliminating Redundant Computation in Noisy Quantum Computing Simulation.
+
+A full reproduction of Li, Ding and Xie (DAC 2020): a noisy statevector
+simulator whose Monte-Carlo error-injection trials are statically
+generated, reordered to maximize shared prefixes, and executed with
+prefix-state caching — saving ~80 % of the matrix-vector work with only a
+handful of maintained state vectors.
+
+Quickstart::
+
+    from repro import NoisySimulator, ibm_yorktown
+    from repro.bench import build_compiled_benchmark
+
+    circuit = build_compiled_benchmark("bv4")
+    sim = NoisySimulator(circuit, ibm_yorktown(), seed=7)
+    result = sim.run(num_trials=1024)
+    print(result.counts)
+    print(result.metrics.computation_saving)   # fraction of ops eliminated
+
+Package map: :mod:`repro.circuits` (IR + QASM), :mod:`repro.sim`
+(statevector / density / counting engines), :mod:`repro.noise` (error
+models and trial sampling), :mod:`repro.core` (the reordering optimization),
+:mod:`repro.mapping` (device compilation), :mod:`repro.bench` (paper
+benchmarks), :mod:`repro.experiments` (Table I / Figs. 5-8 drivers).
+"""
+
+from .circuits import QuantumCircuit, layerize, parse_qasm, to_qasm
+from .core import (
+    ErrorEvent,
+    NoisySimulator,
+    RunMetrics,
+    SimulationResult,
+    Trial,
+    build_plan,
+    make_trial,
+    reorder_trials,
+    reorder_trials_recursive,
+    run_baseline,
+    run_optimized,
+)
+from .noise import (
+    NoiseModel,
+    artificial_model,
+    depolarizing,
+    ibm_yorktown,
+    sample_trials,
+)
+from .sim import DensityMatrix, Statevector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DensityMatrix",
+    "ErrorEvent",
+    "NoiseModel",
+    "NoisySimulator",
+    "QuantumCircuit",
+    "RunMetrics",
+    "SimulationResult",
+    "Statevector",
+    "Trial",
+    "__version__",
+    "artificial_model",
+    "build_plan",
+    "depolarizing",
+    "ibm_yorktown",
+    "layerize",
+    "make_trial",
+    "parse_qasm",
+    "reorder_trials",
+    "reorder_trials_recursive",
+    "run_baseline",
+    "run_optimized",
+    "sample_trials",
+    "to_qasm",
+]

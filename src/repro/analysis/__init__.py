@@ -1,0 +1,37 @@
+"""Result statistics and text reporting."""
+
+from .budget import ErrorBudget, error_budget
+from .predictor import (
+    error_free_probability,
+    expected_fired_positions,
+    predict_saving_lower_bound,
+    predict_summary,
+)
+from .sharing import SharingReport, analyze_sharing
+from .report import format_value, render_table, rows_to_table
+from .stats import (
+    counts_to_probability_vector,
+    geometric_mean,
+    hellinger_fidelity,
+    normalize_counts,
+    total_variation_distance,
+)
+
+__all__ = [
+    "counts_to_probability_vector",
+    "ErrorBudget",
+    "error_budget",
+    "error_free_probability",
+    "expected_fired_positions",
+    "predict_saving_lower_bound",
+    "predict_summary",
+    "format_value",
+    "geometric_mean",
+    "hellinger_fidelity",
+    "normalize_counts",
+    "render_table",
+    "SharingReport",
+    "analyze_sharing",
+    "rows_to_table",
+    "total_variation_distance",
+]

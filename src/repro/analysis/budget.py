@@ -1,0 +1,116 @@
+"""Error-budget breakdown: which noise source dominates a workload.
+
+For a compiled circuit under a noise model, decompose the expected number
+of fired error positions per trial into sources — single-qubit gates,
+two-qubit gates, idle qubits — plus the expected readout flips.  This is
+the standard first question of NISQ-era benchmarking ("is this circuit
+CNOT-limited?") and directly explains the optimizer's behaviour: the
+source breakdown determines the error-free fraction and hence the
+saving (see :mod:`repro.analysis.predictor`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..circuits.layers import LayeredCircuit
+from ..noise.model import NoiseModel
+
+__all__ = ["ErrorBudget", "error_budget"]
+
+
+class ErrorBudget:
+    """Expected error contributions per trial, by source."""
+
+    def __init__(
+        self,
+        single_qubit: float,
+        two_qubit: float,
+        idle: float,
+        readout: float,
+        num_positions: int,
+    ) -> None:
+        self.single_qubit = single_qubit
+        self.two_qubit = two_qubit
+        self.idle = idle
+        self.readout = readout
+        self.num_positions = num_positions
+
+    @property
+    def gate_total(self) -> float:
+        """Expected fired gate/idle positions per trial (quantum errors)."""
+        return self.single_qubit + self.two_qubit + self.idle
+
+    @property
+    def total(self) -> float:
+        """All expected error events per trial, readout included."""
+        return self.gate_total + self.readout
+
+    def dominant_source(self) -> str:
+        """Name of the largest contribution."""
+        contributions = {
+            "single_qubit": self.single_qubit,
+            "two_qubit": self.two_qubit,
+            "idle": self.idle,
+            "readout": self.readout,
+        }
+        return max(contributions, key=contributions.get)
+
+    def fractions(self) -> Dict[str, float]:
+        """Each source's share of the total (empty-safe)."""
+        if self.total <= 0:
+            return {k: 0.0 for k in ("single_qubit", "two_qubit", "idle", "readout")}
+        return {
+            "single_qubit": self.single_qubit / self.total,
+            "two_qubit": self.two_qubit / self.total,
+            "idle": self.idle / self.total,
+            "readout": self.readout / self.total,
+        }
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        fractions = self.fractions()
+        return [
+            {
+                "source": name,
+                "expected_per_trial": getattr(self, name if name != "readout" else "readout"),
+                "share": fractions[name],
+            }
+            for name in ("single_qubit", "two_qubit", "idle", "readout")
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorBudget(total={self.total:.4f}, "
+            f"dominant={self.dominant_source()!r})"
+        )
+
+
+def error_budget(layered: LayeredCircuit, model: NoiseModel) -> ErrorBudget:
+    """Compute the :class:`ErrorBudget` of ``layered`` under ``model``."""
+    single = 0.0
+    double = 0.0
+    idle = 0.0
+    positions = model.error_positions(layered)
+    # Gate positions carry the gate's qubits; idle positions are the
+    # 1-qubit positions whose (layer, qubit) is touched by no gate.
+    touched_by_layer = [
+        {q for op in layer for q in op.qubits} for layer in layered.layers
+    ]
+    for position in positions:
+        probability = position.channel.total_probability
+        if len(position.qubits) >= 2:
+            double += probability
+        elif position.qubits[0] in touched_by_layer[position.layer]:
+            single += probability
+        else:
+            idle += probability
+    readout = sum(
+        probability for _, probability in model.measurement_positions(layered)
+    )
+    return ErrorBudget(
+        single_qubit=single,
+        two_qubit=double,
+        idle=idle,
+        readout=readout,
+        num_positions=len(positions),
+    )

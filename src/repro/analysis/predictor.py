@@ -1,0 +1,99 @@
+"""Analytic predictors for the optimization's benefit.
+
+Before sampling a single trial, the noise model determines how much the
+trial-reordering optimization can save:
+
+* the probability that a trial is completely error-free is
+  ``q = prod(1 - p_i)`` over all error positions — every error-free trial
+  beyond the first is deduplicated for free;
+* the expected number of fired positions per trial is
+  ``lam = sum(p_i)`` — the paper's scalability story (Figs. 7-8) is the
+  decline of sharing as ``lam`` grows.
+
+:func:`predict_saving_lower_bound` turns the error-free dedup alone into a
+guaranteed-in-expectation lower bound on the computation saving, and
+:func:`predict_summary` bundles the quantities a user needs to decide
+whether to enable the optimization.  The bound's validity (measured saving
+>= predicted bound) is asserted in the test suite across benchmarks and
+error rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..circuits.layers import LayeredCircuit
+from ..noise.model import NoiseModel
+
+__all__ = [
+    "error_free_probability",
+    "expected_fired_positions",
+    "predict_saving_lower_bound",
+    "predict_summary",
+]
+
+
+def error_free_probability(layered: LayeredCircuit, model: NoiseModel) -> float:
+    """``prod(1 - p_i)`` — the chance a trial injects no error at all."""
+    probability = 1.0
+    for position in model.error_positions(layered):
+        probability *= 1.0 - position.channel.total_probability
+    return probability
+
+
+def expected_fired_positions(layered: LayeredCircuit, model: NoiseModel) -> float:
+    """``sum(p_i)`` — mean number of error positions that fire per trial."""
+    return sum(
+        position.channel.total_probability
+        for position in model.error_positions(layered)
+    )
+
+
+def predict_saving_lower_bound(
+    layered: LayeredCircuit, model: NoiseModel, num_trials: int
+) -> float:
+    """Expected-saving lower bound from error-free deduplication alone.
+
+    Of ``N`` trials, ``N * q`` are error-free in expectation and share one
+    execution of ``G`` gates; the baseline pays ``G`` for each.  Ignoring
+    every other sharing mechanism (single-error dedup, prefix reuse) gives
+
+        saving >= (N*q - 1) * G / baseline_ops
+
+    with ``baseline_ops ~= N * (G + lam_events)``.  This is deliberately
+    conservative — at realistic error rates the measured saving is much
+    higher — but it is computable in microseconds from the model alone.
+    """
+    if num_trials < 1:
+        raise ValueError(f"need at least one trial, got {num_trials}")
+    gates = layered.num_gates
+    if gates == 0:
+        return 0.0
+    q = error_free_probability(layered, model)
+    expected_error_free = num_trials * q
+    if expected_error_free <= 1.0:
+        return 0.0
+    # Expected events per trial: fired positions weighted by mean label
+    # weight; bounding weight by 1 keeps the denominator conservative.
+    lam = expected_fired_positions(layered, model)
+    baseline = num_trials * (gates + lam)
+    saved = (expected_error_free - 1.0) * gates
+    return max(0.0, min(1.0, saved / baseline))
+
+
+def predict_summary(
+    layered: LayeredCircuit, model: NoiseModel, num_trials: int
+) -> Dict[str, float]:
+    """All predictor quantities in one dict (for reports and the CLI)."""
+    q = error_free_probability(layered, model)
+    lam = expected_fired_positions(layered, model)
+    return {
+        "num_positions": float(len(model.error_positions(layered))),
+        "error_free_probability": q,
+        "expected_fired_positions": lam,
+        "expected_error_free_trials": num_trials * q,
+        "saving_lower_bound": predict_saving_lower_bound(
+            layered, model, num_trials
+        ),
+    }

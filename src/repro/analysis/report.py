@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's figures are bar charts; we regenerate the underlying numbers
+and print them as aligned text tables (one row per benchmark / circuit,
+one column per configuration), which is what the CLI and EXPERIMENTS.md
+use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value", "rows_to_table"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human formatting: floats rounded, everything else ``str()``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    text_rows = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def rows_to_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows, columns in first-row (or given) order."""
+    if not rows:
+        return title or "(no rows)"
+    keys = list(columns) if columns else list(rows[0].keys())
+    data = [[row.get(key, "") for key in keys] for row in rows]
+    return render_table(keys, data, precision=precision, title=title)

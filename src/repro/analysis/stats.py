@@ -1,0 +1,74 @@
+"""Statistics helpers for comparing noisy-simulation outputs.
+
+Used by the validation suites (optimized vs baseline vs density matrix)
+and by the experiment harness to summarize sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "normalize_counts",
+    "total_variation_distance",
+    "hellinger_fidelity",
+    "geometric_mean",
+    "counts_to_probability_vector",
+]
+
+
+def normalize_counts(counts: Dict[str, int]) -> Dict[str, float]:
+    """Turn a histogram into a probability distribution."""
+    total = sum(counts.values())
+    if total <= 0:
+        return {}
+    return {key: value / total for key, value in counts.items()}
+
+
+def total_variation_distance(
+    counts_a: Dict[str, int], counts_b: Dict[str, int]
+) -> float:
+    """TV distance between two (possibly unnormalized) histograms."""
+    dist_a = normalize_counts(counts_a)
+    dist_b = normalize_counts(counts_b)
+    keys = set(dist_a) | set(dist_b)
+    return 0.5 * sum(abs(dist_a.get(k, 0.0) - dist_b.get(k, 0.0)) for k in keys)
+
+
+def hellinger_fidelity(
+    counts_a: Dict[str, int], counts_b: Dict[str, int]
+) -> float:
+    """Classical (Bhattacharyya) fidelity between two histograms, in [0,1]."""
+    dist_a = normalize_counts(counts_a)
+    dist_b = normalize_counts(counts_b)
+    keys = set(dist_a) | set(dist_b)
+    overlap = sum(
+        math.sqrt(dist_a.get(k, 0.0) * dist_b.get(k, 0.0)) for k in keys
+    )
+    return overlap**2
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the standard aggregate for normalized metrics."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def counts_to_probability_vector(
+    counts: Dict[str, int], num_bits: int
+) -> np.ndarray:
+    """Dense probability vector (index = bitstring as big-endian integer)."""
+    vector = np.zeros(2**num_bits)
+    total = sum(counts.values())
+    if total == 0:
+        return vector
+    for bits, count in counts.items():
+        if len(bits) != num_bits or set(bits) - {"0", "1"}:
+            raise ValueError(f"bad bitstring {bits!r} for {num_bits} bits")
+        vector[int(bits, 2)] = count / total
+    return vector

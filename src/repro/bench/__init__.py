@@ -1,0 +1,45 @@
+"""Benchmark circuit generators: the paper's Table I workloads."""
+
+from .bv import bv, bv4, bv5
+from .grover import grover, grover3
+from .mod15 import mod15_mult7, seven_x_one_mod15
+from .qft import qft, qft4, qft5
+from .qv import QV_SCALABILITY_SIZES, quantum_volume, qv_n5
+from .rb import rb2, rb_sequence
+from .suite import (
+    BenchmarkSpec,
+    TABLE1_BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    build_compiled_benchmark,
+    export_qasm_suite,
+    table1_rows,
+)
+from .wstate import wstate, wstate3
+
+__all__ = [
+    "BenchmarkSpec",
+    "QV_SCALABILITY_SIZES",
+    "TABLE1_BENCHMARKS",
+    "benchmark_names",
+    "build_benchmark",
+    "build_compiled_benchmark",
+    "export_qasm_suite",
+    "bv",
+    "bv4",
+    "bv5",
+    "grover",
+    "grover3",
+    "mod15_mult7",
+    "qft",
+    "qft4",
+    "qft5",
+    "quantum_volume",
+    "qv_n5",
+    "rb2",
+    "rb_sequence",
+    "seven_x_one_mod15",
+    "table1_rows",
+    "wstate",
+    "wstate3",
+]

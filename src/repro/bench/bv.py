@@ -1,0 +1,59 @@
+"""Bernstein-Vazirani circuits.
+
+``bv(n)`` builds the textbook BV circuit on ``n`` qubits: ``n - 1`` data
+qubits holding the query result plus one ancilla prepared in ``|->``.  With
+the all-ones hidden string (the paper's convention, giving ``n - 1`` CNOTs)
+the noise-free output is the hidden string itself — the property tests
+assert exactly that.  Table I's ``bv4`` / ``bv5`` are ``bv(4)`` / ``bv(5)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["bv", "bv4", "bv5"]
+
+
+def bv(num_qubits: int, hidden_string: Optional[str] = None) -> QuantumCircuit:
+    """Bernstein-Vazirani on ``num_qubits`` (last qubit is the ancilla).
+
+    Parameters
+    ----------
+    hidden_string:
+        Bitstring of length ``num_qubits - 1``; defaults to all ones.
+    """
+    if num_qubits < 2:
+        raise ValueError("BV needs at least one data qubit plus the ancilla")
+    data = num_qubits - 1
+    if hidden_string is None:
+        hidden_string = "1" * data
+    if len(hidden_string) != data or set(hidden_string) - {"0", "1"}:
+        raise ValueError(
+            f"hidden string must be {data} bits of 0/1, got {hidden_string!r}"
+        )
+    ancilla = data
+    circuit = QuantumCircuit(num_qubits, data, name=f"bv{num_qubits}")
+    for qubit in range(data):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit, bit in enumerate(hidden_string):
+        if bit == "1":
+            circuit.cx(qubit, ancilla)
+    for qubit in range(data):
+        circuit.h(qubit)
+    for qubit in range(data):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+def bv4() -> QuantumCircuit:
+    """Table I ``bv4``: 4 qubits, hidden string ``111``."""
+    return bv(4)
+
+
+def bv5() -> QuantumCircuit:
+    """Table I ``bv5``: 5 qubits, hidden string ``1111``."""
+    return bv(5)

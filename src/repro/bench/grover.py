@@ -1,0 +1,66 @@
+"""Grover search circuits (Table I ``grover``).
+
+3-qubit Grover search over an 8-entry database, marking one basis state
+with a CCZ oracle and amplifying with the standard diffusion operator.  Two
+iterations maximize the success probability for N = 8 (~94.5 %); the noise
+tests assert the marked state dominates the output distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["grover", "grover3"]
+
+
+def _ccz(circuit: QuantumCircuit, a: int, b: int, c: int) -> None:
+    """CCZ = H(target) CCX H(target)."""
+    circuit.h(c)
+    circuit.ccx(a, b, c)
+    circuit.h(c)
+
+
+def _oracle(circuit: QuantumCircuit, marked: str) -> None:
+    """Phase-flip the basis state ``marked`` (bit i = qubit i)."""
+    zeros = [qubit for qubit, bit in enumerate(marked) if bit == "0"]
+    for qubit in zeros:
+        circuit.x(qubit)
+    _ccz(circuit, 0, 1, 2)
+    for qubit in zeros:
+        circuit.x(qubit)
+
+
+def _diffusion(circuit: QuantumCircuit) -> None:
+    """Inversion about the mean: H X CCZ X H on all qubits."""
+    for qubit in range(3):
+        circuit.h(qubit)
+    for qubit in range(3):
+        circuit.x(qubit)
+    _ccz(circuit, 0, 1, 2)
+    for qubit in range(3):
+        circuit.x(qubit)
+    for qubit in range(3):
+        circuit.h(qubit)
+
+
+def grover(marked: str = "111", iterations: int = 2) -> QuantumCircuit:
+    """Grover search on 3 qubits for the ``marked`` basis state."""
+    if len(marked) != 3 or set(marked) - {"0", "1"}:
+        raise ValueError(f"marked state must be 3 bits, got {marked!r}")
+    if iterations < 1:
+        raise ValueError("need at least one Grover iteration")
+    circuit = QuantumCircuit(3, name="grover")
+    for qubit in range(3):
+        circuit.h(qubit)
+    for _ in range(iterations):
+        _oracle(circuit, marked)
+        _diffusion(circuit)
+    circuit.measure_all()
+    return circuit
+
+
+def grover3() -> QuantumCircuit:
+    """Table I ``grover``: 3 qubits, 2 iterations, marked state |111>."""
+    return grover()

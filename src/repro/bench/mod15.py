@@ -1,0 +1,54 @@
+"""Modular multiplication circuit ``7x1 mod 15`` (Table I ``7x1mod15``).
+
+The Shor-algorithm building block that multiplies a 4-bit register by 7
+modulo 15.  Because ``7 = -8 (mod 15)`` and 15 is a Mersenne number, the
+map factors into two cheap pieces:
+
+* ``x -> 8x mod 15`` is a cyclic rotation of the 4 bits by three positions
+  (three SWAPs), and
+* ``y -> -y mod 15`` is the bitwise complement (an X on every bit).
+
+Starting from ``|0001>`` (the integer 1), the noise-free output is
+``7 = 0111`` — asserted in the tests for every input value 1..14.  (As in
+the standard hardware implementations, the unused values 0 and 15 map to
+each other instead of being fixed points.)
+"""
+
+from __future__ import annotations
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["mod15_mult7", "seven_x_one_mod15"]
+
+
+def mod15_mult7(initial_value: int = 1, measured: bool = True) -> QuantumCircuit:
+    """Multiply ``initial_value`` by 7 mod 15 on a 4-qubit register.
+
+    Qubit 0 is the most significant bit of the register (matching the
+    statevector convention).  ``initial_value`` must be in ``0..15``; the
+    arithmetic is exact for values 1..14, while 0 and 15 (unused in Shor's
+    algorithm) map to each other.
+    """
+    if not 0 <= initial_value <= 15:
+        raise ValueError(f"register value out of range: {initial_value}")
+    circuit = QuantumCircuit(4, name="7x1mod15")
+    # Prepare |initial_value>.
+    for qubit in range(4):
+        if (initial_value >> (3 - qubit)) & 1:
+            circuit.x(qubit)
+    # x -> 8x mod 15: rotate bits left by 3 == rotate right by 1.
+    # (b0 b1 b2 b3) -> (b3 b0 b1 b2), done as a chain of adjacent swaps.
+    circuit.swap(2, 3)
+    circuit.swap(1, 2)
+    circuit.swap(0, 1)
+    # y -> -y mod 15: complement every bit.
+    for qubit in range(4):
+        circuit.x(qubit)
+    if measured:
+        circuit.measure_all()
+    return circuit
+
+
+def seven_x_one_mod15() -> QuantumCircuit:
+    """Table I ``7x1mod15``: the 7*1 mod 15 instance."""
+    return mod15_mult7(1)

@@ -1,0 +1,55 @@
+"""Quantum Fourier Transform circuits (Table I ``qft4`` / ``qft5``).
+
+The textbook QFT: per qubit a Hadamard followed by controlled phase
+rotations ``cu1(pi / 2**k)`` from every later qubit, with the optional final
+qubit-reversal SWAP network.  The circuit is measured on every qubit; the
+noise-free output of QFT applied to ``|0...0>`` is the uniform
+superposition, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["qft", "qft4", "qft5"]
+
+
+def qft(
+    num_qubits: int,
+    with_swaps: bool = True,
+    measured: bool = True,
+) -> QuantumCircuit:
+    """The ``num_qubits``-qubit QFT.
+
+    Parameters
+    ----------
+    with_swaps:
+        Append the qubit-reversal SWAP network (the full textbook unitary).
+    measured:
+        Measure every qubit at the end (the paper's benchmark form).
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circuit.cu1(2.0 * math.pi / (2**offset), control, target)
+    if with_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    if measured:
+        circuit.measure_all()
+    return circuit
+
+
+def qft4() -> QuantumCircuit:
+    """Table I ``qft4``."""
+    return qft(4)
+
+
+def qft5() -> QuantumCircuit:
+    """Table I ``qft5``."""
+    return qft(5)

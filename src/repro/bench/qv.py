@@ -1,0 +1,98 @@
+"""Quantum Volume model circuits (Table I ``qv_*`` and the Figs. 7-8 sweep).
+
+IBM's Quantum Volume circuits: ``depth`` layers, each a random permutation
+of the qubits followed by a random SU(4) on every adjacent pair of the
+permutation.  Two emission modes:
+
+* ``decomposed=True`` (default) — each SU(4) is emitted in the universal
+  3-CNOT template (``u3 x u3 . CX . u3 x u3 . CX . u3 x u3 . CX .
+  u3 x u3`` with Haar-ish random angles).  This is the form the error model
+  consumes (errors attach to physical gates) and the form whose gate counts
+  Table I reports.
+* ``decomposed=False`` — each SU(4) is a single Haar-random 4x4 unitary
+  gate, useful for dense-matrix validation.
+
+The permutation is *free* (relabeling) at generation time; when the circuit
+is compiled to a constrained device the router turns far pairs into SWAPs,
+matching how Table I's counts include mapping overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import random_su4
+
+__all__ = ["quantum_volume", "qv_n5", "QV_SCALABILITY_SIZES"]
+
+#: The (num_qubits, depth) grid of the paper's scalability study (Figs. 7-8).
+QV_SCALABILITY_SIZES: Tuple[Tuple[int, int], ...] = (
+    (10, 5),
+    (10, 10),
+    (10, 15),
+    (10, 20),
+    (20, 20),
+    (30, 20),
+    (40, 20),
+)
+
+
+def _random_u3_params(rng: np.random.Generator) -> Tuple[float, float, float]:
+    theta = float(rng.uniform(0.0, math.pi))
+    phi = float(rng.uniform(0.0, 2.0 * math.pi))
+    lam = float(rng.uniform(0.0, 2.0 * math.pi))
+    return theta, phi, lam
+
+
+def _su4_template(
+    circuit: QuantumCircuit, a: int, b: int, rng: np.random.Generator
+) -> None:
+    """The universal 3-CNOT two-qubit block with random rotations."""
+    for qubit in (a, b):
+        circuit.u3(*_random_u3_params(rng), qubit)
+    circuit.cx(a, b)
+    for qubit in (a, b):
+        circuit.u3(*_random_u3_params(rng), qubit)
+    circuit.cx(a, b)
+    for qubit in (a, b):
+        circuit.u3(*_random_u3_params(rng), qubit)
+    circuit.cx(a, b)
+    for qubit in (a, b):
+        circuit.u3(*_random_u3_params(rng), qubit)
+
+
+def quantum_volume(
+    num_qubits: int,
+    depth: int,
+    seed: int = 0,
+    decomposed: bool = True,
+    measured: bool = True,
+) -> QuantumCircuit:
+    """Generate a Quantum Volume circuit ``qv_n{num_qubits}d{depth}``."""
+    if num_qubits < 2:
+        raise ValueError("QV needs at least 2 qubits")
+    if depth < 1:
+        raise ValueError("QV depth must be positive")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"qv_n{num_qubits}d{depth}")
+    for _ in range(depth):
+        permutation = rng.permutation(num_qubits)
+        for pair_index in range(num_qubits // 2):
+            a = int(permutation[2 * pair_index])
+            b = int(permutation[2 * pair_index + 1])
+            if decomposed:
+                _su4_template(circuit, a, b, rng)
+            else:
+                circuit.apply(random_su4(rng), a, b)
+    if measured:
+        circuit.measure_all()
+    return circuit
+
+
+def qv_n5(depth: int, seed: int = 0) -> QuantumCircuit:
+    """Table I ``qv_n5d{depth}``: 5-qubit QV of the given depth."""
+    return quantum_volume(5, depth, seed=seed)

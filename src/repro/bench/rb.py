@@ -1,0 +1,82 @@
+"""Randomized-benchmarking style sequences (Table I ``rb``).
+
+A two-qubit RB sequence: a random string of Clifford-group gates (drawn
+from a self-inverse-or-paired subset so the inverse stays in the standard
+basis) followed by the exact inverse of the whole string.  The noise-free
+output is therefore ``|00>`` with certainty — the canonical RB property,
+asserted by the tests; under noise the survival probability of ``|00>``
+decays, which is what RB measures on hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import GateOp, QuantumCircuit
+from ..circuits.gates import standard_gate
+
+__all__ = ["rb_sequence", "rb2"]
+
+#: (gate name, inverse gate name) pairs the sequence draws from.
+_INVERTIBLE_1Q: Tuple[Tuple[str, str], ...] = (
+    ("h", "h"),
+    ("x", "x"),
+    ("y", "y"),
+    ("z", "z"),
+    ("s", "sdg"),
+    ("sdg", "s"),
+    ("t", "tdg"),
+    ("tdg", "t"),
+)
+
+
+def rb_sequence(
+    num_qubits: int = 2,
+    length: int = 3,
+    seed: int = 2020,
+    measured: bool = True,
+    singles_per_round: int = 1,
+) -> QuantumCircuit:
+    """A random self-inverting benchmark sequence.
+
+    Each of the ``length`` rounds applies ``singles_per_round`` random
+    single-qubit gates per qubit followed by a CNOT on a random adjacent
+    pair (when 2+ qubits); the inverse sequence is appended in reverse.
+    The identity of the whole circuit is a test invariant.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if length < 1:
+        raise ValueError("need at least one round")
+    if singles_per_round < 1:
+        raise ValueError("need at least one single-qubit gate per round")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"rb{num_qubits}")
+    inverse_ops: List[GateOp] = []
+
+    for _ in range(length):
+        for qubit in range(num_qubits):
+            for _ in range(singles_per_round):
+                name, inverse_name = _INVERTIBLE_1Q[
+                    int(rng.integers(len(_INVERTIBLE_1Q)))
+                ]
+                circuit.gate(name, qubit)
+                inverse_ops.append(GateOp(standard_gate(inverse_name), (qubit,)))
+        if num_qubits >= 2:
+            control = int(rng.integers(num_qubits - 1))
+            pair = (control, control + 1)
+            circuit.cx(*pair)
+            inverse_ops.append(GateOp(standard_gate("cx"), pair))
+
+    for op in reversed(inverse_ops):
+        circuit.append(op)
+    if measured:
+        circuit.measure_all()
+    return circuit
+
+
+def rb2() -> QuantumCircuit:
+    """Table I ``rb``: a short 2-qubit sequence (~9 single gates, 2 CNOTs)."""
+    return rb_sequence(num_qubits=2, length=1, seed=7, singles_per_round=2)

@@ -1,0 +1,51 @@
+"""W-state preparation circuits (Table I ``wstate``).
+
+Prepares the n-qubit W state ``(|10...0> + |010...0> + ... + |0...01>) /
+sqrt(n)`` with the excitation-cascade construction: start from ``|10...0>``
+and repeatedly split the single excitation toward the next qubit with a
+controlled-RY (angle ``2*arccos(sqrt(1/k))``) followed by a CNOT back.
+Controlled-RYs are emitted pre-decomposed into {ry, cx}, so the circuit is
+already in the device basis.
+
+The statevector tests assert the exact W amplitudes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["wstate", "wstate3"]
+
+
+def _cry(circuit: QuantumCircuit, theta: float, control: int, target: int) -> None:
+    """Controlled-RY in the {ry, cx} basis."""
+    circuit.ry(theta / 2.0, target)
+    circuit.cx(control, target)
+    circuit.ry(-theta / 2.0, target)
+    circuit.cx(control, target)
+
+
+def wstate(num_qubits: int, measured: bool = True) -> QuantumCircuit:
+    """Prepare the ``num_qubits``-qubit W state."""
+    if num_qubits < 2:
+        raise ValueError("a W state needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"wstate{num_qubits}")
+    circuit.x(0)
+    # After step k the excitation is spread over qubits 0..k with the first
+    # k amplitudes already final.  Splitting qubit k keeps amplitude
+    # sqrt(1/(n-k)) of the remainder and passes the rest along.
+    for qubit in range(num_qubits - 1):
+        remaining = num_qubits - qubit
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        _cry(circuit, theta, qubit, qubit + 1)
+        circuit.cx(qubit + 1, qubit)
+    if measured:
+        circuit.measure_all()
+    return circuit
+
+
+def wstate3() -> QuantumCircuit:
+    """Table I ``wstate``: the 3-qubit W state."""
+    return wstate(3)

@@ -1,0 +1,51 @@
+"""Quantum circuit intermediate representation.
+
+Public surface: :class:`QuantumCircuit` and its instruction types, the
+standard gate library, the ASAP layering pass and the OpenQASM 2.0 subset
+parser/emitter.
+"""
+
+from .draw import draw
+from .circuit import (
+    Barrier,
+    CircuitError,
+    GateOp,
+    Instruction,
+    Measurement,
+    QuantumCircuit,
+)
+from .gates import (
+    Gate,
+    GateError,
+    STANDARD_GATE_ARITY,
+    is_standard_gate,
+    pauli_gate,
+    random_su4,
+    standard_gate,
+    unitary,
+)
+from .layers import LayeredCircuit, layerize
+from .qasm import QasmError, parse_qasm, to_qasm
+
+__all__ = [
+    "Barrier",
+    "draw",
+    "CircuitError",
+    "Gate",
+    "GateError",
+    "GateOp",
+    "Instruction",
+    "LayeredCircuit",
+    "Measurement",
+    "QasmError",
+    "QuantumCircuit",
+    "STANDARD_GATE_ARITY",
+    "is_standard_gate",
+    "layerize",
+    "parse_qasm",
+    "pauli_gate",
+    "random_su4",
+    "standard_gate",
+    "to_qasm",
+    "unitary",
+]

@@ -1,0 +1,391 @@
+"""The quantum circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of instructions over ``n``
+qubits and ``m`` classical bits.  Three instruction kinds exist:
+
+* :class:`GateOp` — a unitary gate applied to a qubit tuple,
+* :class:`Measurement` — projective Z-basis measurement of one qubit into a
+  classical bit,
+* :class:`Barrier` — a scheduling fence (no semantics beyond layering).
+
+The circuit is the single input format for everything downstream: the
+layering pass, the qubit mapper, the noise-position enumeration and both
+simulators.  Builder methods (``circ.h(0)``, ``circ.cx(0, 1)``, ...) mirror
+the standard gate library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .gates import Gate, GateError, standard_gate, unitary as unitary_gate
+
+__all__ = [
+    "CircuitError",
+    "GateOp",
+    "Measurement",
+    "Barrier",
+    "Instruction",
+    "QuantumCircuit",
+]
+
+
+class CircuitError(ValueError):
+    """Raised for malformed circuit construction."""
+
+
+class GateOp:
+    """A gate applied to a specific tuple of qubits."""
+
+    __slots__ = ("gate", "qubits")
+
+    def __init__(self, gate: Gate, qubits: Sequence[int]) -> None:
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != gate.num_qubits:
+            raise CircuitError(
+                f"gate '{gate.name}' acts on {gate.num_qubits} qubit(s), "
+                f"got qubits {qubits}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubits in {qubits}")
+        self.gate = gate
+        self.qubits = qubits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GateOp):
+            return NotImplemented
+        return self.gate == other.gate and self.qubits == other.qubits
+
+    def __hash__(self) -> int:
+        return hash((self.gate, self.qubits))
+
+    def __repr__(self) -> str:
+        return f"GateOp({self.gate.name}, {self.qubits})"
+
+
+class Measurement:
+    """Z-basis measurement of ``qubit`` recorded into classical ``clbit``."""
+
+    __slots__ = ("qubit", "clbit")
+
+    def __init__(self, qubit: int, clbit: int) -> None:
+        self.qubit = int(qubit)
+        self.clbit = int(clbit)
+
+    @property
+    def qubits(self) -> Tuple[int]:
+        return (self.qubit,)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Measurement):
+            return NotImplemented
+        return self.qubit == other.qubit and self.clbit == other.clbit
+
+    def __hash__(self) -> int:
+        return hash(("measure", self.qubit, self.clbit))
+
+    def __repr__(self) -> str:
+        return f"Measurement(q{self.qubit} -> c{self.clbit})"
+
+
+class Barrier:
+    """A layering fence across ``qubits`` (all qubits when empty)."""
+
+    __slots__ = ("qubits",)
+
+    def __init__(self, qubits: Sequence[int] = ()) -> None:
+        self.qubits = tuple(int(q) for q in qubits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Barrier):
+            return NotImplemented
+        return self.qubits == other.qubits
+
+    def __hash__(self) -> int:
+        return hash(("barrier", self.qubits))
+
+    def __repr__(self) -> str:
+        return f"Barrier({self.qubits})"
+
+
+Instruction = Union[GateOp, Measurement, Barrier]
+
+
+class QuantumCircuit:
+    """An ordered sequence of instructions on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits.  Qubit indices are ``0 .. num_qubits - 1``.
+    num_clbits:
+        Number of classical bits; defaults to ``num_qubits``.
+    name:
+        Optional display name (used by benchmark suites and reports).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_clbits: Optional[int] = None,
+        name: str = "circuit",
+    ) -> None:
+        if num_qubits < 1:
+            raise CircuitError(f"need at least one qubit, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_qubits if num_clbits is None else num_clbits)
+        if self.num_clbits < 0:
+            raise CircuitError("num_clbits must be non-negative")
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return tuple(self._instructions)
+
+    # -- generic append -------------------------------------------------------
+
+    def _check_qubits(self, qubits: Sequence[int]) -> None:
+        for qubit in qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+                )
+
+    def append(self, instruction: Instruction) -> "QuantumCircuit":
+        """Append a prebuilt instruction (validated against this circuit)."""
+        if isinstance(instruction, GateOp):
+            self._check_qubits(instruction.qubits)
+        elif isinstance(instruction, Measurement):
+            self._check_qubits((instruction.qubit,))
+            if not 0 <= instruction.clbit < self.num_clbits:
+                raise CircuitError(
+                    f"clbit {instruction.clbit} out of range for "
+                    f"{self.num_clbits} classical bit(s)"
+                )
+        elif isinstance(instruction, Barrier):
+            self._check_qubits(instruction.qubits)
+        else:
+            raise CircuitError(f"not an instruction: {instruction!r}")
+        self._instructions.append(instruction)
+        return self
+
+    def apply(self, gate: Gate, *qubits: int) -> "QuantumCircuit":
+        """Append ``gate`` on ``qubits``."""
+        return self.append(GateOp(gate, qubits))
+
+    def gate(self, name: str, *qubits: int, params: Sequence[float] = ()) -> "QuantumCircuit":
+        """Append a standard-library gate by name."""
+        return self.apply(standard_gate(name, params), *qubits)
+
+    def unitary(self, matrix: np.ndarray, *qubits: int, name: str = "unitary") -> "QuantumCircuit":
+        """Append an arbitrary unitary matrix on ``qubits``."""
+        return self.apply(unitary_gate(matrix, name=name), *qubits)
+
+    # -- standard gate builders ----------------------------------------------
+
+    def i(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("id", qubit)
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("x", qubit)
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("y", qubit)
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("z", qubit)
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("h", qubit)
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("s", qubit)
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("sdg", qubit)
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("t", qubit)
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("tdg", qubit)
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.gate("sx", qubit)
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("rx", qubit, params=(theta,))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("ry", qubit, params=(theta,))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("rz", qubit, params=(theta,))
+
+    def u1(self, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("u1", qubit, params=(lam,))
+
+    def u2(self, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("u2", qubit, params=(phi, lam))
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.gate("u3", qubit, params=(theta, phi, lam))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("cx", control, target)
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("cy", control, target)
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("cz", control, target)
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("ch", control, target)
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.gate("swap", qubit_a, qubit_b)
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("crz", control, target, params=(theta,))
+
+    def cu1(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("cu1", control, target, params=(lam,))
+
+    def ccx(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.gate("ccx", c1, c2, target)
+
+    def cswap(self, control: int, t1: int, t2: int) -> "QuantumCircuit":
+        return self.gate("cswap", control, t1, t2)
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        return self.gate("cp", control, target, params=(lam,))
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.gate("rzz", a, b, params=(theta,))
+
+    def rxx(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.gate("rxx", a, b, params=(theta,))
+
+    def measure(self, qubit: int, clbit: Optional[int] = None) -> "QuantumCircuit":
+        """Measure ``qubit`` into ``clbit`` (defaults to the same index)."""
+        return self.append(Measurement(qubit, qubit if clbit is None else clbit))
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit into the classical bit of the same index."""
+        for qubit in range(self.num_qubits):
+            self.measure(qubit, qubit)
+        return self
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        return self.append(Barrier(qubits))
+
+    # -- inspection ------------------------------------------------------------
+
+    def gate_ops(self) -> List[GateOp]:
+        """All unitary operations, in order."""
+        return [op for op in self._instructions if isinstance(op, GateOp)]
+
+    def measurements(self) -> List[Measurement]:
+        return [op for op in self._instructions if isinstance(op, Measurement)]
+
+    def count_ops(self) -> dict:
+        """Histogram of gate names (measurements under ``"measure"``)."""
+        counts: dict = {}
+        for op in self._instructions:
+            if isinstance(op, GateOp):
+                key = op.gate.name
+            elif isinstance(op, Measurement):
+                key = "measure"
+            else:
+                key = "barrier"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def num_single_qubit_gates(self) -> int:
+        return sum(
+            1
+            for op in self._instructions
+            if isinstance(op, GateOp) and op.gate.num_qubits == 1
+        )
+
+    def num_two_qubit_gates(self) -> int:
+        return sum(
+            1
+            for op in self._instructions
+            if isinstance(op, GateOp) and op.gate.num_qubits == 2
+        )
+
+    def num_measurements(self) -> int:
+        return len(self.measurements())
+
+    def has_mid_circuit_measurement(self) -> bool:
+        """True when any gate follows a measurement on any qubit.
+
+        The optimized executor requires all measurements to be terminal; this
+        predicate is used to validate its inputs.
+        """
+        measured = set()
+        for op in self._instructions:
+            if isinstance(op, Measurement):
+                measured.add(op.qubit)
+            elif isinstance(op, GateOp):
+                if any(q in measured for q in op.qubits):
+                    return True
+        return False
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        dup = QuantumCircuit(
+            self.num_qubits, self.num_clbits, name=name or self.name
+        )
+        dup._instructions = list(self._instructions)
+        return dup
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append all of ``other``'s instructions to this circuit in place."""
+        if other.num_qubits > self.num_qubits or other.num_clbits > self.num_clbits:
+            raise CircuitError(
+                "composed circuit does not fit "
+                f"({other.num_qubits}q/{other.num_clbits}c into "
+                f"{self.num_qubits}q/{self.num_clbits}c)"
+            )
+        for instr in other:
+            self.append(instr)
+        return self
+
+    def inverse(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """The adjoint circuit (gates reversed and daggered).
+
+        Only valid for measurement-free circuits.
+        """
+        if self.measurements():
+            raise CircuitError("cannot invert a circuit containing measurements")
+        inv = QuantumCircuit(
+            self.num_qubits, self.num_clbits, name=name or self.name + "_inv"
+        )
+        for instr in reversed(self._instructions):
+            if isinstance(instr, GateOp):
+                inv.apply(instr.gate.dagger(), *instr.qubits)
+            elif isinstance(instr, Barrier):
+                inv.append(instr)
+        return inv
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"ops={len(self._instructions)})"
+        )

@@ -1,0 +1,117 @@
+"""ASCII circuit rendering.
+
+``draw(circuit)`` returns a fixed-width text diagram — one row per qubit,
+one column block per layer (the same ASAP layers the noise model injects
+errors into, so the drawing doubles as a visualization of the error
+positions).  Used by the examples and handy in a REPL::
+
+    >>> from repro import QuantumCircuit
+    >>> from repro.circuits.draw import draw
+    >>> print(draw(QuantumCircuit(2).h(0).cx(0, 1).measure_all()))
+    q0: ─[H]─■───M
+    q1: ─────X───M
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .circuit import GateOp, Measurement, QuantumCircuit
+from .layers import layerize
+
+__all__ = ["draw"]
+
+_H_WIRE = "─"
+
+
+def _gate_label(op: GateOp, qubit: int) -> str:
+    """Cell text for ``op`` on wire ``qubit``."""
+    name = op.gate.name
+    if name == "cx":
+        return "■" if qubit == op.qubits[0] else "X"
+    if name == "cz":
+        return "■"
+    if name == "swap":
+        return "x"
+    if name == "ccx":
+        return "■" if qubit in op.qubits[:2] else "X"
+    if len(op.qubits) == 2 and qubit == op.qubits[0] and name.startswith("c"):
+        return "■"
+    label = name.upper()
+    if op.gate.params:
+        label += f"({op.gate.params[0]:.2g})"
+        if len(op.gate.params) > 1:
+            label = name.upper() + "(..)"
+    return f"[{label}]"
+
+
+def draw(circuit: QuantumCircuit, max_width: Optional[int] = None) -> str:
+    """Render ``circuit`` as an ASCII diagram.
+
+    Parameters
+    ----------
+    max_width:
+        Wrap the diagram into stacked blocks of at most this many text
+        columns (``None`` = no wrapping).
+    """
+    layered = layerize(circuit, require_terminal_measurements=False)
+    num_qubits = circuit.num_qubits
+
+    # Build one text column per layer (plus one for measurements).
+    columns: List[Dict[int, str]] = []
+    spans: List[Optional[tuple]] = []  # vertical connector span per column
+    for layer in layered.layers:
+        column: Dict[int, str] = {}
+        span = None
+        for op in layer:
+            for qubit in op.qubits:
+                column[qubit] = _gate_label(op, qubit)
+            if len(op.qubits) > 1:
+                span = (min(op.qubits), max(op.qubits))
+        columns.append(column)
+        spans.append(span)
+    if layered.measurements:
+        column = {m.qubit: "M" for m in layered.measurements}
+        columns.append(column)
+        spans.append(None)
+
+    # Compute each column's width and emit.
+    widths = [
+        max((len(text) for text in column.values()), default=1)
+        for column in columns
+    ]
+    lines = []
+    for qubit in range(num_qubits):
+        cells = []
+        for column, width, span in zip(columns, widths, spans):
+            text = column.get(qubit)
+            if text is None:
+                # Draw a vertical connector through intermediate wires of a
+                # multi-qubit gate, otherwise plain wire.
+                if span and span[0] < qubit < span[1]:
+                    text = "│"
+                else:
+                    text = _H_WIRE
+                cells.append(text.center(width, _H_WIRE))
+            else:
+                cells.append(text.center(width, _H_WIRE))
+        lines.append(f"q{qubit}: {_H_WIRE}" + _H_WIRE.join(cells))
+
+    if max_width is None:
+        return "\n".join(lines)
+
+    # Wrap long diagrams into stacked blocks.
+    blocks: List[str] = []
+    prefix_len = len(f"q{num_qubits - 1}: ") + 1
+    body_width = max(max_width - prefix_len, 10)
+    bodies = [line[prefix_len:] for line in lines]
+    prefixes = [line[:prefix_len] for line in lines]
+    start = 0
+    while start < len(bodies[0]):
+        chunk = [
+            prefixes[i] + bodies[i][start : start + body_width]
+            for i in range(num_qubits)
+        ]
+        blocks.append("\n".join(chunk))
+        start += body_width
+    return "\n\n".join(blocks)

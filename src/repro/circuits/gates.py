@@ -1,0 +1,532 @@
+"""Quantum gate definitions and the standard gate library.
+
+A :class:`Gate` is an immutable description of a unitary operator: a name,
+an arity (number of qubits it acts on), optional real parameters, and the
+unitary matrix itself.  Gates are value objects — two gates with the same
+name, arity, parameters and matrix compare equal and hash equal, which the
+trial-reordering core relies on when grouping error events.
+
+The module-level constructors (:func:`h`, :func:`cx`, :func:`rz`, ...) build
+the standard library used by the benchmark generators and the QASM parser.
+All matrices follow the big-endian qubit convention used across this
+package: for a multi-qubit gate, the first qubit argument is the most
+significant bit of the matrix index.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "GateError",
+    "standard_gate",
+    "is_standard_gate",
+    "STANDARD_GATE_ARITY",
+    "i_gate",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "sx",
+    "rx",
+    "ry",
+    "rz",
+    "u1",
+    "u2",
+    "u3",
+    "cx",
+    "cz",
+    "cy",
+    "ch",
+    "swap",
+    "crz",
+    "cu1",
+    "cp",
+    "rzz",
+    "rxx",
+    "ccx",
+    "cswap",
+    "unitary",
+]
+
+_ATOL = 1e-10
+
+
+class GateError(ValueError):
+    """Raised for malformed gate construction (bad arity, non-unitary, ...)."""
+
+
+class Gate:
+    """An immutable quantum gate: a named unitary on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    name:
+        Lower-case identifier, e.g. ``"h"`` or ``"cx"``.
+    num_qubits:
+        Arity of the gate (1 for single-qubit, 2 for CNOT, ...).
+    matrix:
+        The ``2**num_qubits`` square unitary matrix.
+    params:
+        Optional real parameters (rotation angles).  Stored only for
+        round-tripping to QASM and for display; the matrix is authoritative.
+    check_unitary:
+        When true (default) the constructor verifies unitarity.  Internal
+        callers constructing known-good matrices may disable the check.
+    """
+
+    __slots__ = ("_name", "_num_qubits", "_matrix", "_params", "_key")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        matrix: np.ndarray,
+        params: Sequence[float] = (),
+        check_unitary: bool = True,
+    ) -> None:
+        if num_qubits < 1:
+            raise GateError(f"gate arity must be >= 1, got {num_qubits}")
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        dim = 2**num_qubits
+        if matrix.shape != (dim, dim):
+            raise GateError(
+                f"gate '{name}' on {num_qubits} qubit(s) needs a "
+                f"{dim}x{dim} matrix, got shape {matrix.shape}"
+            )
+        if check_unitary:
+            product = matrix @ matrix.conj().T
+            if not np.allclose(product, np.eye(dim), atol=1e-8):
+                raise GateError(f"matrix for gate '{name}' is not unitary")
+        self._name = name
+        self._num_qubits = num_qubits
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+        self._params = tuple(float(p) for p in params)
+        # Rounded matrix bytes make the key robust to float noise while
+        # keeping distinct gates distinct.
+        self._key = (
+            self._name,
+            self._num_qubits,
+            self._params,
+            np.round(self._matrix, 12).tobytes(),
+        )
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The unitary matrix (read-only view)."""
+        return self._matrix
+
+    @property
+    def params(self) -> Tuple[float, ...]:
+        return self._params
+
+    def dagger(self) -> "Gate":
+        """Return the adjoint gate, named ``<name>_dg``."""
+        return Gate(
+            self._name + "_dg",
+            self._num_qubits,
+            self._matrix.conj().T,
+            params=tuple(-p for p in self._params),
+            check_unitary=False,
+        )
+
+    def is_identity(self, atol: float = _ATOL) -> bool:
+        """True when the matrix equals the identity up to global phase."""
+        dim = 2**self._num_qubits
+        # Strip global phase using the first nonzero diagonal entry.
+        diag = np.diagonal(self._matrix)
+        anchor = diag[np.argmax(np.abs(diag))]
+        if abs(anchor) < atol:
+            return False
+        phase = anchor / abs(anchor)
+        return bool(np.allclose(self._matrix, phase * np.eye(dim), atol=atol))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        if self._params:
+            args = ", ".join(f"{p:.6g}" for p in self._params)
+            return f"Gate({self._name}({args}), qubits={self._num_qubits})"
+        return f"Gate({self._name}, qubits={self._num_qubits})"
+
+
+# ---------------------------------------------------------------------------
+# Fixed (parameter-free) matrices
+# ---------------------------------------------------------------------------
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+_FIXED_MATRICES: Dict[str, np.ndarray] = {
+    "id": np.eye(2),
+    "x": np.array([[0, 1], [1, 0]]),
+    "y": np.array([[0, -1j], [1j, 0]]),
+    "z": np.array([[1, 0], [0, -1]]),
+    "h": np.array([[_SQRT1_2, _SQRT1_2], [_SQRT1_2, -_SQRT1_2]]),
+    "s": np.array([[1, 0], [0, 1j]]),
+    "sdg": np.array([[1, 0], [0, -1j]]),
+    "t": np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]]),
+    "tdg": np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]]),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]),
+    "cx": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+        ]
+    ),
+    "cy": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, -1j],
+            [0, 0, 1j, 0],
+        ]
+    ),
+    "cz": np.diag([1, 1, 1, -1]),
+    "ch": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, _SQRT1_2, _SQRT1_2],
+            [0, 0, _SQRT1_2, -_SQRT1_2],
+        ]
+    ),
+    "swap": np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    ),
+    "ccx": np.eye(8),
+    "cswap": np.eye(8),
+}
+_FIXED_MATRICES["ccx"] = np.eye(8)
+_FIXED_MATRICES["ccx"][6:8, 6:8] = np.array([[0, 1], [1, 0]])
+# Fredkin: swap the two targets when the (most significant) control is 1.
+_FIXED_MATRICES["cswap"] = np.eye(8)
+_FIXED_MATRICES["cswap"][[5, 6], :] = _FIXED_MATRICES["cswap"][[6, 5], :]
+
+_FIXED_ARITY: Dict[str, int] = {
+    "id": 1,
+    "x": 1,
+    "y": 1,
+    "z": 1,
+    "h": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "sx": 1,
+    "cx": 2,
+    "cy": 2,
+    "cz": 2,
+    "ch": 2,
+    "swap": 2,
+    "ccx": 3,
+    "cswap": 3,
+}
+
+_PARAMETRIC_ARITY: Dict[str, Tuple[int, int]] = {
+    # name -> (num_qubits, num_params)
+    "rx": (1, 1),
+    "ry": (1, 1),
+    "rz": (1, 1),
+    "u1": (1, 1),
+    "u2": (1, 2),
+    "u3": (1, 3),
+    "crz": (2, 1),
+    "cu1": (2, 1),
+    "cp": (2, 1),
+    "rzz": (2, 1),
+    "rxx": (2, 1),
+}
+
+#: Arity of every gate name understood by :func:`standard_gate`.
+STANDARD_GATE_ARITY: Dict[str, int] = dict(_FIXED_ARITY)
+STANDARD_GATE_ARITY.update({k: v[0] for k, v in _PARAMETRIC_ARITY.items()})
+
+_FIXED_CACHE: Dict[str, Gate] = {}
+
+
+def is_standard_gate(name: str) -> bool:
+    """Whether ``name`` is in the standard library (fixed or parametric)."""
+    return name in STANDARD_GATE_ARITY
+
+
+def _parametric_matrix(name: str, params: Sequence[float]) -> np.ndarray:
+    if name == "rx":
+        (theta,) = params
+        c, sn = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -1j * sn], [-1j * sn, c]])
+    if name == "ry":
+        (theta,) = params
+        c, sn = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -sn], [sn, c]])
+    if name == "rz":
+        (theta,) = params
+        return np.array(
+            [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]]
+        )
+    if name == "u1":
+        (lam,) = params
+        return np.array([[1, 0], [0, cmath.exp(1j * lam)]])
+    if name == "u2":
+        phi, lam = params
+        return _SQRT1_2 * np.array(
+            [
+                [1, -cmath.exp(1j * lam)],
+                [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+            ]
+        )
+    if name == "u3":
+        theta, phi, lam = params
+        c, sn = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array(
+            [
+                [c, -cmath.exp(1j * lam) * sn],
+                [cmath.exp(1j * phi) * sn, cmath.exp(1j * (phi + lam)) * c],
+            ]
+        )
+    if name == "crz":
+        (theta,) = params
+        mat = np.eye(4, dtype=np.complex128)
+        mat[2, 2] = cmath.exp(-1j * theta / 2)
+        mat[3, 3] = cmath.exp(1j * theta / 2)
+        return mat
+    if name in ("cu1", "cp"):
+        (lam,) = params
+        mat = np.eye(4, dtype=np.complex128)
+        mat[3, 3] = cmath.exp(1j * lam)
+        return mat
+    if name == "rzz":
+        (theta,) = params
+        phase = cmath.exp(-1j * theta / 2)
+        return np.diag([phase, phase.conjugate(), phase.conjugate(), phase])
+    if name == "rxx":
+        (theta,) = params
+        c, sn = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array(
+            [
+                [c, 0, 0, -1j * sn],
+                [0, c, -1j * sn, 0],
+                [0, -1j * sn, c, 0],
+                [-1j * sn, 0, 0, c],
+            ]
+        )
+    raise GateError(f"unknown parametric gate '{name}'")
+
+
+def standard_gate(name: str, params: Sequence[float] = ()) -> Gate:
+    """Build a gate from the standard library by name.
+
+    Fixed gates are cached and shared; parametric gates are built per call.
+    """
+    params = tuple(float(p) for p in params)
+    if name in _FIXED_ARITY:
+        if params:
+            raise GateError(f"gate '{name}' takes no parameters")
+        cached = _FIXED_CACHE.get(name)
+        if cached is None:
+            cached = Gate(
+                name,
+                _FIXED_ARITY[name],
+                _FIXED_MATRICES[name],
+                check_unitary=False,
+            )
+            _FIXED_CACHE[name] = cached
+        return cached
+    if name in _PARAMETRIC_ARITY:
+        arity, nparams = _PARAMETRIC_ARITY[name]
+        if len(params) != nparams:
+            raise GateError(
+                f"gate '{name}' takes {nparams} parameter(s), got {len(params)}"
+            )
+        return Gate(
+            name,
+            arity,
+            _parametric_matrix(name, params),
+            params=params,
+            check_unitary=False,
+        )
+    raise GateError(f"unknown standard gate '{name}'")
+
+
+def unitary(matrix: np.ndarray, name: str = "unitary", params: Sequence[float] = ()) -> Gate:
+    """Wrap an arbitrary unitary matrix as a gate (unitarity is checked)."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    dim = matrix.shape[0]
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GateError("unitary() needs a square matrix")
+    num_qubits = int(round(math.log2(dim)))
+    if 2**num_qubits != dim:
+        raise GateError(f"matrix dimension {dim} is not a power of two")
+    return Gate(name, num_qubits, matrix, params=params)
+
+
+# --- convenience constructors ----------------------------------------------
+
+
+def i_gate() -> Gate:
+    """The single-qubit identity."""
+    return standard_gate("id")
+
+
+def x() -> Gate:
+    return standard_gate("x")
+
+
+def y() -> Gate:
+    return standard_gate("y")
+
+
+def z() -> Gate:
+    return standard_gate("z")
+
+
+def h() -> Gate:
+    return standard_gate("h")
+
+
+def s() -> Gate:
+    return standard_gate("s")
+
+
+def sdg() -> Gate:
+    return standard_gate("sdg")
+
+
+def t() -> Gate:
+    return standard_gate("t")
+
+
+def tdg() -> Gate:
+    return standard_gate("tdg")
+
+
+def sx() -> Gate:
+    return standard_gate("sx")
+
+
+def rx(theta: float) -> Gate:
+    return standard_gate("rx", (theta,))
+
+
+def ry(theta: float) -> Gate:
+    return standard_gate("ry", (theta,))
+
+
+def rz(theta: float) -> Gate:
+    return standard_gate("rz", (theta,))
+
+
+def u1(lam: float) -> Gate:
+    return standard_gate("u1", (lam,))
+
+
+def u2(phi: float, lam: float) -> Gate:
+    return standard_gate("u2", (phi, lam))
+
+
+def u3(theta: float, phi: float, lam: float) -> Gate:
+    return standard_gate("u3", (theta, phi, lam))
+
+
+def cx() -> Gate:
+    return standard_gate("cx")
+
+
+def cy() -> Gate:
+    return standard_gate("cy")
+
+
+def cz() -> Gate:
+    return standard_gate("cz")
+
+
+def ch() -> Gate:
+    return standard_gate("ch")
+
+
+def swap() -> Gate:
+    return standard_gate("swap")
+
+
+def crz(theta: float) -> Gate:
+    return standard_gate("crz", (theta,))
+
+
+def cu1(lam: float) -> Gate:
+    return standard_gate("cu1", (lam,))
+
+
+def cp(lam: float) -> Gate:
+    """Controlled phase (alias of ``cu1``, the modern OpenQASM name)."""
+    return standard_gate("cp", (lam,))
+
+
+def rzz(theta: float) -> Gate:
+    """Two-qubit ZZ interaction ``exp(-i theta/2 Z(x)Z)``."""
+    return standard_gate("rzz", (theta,))
+
+
+def rxx(theta: float) -> Gate:
+    """Two-qubit XX interaction ``exp(-i theta/2 X(x)X)``."""
+    return standard_gate("rxx", (theta,))
+
+
+def cswap() -> Gate:
+    """Fredkin gate: swap the last two qubits when the first is |1>."""
+    return standard_gate("cswap")
+
+
+def ccx() -> Gate:
+    return standard_gate("ccx")
+
+
+def pauli_gate(label: str) -> Gate:
+    """Return the Pauli gate for label ``"X"``, ``"Y"``, ``"Z"`` or ``"I"``."""
+    lowered = label.lower()
+    if lowered not in ("x", "y", "z", "id", "i"):
+        raise GateError(f"not a Pauli label: {label!r}")
+    return standard_gate("id" if lowered in ("i", "id") else lowered)
+
+
+def random_su4(rng: "np.random.Generator", name: str = "su4") -> Gate:
+    """A Haar-random two-qubit unitary (used by Quantum Volume circuits).
+
+    Drawn via the QR decomposition of a complex Ginibre matrix, the standard
+    construction for Haar-distributed unitaries.
+    """
+    ginibre = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+    q_mat, r_mat = np.linalg.qr(ginibre)
+    # Normalize phases so the distribution is exactly Haar.
+    phases = np.diagonal(r_mat) / np.abs(np.diagonal(r_mat))
+    q_mat = q_mat * phases
+    return Gate(name, 2, q_mat, check_unitary=False)

@@ -1,0 +1,285 @@
+"""OpenQASM 2.0 subset parser and emitter.
+
+The paper's benchmarks are OpenQASM programs; this module round-trips the
+subset those programs need:
+
+* ``OPENQASM 2.0;`` header and ``include "qelib1.inc";``
+* ``qreg`` / ``creg`` declarations (multiple registers are flattened to a
+  single qubit index space, in declaration order),
+* the standard gate library (``h``, ``cx``, ``rz(expr)``, ``u3(...)``, ...),
+* ``measure q[i] -> c[j];`` (including whole-register measurement),
+* ``barrier``.
+
+Parameter expressions support numbers, ``pi``, unary minus and ``+ - * / ^``
+with parentheses; they are evaluated through a whitelisted AST walk (no
+``eval``).  Gate definitions (``gate ... { }``), ``if`` statements and
+``opaque`` declarations are not supported and raise :class:`QasmError`.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import GateOp, Measurement, QuantumCircuit
+from .gates import STANDARD_GATE_ARITY, standard_gate
+
+__all__ = ["QasmError", "parse_qasm", "to_qasm"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed or unsupported OpenQASM input."""
+
+
+_ID = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_STATEMENT_RE = re.compile(
+    rf"""
+    (?P<keyword>{_ID})          # statement head: qreg, creg, gate name, ...
+    \s*
+    (?:\( (?P<params> [^)]*) \))?   # optional parameter list
+    \s*
+    (?P<args> [^;]*)            # operand list
+    """,
+    re.VERBOSE,
+)
+_OPERAND_RE = re.compile(rf"(?P<reg>{_ID})\s*(?:\[\s*(?P<index>\d+)\s*\])?")
+
+
+def _eval_param(expression: str) -> float:
+    """Safely evaluate a QASM parameter expression."""
+    cleaned = expression.strip().replace("^", "**")
+    if not cleaned:
+        raise QasmError("empty parameter expression")
+    try:
+        tree = ast.parse(cleaned, mode="eval")
+    except SyntaxError as exc:
+        raise QasmError(f"bad parameter expression {expression!r}") from exc
+
+    def walk(node: ast.AST) -> float:
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name) and node.id == "pi":
+            return math.pi
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            value = walk(node.operand)
+            return -value if isinstance(node.op, ast.USub) else value
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+        ):
+            left, right = walk(node.left), walk(node.right)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            return left**right
+        raise QasmError(f"unsupported construct in parameter {expression!r}")
+
+    return walk(tree)
+
+
+def _strip_comments(text: str) -> str:
+    return re.sub(r"//[^\n]*", "", text)
+
+
+class _Registers:
+    """Maps (register, index) operands to flat qubit / clbit indices."""
+
+    def __init__(self) -> None:
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, Tuple[int, int]] = {}
+        self.num_qubits = 0
+        self.num_clbits = 0
+
+    def add_qreg(self, name: str, size: int) -> None:
+        if name in self.qregs or name in self.cregs:
+            raise QasmError(f"register {name!r} redeclared")
+        self.qregs[name] = (self.num_qubits, size)
+        self.num_qubits += size
+
+    def add_creg(self, name: str, size: int) -> None:
+        if name in self.qregs or name in self.cregs:
+            raise QasmError(f"register {name!r} redeclared")
+        self.cregs[name] = (self.num_clbits, size)
+        self.num_clbits += size
+
+    def resolve(self, table: Dict[str, Tuple[int, int]], reg: str, index: str) -> List[int]:
+        if reg not in table:
+            raise QasmError(f"unknown register {reg!r}")
+        offset, size = table[reg]
+        if index is None:
+            return list(range(offset, offset + size))
+        flat = int(index)
+        if flat >= size:
+            raise QasmError(f"index {flat} out of range for register {reg!r}[{size}]")
+        return [offset + flat]
+
+    def qubits(self, reg: str, index: str) -> List[int]:
+        return self.resolve(self.qregs, reg, index)
+
+    def clbits(self, reg: str, index: str) -> List[int]:
+        return self.resolve(self.cregs, reg, index)
+
+
+def _parse_operands(text: str) -> List[Tuple[str, str]]:
+    operands = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        match = _OPERAND_RE.fullmatch(chunk)
+        if match is None:
+            raise QasmError(f"bad operand {chunk!r}")
+        operands.append((match.group("reg"), match.group("index")))
+    return operands
+
+
+def parse_qasm(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+    text = _strip_comments(text)
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+    if not statements or not statements[0].startswith("OPENQASM"):
+        raise QasmError('program must start with "OPENQASM 2.0;"')
+    registers = _Registers()
+    body: List[Tuple[str, str, str]] = []
+
+    for statement in statements[1:]:
+        if statement.startswith("include"):
+            continue
+        match = _STATEMENT_RE.fullmatch(statement)
+        if match is None:
+            raise QasmError(f"cannot parse statement {statement!r}")
+        keyword = match.group("keyword")
+        params = match.group("params")
+        args = match.group("args").strip()
+
+        if keyword in ("gate", "opaque", "if", "reset"):
+            raise QasmError(f"unsupported OpenQASM construct: {keyword!r}")
+        if keyword in ("qreg", "creg"):
+            operand_match = _OPERAND_RE.fullmatch(args)
+            if operand_match is None or operand_match.group("index") is None:
+                raise QasmError(f"bad register declaration {statement!r}")
+            size = int(operand_match.group("index"))
+            if size < 1:
+                raise QasmError(f"register size must be positive: {statement!r}")
+            if keyword == "qreg":
+                registers.add_qreg(operand_match.group("reg"), size)
+            else:
+                registers.add_creg(operand_match.group("reg"), size)
+            continue
+        body.append((keyword, params or "", args))
+
+    circuit = QuantumCircuit(
+        max(registers.num_qubits, 1), registers.num_clbits, name=name
+    )
+
+    for keyword, params, args in body:
+        if keyword == "barrier":
+            qubits: List[int] = []
+            for reg, index in _parse_operands(args):
+                qubits.extend(registers.qubits(reg, index))
+            circuit.barrier(*qubits)
+            continue
+        if keyword == "measure":
+            arrow = args.split("->")
+            if len(arrow) != 2:
+                raise QasmError(f"bad measure statement: {args!r}")
+            src = _parse_operands(arrow[0])
+            dst = _parse_operands(arrow[1])
+            if len(src) != 1 or len(dst) != 1:
+                raise QasmError(f"measure takes one source and one target: {args!r}")
+            qubits = registers.qubits(*src[0])
+            clbits = registers.clbits(*dst[0])
+            if len(qubits) != len(clbits):
+                raise QasmError(f"measure register size mismatch: {args!r}")
+            for qubit, clbit in zip(qubits, clbits):
+                circuit.measure(qubit, clbit)
+            continue
+        # gate application
+        gate_name = "id" if keyword == "u0" else keyword
+        if gate_name == "u":
+            gate_name = "u3"
+        if gate_name not in STANDARD_GATE_ARITY:
+            raise QasmError(f"unknown gate {keyword!r}")
+        values = tuple(
+            _eval_param(p) for p in params.split(",") if p.strip()
+        )
+        operands = _parse_operands(args)
+        expanded: List[List[int]] = [
+            registers.qubits(reg, index) for reg, index in operands
+        ]
+        arity = STANDARD_GATE_ARITY[gate_name]
+        if len(expanded) != arity:
+            raise QasmError(
+                f"gate {gate_name!r} takes {arity} operand(s), got {len(expanded)}"
+            )
+        # Broadcast whole-register applications (all operands same length or 1).
+        lengths = {len(group) for group in expanded}
+        width = max(lengths)
+        if lengths - {1, width}:
+            raise QasmError(f"operand length mismatch in {keyword} {args!r}")
+        for position in range(width):
+            qubit_tuple = [
+                group[0] if len(group) == 1 else group[position]
+                for group in expanded
+            ]
+            circuit.apply(standard_gate(gate_name, values), *qubit_tuple)
+
+    return circuit
+
+
+def _format_param(value: float) -> str:
+    """Render a parameter, using pi fractions where exact."""
+    for denominator in (1, 2, 3, 4, 6, 8, 16):
+        for numerator in range(-32, 33):
+            if numerator == 0:
+                continue
+            if abs(value - numerator * math.pi / denominator) < 1e-12:
+                num = "" if abs(numerator) == 1 else str(abs(numerator)) + "*"
+                sign = "-" if numerator < 0 else ""
+                if denominator == 1:
+                    return f"{sign}{num}pi"
+                return f"{sign}{num}pi/{denominator}"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Emit ``circuit`` as an OpenQASM 2.0 program (single ``q``/``c`` regs)."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for instr in circuit:
+        if isinstance(instr, GateOp):
+            if not instr.gate.name in STANDARD_GATE_ARITY:
+                raise QasmError(
+                    f"gate {instr.gate.name!r} is not expressible in the "
+                    "QASM subset (decompose it first)"
+                )
+            operand_text = ", ".join(f"q[{q}]" for q in instr.qubits)
+            if instr.gate.params:
+                param_text = ",".join(_format_param(p) for p in instr.gate.params)
+                lines.append(f"{instr.gate.name}({param_text}) {operand_text};")
+            else:
+                lines.append(f"{instr.gate.name} {operand_text};")
+        elif isinstance(instr, Measurement):
+            lines.append(f"measure q[{instr.qubit}] -> c[{instr.clbit}];")
+        else:  # Barrier
+            if instr.qubits:
+                operand_text = ", ".join(f"q[{q}]" for q in instr.qubits)
+            else:
+                operand_text = "q"
+            lines.append(f"barrier {operand_text};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,351 @@
+"""Command-line interface: regenerate every table and figure of the paper.
+
+Examples::
+
+    python -m repro table1                 # Table I characteristics
+    python -m repro device                 # Fig. 4 calibration data
+    python -m repro fig5                   # normalized computation (realistic)
+    python -m repro fig6                   # MSVs (realistic)
+    python -m repro fig7 --trials 100000   # scalability, normalized computation
+    python -m repro fig8 --trials 100000   # scalability, MSVs
+    python -m repro run bv4 --trials 2048  # one benchmark end to end
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .analysis.report import render_table, rows_to_table
+from .analysis.stats import geometric_mean
+from .bench.suite import benchmark_names, build_compiled_benchmark, table1_rows
+from .core.runner import NoisySimulator
+from .experiments.realistic import (
+    REALISTIC_TRIAL_COUNTS,
+    fig5_rows,
+    fig6_rows,
+    run_realistic_experiment,
+)
+from .experiments.scalability import (
+    fig7_rows,
+    fig8_rows,
+    run_scalability_experiment,
+)
+from .noise.devices import (
+    ARTIFICIAL_ERROR_LEVELS,
+    YORKTOWN_COUPLING,
+    ibm_yorktown,
+)
+
+__all__ = ["main"]
+
+
+def _maybe_write_json(args: argparse.Namespace, rows) -> None:
+    """Write experiment rows to ``--json PATH`` when requested."""
+    path = getattr(args, "json", None)
+    if not path:
+        return
+    with open(path, "w") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {len(rows)} rows to {path}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1_rows()
+    print(
+        rows_to_table(
+            rows,
+            title="Table I: benchmark characteristics (paper vs this repo)",
+        )
+    )
+    _maybe_write_json(args, rows)
+    return 0
+
+
+def _cmd_device(args: argparse.Namespace) -> int:
+    model = ibm_yorktown()
+    rows = []
+    for qubit in range(5):
+        rows.append(
+            {
+                "qubit": f"Q{qubit}",
+                "single (1e-3)": model.single_qubit_error[qubit] * 1e3,
+                "measure (1e-2)": model.measurement_error[qubit] * 1e2,
+            }
+        )
+    print(rows_to_table(rows, title="Fig. 4: IBM Yorktown per-qubit error rates"))
+    print()
+    pair_rows = [
+        {
+            "pair": f"Q{min(pair)}-Q{max(pair)}",
+            "cnot (1e-2)": model.two_qubit_error[frozenset(pair)] * 1e2,
+        }
+        for pair in YORKTOWN_COUPLING
+    ]
+    print(rows_to_table(pair_rows, title="Fig. 4: two-qubit gate error rates"))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    records = run_realistic_experiment(
+        benchmarks=args.benchmarks, seed=args.seed
+    )
+    rows = fig5_rows(records)
+    print(
+        rows_to_table(
+            rows,
+            title="Fig. 5: normalized computation, Yorktown model",
+        )
+    )
+    _maybe_write_json(args, rows)
+    savings = [
+        1.0 - r.normalized_computation for r in records if r.num_trials == 8192
+    ]
+    if savings:
+        print(
+            f"\naverage computation saving @8192 trials: "
+            f"{sum(savings) / len(savings):.1%}"
+        )
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    records = run_realistic_experiment(
+        benchmarks=args.benchmarks, trial_counts=(1024,), seed=args.seed
+    )
+    rows = fig6_rows(records)
+    print(
+        rows_to_table(
+            rows,
+            title="Fig. 6: maintained state vectors (MSVs), 1024 trials",
+        )
+    )
+    _maybe_write_json(args, rows)
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    records = run_scalability_experiment(
+        num_trials=args.trials, seed=args.seed, engine=args.engine
+    )
+    rows = fig7_rows(records)
+    print(
+        rows_to_table(
+            rows,
+            title=(
+                "Fig. 7: normalized computation, artificial models "
+                f"({args.trials} trials; paper uses 10^6)"
+            ),
+        )
+    )
+    _maybe_write_json(args, rows)
+    values = [r.normalized_computation for r in records]
+    print(f"\naverage computation saving: {1.0 - sum(values) / len(values):.1%}")
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    records = run_scalability_experiment(
+        num_trials=args.trials, seed=args.seed, engine=args.engine
+    )
+    rows = fig8_rows(records)
+    print(
+        rows_to_table(
+            rows,
+            title=(
+                "Fig. 8: maintained state vectors, artificial models "
+                f"({args.trials} trials; paper uses 10^6)"
+            ),
+        )
+    )
+    _maybe_write_json(args, rows)
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .circuits import layerize
+    from .experiments import ablation_report
+    from .noise.sampling import sample_trials
+
+    model = ibm_yorktown()
+    rows = []
+    names = args.benchmarks or ["bv4", "qft4", "qv_n5d3", "qv_n5d5"]
+    for name in names:
+        layered = layerize(build_compiled_benchmark(name))
+        trials = sample_trials(
+            layered, model, args.trials, np.random.default_rng(args.seed)
+        )
+        report = ablation_report(layered, trials)
+        base = report["baseline"]
+        rows.append(
+            {"benchmark": name, **{k: v / base for k, v in report.items()}}
+        )
+    print(
+        rows_to_table(
+            rows,
+            title=(
+                f"Ablations: normalized ops ({args.trials} trials, Yorktown) — "
+                "dedup / reuse-without-reorder / reorder / full trie"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_draw(args: argparse.Namespace) -> int:
+    from .circuits.draw import draw
+
+    circuit = (
+        build_compiled_benchmark(args.benchmark)
+        if args.compiled
+        else __import__("repro.bench", fromlist=["build_benchmark"]).build_benchmark(
+            args.benchmark
+        )
+    )
+    print(draw(circuit, max_width=args.width))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    """Analytic prediction vs measured saving for one benchmark."""
+    from .analysis.predictor import predict_summary
+    from .analysis.sharing import analyze_sharing
+    from .circuits import layerize
+
+    circuit = build_compiled_benchmark(args.benchmark)
+    layered = layerize(circuit)
+    model = ibm_yorktown()
+    summary = predict_summary(layered, model, args.trials)
+    print(f"benchmark                  : {args.benchmark}")
+    print(f"error positions            : {summary['num_positions']:.0f}")
+    print(f"P(error-free trial)        : {summary['error_free_probability']:.4f}")
+    print(f"expected fired positions   : {summary['expected_fired_positions']:.3f}")
+    print(
+        f"expected error-free trials : "
+        f"{summary['expected_error_free_trials']:.1f} / {args.trials}"
+    )
+    print(f"predicted saving (bound)   : {summary['saving_lower_bound']:.1%}")
+
+    from .analysis.budget import error_budget
+
+    budget = error_budget(layered, model)
+    fractions = budget.fractions()
+    print(
+        "error budget               : "
+        f"1q {fractions['single_qubit']:.0%}, "
+        f"2q {fractions['two_qubit']:.0%}, "
+        f"idle {fractions['idle']:.0%}, "
+        f"readout {fractions['readout']:.0%} "
+        f"(dominant: {budget.dominant_source()})"
+    )
+
+    simulator = NoisySimulator(circuit, model, seed=args.seed)
+    trials = simulator.sample(args.trials)
+    report = analyze_sharing(layered, trials)
+    print(f"measured saving            : {report.computation_saving:.1%}")
+    print(f"measured duplicate mass    : {report.duplicate_fraction:.1%}")
+    print(f"mean adjacent shared prefix: {report.mean_lcp:.2f} events")
+    print(f"peak MSV                   : {report.peak_msv}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    circuit = build_compiled_benchmark(args.benchmark)
+    simulator = NoisySimulator(circuit, ibm_yorktown(), seed=args.seed)
+    start = time.perf_counter()
+    result = simulator.run(num_trials=args.trials, mode=args.mode)
+    elapsed = time.perf_counter() - start
+    metrics = result.metrics
+    print(f"benchmark         : {args.benchmark}")
+    print(f"mode              : {args.mode}")
+    print(f"trials            : {metrics.num_trials}")
+    print(f"distinct trials   : {metrics.num_distinct_trials}")
+    print(f"basic operations  : {metrics.optimized_ops}")
+    print(f"baseline ops      : {metrics.baseline_ops}")
+    print(f"normalized comp.  : {metrics.normalized_computation:.3f}")
+    print(f"computation saved : {metrics.computation_saving:.1%}")
+    print(f"peak MSV          : {metrics.peak_msv}")
+    print(f"wall time         : {elapsed:.2f}s")
+    top = sorted(result.counts.items(), key=lambda kv: -kv[1])[:8]
+    print("top outcomes      :")
+    for bits, count in top:
+        print(f"  {bits}  {count:6d}  ({count / metrics.num_trials:.3f})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction harness for 'Eliminating Redundant Computation in "
+            "Noisy Quantum Computing Simulation' (DAC 2020)."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="Table I benchmark characteristics")
+    p1.add_argument("--json", default=None)
+    sub.add_parser("device", help="Fig. 4 Yorktown calibration data")
+
+    p5 = sub.add_parser("fig5", help="normalized computation, realistic model")
+    p5.add_argument("--benchmarks", nargs="*", default=None)
+    p5.add_argument("--json", default=None)
+    p6 = sub.add_parser("fig6", help="MSVs, realistic model")
+    p6.add_argument("--benchmarks", nargs="*", default=None)
+    p6.add_argument("--json", default=None)
+
+    p7 = sub.add_parser("fig7", help="normalized computation, scalability")
+    p7.add_argument("--trials", type=int, default=100_000)
+    p7.add_argument("--engine", choices=("packed", "object"), default="packed")
+    p7.add_argument("--json", default=None)
+    p8 = sub.add_parser("fig8", help="MSVs, scalability")
+    p8.add_argument("--trials", type=int, default=100_000)
+    p8.add_argument("--engine", choices=("packed", "object"), default="packed")
+    p8.add_argument("--json", default=None)
+
+    pab = sub.add_parser("ablations", help="design-choice ablation table")
+    pab.add_argument("--benchmarks", nargs="*", default=None)
+    pab.add_argument("--trials", type=int, default=2048)
+
+    ppred = sub.add_parser(
+        "predict", help="analytic saving prediction vs measurement"
+    )
+    ppred.add_argument("benchmark", choices=benchmark_names())
+    ppred.add_argument("--trials", type=int, default=1024)
+
+    pdraw = sub.add_parser("draw", help="ASCII-render a benchmark circuit")
+    pdraw.add_argument("benchmark", choices=benchmark_names())
+    pdraw.add_argument("--compiled", action="store_true")
+    pdraw.add_argument("--width", type=int, default=120)
+
+    prun = sub.add_parser("run", help="run one benchmark end to end")
+    prun.add_argument("benchmark", choices=benchmark_names())
+    prun.add_argument("--trials", type=int, default=1024)
+    prun.add_argument(
+        "--mode", choices=("optimized", "baseline"), default="optimized"
+    )
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "device": _cmd_device,
+        "fig5": _cmd_fig5,
+        "fig6": _cmd_fig6,
+        "fig7": _cmd_fig7,
+        "fig8": _cmd_fig8,
+        "ablations": _cmd_ablations,
+        "predict": _cmd_predict,
+        "draw": _cmd_draw,
+        "run": _cmd_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

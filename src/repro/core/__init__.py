@@ -1,0 +1,80 @@
+"""The paper's contribution: trial reordering and prefix-state reuse."""
+
+from .cache import CacheStats, StateCache
+from .events import PAULI_LABELS, ErrorEvent, Trial, make_trial
+from .executor import (
+    ExecutionOutcome,
+    baseline_operation_count,
+    run_baseline,
+    run_optimized,
+)
+from .metrics import RunMetrics, compute_metrics
+from .persistence import load_trials, save_trials
+from .packed import (
+    PackedAnalysis,
+    analyze_packed_trials,
+    pack_trial,
+    pack_trials,
+    sample_packed_trials,
+    unpack_trial_events,
+)
+from .reorder import (
+    adjacent_prefix_lengths,
+    longest_common_prefix,
+    reorder_trials,
+    reorder_trials_recursive,
+)
+from .runner import NoisySimulator, SimulationResult
+from .schedule import (
+    Advance,
+    ExecutionPlan,
+    Finish,
+    Inject,
+    Restore,
+    ScheduleError,
+    Snapshot,
+    build_plan,
+    build_plan_from_trie,
+)
+from .trie import TrialTrie, TrieNode, build_trie
+
+__all__ = [
+    "Advance",
+    "CacheStats",
+    "ErrorEvent",
+    "ExecutionOutcome",
+    "ExecutionPlan",
+    "Finish",
+    "Inject",
+    "NoisySimulator",
+    "PackedAnalysis",
+    "PAULI_LABELS",
+    "Restore",
+    "RunMetrics",
+    "ScheduleError",
+    "SimulationResult",
+    "Snapshot",
+    "StateCache",
+    "Trial",
+    "TrialTrie",
+    "TrieNode",
+    "adjacent_prefix_lengths",
+    "baseline_operation_count",
+    "build_plan",
+    "build_plan_from_trie",
+    "build_trie",
+    "compute_metrics",
+    "longest_common_prefix",
+    "make_trial",
+    "load_trials",
+    "save_trials",
+    "pack_trial",
+    "pack_trials",
+    "analyze_packed_trials",
+    "sample_packed_trials",
+    "unpack_trial_events",
+    "reorder_trials",
+    "reorder_trials_recursive",
+    "run_baseline",
+    "run_optimized",
+]

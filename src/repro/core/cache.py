@@ -1,0 +1,133 @@
+"""Intermediate-state cache with drop-on-last-use accounting.
+
+The paper's memory metric is the number of **Maintained State Vectors
+(MSVs)**: how many intermediate statevectors exist simultaneously during the
+optimized simulation.  :class:`StateCache` owns every state the executor
+creates — the single *working* state plus the stack of stored prefix
+snapshots — releases each snapshot the moment its last consumer has used it,
+and records the peak.
+
+Two peaks are tracked:
+
+* ``peak_msv`` — peak count of all live statevectors, working state
+  included.  This is the number we report for Figs. 6 and 8.
+* ``peak_stored`` — peak count of stored snapshots only (excludes the
+  working state), i.e. the memory *overhead* relative to the baseline,
+  which always keeps exactly one working state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["StateCache", "CacheStats"]
+
+
+class CacheStats:
+    """Peak / cumulative counters of a finished run."""
+
+    def __init__(
+        self,
+        peak_msv: int,
+        peak_stored: int,
+        snapshots_taken: int,
+        snapshots_released: int,
+    ) -> None:
+        self.peak_msv = peak_msv
+        self.peak_stored = peak_stored
+        self.snapshots_taken = snapshots_taken
+        self.snapshots_released = snapshots_released
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(peak_msv={self.peak_msv}, "
+            f"peak_stored={self.peak_stored}, "
+            f"snapshots={self.snapshots_taken})"
+        )
+
+
+class StateCache:
+    """Slot store for prefix snapshots, with live-state peak tracking."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, Tuple[Any, int]] = {}
+        self._next_slot = 0
+        self._working_live = 0
+        self._peak_msv = 0
+        self._peak_stored = 0
+        self._snapshots_taken = 0
+        self._snapshots_released = 0
+
+    # -- working-state lifecycle (called by the executor) ----------------------
+
+    def working_created(self) -> None:
+        """A working state came alive (initial state or restored snapshot)."""
+        self._working_live += 1
+        self._update_peaks()
+
+    def working_destroyed(self) -> None:
+        """The current working state was discarded or consumed."""
+        if self._working_live <= 0:
+            raise RuntimeError("working_destroyed without a live working state")
+        self._working_live -= 1
+
+    # -- snapshot slots -----------------------------------------------------------
+
+    def store(self, state: Any, layer: int) -> int:
+        """Store a snapshot (a state advanced to ``layer``); returns its slot."""
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slots[slot] = (state, layer)
+        self._snapshots_taken += 1
+        self._update_peaks()
+        return slot
+
+    def take(self, slot: int) -> Tuple[Any, int]:
+        """Remove and return ``(state, layer)`` — the slot's last use."""
+        try:
+            entry = self._slots.pop(slot)
+        except KeyError:
+            raise KeyError(f"cache slot {slot} is empty or already taken") from None
+        self._snapshots_released += 1
+        return entry
+
+    def peek(self, slot: int) -> Tuple[Any, int]:
+        """Return ``(state, layer)`` without releasing the slot."""
+        try:
+            return self._slots[slot]
+        except KeyError:
+            raise KeyError(f"cache slot {slot} is empty") from None
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def num_stored(self) -> int:
+        return len(self._slots)
+
+    @property
+    def num_live(self) -> int:
+        return len(self._slots) + self._working_live
+
+    def _update_peaks(self) -> None:
+        self._peak_msv = max(self._peak_msv, self.num_live)
+        self._peak_stored = max(self._peak_stored, len(self._slots))
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            peak_msv=self._peak_msv,
+            peak_stored=self._peak_stored,
+            snapshots_taken=self._snapshots_taken,
+            snapshots_released=self._snapshots_released,
+        )
+
+    def assert_drained(self) -> None:
+        """Raise unless every snapshot was consumed (no leaked states)."""
+        if self._slots:
+            raise RuntimeError(
+                f"{len(self._slots)} cached state(s) were never consumed: "
+                f"slots {sorted(self._slots)}"
+            )
+        if self._working_live:
+            raise RuntimeError(
+                f"{self._working_live} working state(s) still live at drain"
+            )

@@ -1,0 +1,100 @@
+"""Error events and Monte-Carlo trials.
+
+A *trial* is one complete pre-sampled error-injection pattern for one run of
+the circuit (Sec. III-B-2): the ordered list of :class:`ErrorEvent` —
+*where* (layer, qubit) and *what* (Pauli operator) — plus the classical
+measurement bits that will be flipped at readout.
+
+Trials are generated **statically, before any simulation** — that is the
+enabling step of the paper's optimization: only because every trial is known
+up front can they be reordered to maximize shared prefixes.
+
+Ordering convention: an event at ``layer = L`` is injected *after* all gates
+of layer ``L`` have been applied (the paper injects errors at the end of
+each layer).  Events within a trial are kept sorted by ``(layer, qubit,
+pauli)``; that sorted event tuple is the trial's identity for reordering,
+grouping and deduplication.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence, Tuple
+
+from ..circuits.gates import Gate, standard_gate
+
+__all__ = ["ErrorEvent", "Trial", "PAULI_LABELS", "make_trial"]
+
+#: The error-operator alphabet of the symmetric depolarizing model.
+PAULI_LABELS: Tuple[str, ...] = ("x", "y", "z")
+
+
+class ErrorEvent(NamedTuple):
+    """One injected error: Pauli ``pauli`` on ``qubit`` after layer ``layer``."""
+
+    layer: int
+    qubit: int
+    pauli: str
+
+    @property
+    def gate(self) -> Gate:
+        """The error operator as a gate object."""
+        return standard_gate(self.pauli)
+
+    def __str__(self) -> str:
+        return f"{self.pauli.upper()}@(L{self.layer},q{self.qubit})"
+
+
+class Trial(NamedTuple):
+    """One pre-sampled Monte-Carlo trial.
+
+    Attributes
+    ----------
+    events:
+        Injected error events, sorted by ``(layer, qubit, pauli)``.
+    meas_flips:
+        Classical bits flipped at readout (sorted tuple of clbit indices).
+    """
+
+    events: Tuple[ErrorEvent, ...]
+    meas_flips: Tuple[int, ...] = ()
+
+    @property
+    def num_errors(self) -> int:
+        return len(self.events)
+
+    @property
+    def is_error_free(self) -> bool:
+        return not self.events
+
+    def sort_key(self) -> Tuple[Tuple[int, int, str], ...]:
+        """The lexicographic reordering key (Algorithm 1's order)."""
+        return tuple((e.layer, e.qubit, e.pauli) for e in self.events)
+
+    def __str__(self) -> str:
+        if not self.events:
+            body = "error-free"
+        else:
+            body = ", ".join(str(e) for e in self.events)
+        if self.meas_flips:
+            body += f"; flips={list(self.meas_flips)}"
+        return f"Trial({body})"
+
+
+def make_trial(
+    events: Sequence[ErrorEvent], meas_flips: Sequence[int] = ()
+) -> Trial:
+    """Build a trial with canonical (sorted) event and flip order.
+
+    Raises :class:`ValueError` if two events collide on the same
+    ``(layer, qubit)`` position — a position holds at most one operator.
+    """
+    ordered = tuple(sorted(events))
+    positions = [(e.layer, e.qubit) for e in ordered]
+    if len(set(positions)) != len(positions):
+        raise ValueError(f"duplicate error position in {ordered}")
+    for event in ordered:
+        if event.pauli not in PAULI_LABELS:
+            raise ValueError(f"unknown error operator {event.pauli!r}")
+        if event.layer < 0 or event.qubit < 0:
+            raise ValueError(f"negative layer/qubit in {event}")
+    return Trial(ordered, tuple(sorted(set(int(c) for c in meas_flips))))

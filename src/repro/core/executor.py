@@ -1,0 +1,204 @@
+"""Plan interpretation: optimized and baseline execution.
+
+:func:`run_optimized` interprets an :class:`ExecutionPlan` against any
+:class:`~repro.sim.backend.SimulationBackend`; :func:`run_baseline`
+re-executes every trial from the initial state, exactly like the
+straightforward Monte-Carlo strategy of QX / Rigetti QVM that the paper
+compares against (Sec. V "Baseline").
+
+Both run the same backend and count the same basic operations, so the
+normalized-computation metric is a pure ratio of the two counters.  Final
+states are delivered through a streaming callback — one call per distinct
+final state, carrying all (deduplicated) trial indices that share it — so
+no executor ever holds more than the cache-accounted number of states.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.layers import LayeredCircuit
+from ..sim.backend import SimulationBackend
+from .cache import CacheStats, StateCache
+from .events import Trial
+from .schedule import (
+    Advance,
+    ExecutionPlan,
+    Finish,
+    Inject,
+    Restore,
+    ScheduleError,
+    Snapshot,
+    build_plan,
+)
+
+__all__ = ["ExecutionOutcome", "run_optimized", "run_baseline", "FinishCallback"]
+
+#: Called once per distinct final state: ``(state_payload, trial_indices)``.
+FinishCallback = Callable[[Any, Tuple[int, ...]], None]
+
+
+class ExecutionOutcome:
+    """Counters and cache statistics of one executor run."""
+
+    def __init__(
+        self,
+        ops_applied: int,
+        num_trials: int,
+        cache_stats: CacheStats,
+        finish_calls: int,
+    ) -> None:
+        self.ops_applied = ops_applied
+        self.num_trials = num_trials
+        self.cache_stats = cache_stats
+        self.finish_calls = finish_calls
+
+    @property
+    def peak_msv(self) -> int:
+        return self.cache_stats.peak_msv
+
+    @property
+    def peak_stored(self) -> int:
+        return self.cache_stats.peak_stored
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionOutcome(ops={self.ops_applied}, "
+            f"trials={self.num_trials}, peak_msv={self.peak_msv})"
+        )
+
+
+def run_optimized(
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    backend: SimulationBackend,
+    on_finish: Optional[FinishCallback] = None,
+    plan: Optional[ExecutionPlan] = None,
+) -> ExecutionOutcome:
+    """Execute ``trials`` with prefix-state reuse.
+
+    Parameters
+    ----------
+    plan:
+        A prebuilt plan (must cover exactly these trials); built on demand
+        otherwise.
+    on_finish:
+        Streaming consumer of final states.  Receives the backend's
+        ``finish`` payload (a statevector copy for the statevector backend,
+        ``None`` for the counting backend) and the tuple of original trial
+        indices sharing that state.
+    """
+    if plan is None:
+        plan = build_plan(layered, trials)
+    if plan.num_trials != len(trials):
+        raise ScheduleError(
+            f"plan covers {plan.num_trials} trials, got {len(trials)}"
+        )
+
+    backend.reset_counter()
+    cache = StateCache()
+    working = backend.make_initial()
+    working_layer = 0
+    cache.working_created()
+    finish_calls = 0
+
+    for instr in plan:
+        if isinstance(instr, Advance):
+            if instr.start_layer != working_layer:
+                raise ScheduleError(
+                    f"advance from layer {instr.start_layer} but working "
+                    f"state is at layer {working_layer}"
+                )
+            backend.apply_layers(working, instr.start_layer, instr.end_layer)
+            working_layer = instr.end_layer
+        elif isinstance(instr, Snapshot):
+            snapshot = backend.copy_state(working)
+            cache.store(snapshot, working_layer)
+        elif isinstance(instr, Inject):
+            event = instr.event
+            if event.layer + 1 != working_layer:
+                raise ScheduleError(
+                    f"inject {event} at working layer {working_layer}"
+                )
+            backend.apply_operator(working, event.gate, (event.qubit,))
+        elif isinstance(instr, Restore):
+            backend.release_state(working)
+            cache.working_destroyed()
+            working, working_layer = cache.take(instr.slot)
+            cache.working_created()
+        elif isinstance(instr, Finish):
+            if working_layer != layered.num_layers:
+                raise ScheduleError(
+                    f"finish at layer {working_layer}, circuit has "
+                    f"{layered.num_layers} layers"
+                )
+            finish_calls += 1
+            if on_finish is not None:
+                payload = backend.finish(working)
+                on_finish(payload, instr.trial_indices)
+        else:  # pragma: no cover - exhaustive over instruction kinds
+            raise ScheduleError(f"unknown plan instruction {instr!r}")
+
+    backend.release_state(working)
+    cache.working_destroyed()
+    cache.assert_drained()
+    return ExecutionOutcome(
+        ops_applied=backend.ops_applied,
+        num_trials=len(trials),
+        cache_stats=cache.stats(),
+        finish_calls=finish_calls,
+    )
+
+
+def run_baseline(
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    backend: SimulationBackend,
+    on_finish: Optional[FinishCallback] = None,
+) -> ExecutionOutcome:
+    """Execute every trial independently from scratch (no reuse, no reorder).
+
+    This is the widely adopted straightforward Monte-Carlo strategy: one
+    full circuit pass per trial, errors injected inline, only the final
+    result kept.  ``on_finish`` is called once per trial.
+    """
+    backend.reset_counter()
+    cache = StateCache()  # used only for uniform accounting (peak_msv == 1)
+
+    for index, trial in enumerate(trials):
+        state = backend.make_initial()
+        cache.working_created()
+        cursor = 0
+        for event in trial.events:
+            target = event.layer + 1
+            if target > cursor:
+                backend.apply_layers(state, cursor, target)
+                cursor = target
+            backend.apply_operator(state, event.gate, (event.qubit,))
+        if layered.num_layers > cursor:
+            backend.apply_layers(state, cursor, layered.num_layers)
+        if on_finish is not None:
+            payload = backend.finish(state)
+            on_finish(payload, (index,))
+        backend.release_state(state)
+        cache.working_destroyed()
+
+    cache.assert_drained()
+    return ExecutionOutcome(
+        ops_applied=backend.ops_applied,
+        num_trials=len(trials),
+        cache_stats=cache.stats(),
+        finish_calls=len(trials),
+    )
+
+
+def baseline_operation_count(
+    layered: LayeredCircuit, trials: Sequence[Trial]
+) -> int:
+    """Closed-form basic-operation count of the baseline strategy.
+
+    ``num_trials * num_gates + total_injected_errors`` — every trial pays
+    the full circuit plus its own error operators.
+    """
+    total_errors = sum(trial.num_errors for trial in trials)
+    return len(trials) * layered.num_gates + total_errors

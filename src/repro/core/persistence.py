@@ -1,0 +1,89 @@
+"""Trial-set persistence: save sampled trials, re-run them anywhere.
+
+The pipeline's statically generated trial set fully determines the
+simulation (given the circuit), so archiving it makes experiments exactly
+re-runnable — across machines, library versions, and backends.  Trials
+are stored in the packed 5-byte event encoding (:mod:`repro.core.packed`)
+plus the measurement-flip lists, inside a single ``.npz`` file:
+
+    >>> save_trials("trials.npz", trials)
+    >>> trials == load_trials("trials.npz")
+    True
+
+The format is flat numpy arrays (no pickling), so files are portable and
+safe to load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .events import PAULI_LABELS, ErrorEvent, Trial, make_trial
+from .packed import EVENT_BYTES, pack_trial, unpack_trial_events
+
+__all__ = ["save_trials", "load_trials", "FORMAT_VERSION"]
+
+#: Bumped on any incompatible change to the archive layout.
+FORMAT_VERSION = 1
+
+
+def save_trials(path, trials: Sequence[Trial]) -> None:
+    """Write ``trials`` to ``path`` as a flat-array ``.npz`` archive."""
+    packed = [pack_trial(trial) for trial in trials]
+    event_counts = np.array(
+        [len(blob) // EVENT_BYTES for blob in packed], dtype=np.int64
+    )
+    event_bytes = np.frombuffer(b"".join(packed), dtype=np.uint8)
+    flip_counts = np.array(
+        [len(trial.meas_flips) for trial in trials], dtype=np.int64
+    )
+    flips = np.array(
+        [clbit for trial in trials for clbit in trial.meas_flips],
+        dtype=np.int64,
+    )
+    np.savez_compressed(
+        path,
+        version=np.array([FORMAT_VERSION], dtype=np.int64),
+        event_counts=event_counts,
+        event_bytes=event_bytes,
+        flip_counts=flip_counts,
+        flips=flips,
+    )
+
+
+def load_trials(path) -> List[Trial]:
+    """Read a trial set written by :func:`save_trials`."""
+    with np.load(path) as archive:
+        version = int(archive["version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"trial archive version {version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        event_counts = archive["event_counts"]
+        blob = archive["event_bytes"].tobytes()
+        flip_counts = archive["flip_counts"]
+        flips = archive["flips"]
+
+    if len(event_counts) != len(flip_counts):
+        raise ValueError("corrupt archive: trial count mismatch")
+    trials: List[Trial] = []
+    event_offset = 0
+    flip_offset = 0
+    for num_events, num_flips in zip(event_counts, flip_counts):
+        span = int(num_events) * EVENT_BYTES
+        events = [
+            ErrorEvent(layer, qubit, pauli)
+            for layer, qubit, pauli in unpack_trial_events(
+                blob[event_offset : event_offset + span]
+            )
+        ]
+        event_offset += span
+        meas_flips = [int(c) for c in flips[flip_offset : flip_offset + int(num_flips)]]
+        flip_offset += int(num_flips)
+        trials.append(make_trial(events, meas_flips))
+    if event_offset != len(blob):
+        raise ValueError("corrupt archive: trailing event bytes")
+    return trials

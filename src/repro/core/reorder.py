@@ -1,0 +1,110 @@
+"""Trial reordering — the paper's Algorithm 1.
+
+Two equivalent implementations are provided:
+
+* :func:`reorder_trials_recursive` — the literal Algorithm 1: order the
+  trial set by the location of the *n*-th injected error, split it into
+  groups that share that error, and recurse into each group on error
+  ``n + 1`` until groups are singletons (or fully identical).
+* :func:`reorder_trials` — the observation that Algorithm 1 *is* a
+  lexicographic sort: a trial's identity for reordering is its sorted
+  ``(layer, qubit, operator)`` event sequence, and recursive
+  group-by-first-key / order-by-next-key is exactly how lexicographic order
+  is defined.  A single ``sorted()`` call with the event-sequence key
+  produces the identical order in ``O(T log T)`` comparisons.
+
+The equivalence is property-tested (``tests/core/test_reorder.py``) and
+benchmarked as an ablation.  Trials with *fewer* errors order before their
+extensions (the empty sequence is the lexicographic minimum), so the
+error-free trial always comes first — matching the paper's Fig. 2 narrative
+where execution starts by computing the shared error-free prefix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .events import ErrorEvent, Trial
+
+__all__ = [
+    "reorder_trials",
+    "reorder_trials_recursive",
+    "longest_common_prefix",
+    "adjacent_prefix_lengths",
+]
+
+
+def reorder_trials(trials: Sequence[Trial]) -> List[Trial]:
+    """Order ``trials`` to maximize overlap between consecutive trials.
+
+    Lexicographic sort on the event sequence; duplicates stay adjacent,
+    which is what lets the executor deduplicate them entirely.  The sort is
+    stable, so equal trials keep their sampling order (only relevant for
+    their classical measurement flips, which do not affect cost).
+    """
+    return sorted(trials, key=lambda trial: trial.sort_key())
+
+
+def _nth_error_key(trial: Trial, n: int) -> Tuple:
+    """Sort key for the n-th error: 'no n-th error' orders first."""
+    if len(trial.events) > n:
+        event = trial.events[n]
+        return (1, event.layer, event.qubit, event.pauli)
+    return (0,)
+
+
+def reorder_trials_recursive(trials: Sequence[Trial], n: int = 0) -> List[Trial]:
+    """Literal Algorithm 1 from the paper.
+
+    ``n`` is the error index currently being ordered on (0-based; the paper
+    writes it 1-based).  Each level sorts the group by the location of the
+    n-th injected error, splits into subgroups sharing that error, and
+    recurses with ``n + 1``.
+    """
+    if len(trials) <= 1:
+        return list(trials)
+    # Step 4: order the trials based on the location of the n-th error.
+    ordered = sorted(trials, key=lambda trial: _nth_error_key(trial, n))
+    # Step 5: divide into groups sharing the n-th error.
+    result: List[Trial] = []
+    group: List[Trial] = []
+    group_key = None
+    for trial in ordered:
+        key = _nth_error_key(trial, n)
+        if group and key != group_key:
+            result.extend(_recurse_group(group, group_key, n))
+            group = []
+        group.append(trial)
+        group_key = key
+    result.extend(_recurse_group(group, group_key, n))
+    return result
+
+
+def _recurse_group(group: List[Trial], key: Tuple, n: int) -> List[Trial]:
+    if key == (0,):
+        # Every trial in this group has exactly the path's n errors; they are
+        # identical in events and need no further ordering.
+        return group
+    return reorder_trials_recursive(group, n + 1)
+
+
+def longest_common_prefix(a: Trial, b: Trial) -> int:
+    """Number of leading error events shared by two trials."""
+    shared = 0
+    for event_a, event_b in zip(a.events, b.events):
+        if event_a != event_b:
+            break
+        shared += 1
+    return shared
+
+
+def adjacent_prefix_lengths(trials: Sequence[Trial]) -> List[int]:
+    """Shared-prefix length between each consecutive pair of ``trials``.
+
+    The optimizer's benefit grows with these values; the ablation benchmarks
+    compare their sum before and after reordering.
+    """
+    return [
+        longest_common_prefix(trials[i], trials[i + 1])
+        for i in range(len(trials) - 1)
+    ]

@@ -1,0 +1,248 @@
+"""High-level noisy-simulation driver: the library's main entry point.
+
+:class:`NoisySimulator` ties the full pipeline together::
+
+    from repro import NoisySimulator, ibm_yorktown
+    sim = NoisySimulator(circuit, ibm_yorktown(), seed=7)
+    result = sim.run(num_trials=1024)          # optimized, real statevector
+    result.counts                              # measurement histogram
+    result.metrics.computation_saving          # ~0.8 on paper workloads
+
+Pipeline per run: layerize the circuit → statically sample all trials →
+build the prefix trie / execution plan (the reordering) → execute on the
+chosen backend → sample measurements (with classical readout flips) from
+each distinct final state → aggregate counts and metrics.
+
+``backend="counting"`` runs the identical schedule without amplitudes and
+returns metrics only — this is how the 40-qubit scalability figures are
+produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.layers import LayeredCircuit, layerize
+from ..noise.model import NoiseModel
+from ..noise.sampling import sample_trials
+from ..sim.backend import SimulationBackend, StatevectorBackend
+from ..sim.counting import CountingBackend
+from ..sim.measurement import apply_readout_flips, sample_measurements
+from ..sim.statevector import Statevector
+from .events import Trial
+from .executor import (
+    ExecutionOutcome,
+    baseline_operation_count,
+    run_baseline,
+    run_optimized,
+)
+from .metrics import RunMetrics, compute_metrics
+from .schedule import ExecutionPlan, build_plan
+
+__all__ = ["SimulationResult", "NoisySimulator"]
+
+_MODES = ("optimized", "baseline")
+_BACKENDS = ("statevector", "counting", "stabilizer")
+
+
+class SimulationResult:
+    """Everything a run produced: counts, per-trial bits, metrics."""
+
+    def __init__(
+        self,
+        counts: Dict[str, int],
+        metrics: RunMetrics,
+        mode: str,
+        backend: str,
+        trial_clbits: Optional[List[Dict[int, int]]] = None,
+        final_states: Optional[List[Optional[Statevector]]] = None,
+    ) -> None:
+        #: Aggregated measurement histogram (bitstring -> occurrences).
+        self.counts = counts
+        #: Computation / memory metrics of the run.
+        self.metrics = metrics
+        self.mode = mode
+        self.backend = backend
+        #: Per-trial clbit values (original sampling order), when collected.
+        self.trial_clbits = trial_clbits
+        #: Per-trial final statevectors, when collected (tests/analysis only).
+        self.final_states = final_states
+
+    @property
+    def num_trials(self) -> int:
+        return self.metrics.num_trials
+
+    def probabilities(self) -> Dict[str, float]:
+        """Counts normalized to an output distribution."""
+        total = sum(self.counts.values())
+        if total == 0:
+            return {}
+        return {bits: count / total for bits, count in self.counts.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(mode={self.mode!r}, trials={self.num_trials}, "
+            f"normalized={self.metrics.normalized_computation:.3f}, "
+            f"msv={self.metrics.peak_msv})"
+        )
+
+
+class NoisySimulator:
+    """Monte-Carlo noisy simulation with trial-reordering acceleration.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate; measurements must be terminal.
+    noise_model:
+        Gate/measurement error model (see :mod:`repro.noise`).
+    seed:
+        Seeds both trial sampling and measurement sampling; runs with equal
+        seeds and parameters are fully reproducible.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        noise_model: NoiseModel,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.noise_model = noise_model
+        self.layered: LayeredCircuit = layerize(circuit)
+        self._rng = np.random.default_rng(seed)
+
+    # -- pipeline stages (public for composition and testing) ---------------
+
+    def sample(self, num_trials: int) -> List[Trial]:
+        """Statically generate ``num_trials`` error-injection trials."""
+        return sample_trials(self.layered, self.noise_model, num_trials, self._rng)
+
+    def plan(self, trials: Sequence[Trial]) -> ExecutionPlan:
+        """Reorder ``trials`` and build the optimized execution plan."""
+        return build_plan(self.layered, trials)
+
+    def make_backend(self, backend: str) -> SimulationBackend:
+        if backend == "statevector":
+            return StatevectorBackend(self.layered)
+        if backend == "counting":
+            return CountingBackend(self.layered)
+        if backend == "stabilizer":
+            from ..sim.stabilizer import StabilizerBackend
+
+            return StabilizerBackend(self.layered)
+        raise ValueError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+
+    # -- main entry points -----------------------------------------------------
+
+    def run(
+        self,
+        num_trials: int = 1024,
+        mode: str = "optimized",
+        backend: str = "statevector",
+        trials: Optional[Sequence[Trial]] = None,
+        collect_final_states: bool = False,
+    ) -> SimulationResult:
+        """Sample (or reuse) trials and execute them.
+
+        Parameters
+        ----------
+        mode:
+            ``"optimized"`` (reordered, prefix reuse) or ``"baseline"``
+            (every trial from scratch).  Both produce statistically
+            identical results; only cost differs.
+        backend:
+            ``"statevector"`` for real simulation with measurement counts,
+            ``"counting"`` for metrics only (counts will be empty).
+        trials:
+            Pre-sampled trials (e.g. to run both modes on the same set).
+        collect_final_states:
+            Keep every trial's final statevector on the result — memory
+            heavy; meant for equivalence tests and small analyses.
+        """
+        if mode not in _MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+        trial_list = list(trials) if trials is not None else self.sample(num_trials)
+
+        engine = self.make_backend(backend)
+        has_readout = backend != "counting"
+        measurements = self.layered.measurements
+        counts: Dict[str, int] = {}
+        trial_clbits: List[Optional[Dict[int, int]]] = [None] * len(trial_list)
+        final_states: List[Optional[Statevector]] = [None] * len(trial_list)
+
+        def on_finish(payload, trial_indices: Tuple[int, ...]) -> None:
+            if not has_readout:
+                return
+            for index in trial_indices:
+                trial = trial_list[index]
+                clbits = engine.sample_clbits(payload, measurements, self._rng)
+                clbits = apply_readout_flips(clbits, trial.meas_flips)
+                trial_clbits[index] = clbits
+                bits = "".join(
+                    str(clbits.get(c, 0)) for c in range(self.circuit.num_clbits)
+                )
+                counts[bits] = counts.get(bits, 0) + 1
+                if collect_final_states:
+                    final_states[index] = payload.copy()
+
+        if mode == "optimized":
+            outcome = run_optimized(self.layered, trial_list, engine, on_finish)
+        else:
+            outcome = run_baseline(self.layered, trial_list, engine, on_finish)
+
+        metrics = compute_metrics(self.layered, trial_list, outcome)
+        return SimulationResult(
+            counts=counts,
+            metrics=metrics,
+            mode=mode,
+            backend=backend,
+            trial_clbits=trial_clbits if has_readout else None,
+            final_states=final_states if collect_final_states else None,
+        )
+
+    def expectation(
+        self,
+        observable,
+        num_trials: int = 1024,
+        trials: Optional[Sequence[Trial]] = None,
+    ) -> float:
+        """Noisy ensemble expectation value of a Pauli observable.
+
+        Runs the optimized schedule; each *distinct* final state is
+        evaluated once and weighted by its trial multiplicity, so the
+        deduplication that accelerates counting accelerates expectation
+        estimation identically.  As ``num_trials`` grows the value
+        converges to the exact channel expectation
+        (``observable.expectation_density(run_layered_density(...))``),
+        which the integration tests verify.
+        """
+        trial_list = list(trials) if trials is not None else self.sample(num_trials)
+        engine = StatevectorBackend(self.layered)
+        total = 0.0
+
+        def on_finish(payload, trial_indices: Tuple[int, ...]) -> None:
+            nonlocal total
+            total += len(trial_indices) * observable.expectation(payload)
+
+        run_optimized(self.layered, trial_list, engine, on_finish)
+        return total / len(trial_list)
+
+    def analyze(
+        self,
+        num_trials: int = 1024,
+        trials: Optional[Sequence[Trial]] = None,
+    ) -> RunMetrics:
+        """Compute the paper's metrics without simulating amplitudes.
+
+        Runs the optimized schedule on the counting backend; the baseline
+        count comes from the closed form (verified equal to an actual
+        baseline run in the test suite).
+        """
+        trial_list = list(trials) if trials is not None else self.sample(num_trials)
+        engine = CountingBackend(self.layered)
+        outcome = run_optimized(self.layered, trial_list, engine)
+        return compute_metrics(self.layered, trial_list, outcome)

@@ -1,0 +1,235 @@
+"""Execution-plan generation from the trial trie.
+
+The optimized simulation is driven by a flat, inspectable *plan*: a list of
+five instruction kinds interpreted by the executor against any backend.
+
+``Advance(start, end)``
+    Apply all gates of layers ``start .. end - 1`` to the working state.
+``Snapshot(slot)``
+    Store an independent copy of the working state in cache ``slot``
+    (taken just before injecting an error whose sibling subtrees or parent
+    terminals still need the pre-error state).
+``Inject(event)``
+    Apply one error operator to the working state.
+``Restore(slot)``
+    Discard the working state and resume from the snapshot in ``slot``
+    (the slot is consumed — this is the drop-on-last-use policy).
+``Finish(trial_indices)``
+    The working state has reached the final layer; it is the final state of
+    every listed trial (several indices = deduplicated identical trials).
+
+Plan shape
+----------
+The plan is a depth-first traversal of the trie.  At each node the working
+state advances **monotonically** through the layers, serving children in
+event order; trials terminating at the node are finished *after* the
+children, once the frontier reaches the end of the circuit — this is the
+paper's frontier narrative ("after finishing the trials with the first
+error in the first layer, we can execute one more layer and store the new
+state as S2; now S1 can be dropped") and it never recomputes a layer.  A
+snapshot is taken only when the node's state has further pending consumers;
+the last consumer steals the state instead of copying it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Sequence, Tuple, Union
+
+from ..circuits.layers import LayeredCircuit
+from .events import ErrorEvent, Trial
+from .trie import TrialTrie, TrieNode
+
+__all__ = [
+    "Advance",
+    "Snapshot",
+    "Inject",
+    "Restore",
+    "Finish",
+    "PlanInstruction",
+    "ExecutionPlan",
+    "build_plan",
+    "build_plan_from_trie",
+    "ScheduleError",
+]
+
+
+class ScheduleError(RuntimeError):
+    """Raised when a trial set cannot be scheduled against a circuit."""
+
+
+class Advance(NamedTuple):
+    start_layer: int
+    end_layer: int
+
+
+class Snapshot(NamedTuple):
+    slot: int
+
+
+class Inject(NamedTuple):
+    event: ErrorEvent
+
+
+class Restore(NamedTuple):
+    slot: int
+
+
+class Finish(NamedTuple):
+    trial_indices: Tuple[int, ...]
+
+
+PlanInstruction = Union[Advance, Snapshot, Inject, Restore, Finish]
+
+
+class ExecutionPlan:
+    """A fully resolved optimized-execution schedule."""
+
+    def __init__(
+        self,
+        instructions: List[PlanInstruction],
+        num_trials: int,
+        num_layers: int,
+    ) -> None:
+        self.instructions = instructions
+        self.num_trials = num_trials
+        self.num_layers = num_layers
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def count(self, kind: type) -> int:
+        return sum(1 for instr in self.instructions if isinstance(instr, kind))
+
+    def finished_trial_indices(self) -> List[int]:
+        """Every trial index finished by the plan, in completion order."""
+        finished: List[int] = []
+        for instr in self.instructions:
+            if isinstance(instr, Finish):
+                finished.extend(instr.trial_indices)
+        return finished
+
+    def planned_operations(self, layered: LayeredCircuit) -> int:
+        """Basic-operation count of the plan (closed form, no execution)."""
+        ops = 0
+        for instr in self.instructions:
+            if isinstance(instr, Advance):
+                ops += layered.gates_between(instr.start_layer, instr.end_layer)
+            elif isinstance(instr, Inject):
+                ops += 1
+        return ops
+
+    def validate(self) -> None:
+        """Structural sanity checks: slot discipline and layer monotonicity.
+
+        Raises :class:`ScheduleError` on any violation.  Used by tests and
+        cheap enough to run on every schedule in debug contexts.
+        """
+        open_slots = set()
+        finished = set()
+        for instr in self.instructions:
+            if isinstance(instr, Advance):
+                if not 0 <= instr.start_layer <= instr.end_layer <= self.num_layers:
+                    raise ScheduleError(f"bad advance range {instr}")
+            elif isinstance(instr, Snapshot):
+                if instr.slot in open_slots:
+                    raise ScheduleError(f"slot {instr.slot} snapshotted twice")
+                open_slots.add(instr.slot)
+            elif isinstance(instr, Restore):
+                if instr.slot not in open_slots:
+                    raise ScheduleError(f"restore of unknown slot {instr.slot}")
+                open_slots.remove(instr.slot)
+            elif isinstance(instr, Finish):
+                for index in instr.trial_indices:
+                    if index in finished:
+                        raise ScheduleError(f"trial {index} finished twice")
+                    finished.add(index)
+        if open_slots:
+            raise ScheduleError(f"slots never restored: {sorted(open_slots)}")
+        if len(finished) != self.num_trials:
+            raise ScheduleError(
+                f"plan finishes {len(finished)} trials, expected {self.num_trials}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan(instructions={len(self.instructions)}, "
+            f"trials={self.num_trials}, layers={self.num_layers})"
+        )
+
+
+class _PlanBuilder:
+    def __init__(self, layered: LayeredCircuit, trie: TrialTrie) -> None:
+        self.layered = layered
+        self.trie = trie
+        self.instructions: List[PlanInstruction] = []
+        self.next_slot = 0
+
+    def build(self) -> ExecutionPlan:
+        if self.trie.num_trials == 0:
+            raise ScheduleError("cannot schedule an empty trial set")
+        self._check_events()
+        self._emit_node(self.trie.root, entry_layer=0)
+        plan = ExecutionPlan(
+            self.instructions,
+            num_trials=self.trie.num_trials,
+            num_layers=self.layered.num_layers,
+        )
+        return plan
+
+    def _check_events(self) -> None:
+        num_layers = self.layered.num_layers
+        num_qubits = self.layered.num_qubits
+        for trial in self.trie.trials:
+            for event in trial.events:
+                if event.layer >= num_layers:
+                    raise ScheduleError(
+                        f"event {event} beyond circuit depth {num_layers}"
+                    )
+                if event.qubit >= num_qubits:
+                    raise ScheduleError(
+                        f"event {event} beyond qubit count {num_qubits}"
+                    )
+
+    def _emit_node(self, node: TrieNode, entry_layer: int) -> None:
+        cursor = entry_layer
+        children = node.sorted_children()
+        has_terminals = bool(node.terminal_trials)
+        for position, child in enumerate(children):
+            target = child.event.layer + 1
+            if target > cursor:
+                self.instructions.append(Advance(cursor, target))
+                cursor = target
+            is_last_consumer = position == len(children) - 1 and not has_terminals
+            if is_last_consumer:
+                # The child steals the node's state: inject directly.
+                self.instructions.append(Inject(child.event))
+                self._emit_node(child, cursor)
+            else:
+                slot = self.next_slot
+                self.next_slot += 1
+                self.instructions.append(Snapshot(slot))
+                self.instructions.append(Inject(child.event))
+                self._emit_node(child, cursor)
+                self.instructions.append(Restore(slot))
+        if has_terminals:
+            if self.layered.num_layers > cursor:
+                self.instructions.append(Advance(cursor, self.layered.num_layers))
+            self.instructions.append(Finish(tuple(node.terminal_trials)))
+
+
+def build_plan(layered: LayeredCircuit, trials: Sequence[Trial]) -> ExecutionPlan:
+    """Build the optimized execution plan for ``trials`` on ``layered``.
+
+    The trials may be in any order — the trie canonicalizes them into the
+    reordered (lexicographic) schedule.
+    """
+    trie = TrialTrie(trials)
+    return _PlanBuilder(layered, trie).build()
+
+
+def build_plan_from_trie(layered: LayeredCircuit, trie: TrialTrie) -> ExecutionPlan:
+    """Build the plan from a pre-built trie (avoids re-inserting trials)."""
+    return _PlanBuilder(layered, trie).build()

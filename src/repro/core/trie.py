@@ -1,0 +1,130 @@
+"""Prefix trie over trial error sequences.
+
+The reordered trial list (Algorithm 1) groups trials by shared error
+prefixes; the natural data structure for those groups is a trie keyed by
+:class:`ErrorEvent`.  A depth-first traversal of the trie *is* the optimized
+execution order, and the set of trie nodes with more than one pending
+consumer is exactly the set of intermediate states worth storing.
+
+Each node represents the intermediate state "all layers up to and including
+the last path event's layer applied, all path events injected".  Trials
+whose event sequence equals the path terminate at that node
+(``node.terminal_trials``); several trials may terminate at one node (the
+deduplication win — they differ at most in classical measurement flips).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .events import ErrorEvent, Trial
+
+__all__ = ["TrieNode", "TrialTrie", "build_trie"]
+
+
+class TrieNode:
+    """One shared-prefix state in the trial trie."""
+
+    __slots__ = ("event", "children", "terminal_trials", "depth")
+
+    def __init__(self, event: Optional[ErrorEvent], depth: int) -> None:
+        #: The event whose injection creates this node's state (None = root).
+        self.event = event
+        #: Child nodes keyed by their event.
+        self.children: Dict[ErrorEvent, "TrieNode"] = {}
+        #: Indices (into the original trial list) of trials ending here.
+        self.terminal_trials: List[int] = []
+        #: Number of events on the path from the root (root = 0).
+        self.depth = depth
+
+    def sorted_children(self) -> List["TrieNode"]:
+        """Children in event order — the paper's reordering order."""
+        return [self.children[event] for event in sorted(self.children)]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:
+        return (
+            f"TrieNode(event={self.event}, children={len(self.children)}, "
+            f"terminals={len(self.terminal_trials)})"
+        )
+
+
+class TrialTrie:
+    """Trie over a trial set, preserving original trial indices."""
+
+    def __init__(self, trials: Sequence[Trial]) -> None:
+        self.trials: Tuple[Trial, ...] = tuple(trials)
+        self.root = TrieNode(None, 0)
+        self._num_nodes = 1
+        for index, trial in enumerate(self.trials):
+            self._insert(index, trial)
+
+    def _insert(self, index: int, trial: Trial) -> None:
+        node = self.root
+        for event in trial.events:
+            child = node.children.get(event)
+            if child is None:
+                child = TrieNode(event, node.depth + 1)
+                node.children[event] = child
+                self._num_nodes += 1
+            node = child
+        node.terminal_trials.append(index)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    def depth(self) -> int:
+        """Maximum node depth == longest error sequence among the trials."""
+        deepest = 0
+        for node, _ in self.iter_nodes():
+            deepest = max(deepest, node.depth)
+        return deepest
+
+    def iter_nodes(self) -> Iterator[Tuple[TrieNode, Tuple[ErrorEvent, ...]]]:
+        """Yield ``(node, path)`` pairs in DFS (sorted-child) order."""
+        stack: List[Tuple[TrieNode, Tuple[ErrorEvent, ...]]] = [(self.root, ())]
+        while stack:
+            node, path = stack.pop()
+            yield node, path
+            for child in reversed(node.sorted_children()):
+                stack.append((child, path + (child.event,)))
+
+    def execution_order(self) -> List[int]:
+        """Trial indices in pre-order DFS — the lexicographic trial order.
+
+        Terminal trials of a node are emitted before its children's, so the
+        result matches :func:`repro.core.reorder.reorder_trials` exactly
+        (property-tested).  Note the *executor* finishes prefix-terminal
+        trials after their extensions instead (post-order) because the
+        frontier state advances monotonically; both orders run the same
+        trials and the results are order-independent.
+        """
+        order: List[int] = []
+        for node, _ in self.iter_nodes():
+            order.extend(node.terminal_trials)
+        return order
+
+    def count_branch_nodes(self) -> int:
+        """Nodes with 2+ distinct futures (the states worth storing)."""
+        count = 0
+        for node, _ in self.iter_nodes():
+            futures = len(node.children) + (1 if node.terminal_trials else 0)
+            if futures >= 2:
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"TrialTrie(trials={self.num_trials}, nodes={self._num_nodes})"
+
+
+def build_trie(trials: Sequence[Trial]) -> TrialTrie:
+    """Build the prefix trie for ``trials`` (any order; the trie sorts)."""
+    return TrialTrie(trials)

@@ -1,0 +1,55 @@
+"""Paper-evaluation experiment drivers (Table I, Figs. 5-8) and ablations."""
+
+from .ablations import (
+    ablation_report,
+    chunk_sweep,
+    chunked_ops,
+    consecutive_reuse_ops,
+    dedup_only_ops,
+    trial_cost,
+)
+from .convergence import (
+    ConvergencePoint,
+    exact_distribution,
+    run_convergence_study,
+)
+from .rb_decay import RBPoint, fit_rb_decay, run_rb_decay
+from .realistic import (
+    REALISTIC_TRIAL_COUNTS,
+    RealisticRecord,
+    fig5_rows,
+    fig6_rows,
+    run_realistic_experiment,
+)
+from .scalability import (
+    ScalabilityRecord,
+    error_level_label,
+    fig7_rows,
+    fig8_rows,
+    run_scalability_experiment,
+)
+
+__all__ = [
+    "REALISTIC_TRIAL_COUNTS",
+    "ablation_report",
+    "chunk_sweep",
+    "chunked_ops",
+    "consecutive_reuse_ops",
+    "dedup_only_ops",
+    "trial_cost",
+    "ConvergencePoint",
+    "RBPoint",
+    "exact_distribution",
+    "run_convergence_study",
+    "RealisticRecord",
+    "ScalabilityRecord",
+    "error_level_label",
+    "fig5_rows",
+    "fit_rb_decay",
+    "run_rb_decay",
+    "fig6_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "run_realistic_experiment",
+    "run_scalability_experiment",
+]

@@ -1,0 +1,111 @@
+"""Monte-Carlo convergence study: sampled ensemble vs exact channel.
+
+The paper argues Monte Carlo needs "a large number of error-injection
+trials" — this experiment quantifies how large, and doubles as a
+statistical validation of the entire pipeline: as the trial count grows,
+the sampled output distribution must approach the exact noisy
+distribution computed by density-matrix channel evolution, at the
+``O(1/sqrt(N))`` Monte-Carlo rate.
+
+Each sweep point reports the total-variation distance between the two
+distributions and the optimizer's saving, showing that accuracy and
+acceleration compound: more trials buy accuracy *and* a higher saving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence
+
+import numpy as np
+
+from ..analysis.stats import total_variation_distance
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.layers import layerize
+from ..core.runner import NoisySimulator
+from ..noise.model import NoiseModel
+from ..sim.density import run_layered_density
+
+__all__ = ["ConvergencePoint", "run_convergence_study", "exact_distribution"]
+
+
+class ConvergencePoint(NamedTuple):
+    """One trial-count level of the convergence study."""
+
+    num_trials: int
+    tv_distance: float
+    computation_saving: float
+
+
+def exact_distribution(
+    circuit: QuantumCircuit, model: NoiseModel
+) -> Dict[str, int]:
+    """The exact noisy outcome distribution, as scaled pseudo-counts.
+
+    Density-matrix evolution through the model's per-layer channels; the
+    diagonal is the measurement distribution (readout flips are folded in
+    as an independent classical bit-flip per measured qubit).
+    """
+    layered = layerize(circuit)
+    rho = run_layered_density(layered, model)
+    probabilities = rho.probabilities()
+    num_qubits = circuit.num_qubits
+    flip = {
+        meas.qubit: probability
+        for meas, probability in model.measurement_positions(layered)
+    }
+    measured_qubits = [meas.qubit for meas in layered.measurements]
+    clbit_of = {meas.qubit: meas.clbit for meas in layered.measurements}
+
+    distribution: Dict[str, float] = {}
+    for outcome, probability in enumerate(probabilities):
+        if probability <= 0:
+            continue
+        bits = {
+            clbit_of[q]: (outcome >> (num_qubits - 1 - q)) & 1
+            for q in measured_qubits
+        }
+        # Fold independent readout flips by enumerating flip patterns.
+        patterns = [(bits, probability)]
+        for qubit in measured_qubits:
+            p_flip = flip.get(qubit, 0.0)
+            if p_flip <= 0:
+                continue
+            next_patterns = []
+            for pattern_bits, pattern_prob in patterns:
+                kept = dict(pattern_bits)
+                next_patterns.append((kept, pattern_prob * (1 - p_flip)))
+                flipped = dict(pattern_bits)
+                flipped[clbit_of[qubit]] ^= 1
+                next_patterns.append((flipped, pattern_prob * p_flip))
+            patterns = next_patterns
+        for pattern_bits, pattern_prob in patterns:
+            key = "".join(
+                str(pattern_bits.get(c, 0)) for c in range(circuit.num_clbits)
+            )
+            distribution[key] = distribution.get(key, 0.0) + pattern_prob
+
+    # Scale to integer pseudo-counts for the TV helper.
+    scale = 10**9
+    return {bits: int(round(p * scale)) for bits, p in distribution.items()}
+
+
+def run_convergence_study(
+    circuit: QuantumCircuit,
+    model: NoiseModel,
+    trial_counts: Sequence[int] = (128, 512, 2048, 8192),
+    seed: int = 2020,
+) -> List[ConvergencePoint]:
+    """TV distance to the exact distribution at each trial count."""
+    exact = exact_distribution(circuit, model)
+    points: List[ConvergencePoint] = []
+    for num_trials in trial_counts:
+        sim = NoisySimulator(circuit, model, seed=seed)
+        result = sim.run(num_trials=num_trials)
+        points.append(
+            ConvergencePoint(
+                num_trials=num_trials,
+                tv_distance=total_variation_distance(result.counts, exact),
+                computation_saving=result.metrics.computation_saving,
+            )
+        )
+    return points

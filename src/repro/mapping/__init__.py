@@ -1,0 +1,30 @@
+"""Device compilation: coupling maps, SWAP routing, basis decomposition."""
+
+from .coupling import CouplingMap, grid_coupling, line_coupling, yorktown_coupling
+from .decompose import DecomposeError, decompose_gate_op, decompose_to_basis
+from .optimize import (
+    cancel_inverse_pairs,
+    fuse_single_qubit_runs,
+    optimize_circuit,
+    u3_params_from_matrix,
+)
+from .router import MappedCircuit, compile_for_device, route_circuit
+from .sabre import route_circuit_lookahead
+
+__all__ = [
+    "CouplingMap",
+    "DecomposeError",
+    "MappedCircuit",
+    "cancel_inverse_pairs",
+    "fuse_single_qubit_runs",
+    "optimize_circuit",
+    "u3_params_from_matrix",
+    "compile_for_device",
+    "decompose_gate_op",
+    "decompose_to_basis",
+    "grid_coupling",
+    "line_coupling",
+    "route_circuit",
+    "route_circuit_lookahead",
+    "yorktown_coupling",
+]

@@ -1,0 +1,84 @@
+"""Device coupling graphs.
+
+NISQ devices only support two-qubit gates between physically connected
+qubits; a :class:`CouplingMap` records that connectivity and answers the
+distance queries the SWAP router needs.  The paper maps every benchmark to
+IBM's 5-qubit Yorktown chip, whose "bowtie" graph is provided as a named
+constructor; line and grid topologies cover the artificial large devices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+__all__ = ["CouplingMap", "yorktown_coupling", "line_coupling", "grid_coupling"]
+
+
+class CouplingMap:
+    """An undirected qubit-connectivity graph with cached shortest paths."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]]) -> None:
+        if num_qubits < 1:
+            raise ValueError(f"need at least one qubit, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        for a, b in edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            self.graph.add_edge(int(a), int(b))
+        if self.num_qubits > 1 and not nx.is_connected(self.graph):
+            raise ValueError("coupling graph must be connected")
+        self._distance: Dict[int, Dict[int, int]] = dict(
+            nx.all_pairs_shortest_path_length(self.graph)
+        )
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return [tuple(sorted(edge)) for edge in self.graph.edges()]
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def distance(self, a: int, b: int) -> int:
+        return self._distance[a][b]
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def __repr__(self) -> str:
+        return f"CouplingMap(qubits={self.num_qubits}, edges={len(self.edges)})"
+
+
+def yorktown_coupling() -> CouplingMap:
+    """IBM Yorktown (ibmqx2): 5 qubits in a bowtie."""
+    from ..noise.devices import YORKTOWN_COUPLING
+
+    return CouplingMap(5, YORKTOWN_COUPLING)
+
+
+def line_coupling(num_qubits: int) -> CouplingMap:
+    """A 1-D nearest-neighbour chain."""
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def grid_coupling(rows: int, cols: int) -> CouplingMap:
+    """A ``rows x cols`` 2-D nearest-neighbour lattice."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return CouplingMap(rows * cols, edges)

@@ -1,0 +1,188 @@
+"""Gate decomposition into the device basis {single-qubit gates, CNOT}.
+
+The paper's target device (IBM Yorktown) supports arbitrary single-qubit
+gates plus CNOT as its only two-qubit gate; every benchmark is compiled to
+that basis before simulation (Table I counts "Single #" and "CNOT #").
+This pass rewrites the named multi-qubit library gates with their standard
+``qelib1.inc`` decompositions; every rewrite is verified (unit tests) to
+reproduce the original unitary exactly or up to global phase.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from ..circuits.circuit import (
+    Barrier,
+    GateOp,
+    Instruction,
+    Measurement,
+    QuantumCircuit,
+)
+from ..circuits.gates import standard_gate
+
+__all__ = ["DecomposeError", "decompose_to_basis", "decompose_gate_op"]
+
+
+class DecomposeError(ValueError):
+    """Raised when a gate has no known basis decomposition."""
+
+
+def _swap(a: int, b: int) -> List[GateOp]:
+    cx = standard_gate("cx")
+    return [GateOp(cx, (a, b)), GateOp(cx, (b, a)), GateOp(cx, (a, b))]
+
+
+def _cz(control: int, target: int) -> List[GateOp]:
+    h = standard_gate("h")
+    return [
+        GateOp(h, (target,)),
+        GateOp(standard_gate("cx"), (control, target)),
+        GateOp(h, (target,)),
+    ]
+
+
+def _cy(control: int, target: int) -> List[GateOp]:
+    return [
+        GateOp(standard_gate("sdg"), (target,)),
+        GateOp(standard_gate("cx"), (control, target)),
+        GateOp(standard_gate("s"), (target,)),
+    ]
+
+
+def _ch(control: int, target: int) -> List[GateOp]:
+    # qelib1.inc: gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b;
+    #                          t b; h b; s b; x b; s a; }
+    ops = []
+    for name, qubit in (
+        ("h", target),
+        ("sdg", target),
+    ):
+        ops.append(GateOp(standard_gate(name), (qubit,)))
+    ops.append(GateOp(standard_gate("cx"), (control, target)))
+    ops.append(GateOp(standard_gate("h"), (target,)))
+    ops.append(GateOp(standard_gate("t"), (target,)))
+    ops.append(GateOp(standard_gate("cx"), (control, target)))
+    for name, qubit in (
+        ("t", target),
+        ("h", target),
+        ("s", target),
+        ("x", target),
+        ("s", control),
+    ):
+        ops.append(GateOp(standard_gate(name), (qubit,)))
+    return ops
+
+
+def _crz(theta: float, control: int, target: int) -> List[GateOp]:
+    cx = standard_gate("cx")
+    return [
+        GateOp(standard_gate("rz", (theta / 2,)), (target,)),
+        GateOp(cx, (control, target)),
+        GateOp(standard_gate("rz", (-theta / 2,)), (target,)),
+        GateOp(cx, (control, target)),
+    ]
+
+
+def _cu1(lam: float, control: int, target: int) -> List[GateOp]:
+    cx = standard_gate("cx")
+    return [
+        GateOp(standard_gate("u1", (lam / 2,)), (control,)),
+        GateOp(cx, (control, target)),
+        GateOp(standard_gate("u1", (-lam / 2,)), (target,)),
+        GateOp(cx, (control, target)),
+        GateOp(standard_gate("u1", (lam / 2,)), (target,)),
+    ]
+
+
+def _rzz(theta: float, a: int, b: int) -> List[GateOp]:
+    cx = standard_gate("cx")
+    return [
+        GateOp(cx, (a, b)),
+        GateOp(standard_gate("rz", (theta,)), (b,)),
+        GateOp(cx, (a, b)),
+    ]
+
+
+def _rxx(theta: float, a: int, b: int) -> List[GateOp]:
+    h = standard_gate("h")
+    ops = [GateOp(h, (a,)), GateOp(h, (b,))]
+    ops.extend(_rzz(theta, a, b))
+    ops.extend([GateOp(h, (a,)), GateOp(h, (b,))])
+    return ops
+
+
+def _cswap(control: int, t1: int, t2: int) -> List[GateOp]:
+    # qelib1.inc: cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+    cx = standard_gate("cx")
+    ops = [GateOp(cx, (t2, t1))]
+    ops.extend(_ccx(control, t1, t2))
+    ops.append(GateOp(cx, (t2, t1)))
+    return ops
+
+
+def _ccx(a: int, b: int, c: int) -> List[GateOp]:
+    # qelib1.inc Toffoli: 6 CNOTs + single-qubit phase gates.
+    cx = standard_gate("cx")
+    ops = [GateOp(standard_gate("h"), (c,))]
+    ops.append(GateOp(cx, (b, c)))
+    ops.append(GateOp(standard_gate("tdg"), (c,)))
+    ops.append(GateOp(cx, (a, c)))
+    ops.append(GateOp(standard_gate("t"), (c,)))
+    ops.append(GateOp(cx, (b, c)))
+    ops.append(GateOp(standard_gate("tdg"), (c,)))
+    ops.append(GateOp(cx, (a, c)))
+    ops.append(GateOp(standard_gate("t"), (b,)))
+    ops.append(GateOp(standard_gate("t"), (c,)))
+    ops.append(GateOp(standard_gate("h"), (c,)))
+    ops.append(GateOp(cx, (a, b)))
+    ops.append(GateOp(standard_gate("t"), (a,)))
+    ops.append(GateOp(standard_gate("tdg"), (b,)))
+    ops.append(GateOp(cx, (a, b)))
+    return ops
+
+
+def decompose_gate_op(op: GateOp) -> List[GateOp]:
+    """Rewrite one gate op into the {1q, CNOT} basis (identity for 1q/cx)."""
+    gate = op.gate
+    if gate.num_qubits == 1 or gate.name == "cx":
+        return [op]
+    qubits = op.qubits
+    if gate.name == "swap":
+        return _swap(*qubits)
+    if gate.name == "cz":
+        return _cz(*qubits)
+    if gate.name == "cy":
+        return _cy(*qubits)
+    if gate.name == "ch":
+        return _ch(*qubits)
+    if gate.name == "crz":
+        return _crz(gate.params[0], *qubits)
+    if gate.name in ("cu1", "cp"):
+        return _cu1(gate.params[0], *qubits)
+    if gate.name == "rzz":
+        return _rzz(gate.params[0], *qubits)
+    if gate.name == "rxx":
+        return _rxx(gate.params[0], *qubits)
+    if gate.name == "ccx":
+        return _ccx(*qubits)
+    if gate.name == "cswap":
+        return _cswap(*qubits)
+    raise DecomposeError(
+        f"no known {{1q, CNOT}} decomposition for gate {gate.name!r}"
+    )
+
+
+def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite every gate of ``circuit`` into the {1q, CNOT} basis."""
+    result = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, name=circuit.name
+    )
+    for instr in circuit:
+        if isinstance(instr, GateOp):
+            for op in decompose_gate_op(instr):
+                result.append(op)
+        else:
+            result.append(instr)
+    return result

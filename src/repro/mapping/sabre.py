@@ -1,0 +1,262 @@
+"""Lookahead SWAP routing (SABRE-style) — a better Enfield substitute.
+
+The greedy router (:mod:`repro.mapping.router`) walks each far CNOT along
+a shortest path independently, which can thrash the layout on permutation
+-heavy circuits (Quantum Volume).  This module implements the core idea
+of SABRE (Li, Ding, Xie — the same authors — ASPLOS 2019): maintain the
+set of *front* gates blocked on connectivity, and pick the SWAP that
+minimizes the summed distance of the front plus a discounted lookahead
+window, so one SWAP can unblock several upcoming gates.
+
+Exposed as ``compile_for_device(..., router="sabre")`` through
+:func:`route_circuit_lookahead`; the router-comparison benchmark measures
+the SWAP-count win over greedy on the Table I workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import (
+    Barrier,
+    CircuitError,
+    GateOp,
+    Instruction,
+    Measurement,
+    QuantumCircuit,
+)
+from ..circuits.gates import standard_gate
+from .coupling import CouplingMap
+from .router import MappedCircuit, _initial_layout
+
+__all__ = ["route_circuit_lookahead"]
+
+#: Discount applied to the lookahead window's distance contribution.
+_LOOKAHEAD_WEIGHT = 0.5
+#: How many upcoming blocked two-qubit gates the heuristic peeks at.
+_LOOKAHEAD_DEPTH = 8
+
+
+class _DependencyTracker:
+    """Per-qubit program-order dependencies over the instruction list."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.instructions: List[Instruction] = list(circuit.instructions)
+        self.done = [False] * len(self.instructions)
+        self._queues: Dict[int, List[int]] = {
+            q: [] for q in range(circuit.num_qubits)
+        }
+        for index, instr in enumerate(self.instructions):
+            for qubit in self._touched(instr, circuit.num_qubits):
+                self._queues[qubit].append(index)
+        self._heads: Dict[int, int] = {q: 0 for q in self._queues}
+
+    @staticmethod
+    def _touched(instr: Instruction, num_qubits: int) -> Tuple[int, ...]:
+        if isinstance(instr, Measurement):
+            return (instr.qubit,)
+        if isinstance(instr, Barrier):
+            return instr.qubits or tuple(range(num_qubits))
+        return instr.qubits
+
+    def _front_of(self, qubit: int) -> Optional[int]:
+        queue = self._queues[qubit]
+        head = self._heads[qubit]
+        while head < len(queue) and self.done[queue[head]]:
+            head += 1
+        self._heads[qubit] = head
+        return queue[head] if head < len(queue) else None
+
+    def executable(self, num_qubits: int) -> List[int]:
+        """Indices whose every touched qubit has them at the front."""
+        candidates = set()
+        for qubit in range(num_qubits):
+            index = self._front_of(qubit)
+            if index is not None:
+                candidates.add(index)
+        ready = []
+        for index in sorted(candidates):
+            instr = self.instructions[index]
+            touched = self._touched(instr, num_qubits)
+            if all(self._front_of(q) == index for q in touched):
+                ready.append(index)
+        return ready
+
+    def pending_two_qubit(self, limit: int) -> List[GateOp]:
+        """The next up-to-``limit`` unexecuted two-qubit gates, in order."""
+        found = []
+        for index, instr in enumerate(self.instructions):
+            if self.done[index]:
+                continue
+            if isinstance(instr, GateOp) and len(instr.qubits) == 2:
+                found.append(instr)
+                if len(found) >= limit:
+                    break
+        return found
+
+    @property
+    def all_done(self) -> bool:
+        return all(self.done)
+
+
+def route_circuit_lookahead(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Dict[int, int]] = None,
+) -> MappedCircuit:
+    """Route with the SABRE-style lookahead heuristic.
+
+    Same contract as :func:`repro.mapping.router.route_circuit`: the input
+    must be in the {1q, 2q} basis; the output applies every two-qubit gate
+    on a coupled pair and preserves classical semantics.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise CircuitError(
+            f"circuit needs {circuit.num_qubits} qubits but device has "
+            f"{coupling.num_qubits}"
+        )
+    if circuit.has_mid_circuit_measurement():
+        raise CircuitError(
+            "the lookahead router requires terminal measurements (it "
+            "defers them past inserted SWAPs)"
+        )
+    layout = (
+        dict(initial_layout)
+        if initial_layout
+        else _initial_layout(circuit, coupling)
+    )
+    first_layout = dict(layout)
+    if len(set(layout.values())) != len(layout):
+        raise CircuitError("layout maps two logical qubits to one physical qubit")
+    for physical in layout.values():
+        if not 0 <= physical < coupling.num_qubits:
+            raise CircuitError(f"layout uses invalid physical qubit {physical}")
+
+    reverse: Dict[int, Optional[int]] = {
+        physical: logical for logical, physical in layout.items()
+    }
+    tracker = _DependencyTracker(circuit)
+    routed = QuantumCircuit(
+        coupling.num_qubits, circuit.num_clbits, name=circuit.name
+    )
+    swap_gate = standard_gate("swap")
+    swaps = 0
+    stall_guard = 0
+    stall_limit = 10 * (len(tracker.instructions) + coupling.num_qubits) + 100
+
+    def emit(instr: Instruction) -> None:
+        if isinstance(instr, Measurement):
+            routed.measure(layout[instr.qubit], instr.clbit)
+        elif isinstance(instr, Barrier):
+            qubits = instr.qubits or tuple(range(circuit.num_qubits))
+            routed.barrier(*(layout[q] for q in qubits))
+        elif len(instr.qubits) == 1:
+            routed.apply(instr.gate, layout[instr.qubits[0]])
+        else:
+            routed.apply(instr.gate, *(layout[q] for q in instr.qubits))
+
+    def apply_swap(pa: int, pb: int) -> None:
+        nonlocal swaps
+        routed.apply(swap_gate, pa, pb)
+        swaps += 1
+        la, lb = reverse.get(pa), reverse.get(pb)
+        if la is not None:
+            layout[la] = pb
+        if lb is not None:
+            layout[lb] = pa
+        reverse[pa], reverse[pb] = lb, la
+
+    def front_distance(
+        trial_layout: Dict[int, int], gates: Sequence[GateOp]
+    ) -> float:
+        return sum(
+            coupling.distance(trial_layout[g.qubits[0]], trial_layout[g.qubits[1]])
+            for g in gates
+        )
+
+    deferred_measurements: List[Measurement] = []
+
+    while not tracker.all_done:
+        progressed = False
+        for index in tracker.executable(circuit.num_qubits):
+            instr = tracker.instructions[index]
+            is_far_2q = (
+                isinstance(instr, GateOp)
+                and len(instr.qubits) == 2
+                and not coupling.connected(
+                    layout[instr.qubits[0]], layout[instr.qubits[1]]
+                )
+            )
+            if is_far_2q:
+                continue
+            if isinstance(instr, GateOp) and len(instr.qubits) > 2:
+                raise CircuitError(
+                    f"router needs a {{1q, 2q}} basis; decompose "
+                    f"{instr.gate.name!r} first"
+                )
+            if isinstance(instr, Measurement):
+                # Terminal measurements are deferred past any SWAPs the
+                # remaining gates may still insert on this physical wire;
+                # the final layout resolves them below.
+                deferred_measurements.append(instr)
+            else:
+                emit(instr)
+            tracker.done[index] = True
+            progressed = True
+        if tracker.all_done:
+            break
+        if progressed:
+            continue
+
+        # Every executable gate is a far two-qubit gate: pick a SWAP.
+        stall_guard += 1
+        if stall_guard > stall_limit:  # pragma: no cover - safety net
+            raise CircuitError("router failed to make progress")
+        front = [
+            tracker.instructions[i]
+            for i in tracker.executable(circuit.num_qubits)
+            if isinstance(tracker.instructions[i], GateOp)
+            and len(tracker.instructions[i].qubits) == 2
+        ]
+        lookahead = tracker.pending_two_qubit(_LOOKAHEAD_DEPTH)
+        candidates = set()
+        for gate in front:
+            for logical in gate.qubits:
+                physical = layout[logical]
+                for neighbor in coupling.neighbors(physical):
+                    candidates.add(tuple(sorted((physical, neighbor))))
+        best_swap = None
+        best_score = None
+        current = front_distance(layout, front)
+        for pa, pb in sorted(candidates):
+            trial = dict(layout)
+            la, lb = reverse.get(pa), reverse.get(pb)
+            if la is not None:
+                trial[la] = pb
+            if lb is not None:
+                trial[lb] = pa
+            score = front_distance(trial, front) + _LOOKAHEAD_WEIGHT * (
+                front_distance(trial, lookahead)
+            )
+            if best_score is None or score < best_score:
+                best_score = score
+                best_swap = (pa, pb)
+        # Guarantee progress: if the heuristic stalls (score not better on
+        # the front), fall back to a shortest-path step for the first gate.
+        if best_swap is not None:
+            trial = dict(layout)
+            la, lb = reverse.get(best_swap[0]), reverse.get(best_swap[1])
+            if la is not None:
+                trial[la] = best_swap[1]
+            if lb is not None:
+                trial[lb] = best_swap[0]
+            if front_distance(trial, front) >= current:
+                path = coupling.shortest_path(
+                    layout[front[0].qubits[0]], layout[front[0].qubits[1]]
+                )
+                best_swap = (path[0], path[1])
+        apply_swap(*best_swap)
+
+    for measurement in deferred_measurements:
+        routed.measure(layout[measurement.qubit], measurement.clbit)
+    return MappedCircuit(routed, first_layout, layout, swaps)

@@ -1,0 +1,50 @@
+"""Noise modeling: channels, device calibrations and trial sampling."""
+
+from .channels import (
+    PauliChannel,
+    bit_flip,
+    depolarizing,
+    pauli_label_matrix,
+    pauli_matrix,
+    phase_flip,
+    two_qubit_depolarizing,
+    uniform_pauli_channel,
+)
+from .devices import (
+    ARTIFICIAL_ERROR_LEVELS,
+    YORKTOWN_COUPLING,
+    artificial_model,
+    artificial_sweep,
+    ibm_yorktown,
+)
+from .model import ErrorPosition, NoiseModel
+from .sampling import (
+    TrialStatistics,
+    enumerate_trials,
+    expected_errors_per_trial,
+    sample_trials,
+    trial_statistics,
+)
+
+__all__ = [
+    "ARTIFICIAL_ERROR_LEVELS",
+    "ErrorPosition",
+    "NoiseModel",
+    "PauliChannel",
+    "TrialStatistics",
+    "YORKTOWN_COUPLING",
+    "artificial_model",
+    "artificial_sweep",
+    "bit_flip",
+    "depolarizing",
+    "enumerate_trials",
+    "expected_errors_per_trial",
+    "ibm_yorktown",
+    "pauli_label_matrix",
+    "pauli_matrix",
+    "phase_flip",
+    "sample_trials",
+    "trial_statistics",
+    "two_qubit_depolarizing",
+    "uniform_pauli_channel",
+]

@@ -1,0 +1,97 @@
+"""Device calibration models used in the paper's evaluation.
+
+Two families (Sec. V):
+
+* :func:`ibm_yorktown` — the realistic model: IBM's 5-qubit Yorktown
+  (ibmqx2) superconducting processor with the per-qubit / per-pair error
+  rates of the paper's Fig. 4.
+* :func:`artificial_model` / :data:`ARTIFICIAL_ERROR_LEVELS` — the
+  scalability models: uniform single-qubit rates from ``1e-3`` (today's
+  hardware) down to ``1e-4`` (extrapolated future hardware), with two-qubit
+  and measurement rates fixed at 10x the single-qubit rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .model import NoiseModel
+
+__all__ = [
+    "ibm_yorktown",
+    "YORKTOWN_COUPLING",
+    "artificial_model",
+    "ARTIFICIAL_ERROR_LEVELS",
+    "artificial_sweep",
+]
+
+#: Coupling graph of IBM Yorktown (ibmqx2): the "bowtie" of 5 qubits.
+YORKTOWN_COUPLING: Tuple[Tuple[int, int], ...] = (
+    (0, 1),
+    (0, 2),
+    (1, 2),
+    (2, 3),
+    (2, 4),
+    (3, 4),
+)
+
+# Fig. 4 of the paper.  Single-qubit gate errors are 1e-3 units,
+# measurement errors 1e-2 units, two-qubit (CNOT) errors 1e-2 units.
+_YORKTOWN_SINGLE: Dict[int, float] = {
+    0: 1.37e-3,
+    1: 1.37e-3,
+    2: 2.23e-3,
+    3: 1.72e-3,
+    4: 0.94e-3,
+}
+_YORKTOWN_MEASURE: Dict[int, float] = {
+    0: 2.40e-2,
+    1: 2.60e-2,
+    2: 3.00e-2,
+    3: 2.20e-2,
+    4: 4.50e-2,
+}
+_YORKTOWN_TWO: Dict[FrozenSet[int], float] = {
+    frozenset((0, 1)): 2.72e-2,
+    frozenset((0, 2)): 3.77e-2,
+    frozenset((1, 2)): 4.18e-2,
+    frozenset((2, 3)): 3.97e-2,
+    frozenset((2, 4)): 3.62e-2,
+    frozenset((3, 4)): 3.51e-2,
+}
+
+
+def ibm_yorktown() -> NoiseModel:
+    """The IBM 5-qubit Yorktown calibration model (paper Fig. 4)."""
+    return NoiseModel(
+        single_qubit_error=dict(_YORKTOWN_SINGLE),
+        two_qubit_error=dict(_YORKTOWN_TWO),
+        measurement_error=dict(_YORKTOWN_MEASURE),
+        # Fall back to the worst observed rates for any qubit outside 0..4
+        # (cannot happen for mapped circuits, but keeps the model total).
+        default_single=max(_YORKTOWN_SINGLE.values()),
+        default_two=max(_YORKTOWN_TWO.values()),
+        default_measurement=max(_YORKTOWN_MEASURE.values()),
+        name="ibm-yorktown",
+    )
+
+
+#: The four error-rate levels of the scalability study (Sec. V-B), as
+#: single-qubit total error probabilities.  Two-qubit and measurement rates
+#: are 10x these values.
+ARTIFICIAL_ERROR_LEVELS: Tuple[float, ...] = (1e-3, 5e-4, 2e-4, 1e-4)
+
+
+def artificial_model(single_qubit_rate: float) -> NoiseModel:
+    """Uniform artificial device model with 10x two-qubit/measurement rates."""
+    if single_qubit_rate < 0:
+        raise ValueError(f"negative error rate: {single_qubit_rate}")
+    return NoiseModel.uniform(
+        single_qubit_rate,
+        name=f"artificial-p1={single_qubit_rate:g}",
+    )
+
+
+def artificial_sweep() -> List[NoiseModel]:
+    """The four artificial models of Figs. 7-8, highest error rate first."""
+    return [artificial_model(rate) for rate in ARTIFICIAL_ERROR_LEVELS]

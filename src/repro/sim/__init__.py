@@ -1,0 +1,44 @@
+"""Simulation engines: statevector, density matrix and operation counting."""
+
+from .backend import SimulationBackend, StatevectorBackend
+from .counting import CountingBackend, CountingState
+from .density import DensityMatrix, run_circuit_density, run_layered_density
+from .observables import Observable, PauliObservable
+from .measurement import (
+    apply_readout_flips,
+    counts_from_samples,
+    merge_counts,
+    sample_measurements,
+)
+from .stabilizer import (
+    CLIFFORD_GATES,
+    StabilizerBackend,
+    StabilizerError,
+    StabilizerState,
+    is_clifford_circuit,
+)
+from .statevector import Statevector, apply_gate_matrix, run_circuit
+
+__all__ = [
+    "CountingBackend",
+    "CountingState",
+    "DensityMatrix",
+    "Observable",
+    "PauliObservable",
+    "SimulationBackend",
+    "CLIFFORD_GATES",
+    "StabilizerBackend",
+    "StabilizerError",
+    "StabilizerState",
+    "is_clifford_circuit",
+    "Statevector",
+    "StatevectorBackend",
+    "apply_gate_matrix",
+    "apply_readout_flips",
+    "counts_from_samples",
+    "merge_counts",
+    "run_circuit",
+    "run_circuit_density",
+    "run_layered_density",
+    "sample_measurements",
+]

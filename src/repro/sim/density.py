@@ -1,0 +1,192 @@
+"""Density-matrix simulation (exact noise channels).
+
+The paper's Sec. II discusses density-matrix simulation as the exact
+alternative to Monte-Carlo trial sampling: a single pass evolves the full
+``2**n x 2**n`` density operator through unitary conjugation and Kraus
+channels.  We use it as the *ground truth* the Monte-Carlo ensemble must
+converge to — the cross-validation suite checks that averaging trial
+statevectors reproduces the channel result.
+
+The tensor layout mirrors :mod:`repro.sim.statevector`: the density matrix
+is stored as a ``(2,) * 2n`` tensor whose first ``n`` axes are row (ket)
+indices and last ``n`` axes are column (bra) indices, qubit 0 most
+significant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import GateOp, Measurement, QuantumCircuit
+from ..circuits.gates import Gate
+from .statevector import Statevector
+
+__all__ = ["DensityMatrix", "run_circuit_density", "run_layered_density"]
+
+
+class DensityMatrix:
+    """Mutable ``n``-qubit mixed state."""
+
+    __slots__ = ("num_qubits", "_tensor")
+
+    def __init__(self, num_qubits: int, matrix: Optional[np.ndarray] = None) -> None:
+        if num_qubits < 1:
+            raise ValueError(f"need at least one qubit, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        dim = 2**self.num_qubits
+        if matrix is None:
+            matrix = np.zeros((dim, dim), dtype=np.complex128)
+            matrix[0, 0] = 1.0
+        else:
+            matrix = np.asarray(matrix, dtype=np.complex128)
+            if matrix.shape != (dim, dim):
+                raise ValueError(
+                    f"density matrix must be {dim}x{dim}, got {matrix.shape}"
+                )
+            matrix = matrix.copy()
+        self._tensor = matrix.reshape((2,) * (2 * self.num_qubits))
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        vec = state.vector
+        return cls(state.num_qubits, np.outer(vec, vec.conj()))
+
+    @property
+    def matrix(self) -> np.ndarray:
+        dim = 2**self.num_qubits
+        return self._tensor.reshape(dim, dim)
+
+    def copy(self) -> "DensityMatrix":
+        return DensityMatrix(self.num_qubits, self.matrix)
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.matrix)))
+
+    def purity(self) -> float:
+        mat = self.matrix
+        return float(np.real(np.trace(mat @ mat)))
+
+    # -- evolution ---------------------------------------------------------------
+
+    def _apply_one_side(
+        self, matrix: np.ndarray, qubits: Sequence[int], side: str
+    ) -> None:
+        """Contract ``matrix`` into the ket (row) or bra (column) indices."""
+        k = len(qubits)
+        if side == "ket":
+            axes = tuple(qubits)
+            gate_tensor = matrix.reshape((2,) * (2 * k))
+        else:
+            axes = tuple(q + self.num_qubits for q in qubits)
+            gate_tensor = matrix.conj().reshape((2,) * (2 * k))
+        contracted = np.tensordot(
+            gate_tensor, self._tensor, axes=(tuple(range(k, 2 * k)), axes)
+        )
+        self._tensor = np.moveaxis(contracted, tuple(range(k)), axes)
+
+    def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        """In-place conjugation ``rho -> U rho U^dagger``."""
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        self._apply_one_side(matrix, qubits, "ket")
+        self._apply_one_side(matrix, qubits, "bra")
+        return self
+
+    def apply_gate(self, gate: Gate, qubits: Sequence[int]) -> "DensityMatrix":
+        return self.apply_unitary(gate.matrix, qubits)
+
+    def apply_kraus(
+        self, operators: Iterable[np.ndarray], qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        """In-place channel ``rho -> sum_k K_k rho K_k^dagger``."""
+        qubits = tuple(qubits)
+        accumulated = None
+        original = self._tensor
+        for kraus in operators:
+            self._tensor = original
+            self.apply_unitary_unchecked(np.asarray(kraus, dtype=np.complex128), qubits)
+            accumulated = (
+                self._tensor if accumulated is None else accumulated + self._tensor
+            )
+        if accumulated is None:
+            raise ValueError("empty Kraus operator list")
+        self._tensor = accumulated
+        return self
+
+    def apply_unitary_unchecked(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> None:
+        """Conjugate by a (possibly non-unitary) Kraus operator."""
+        self._apply_one_side(matrix, qubits, "ket")
+        self._apply_one_side(matrix, qubits, "bra")
+
+    # -- readout -------------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Diagonal of the density matrix (basis-outcome probabilities)."""
+        return np.real(np.diagonal(self.matrix)).copy()
+
+    def marginal_probability(self, qubit: int, outcome: int) -> float:
+        probs = self.probabilities()
+        shift = self.num_qubits - 1 - qubit
+        indices = np.arange(probs.size)
+        mask = ((indices >> shift) & 1) == outcome
+        return float(probs[mask].sum())
+
+    def expectation(self, observable: np.ndarray) -> float:
+        return float(np.real(np.trace(self.matrix @ np.asarray(observable))))
+
+    def fidelity_with_pure(self, state: Statevector) -> float:
+        vec = state.vector
+        return float(np.real(vec.conj() @ self.matrix @ vec))
+
+    def allclose(self, other: "DensityMatrix", atol: float = 1e-8) -> bool:
+        return bool(np.allclose(self.matrix, other.matrix, atol=atol))
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix(qubits={self.num_qubits})"
+
+
+def run_circuit_density(
+    circuit: QuantumCircuit,
+    kraus_after_gate=None,
+    initial: Optional[DensityMatrix] = None,
+) -> DensityMatrix:
+    """Evolve a density matrix through ``circuit``.
+
+    Parameters
+    ----------
+    kraus_after_gate:
+        Optional callable ``(GateOp) -> list of (kraus_ops, qubits)`` giving
+        the noise channel(s) to apply after each gate; ``None`` simulates
+        noise-free.  Measurements are ignored here — readout is taken from
+        the final diagonal.
+    """
+    rho = initial.copy() if initial is not None else DensityMatrix(circuit.num_qubits)
+    for instr in circuit:
+        if isinstance(instr, GateOp):
+            rho.apply_gate(instr.gate, instr.qubits)
+            if kraus_after_gate is not None:
+                for kraus_ops, qubits in kraus_after_gate(instr):
+                    rho.apply_kraus(kraus_ops, qubits)
+    return rho
+
+
+def run_layered_density(layered, model, initial: Optional[DensityMatrix] = None) -> DensityMatrix:
+    """Exact channel evolution of a layered circuit under a noise model.
+
+    Applies each layer's gates, then every channel the model fires at that
+    layer boundary — gate channels *and* idle-qubit channels — matching the
+    Monte-Carlo trial semantics exactly (errors inject at layer ends).
+    This is the ground truth the trial executor's ensemble must converge
+    to, including when ``model.idle_error > 0``.
+    """
+    rho = initial.copy() if initial is not None else DensityMatrix(layered.num_qubits)
+    for layer_index, layer in enumerate(layered.layers):
+        for op in layer:
+            rho.apply_gate(op.gate, op.qubits)
+        for kraus_ops, qubits in model.kraus_for_layer(layered, layer_index):
+            rho.apply_kraus(kraus_ops, qubits)
+    return rho

@@ -1,0 +1,81 @@
+"""Measurement sampling and classical readout errors.
+
+Measurement errors in the paper's model (Sec. III-B-1) are classical: after
+a qubit is measured, the resulting bit is flipped with a device-specific
+probability.  Flips therefore never touch the statevector and never affect
+prefix reuse — they are applied here, to sampled bitstrings, after the
+quantum part of a trial finished.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Measurement
+from .statevector import Statevector
+
+__all__ = [
+    "sample_measurements",
+    "apply_readout_flips",
+    "counts_from_samples",
+    "merge_counts",
+]
+
+
+def sample_measurements(
+    state: Statevector,
+    measurements: Sequence[Measurement],
+    rng: np.random.Generator,
+) -> Dict[int, int]:
+    """Sample one joint outcome of ``measurements`` from ``state``.
+
+    Returns a ``clbit -> bit`` map.  The joint outcome is drawn in a single
+    multinomial draw from the full distribution (all listed measurements are
+    terminal, so no collapse ordering matters).
+    """
+    probs = state.probabilities()
+    probs = np.clip(probs, 0.0, None)
+    probs /= probs.sum()
+    outcome = int(rng.choice(probs.size, p=probs))
+    clbits: Dict[int, int] = {}
+    for meas in measurements:
+        shift = state.num_qubits - 1 - meas.qubit
+        clbits[meas.clbit] = (outcome >> shift) & 1
+    return clbits
+
+
+def apply_readout_flips(
+    clbits: Dict[int, int], flipped_clbits: Sequence[int]
+) -> Dict[int, int]:
+    """Return a copy of ``clbits`` with the listed classical bits flipped."""
+    result = dict(clbits)
+    for clbit in flipped_clbits:
+        if clbit in result:
+            result[clbit] ^= 1
+    return result
+
+
+def counts_from_samples(
+    samples: Sequence[Dict[int, int]], num_clbits: int
+) -> Dict[str, int]:
+    """Aggregate per-trial clbit maps into bitstring counts.
+
+    Bit 0 of the string is clbit 0 (leftmost), matching the statevector
+    bitstring convention.  Unmeasured clbits read as 0.
+    """
+    counts: Dict[str, int] = {}
+    for sample in samples:
+        bits = "".join(str(sample.get(c, 0)) for c in range(num_clbits))
+        counts[bits] = counts.get(bits, 0) + 1
+    return counts
+
+
+def merge_counts(*count_maps: Dict[str, int]) -> Dict[str, int]:
+    """Sum several bitstring-count histograms."""
+    merged: Dict[str, int] = {}
+    for counts in count_maps:
+        for bits, count in counts.items():
+            merged[bits] = merged.get(bits, 0) + count
+    return merged

@@ -1,0 +1,143 @@
+"""Pauli observables and noisy expectation-value estimation.
+
+The paper's motivating applications (variational molecule simulation,
+QAOA-style optimization) consume *expectation values* of Pauli-string
+observables rather than raw bitstring counts.  This module provides:
+
+* :class:`PauliObservable` — a weighted Pauli string like ``1.5 * ZZI``,
+* :class:`Observable` — a real linear combination of Pauli strings
+  (e.g. a molecular Hamiltonian),
+* expectation evaluation against pure states and density matrices.
+
+:meth:`repro.core.runner.NoisySimulator.expectation` combines these with
+the trial-reordering executor: the ensemble average over Monte-Carlo
+trials converges to the exact noisy (density-matrix) expectation, and the
+deduplicated executor evaluates each *distinct* final state only once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.gates import standard_gate
+from .statevector import Statevector, apply_gate_matrix
+
+__all__ = ["PauliObservable", "Observable"]
+
+_VALID = set("IXYZ")
+
+
+class PauliObservable:
+    """A weighted Pauli string, e.g. ``PauliObservable("ZZI", 0.5)``.
+
+    Character ``i`` of the label acts on qubit ``i`` (the big-endian
+    convention used everywhere in this package).
+    """
+
+    __slots__ = ("label", "coefficient")
+
+    def __init__(self, label: str, coefficient: float = 1.0) -> None:
+        label = label.upper()
+        if not label or set(label) - _VALID:
+            raise ValueError(f"bad Pauli label {label!r} (use I/X/Y/Z)")
+        self.label = label
+        self.coefficient = float(coefficient)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.label)
+
+    @property
+    def is_identity(self) -> bool:
+        return set(self.label) == {"I"}
+
+    def matrix(self) -> np.ndarray:
+        """Dense matrix (exponential in qubit count — validation only)."""
+        from ..noise.channels import pauli_label_matrix
+
+        if self.is_identity:
+            return self.coefficient * np.eye(2**self.num_qubits)
+        return self.coefficient * pauli_label_matrix(self.label.lower())
+
+    def _apply_string(self, state: Statevector) -> Statevector:
+        transformed = state.copy()
+        for qubit, char in enumerate(self.label):
+            if char != "I":
+                transformed.apply_gate(standard_gate(char.lower()), (qubit,))
+        return transformed
+
+    def expectation(self, state: Statevector) -> float:
+        """``coefficient * <state| P |state>`` (real by Hermiticity)."""
+        if state.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"observable on {self.num_qubits} qubits vs state on "
+                f"{state.num_qubits}"
+            )
+        if self.is_identity:
+            return self.coefficient
+        transformed = self._apply_string(state)
+        return self.coefficient * float(
+            np.real(np.vdot(state.vector, transformed.vector))
+        )
+
+    def expectation_density(self, rho) -> float:
+        """``coefficient * Tr(P rho)``."""
+        if rho.num_qubits != self.num_qubits:
+            raise ValueError("qubit count mismatch")
+        return float(np.real(np.trace(self.matrix() @ rho.matrix)))
+
+    def __mul__(self, scalar: float) -> "PauliObservable":
+        return PauliObservable(self.label, self.coefficient * float(scalar))
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        return f"PauliObservable({self.coefficient:+g} * {self.label})"
+
+
+class Observable:
+    """A real linear combination of Pauli strings (a Hamiltonian)."""
+
+    def __init__(
+        self,
+        terms: Union[
+            Iterable[PauliObservable], Dict[str, float], None
+        ] = None,
+    ) -> None:
+        self.terms: List[PauliObservable] = []
+        if isinstance(terms, dict):
+            for label, coefficient in terms.items():
+                self.terms.append(PauliObservable(label, coefficient))
+        elif terms is not None:
+            for term in terms:
+                if not isinstance(term, PauliObservable):
+                    raise TypeError(f"not a PauliObservable: {term!r}")
+                self.terms.append(term)
+        if not self.terms:
+            raise ValueError("observable needs at least one term")
+        widths = {term.num_qubits for term in self.terms}
+        if len(widths) != 1:
+            raise ValueError(f"mixed term widths: {sorted(widths)}")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.terms[0].num_qubits
+
+    def matrix(self) -> np.ndarray:
+        return sum(term.matrix() for term in self.terms)
+
+    def expectation(self, state: Statevector) -> float:
+        return sum(term.expectation(state) for term in self.terms)
+
+    def expectation_density(self, rho) -> float:
+        return sum(term.expectation_density(rho) for term in self.terms)
+
+    def __repr__(self) -> str:
+        body = " ".join(
+            f"{term.coefficient:+g}*{term.label}" for term in self.terms[:4]
+        )
+        if len(self.terms) > 4:
+            body += f" ... ({len(self.terms)} terms)"
+        return f"Observable({body})"

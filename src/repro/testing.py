@@ -1,0 +1,102 @@
+"""Test utilities: random circuit/trial generation and comparison helpers.
+
+Shared by the repository's own test-suite and useful for downstream users
+writing property tests against the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuits.circuit import QuantumCircuit
+from .circuits.gates import standard_gate
+from .circuits.layers import LayeredCircuit, layerize
+from .core.events import ErrorEvent, Trial, make_trial
+
+__all__ = [
+    "random_circuit",
+    "random_trials",
+    "assert_states_close",
+    "GATE_POOL_1Q",
+    "GATE_POOL_2Q",
+]
+
+#: Single-qubit gate names the random generator draws from.
+GATE_POOL_1Q: Tuple[str, ...] = ("h", "x", "y", "z", "s", "sdg", "t", "tdg")
+#: Two-qubit gate names the random generator draws from.
+GATE_POOL_2Q: Tuple[str, ...] = ("cx", "cz", "swap")
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    rng: np.random.Generator,
+    two_qubit_fraction: float = 0.3,
+    measured: bool = True,
+    parametric: bool = True,
+) -> QuantumCircuit:
+    """A random circuit over the standard gate library.
+
+    Gates are drawn uniformly from the pools; two-qubit gates appear with
+    probability ``two_qubit_fraction`` (when the circuit has 2+ qubits).
+    """
+    circuit = QuantumCircuit(num_qubits, name="random")
+    for _ in range(num_gates):
+        use_two = num_qubits >= 2 and rng.random() < two_qubit_fraction
+        if use_two:
+            name = GATE_POOL_2Q[int(rng.integers(len(GATE_POOL_2Q)))]
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.gate(name, int(a), int(b))
+        elif parametric and rng.random() < 0.3:
+            theta = float(rng.uniform(0, 2 * np.pi))
+            name = ("rx", "ry", "rz")[int(rng.integers(3))]
+            circuit.gate(name, int(rng.integers(num_qubits)), params=(theta,))
+        else:
+            name = GATE_POOL_1Q[int(rng.integers(len(GATE_POOL_1Q)))]
+            circuit.gate(name, int(rng.integers(num_qubits)))
+    if measured:
+        circuit.measure_all()
+    return circuit
+
+
+def random_trials(
+    layered: LayeredCircuit,
+    num_trials: int,
+    rng: np.random.Generator,
+    max_errors: int = 4,
+) -> List[Trial]:
+    """Random trials with uniformly placed errors (model-free).
+
+    Unlike :func:`repro.noise.sampling.sample_trials` this does not need a
+    noise model — it places 0..``max_errors`` Pauli events uniformly over
+    (layer, qubit) positions, which is what the reordering/property tests
+    want: adversarial trial sets, not physically plausible ones.
+    """
+    if layered.num_layers == 0:
+        raise ValueError("cannot place errors in an empty circuit")
+    trials: List[Trial] = []
+    paulis = ("x", "y", "z")
+    for _ in range(num_trials):
+        num_errors = int(rng.integers(0, max_errors + 1))
+        events = {}
+        for _ in range(num_errors):
+            layer = int(rng.integers(layered.num_layers))
+            qubit = int(rng.integers(layered.num_qubits))
+            events[(layer, qubit)] = ErrorEvent(
+                layer, qubit, paulis[int(rng.integers(3))]
+            )
+        trials.append(make_trial(tuple(events.values())))
+    return trials
+
+
+def assert_states_close(state_a, state_b, atol: float = 1e-9) -> None:
+    """Raise ``AssertionError`` unless two statevectors match amplitude-wise."""
+    vec_a = np.asarray(state_a.vector)
+    vec_b = np.asarray(state_b.vector)
+    if vec_a.shape != vec_b.shape:
+        raise AssertionError(f"shape mismatch: {vec_a.shape} vs {vec_b.shape}")
+    worst = float(np.max(np.abs(vec_a - vec_b)))
+    if worst > atol:
+        raise AssertionError(f"states differ by {worst} (> {atol})")

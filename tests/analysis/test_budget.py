@@ -1,0 +1,61 @@
+"""Tests for the error-budget breakdown."""
+
+import pytest
+
+from repro.analysis.budget import error_budget
+from repro.bench import build_compiled_benchmark
+from repro.circuits import QuantumCircuit, layerize
+from repro.noise import NoiseModel, ibm_yorktown
+
+
+class TestErrorBudget:
+    def test_bell_breakdown(self, bell_circuit):
+        model = NoiseModel.uniform(0.01, two=0.05, measurement=0.02)
+        budget = error_budget(layerize(bell_circuit), model)
+        assert budget.single_qubit == pytest.approx(0.01)
+        assert budget.two_qubit == pytest.approx(0.05)
+        assert budget.idle == 0.0
+        assert budget.readout == pytest.approx(0.04)
+        assert budget.total == pytest.approx(0.10)
+        assert budget.dominant_source() == "two_qubit"
+
+    def test_idle_contribution(self):
+        circ = QuantumCircuit(2)
+        circ.h(0).t(0)  # qubit 1 idles both layers
+        circ.measure_all()
+        model = NoiseModel(
+            default_single=0.01, default_measurement=0.0, idle_error=0.03
+        )
+        budget = error_budget(layerize(circ), model)
+        assert budget.idle == pytest.approx(0.06)
+        assert budget.single_qubit == pytest.approx(0.02)
+        assert budget.dominant_source() == "idle"
+
+    def test_fractions_sum_to_one(self, ghz3_circuit):
+        budget = error_budget(layerize(ghz3_circuit), ibm_yorktown())
+        assert sum(budget.fractions().values()) == pytest.approx(1.0)
+
+    def test_noiseless_fractions_zero(self, ghz3_circuit):
+        budget = error_budget(layerize(ghz3_circuit), NoiseModel.noiseless())
+        assert budget.total == 0.0
+        assert all(v == 0.0 for v in budget.fractions().values())
+
+    def test_yorktown_benchmarks_are_cnot_or_readout_limited(self):
+        """On the real calibration, 1q gates never dominate."""
+        for name in ("bv4", "qft4", "qv_n5d3"):
+            layered = layerize(build_compiled_benchmark(name))
+            budget = error_budget(layered, ibm_yorktown())
+            assert budget.dominant_source() in ("two_qubit", "readout")
+            fractions = budget.fractions()
+            assert fractions["single_qubit"] < 0.2
+
+    def test_as_rows(self, bell_circuit):
+        budget = error_budget(layerize(bell_circuit), ibm_yorktown())
+        rows = budget.as_rows()
+        assert [row["source"] for row in rows] == [
+            "single_qubit",
+            "two_qubit",
+            "idle",
+            "readout",
+        ]
+        assert "ErrorBudget" in repr(budget)

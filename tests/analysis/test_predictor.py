@@ -1,0 +1,77 @@
+"""Tests for the analytic savings predictor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.predictor import (
+    error_free_probability,
+    expected_fired_positions,
+    predict_saving_lower_bound,
+    predict_summary,
+)
+from repro.bench import build_compiled_benchmark
+from repro.circuits import layerize
+from repro.core import NoisySimulator
+from repro.noise import NoiseModel, ibm_yorktown
+
+
+@pytest.fixture
+def bell_layered(bell_circuit):
+    return layerize(bell_circuit)
+
+
+class TestClosedForms:
+    def test_error_free_probability(self, bell_layered):
+        model = NoiseModel.uniform(0.1, two=0.2, measurement=0.0)
+        # One 1q gate (p=0.1) and one 2q gate (p=0.2).
+        assert error_free_probability(bell_layered, model) == pytest.approx(
+            0.9 * 0.8
+        )
+
+    def test_expected_fired_positions(self, bell_layered):
+        model = NoiseModel.uniform(0.1, two=0.2, measurement=0.0)
+        assert expected_fired_positions(bell_layered, model) == pytest.approx(0.3)
+
+    def test_noiseless_predicts_everything_shared(self, bell_layered):
+        model = NoiseModel.noiseless()
+        assert error_free_probability(bell_layered, model) == 1.0
+        bound = predict_saving_lower_bound(bell_layered, model, 1000)
+        assert bound == pytest.approx(999 / 1000)
+
+    def test_heavy_noise_predicts_nothing(self, bell_layered):
+        model = NoiseModel.uniform(0.5, two=0.9, measurement=0.0)
+        # q = 0.05 -> with 10 trials, < 1 expected error-free trial.
+        assert predict_saving_lower_bound(bell_layered, model, 10) == 0.0
+
+    def test_zero_trials_rejected(self, bell_layered):
+        with pytest.raises(ValueError):
+            predict_saving_lower_bound(bell_layered, NoiseModel.noiseless(), 0)
+
+    def test_summary_fields(self, bell_layered):
+        summary = predict_summary(bell_layered, NoiseModel.uniform(0.01), 100)
+        assert summary["num_positions"] == 2.0
+        assert 0 < summary["error_free_probability"] < 1
+        assert summary["saving_lower_bound"] >= 0.0
+
+
+class TestBoundHolds:
+    @pytest.mark.parametrize("name", ["bv4", "qft4", "qv_n5d3"])
+    def test_measured_saving_exceeds_bound_yorktown(self, name):
+        circuit = build_compiled_benchmark(name)
+        layered = layerize(circuit)
+        model = ibm_yorktown()
+        bound = predict_saving_lower_bound(layered, model, 1024)
+        measured = NoisySimulator(circuit, model, seed=3).analyze(1024)
+        assert measured.computation_saving >= bound
+
+    @pytest.mark.parametrize("rate", [1e-4, 1e-3, 1e-2])
+    def test_measured_saving_exceeds_bound_uniform(self, rate, bell_circuit):
+        model = NoiseModel.uniform(rate)
+        layered = layerize(bell_circuit)
+        bound = predict_saving_lower_bound(layered, model, 2000)
+        measured = NoisySimulator(bell_circuit, model, seed=1).analyze(2000)
+        assert measured.computation_saving >= bound
+        # The bound is informative at these rates, not trivially zero.
+        assert bound > 0.4

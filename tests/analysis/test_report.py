@@ -1,0 +1,58 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.analysis import format_value, render_table, rows_to_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(0.123456, precision=1) == "0.1"
+
+    def test_int_and_str(self):
+        assert format_value(7) == "7"
+        assert format_value("abc") == "abc"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title(self):
+        table = render_table(["x"], [[1]], title="My Table")
+        assert table.startswith("My Table\n========")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_contents_present(self):
+        table = render_table(["name", "value"], [["qft4", 0.5]])
+        assert "qft4" in table and "0.500" in table
+
+
+class TestRowsToTable:
+    def test_dict_rows(self):
+        rows = [{"name": "a", "v": 1}, {"name": "b", "v": 2}]
+        table = rows_to_table(rows)
+        assert "name" in table and "b" in table
+
+    def test_column_selection(self):
+        rows = [{"name": "a", "v": 1, "hidden": 9}]
+        table = rows_to_table(rows, columns=["name", "v"])
+        assert "hidden" not in table
+
+    def test_empty(self):
+        assert rows_to_table([], title="T") == "T"
+        assert rows_to_table([]) == "(no rows)"
+
+    def test_missing_keys_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        table = rows_to_table(rows, columns=["a", "b"])
+        assert "3" in table

@@ -1,0 +1,79 @@
+"""Tests for the sharing-structure diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sharing import SharingReport, analyze_sharing
+from repro.circuits import layerize
+from repro.core import ErrorEvent, make_trial
+from repro.noise import NoiseModel, sample_trials
+
+
+@pytest.fixture
+def layered(ghz3_circuit):
+    return layerize(ghz3_circuit)
+
+
+class TestAnalyzeSharing:
+    def test_empty_rejected(self, layered):
+        with pytest.raises(ValueError):
+            analyze_sharing(layered, [])
+
+    def test_all_duplicates(self, layered):
+        trial = make_trial([ErrorEvent(0, 0, "x")])
+        report = analyze_sharing(layered, [trial] * 10)
+        assert report.num_distinct == 1
+        assert report.duplicate_fraction == pytest.approx(0.9)
+        # All consecutive pairs share the full (1-event) prefix.
+        assert report.lcp_histogram == {1: 9}
+        assert report.computation_saving > 0.8
+
+    def test_disjoint_trials_share_nothing(self, layered):
+        trials = [
+            make_trial([ErrorEvent(0, 0, "x")]),
+            make_trial([ErrorEvent(1, 1, "y")]),
+            make_trial([ErrorEvent(2, 2, "z")]),
+        ]
+        report = analyze_sharing(layered, trials)
+        assert report.lcp_histogram == {0: 2}
+        assert report.mean_lcp == 0.0
+        # Layer-prefix sharing still saves computation.
+        assert report.computation_saving > 0.0
+
+    def test_trie_statistics(self, layered):
+        shared = ErrorEvent(0, 0, "x")
+        trials = [
+            make_trial([shared]),
+            make_trial([shared, ErrorEvent(1, 1, "y")]),
+            make_trial([shared, ErrorEvent(2, 2, "z")]),
+        ]
+        report = analyze_sharing(layered, trials)
+        assert report.trie_nodes == 4  # root + shared + 2 leaves
+        assert report.trie_branch_nodes >= 1
+        assert report.trie_depth == 2
+
+    def test_sampled_workload(self, layered, rng):
+        model = NoiseModel.uniform(0.02)
+        trials = sample_trials(layered, model, 500, rng)
+        report = analyze_sharing(layered, trials)
+        assert report.num_trials == 500
+        assert 0 <= report.duplicate_fraction < 1
+        assert sum(report.lcp_histogram.values()) == 499
+        assert report.peak_msv >= 1
+        assert 0 < report.computation_saving <= 1
+
+    def test_as_rows_and_repr(self, layered):
+        report = analyze_sharing(layered, [make_trial([])])
+        rows = report.as_rows()
+        assert any(row["quantity"] == "computation saving" for row in rows)
+        assert "SharingReport" in repr(report)
+
+    def test_higher_noise_means_shallower_sharing(self, layered, rng):
+        quiet = sample_trials(layered, NoiseModel.uniform(0.005), 400, rng)
+        loud = sample_trials(
+            layered, NoiseModel.uniform(0.09, two=0.9, measurement=0.0), 400, rng
+        )
+        quiet_report = analyze_sharing(layered, quiet)
+        loud_report = analyze_sharing(layered, loud)
+        assert loud_report.duplicate_fraction < quiet_report.duplicate_fraction
+        assert loud_report.computation_saving < quiet_report.computation_saving

@@ -1,0 +1,70 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    counts_to_probability_vector,
+    geometric_mean,
+    hellinger_fidelity,
+    normalize_counts,
+    total_variation_distance,
+)
+
+
+class TestNormalize:
+    def test_basic(self):
+        assert normalize_counts({"0": 3, "1": 1}) == {"0": 0.75, "1": 0.25}
+
+    def test_empty(self):
+        assert normalize_counts({}) == {}
+
+
+class TestDistances:
+    def test_tv_identical(self):
+        assert total_variation_distance({"0": 5}, {"0": 9}) == 0.0
+
+    def test_tv_disjoint(self):
+        assert total_variation_distance({"0": 1}, {"1": 1}) == pytest.approx(1.0)
+
+    def test_tv_symmetric(self):
+        a, b = {"0": 3, "1": 1}, {"0": 1, "1": 3}
+        assert total_variation_distance(a, b) == total_variation_distance(b, a)
+
+    def test_tv_value(self):
+        assert total_variation_distance(
+            {"0": 1, "1": 1}, {"0": 1}
+        ) == pytest.approx(0.5)
+
+    def test_hellinger_identical(self):
+        assert hellinger_fidelity({"0": 2, "1": 2}, {"0": 1, "1": 1}) == pytest.approx(1.0)
+
+    def test_hellinger_disjoint(self):
+        assert hellinger_fidelity({"0": 1}, {"1": 1}) == pytest.approx(0.0)
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([2.0, 0.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestProbabilityVector:
+    def test_mapping(self):
+        vector = counts_to_probability_vector({"10": 3, "01": 1}, 2)
+        assert vector[2] == pytest.approx(0.75)
+        assert vector[1] == pytest.approx(0.25)
+
+    def test_bad_bitstring_rejected(self):
+        with pytest.raises(ValueError):
+            counts_to_probability_vector({"2": 1}, 1)
+        with pytest.raises(ValueError):
+            counts_to_probability_vector({"01": 1}, 3)
+
+    def test_empty(self):
+        assert counts_to_probability_vector({}, 2).sum() == 0.0

@@ -1,0 +1,253 @@
+"""Functional tests for every benchmark generator (noise-free semantics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    TABLE1_BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    build_compiled_benchmark,
+    bv,
+    grover,
+    mod15_mult7,
+    qft,
+    quantum_volume,
+    rb_sequence,
+    table1_rows,
+    wstate,
+)
+from repro.core import NoisySimulator
+from repro.noise import NoiseModel
+from repro.sim import Statevector, run_circuit
+
+
+def final_state(circuit):
+    measure_free = circuit.copy()
+    measure_free._instructions = [
+        i for i in circuit if type(i).__name__ == "GateOp"
+    ]
+    state, _ = run_circuit(measure_free)
+    return state
+
+
+class TestBV:
+    @pytest.mark.parametrize("hidden", ["101", "111", "010", "000"])
+    def test_recovers_hidden_string(self, hidden):
+        circuit = bv(4, hidden)
+        result = NoisySimulator(circuit, NoiseModel.noiseless(), seed=0).run(32)
+        assert set(result.counts) == {hidden}
+
+    def test_sizes(self):
+        assert bv(4).num_qubits == 4
+        assert bv(5).num_measurements() == 4
+
+    def test_ones_string_gate_counts(self):
+        circuit = bv(5)
+        assert circuit.num_two_qubit_gates() == 4
+        assert circuit.num_single_qubit_gates() == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bv(1)
+        with pytest.raises(ValueError):
+            bv(4, "10")
+        with pytest.raises(ValueError):
+            bv(4, "1a1")
+
+
+class TestQFT:
+    def test_uniform_superposition_from_zero(self):
+        state = final_state(qft(3, measured=False, with_swaps=True))
+        assert np.allclose(np.abs(state.vector), 1 / math.sqrt(8), atol=1e-9)
+
+    def test_qft_inverse_identity(self):
+        circuit = qft(3, measured=False)
+        total = circuit.copy().compose(circuit.inverse())
+        state, _ = run_circuit(total)
+        assert state.probability_of("000") == pytest.approx(1.0)
+
+    def test_qft_matches_dft_matrix(self):
+        """QFT on basis |k> produces the DFT column of k."""
+        n = 3
+        dim = 2**n
+        for k in (0, 1, 5):
+            circuit = qft(n, measured=False, with_swaps=True)
+            initial = Statevector.from_label(format(k, f"0{n}b"))
+            state, _ = run_circuit(circuit, initial=initial)
+            omega = np.exp(2j * math.pi * k / dim)
+            expected = np.array([omega**j for j in range(dim)]) / math.sqrt(dim)
+            assert np.allclose(state.vector, expected, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qft(0)
+
+
+class TestGrover:
+    @pytest.mark.parametrize("marked", ["111", "010", "100"])
+    def test_marked_state_amplified(self, marked):
+        circuit = grover(marked)
+        result = NoisySimulator(circuit, NoiseModel.noiseless(), seed=3).run(300)
+        top = max(result.counts, key=result.counts.get)
+        assert top == marked
+        assert result.counts[marked] / 300 > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grover("11")
+        with pytest.raises(ValueError):
+            grover("111", iterations=0)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_exact_amplitudes(self, n):
+        state = final_state(wstate(n, measured=False))
+        expected = np.zeros(2**n)
+        for qubit in range(n):
+            expected[1 << (n - 1 - qubit)] = 1 / math.sqrt(n)
+        assert np.allclose(np.abs(state.vector), expected, atol=1e-9)
+
+    def test_counts_one_hot(self):
+        result = NoisySimulator(wstate(3), NoiseModel.noiseless(), seed=2).run(600)
+        assert set(result.counts) == {"100", "010", "001"}
+        for count in result.counts.values():
+            assert count / 600 == pytest.approx(1 / 3, abs=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wstate(1)
+
+
+class TestMod15:
+    @pytest.mark.parametrize("value", range(1, 15))
+    def test_multiplication_correct(self, value):
+        circuit = mod15_mult7(value, measured=False)
+        state, _ = run_circuit(circuit)
+        expected = (7 * value) % 15
+        assert state.probability_of(format(expected, "04b")) == pytest.approx(1.0)
+
+    def test_default_instance(self):
+        result = NoisySimulator(
+            mod15_mult7(1), NoiseModel.noiseless(), seed=0
+        ).run(16)
+        assert set(result.counts) == {"0111"}  # 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mod15_mult7(16)
+
+
+class TestRB:
+    def test_identity_sequence(self):
+        for seed in (0, 1, 7, 42):
+            circuit = rb_sequence(num_qubits=2, length=3, seed=seed)
+            result = NoisySimulator(circuit, NoiseModel.noiseless(), seed=0).run(32)
+            assert set(result.counts) == {"00"}
+
+    def test_single_qubit_variant(self):
+        circuit = rb_sequence(num_qubits=1, length=4, seed=5)
+        result = NoisySimulator(circuit, NoiseModel.noiseless(), seed=0).run(16)
+        assert set(result.counts) == {"0"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rb_sequence(num_qubits=0)
+        with pytest.raises(ValueError):
+            rb_sequence(length=0)
+        with pytest.raises(ValueError):
+            rb_sequence(singles_per_round=0)
+
+
+class TestQuantumVolume:
+    def test_deterministic_by_seed(self):
+        a = quantum_volume(4, 3, seed=9)
+        b = quantum_volume(4, 3, seed=9)
+        assert list(a.instructions) == list(b.instructions)
+        c = quantum_volume(4, 3, seed=10)
+        assert list(a.instructions) != list(c.instructions)
+
+    def test_decomposed_gate_counts(self):
+        # depth layers x floor(n/2) blocks x (8 u3 + 3 cx).
+        circuit = quantum_volume(5, 2, measured=False)
+        assert circuit.num_two_qubit_gates() == 2 * 2 * 3
+        assert circuit.num_single_qubit_gates() == 2 * 2 * 8
+
+    def test_dense_variant(self):
+        circuit = quantum_volume(4, 2, decomposed=False, measured=False)
+        assert all(op.gate.name == "su4" for op in circuit.gate_ops())
+
+    def test_dense_and_decomposed_state_norms(self):
+        state = final_state(quantum_volume(3, 2, seed=1, measured=False))
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantum_volume(1, 2)
+        with pytest.raises(ValueError):
+            quantum_volume(4, 0)
+
+
+class TestSuite:
+    def test_benchmark_names_order(self):
+        assert benchmark_names()[0] == "rb"
+        assert len(benchmark_names()) == 12
+
+    def test_build_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("nope")
+
+    def test_qubit_counts_match_paper(self):
+        for spec in TABLE1_BENCHMARKS:
+            assert spec.builder().num_qubits == spec.paper_qubits
+
+    def test_measure_counts_match_paper(self):
+        for spec in TABLE1_BENCHMARKS:
+            assert spec.builder().num_measurements() == spec.paper_measure
+
+    def test_compiled_benchmarks_in_device_basis(self):
+        from repro.mapping import yorktown_coupling
+
+        coupling = yorktown_coupling()
+        for name in benchmark_names():
+            compiled = build_compiled_benchmark(name)
+            assert compiled.num_qubits == 5
+            for op in compiled.gate_ops():
+                assert op.gate.num_qubits == 1 or op.gate.name == "cx"
+                if op.gate.name == "cx":
+                    assert coupling.connected(*op.qubits)
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows()
+        assert len(rows) == 12
+        for row in rows:
+            assert row["measure_paper"] == row["measure_ours"]
+            # Same order of magnitude as the paper's Enfield compilation.
+            assert row["cnot_ours"] <= 4 * row["cnot_paper"] + 8
+            assert row["single_ours"] <= 4 * row["single_paper"] + 8
+
+
+class TestQasmExport:
+    def test_export_and_reparse(self, tmp_path):
+        from repro.bench import export_qasm_suite
+        from repro.circuits import parse_qasm
+
+        paths = export_qasm_suite(tmp_path, compiled=True)
+        assert len(paths) == 12
+        for path in paths:
+            with open(path) as handle:
+                circuit = parse_qasm(handle.read())
+            assert circuit.num_qubits == 5
+
+    def test_export_logical(self, tmp_path):
+        from repro.bench import export_qasm_suite
+        from repro.circuits import parse_qasm
+
+        paths = export_qasm_suite(tmp_path / "logical", compiled=False)
+        by_name = {p.split("/")[-1]: p for p in paths}
+        with open(by_name["bv4.qasm"]) as handle:
+            circuit = parse_qasm(handle.read())
+        assert circuit.num_qubits == 4

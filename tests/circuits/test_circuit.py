@@ -1,0 +1,167 @@
+"""Unit tests for the circuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Barrier,
+    CircuitError,
+    GateOp,
+    Measurement,
+    QuantumCircuit,
+    standard_gate,
+)
+from repro.sim import Statevector, run_circuit
+
+
+class TestConstruction:
+    def test_defaults(self):
+        circ = QuantumCircuit(3)
+        assert circ.num_qubits == 3
+        assert circ.num_clbits == 3
+        assert len(circ) == 0
+
+    def test_explicit_clbits(self):
+        circ = QuantumCircuit(3, 2)
+        assert circ.num_clbits == 2
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_negative_clbits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2, -1)
+
+
+class TestBuilders:
+    def test_chaining(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1).measure_all()
+        assert [type(i).__name__ for i in circ] == [
+            "GateOp",
+            "GateOp",
+            "Measurement",
+            "Measurement",
+        ]
+
+    def test_all_single_qubit_builders(self):
+        circ = QuantumCircuit(1)
+        circ.i(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0).sx(0)
+        circ.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0)
+        circ.u1(0.4, 0).u2(0.5, 0.6, 0).u3(0.7, 0.8, 0.9, 0)
+        assert len(circ) == 16
+
+    def test_all_two_qubit_builders(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1).cy(0, 1).cz(0, 1).ch(0, 1).swap(0, 1)
+        circ.crz(0.1, 0, 1).cu1(0.2, 0, 1)
+        assert circ.num_two_qubit_gates() == 7
+
+    def test_ccx_builder(self):
+        circ = QuantumCircuit(3).ccx(0, 1, 2)
+        assert circ[0].gate.name == "ccx"
+
+    def test_out_of_range_qubit_rejected(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circ.h(2)
+        with pytest.raises(CircuitError):
+            circ.cx(0, 5)
+
+    def test_duplicate_qubits_rejected(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circ.cx(1, 1)
+
+    def test_measure_clbit_range(self):
+        circ = QuantumCircuit(2, 1)
+        circ.measure(0, 0)
+        with pytest.raises(CircuitError):
+            circ.measure(1, 1)
+
+    def test_unitary_builder(self):
+        circ = QuantumCircuit(1)
+        circ.unitary(np.array([[0, 1], [1, 0]]), 0, name="myx")
+        assert circ[0].gate.name == "myx"
+
+    def test_append_rejects_non_instruction(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).append("h 0")
+
+
+class TestInspection:
+    def test_count_ops(self, bell_circuit):
+        counts = bell_circuit.count_ops()
+        assert counts == {"h": 1, "cx": 1, "measure": 2}
+
+    def test_gate_counts(self, ghz3_circuit):
+        assert ghz3_circuit.num_single_qubit_gates() == 1
+        assert ghz3_circuit.num_two_qubit_gates() == 2
+        assert ghz3_circuit.num_measurements() == 3
+
+    def test_mid_circuit_measurement_detection(self):
+        circ = QuantumCircuit(2)
+        circ.h(0).measure(0, 0)
+        assert not circ.has_mid_circuit_measurement()
+        circ.x(0)
+        assert circ.has_mid_circuit_measurement()
+
+    def test_gate_after_measuring_other_qubit_is_fine(self):
+        circ = QuantumCircuit(2)
+        circ.measure(0, 0).x(1)
+        assert not circ.has_mid_circuit_measurement()
+
+
+class TestTransforms:
+    def test_copy_is_independent(self, bell_circuit):
+        dup = bell_circuit.copy()
+        dup.x(0)
+        assert len(dup) == len(bell_circuit) + 1
+
+    def test_compose(self):
+        first = QuantumCircuit(2).h(0)
+        second = QuantumCircuit(2).cx(0, 1)
+        first.compose(second)
+        assert len(first) == 2
+
+    def test_compose_size_check(self):
+        small = QuantumCircuit(1)
+        big = QuantumCircuit(3).h(2)
+        with pytest.raises(CircuitError):
+            small.compose(big)
+
+    def test_inverse_restores_initial_state(self, rng):
+        circ = QuantumCircuit(2)
+        circ.h(0).t(0).cx(0, 1).s(1)
+        total = circ.copy().compose(circ.inverse())
+        state, _ = run_circuit(total, rng=rng)
+        expected = Statevector(2)
+        assert state.allclose(expected)
+
+    def test_inverse_rejects_measurements(self, bell_circuit):
+        with pytest.raises(CircuitError):
+            bell_circuit.inverse()
+
+
+class TestInstructionObjects:
+    def test_gateop_equality(self):
+        a = GateOp(standard_gate("h"), (0,))
+        b = GateOp(standard_gate("h"), (0,))
+        assert a == b and hash(a) == hash(b)
+        assert a != GateOp(standard_gate("h"), (1,))
+
+    def test_gateop_arity_check(self):
+        with pytest.raises(CircuitError):
+            GateOp(standard_gate("cx"), (0,))
+
+    def test_measurement_equality(self):
+        assert Measurement(0, 1) == Measurement(0, 1)
+        assert Measurement(0, 1) != Measurement(1, 1)
+
+    def test_barrier_repr(self):
+        assert "Barrier" in repr(Barrier((0, 1)))
+
+    def test_reprs(self, bell_circuit):
+        assert "bell" in repr(bell_circuit)
+        assert "GateOp" in repr(bell_circuit[0])
+        assert "Measurement" in repr(bell_circuit[2])

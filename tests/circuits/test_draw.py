@@ -1,0 +1,82 @@
+"""Tests for the ASCII circuit drawer."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, draw
+
+
+class TestDraw:
+    def test_single_qubit_gates(self):
+        text = draw(QuantumCircuit(1).h(0).t(0))
+        assert "q0:" in text
+        assert "[H]" in text and "[T]" in text
+
+    def test_cx_symbols(self):
+        text = draw(QuantumCircuit(2).cx(0, 1))
+        lines = text.splitlines()
+        assert "■" in lines[0]
+        assert "X" in lines[1]
+
+    def test_cx_direction(self):
+        text = draw(QuantumCircuit(2).cx(1, 0))
+        lines = text.splitlines()
+        assert "X" in lines[0]
+        assert "■" in lines[1]
+
+    def test_measurement_column(self):
+        text = draw(QuantumCircuit(1).h(0).measure_all())
+        assert text.rstrip().endswith("M")
+
+    def test_vertical_connector_through_middle_wire(self):
+        text = draw(QuantumCircuit(3).cx(0, 2))
+        lines = text.splitlines()
+        assert "│" in lines[1]
+
+    def test_parametric_label(self):
+        text = draw(QuantumCircuit(1).rz(0.5, 0))
+        assert "RZ(0.5)" in text
+
+    def test_multi_param_label_abbreviated(self):
+        text = draw(QuantumCircuit(1).u3(0.1, 0.2, 0.3, 0))
+        assert "U3(..)" in text
+
+    def test_swap_symbol(self):
+        text = draw(QuantumCircuit(2).swap(0, 1))
+        assert text.count("x") >= 2
+
+    def test_ccx_symbols(self):
+        text = draw(QuantumCircuit(3).ccx(0, 1, 2))
+        lines = text.splitlines()
+        assert "■" in lines[0] and "■" in lines[1] and "X" in lines[2]
+
+    def test_one_row_per_qubit(self):
+        text = draw(QuantumCircuit(4).h(0))
+        assert len(text.splitlines()) == 4
+
+    def test_rows_equal_width(self):
+        text = draw(QuantumCircuit(3).h(0).cx(0, 2).t(1).measure_all())
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1
+
+    def test_wrapping(self):
+        circ = QuantumCircuit(2)
+        for _ in range(30):
+            circ.h(0).h(1)
+        text = draw(circ, max_width=40)
+        blocks = text.split("\n\n")
+        assert len(blocks) > 1
+        for block in blocks:
+            for line in block.splitlines():
+                assert len(line) <= 40
+
+    def test_mid_circuit_measurement_drawable(self):
+        circ = QuantumCircuit(1)
+        circ.h(0).measure(0, 0).x(0)
+        assert "M" in draw(circ)
+
+    def test_benchmarks_drawable(self):
+        from repro.bench import benchmark_names, build_compiled_benchmark
+
+        for name in benchmark_names()[:6]:
+            text = draw(build_compiled_benchmark(name), max_width=100)
+            assert text

@@ -1,0 +1,215 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    Gate,
+    GateError,
+    STANDARD_GATE_ARITY,
+    is_standard_gate,
+    pauli_gate,
+    random_su4,
+    standard_gate,
+    unitary,
+)
+
+
+class TestStandardGates:
+    @pytest.mark.parametrize("name", sorted(STANDARD_GATE_ARITY))
+    def test_every_standard_gate_is_unitary(self, name):
+        arity = STANDARD_GATE_ARITY[name]
+        params = {
+            "rx": (0.3,),
+            "ry": (0.7,),
+            "rz": (1.1,),
+            "u1": (0.4,),
+            "u2": (0.2, 0.9),
+            "u3": (0.5, 1.2, 2.1),
+            "crz": (0.8,),
+            "cu1": (1.3,),
+            "cp": (1.3,),
+            "rzz": (0.6,),
+            "rxx": (0.6,),
+        }.get(name, ())
+        gate = standard_gate(name, params)
+        dim = 2**arity
+        assert gate.num_qubits == arity
+        product = gate.matrix @ gate.matrix.conj().T
+        assert np.allclose(product, np.eye(dim), atol=1e-10)
+
+    def test_fixed_gates_are_cached(self):
+        assert standard_gate("h") is standard_gate("h")
+        assert standard_gate("cx") is standard_gate("cx")
+
+    def test_hadamard_matrix(self):
+        h = standard_gate("h").matrix
+        expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(h, expected)
+
+    def test_pauli_relations(self):
+        x = standard_gate("x").matrix
+        y = standard_gate("y").matrix
+        z = standard_gate("z").matrix
+        assert np.allclose(x @ y, 1j * z)
+        assert np.allclose(x @ x, np.eye(2))
+        assert np.allclose(y @ y, np.eye(2))
+        assert np.allclose(z @ z, np.eye(2))
+
+    def test_s_squared_is_z(self):
+        s = standard_gate("s").matrix
+        assert np.allclose(s @ s, standard_gate("z").matrix)
+
+    def test_t_squared_is_s(self):
+        t = standard_gate("t").matrix
+        assert np.allclose(t @ t, standard_gate("s").matrix)
+
+    def test_sx_squared_is_x(self):
+        sx = standard_gate("sx").matrix
+        assert np.allclose(sx @ sx, standard_gate("x").matrix)
+
+    def test_cnot_truth_table(self):
+        cx = standard_gate("cx").matrix
+        # |10> -> |11>, |11> -> |10>, |0b> fixed.
+        assert np.allclose(cx @ np.eye(4)[2], np.eye(4)[3])
+        assert np.allclose(cx @ np.eye(4)[3], np.eye(4)[2])
+        assert np.allclose(cx @ np.eye(4)[0], np.eye(4)[0])
+        assert np.allclose(cx @ np.eye(4)[1], np.eye(4)[1])
+
+    def test_ccx_truth_table(self):
+        ccx = standard_gate("ccx").matrix
+        for basis in range(8):
+            expected = basis ^ 1 if basis >= 6 else basis
+            assert np.allclose(ccx @ np.eye(8)[basis], np.eye(8)[expected])
+
+    def test_swap_matrix(self):
+        swap = standard_gate("swap").matrix
+        assert np.allclose(swap @ np.eye(4)[1], np.eye(4)[2])
+        assert np.allclose(swap @ np.eye(4)[2], np.eye(4)[1])
+
+
+class TestParametricGates:
+    def test_rz_diagonal(self):
+        theta = 0.37
+        rz = standard_gate("rz", (theta,)).matrix
+        assert np.allclose(
+            np.diagonal(rz),
+            [np.exp(-1j * theta / 2), np.exp(1j * theta / 2)],
+        )
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        rx = standard_gate("rx", (math.pi,)).matrix
+        assert np.allclose(rx, -1j * standard_gate("x").matrix)
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        ry = standard_gate("ry", (math.pi,)).matrix
+        assert np.allclose(ry, -1j * standard_gate("y").matrix)
+
+    def test_u3_generalizes_ry(self):
+        theta = 0.81
+        u3 = standard_gate("u3", (theta, 0.0, 0.0)).matrix
+        ry = standard_gate("ry", (theta,)).matrix
+        assert np.allclose(u3, ry)
+
+    def test_u2_is_u3_half_pi(self):
+        phi, lam = 0.4, 1.7
+        u2 = standard_gate("u2", (phi, lam)).matrix
+        u3 = standard_gate("u3", (math.pi / 2, phi, lam)).matrix
+        assert np.allclose(u2, u3)
+
+    def test_u1_is_phase(self):
+        lam = 2.2
+        u1 = standard_gate("u1", (lam,)).matrix
+        assert np.allclose(u1, np.diag([1.0, np.exp(1j * lam)]))
+
+    def test_cu1_symmetric_in_qubits(self):
+        # cu1 is diagonal and symmetric under qubit exchange.
+        lam = 0.9
+        mat = standard_gate("cu1", (lam,)).matrix
+        swap = standard_gate("swap").matrix
+        assert np.allclose(swap @ mat @ swap, mat)
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(GateError):
+            standard_gate("rx", ())
+        with pytest.raises(GateError):
+            standard_gate("u3", (1.0,))
+        with pytest.raises(GateError):
+            standard_gate("h", (1.0,))
+
+
+class TestGateObject:
+    def test_equality_and_hash(self):
+        assert standard_gate("rx", (0.5,)) == standard_gate("rx", (0.5,))
+        assert standard_gate("rx", (0.5,)) != standard_gate("rx", (0.6,))
+        assert hash(standard_gate("h")) == hash(standard_gate("h"))
+
+    def test_matrix_is_readonly(self):
+        gate = standard_gate("h")
+        with pytest.raises(ValueError):
+            gate.matrix[0, 0] = 5.0
+
+    def test_dagger(self):
+        s = standard_gate("s")
+        assert np.allclose(s.dagger().matrix, standard_gate("sdg").matrix)
+
+    def test_is_identity(self):
+        assert standard_gate("id").is_identity()
+        assert not standard_gate("x").is_identity()
+        # Global phase still counts as identity.
+        phased = Gate("phase", 1, 1j * np.eye(2), check_unitary=False)
+        assert phased.is_identity()
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(GateError):
+            Gate("bad", 1, np.array([[1, 0], [0, 2]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GateError):
+            Gate("bad", 2, np.eye(2))
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(GateError):
+            Gate("bad", 0, np.eye(1))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GateError):
+            standard_gate("frobnicate")
+
+    def test_repr_contains_name(self):
+        assert "rx" in repr(standard_gate("rx", (0.25,)))
+
+    def test_is_standard_gate(self):
+        assert is_standard_gate("h")
+        assert is_standard_gate("crz")
+        assert not is_standard_gate("nope")
+
+
+class TestHelpers:
+    def test_pauli_gate(self):
+        assert pauli_gate("X") == standard_gate("x")
+        assert pauli_gate("i") == standard_gate("id")
+        with pytest.raises(GateError):
+            pauli_gate("w")
+
+    def test_unitary_wrapper(self):
+        gate = unitary(np.eye(4), name="custom")
+        assert gate.num_qubits == 2
+        with pytest.raises(GateError):
+            unitary(np.ones((2, 2)))
+        with pytest.raises(GateError):
+            unitary(np.eye(3))
+
+    def test_random_su4_is_unitary(self):
+        rng = np.random.default_rng(3)
+        gate = random_su4(rng)
+        assert gate.num_qubits == 2
+        assert np.allclose(
+            gate.matrix @ gate.matrix.conj().T, np.eye(4), atol=1e-10
+        )
+
+    def test_random_su4_varies(self):
+        rng = np.random.default_rng(4)
+        assert random_su4(rng) != random_su4(rng)

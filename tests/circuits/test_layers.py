@@ -1,0 +1,117 @@
+"""Unit tests for the ASAP layering pass."""
+
+import pytest
+
+from repro.circuits import CircuitError, QuantumCircuit, layerize
+
+
+class TestLayering:
+    def test_independent_gates_share_a_layer(self):
+        circ = QuantumCircuit(3)
+        circ.h(0).h(1).h(2)
+        layered = layerize(circ)
+        assert layered.num_layers == 1
+        assert layered.gates_in_layer(0) == 3
+
+    def test_dependent_gates_stack(self):
+        circ = QuantumCircuit(1)
+        circ.h(0).t(0).h(0)
+        layered = layerize(circ)
+        assert layered.num_layers == 3
+        assert all(layered.gates_in_layer(i) == 1 for i in range(3))
+
+    def test_two_qubit_gate_blocks_both_qubits(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1).h(1).h(2)
+        layered = layerize(circ)
+        # h(2) fits in layer 0 beside the cx; h(1) must wait.
+        assert layered.num_layers == 2
+        assert layered.gates_in_layer(0) == 2
+        assert layered.gates_in_layer(1) == 1
+
+    def test_asap_packs_early(self):
+        circ = QuantumCircuit(2)
+        circ.h(0).h(0).h(1)
+        layered = layerize(circ)
+        # h(1) is independent -> joins layer 0 even though appended last.
+        names = [[op.gate.name for op in layer] for layer in layered.layers]
+        assert len(names[0]) == 2
+
+    def test_layers_are_qubit_disjoint(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 30, rng)
+        layered = layerize(circ)
+        for layer in layered.layers:
+            touched = [q for op in layer for q in op.qubits]
+            assert len(touched) == len(set(touched))
+
+    def test_barrier_forces_new_layer(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.barrier()
+        circ.h(1)
+        layered = layerize(circ)
+        assert layered.num_layers == 2
+
+    def test_partial_barrier_only_fences_covered_qubits(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.barrier(0, 1)
+        circ.h(1)  # pushed to layer 1 by the barrier
+        circ.h(2)  # untouched by the barrier -> layer 0
+        layered = layerize(circ)
+        assert layered.gates_in_layer(0) == 2
+        assert layered.gates_in_layer(1) == 1
+
+    def test_depth_equals_num_layers(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        assert layered.depth == layered.num_layers == 3
+
+
+class TestGatesBetween:
+    def test_cumulative_counts(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        assert layered.num_gates == 3
+        assert layered.gates_between(0, 3) == 3
+        assert layered.gates_between(0, 0) == 0
+        assert layered.gates_between(1, 2) == 1
+
+    def test_bad_range_rejected(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        with pytest.raises(ValueError):
+            layered.gates_between(2, 1)
+        with pytest.raises(ValueError):
+            layered.gates_between(0, 99)
+
+    def test_sum_over_layers_matches_total(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 25, rng)
+        layered = layerize(circ)
+        total = sum(
+            layered.gates_between(i, i + 1) for i in range(layered.num_layers)
+        )
+        assert total == layered.num_gates == len(circ.gate_ops())
+
+
+class TestMeasurements:
+    def test_terminal_measurements_collected(self, bell_circuit):
+        layered = layerize(bell_circuit)
+        assert len(layered.measurements) == 2
+        assert layered.measurements[0].qubit == 0
+
+    def test_mid_circuit_measurement_rejected(self):
+        circ = QuantumCircuit(1)
+        circ.h(0).measure(0, 0).x(0)
+        with pytest.raises(CircuitError):
+            layerize(circ)
+
+    def test_mid_circuit_allowed_when_not_required(self):
+        circ = QuantumCircuit(1)
+        circ.h(0).measure(0, 0).x(0)
+        layered = layerize(circ, require_terminal_measurements=False)
+        assert layered.num_gates == 2
+
+    def test_repr(self, bell_circuit):
+        assert "LayeredCircuit" in repr(layerize(bell_circuit))

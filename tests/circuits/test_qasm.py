@@ -1,0 +1,192 @@
+"""Unit tests for the OpenQASM 2.0 subset parser/emitter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    GateOp,
+    Measurement,
+    QasmError,
+    QuantumCircuit,
+    parse_qasm,
+    to_qasm,
+)
+from repro.circuits.qasm import _eval_param
+
+BELL = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"""
+
+
+class TestParsing:
+    def test_bell(self):
+        circ = parse_qasm(BELL)
+        assert circ.num_qubits == 2
+        assert circ.count_ops() == {"h": 1, "cx": 1, "measure": 2}
+
+    def test_header_required(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[2];")
+
+    def test_comments_stripped(self):
+        circ = parse_qasm(
+            'OPENQASM 2.0;\n// a comment\nqreg q[1]; h q[0]; // trailing\n'
+        )
+        assert circ.count_ops() == {"h": 1}
+
+    def test_parametric_gates(self):
+        circ = parse_qasm(
+            'OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nu3(pi,0,pi) q[0];'
+        )
+        ops = circ.gate_ops()
+        assert ops[0].gate.name == "rz"
+        assert ops[0].gate.params == (math.pi / 2,)
+        assert ops[1].gate.name == "u3"
+
+    def test_u_alias_for_u3(self):
+        circ = parse_qasm("OPENQASM 2.0;\nqreg q[1];\nu(0.1,0.2,0.3) q[0];")
+        assert circ.gate_ops()[0].gate.name == "u3"
+
+    def test_whole_register_broadcast(self):
+        circ = parse_qasm("OPENQASM 2.0;\nqreg q[3];\nh q;")
+        assert circ.count_ops() == {"h": 3}
+
+    def test_broadcast_two_qubit(self):
+        circ = parse_qasm("OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\ncx a, b;")
+        ops = circ.gate_ops()
+        assert [op.qubits for op in ops] == [(0, 2), (1, 3)]
+
+    def test_register_measure_broadcast(self):
+        circ = parse_qasm(
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q -> c;"
+        )
+        assert circ.num_measurements() == 2
+
+    def test_multiple_registers_flattened(self):
+        circ = parse_qasm(
+            "OPENQASM 2.0;\nqreg a[2];\nqreg b[1];\nh b[0];"
+        )
+        assert circ.num_qubits == 3
+        assert circ.gate_ops()[0].qubits == (2,)
+
+    def test_barrier(self):
+        circ = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nbarrier q;")
+        assert circ.count_ops() == {"barrier": 1}
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[1];\nzap q[0];")
+
+    def test_gate_definition_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[1];\ngate foo a { h a; } ;")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[5];")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh r[0];")
+
+    def test_redeclared_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[1];\nqreg q[2];")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0];")
+
+
+class TestParamExpressions:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("pi", math.pi),
+            ("pi/2", math.pi / 2),
+            ("-pi/4", -math.pi / 4),
+            ("2*pi", 2 * math.pi),
+            ("3*pi/8", 3 * math.pi / 8),
+            ("0.5", 0.5),
+            ("1+2", 3.0),
+            ("(1+2)*3", 9.0),
+            ("2^3", 8.0),
+        ],
+    )
+    def test_expression_values(self, text, expected):
+        assert _eval_param(text) == pytest.approx(expected)
+
+    def test_malicious_expression_rejected(self):
+        with pytest.raises(QasmError):
+            _eval_param("__import__('os').system('true')")
+        with pytest.raises(QasmError):
+            _eval_param("exec('x=1')")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(QasmError):
+            _eval_param("tau")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QasmError):
+            _eval_param("")
+
+
+class TestEmission:
+    def test_round_trip_bell(self):
+        circ = parse_qasm(BELL)
+        again = parse_qasm(to_qasm(circ))
+        assert list(again.instructions) == list(circ.instructions)
+
+    def test_round_trip_random(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 30, rng)
+        again = parse_qasm(to_qasm(circ))
+        assert list(again.instructions) == list(circ.instructions)
+
+    def test_round_trip_parametric(self):
+        circ = QuantumCircuit(2)
+        circ.rz(math.pi / 8, 0).u3(0.123, 4.56, 0.789, 1).crz(math.pi, 0, 1)
+        again = parse_qasm(to_qasm(circ))
+        for original, parsed in zip(circ.gate_ops(), again.gate_ops()):
+            assert np.allclose(original.gate.matrix, parsed.gate.matrix)
+
+    def test_barrier_emitted(self):
+        circ = QuantumCircuit(2)
+        circ.barrier()
+        circ.barrier(0)
+        text = to_qasm(circ)
+        assert "barrier q;" in text
+        assert "barrier q[0];" in text
+
+    def test_pi_formatting(self):
+        circ = QuantumCircuit(1)
+        circ.rz(math.pi / 2, 0)
+        assert "rz(pi/2)" in to_qasm(circ)
+
+    def test_nonstandard_gate_rejected(self):
+        circ = QuantumCircuit(1)
+        circ.unitary(np.eye(2), 0, name="custom")
+        with pytest.raises(QasmError):
+            to_qasm(circ)
+
+    def test_benchmarks_round_trip(self):
+        from repro.bench import build_compiled_benchmark, benchmark_names
+
+        for name in benchmark_names()[:4]:
+            circ = build_compiled_benchmark(name)
+            again = parse_qasm(to_qasm(circ))
+            assert len(again.gate_ops()) == len(circ.gate_ops())
+            for original, parsed in zip(circ.gate_ops(), again.gate_ops()):
+                assert np.allclose(
+                    original.gate.matrix, parsed.gate.matrix, atol=1e-12
+                )

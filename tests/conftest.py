@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.bench import bv4, grover3, qv_n5, rb2, seven_x_one_mod15, wstate3
+from repro.circuits import QuantumCircuit, layerize
+from repro.noise import NoiseModel, ibm_yorktown
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def bell_circuit():
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure_all()
+    return circuit
+
+
+@pytest.fixture
+def ghz3_circuit():
+    circuit = QuantumCircuit(3, name="ghz3")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.measure_all()
+    return circuit
+
+
+@pytest.fixture
+def yorktown_model():
+    return ibm_yorktown()
+
+
+@pytest.fixture
+def mild_noise():
+    """A uniform model strong enough to exercise error paths quickly."""
+    return NoiseModel.uniform(0.01, name="mild")

@@ -1,0 +1,78 @@
+"""Tests for the state cache and MSV accounting."""
+
+import pytest
+
+from repro.core import StateCache
+
+
+class TestSlots:
+    def test_store_take_roundtrip(self):
+        cache = StateCache()
+        slot = cache.store("state-a", 3)
+        assert cache.peek(slot) == ("state-a", 3)
+        assert cache.take(slot) == ("state-a", 3)
+
+    def test_take_twice_fails(self):
+        cache = StateCache()
+        slot = cache.store("x", 0)
+        cache.take(slot)
+        with pytest.raises(KeyError):
+            cache.take(slot)
+
+    def test_peek_unknown_fails(self):
+        with pytest.raises(KeyError):
+            StateCache().peek(0)
+
+    def test_slots_are_unique(self):
+        cache = StateCache()
+        assert cache.store("a", 0) != cache.store("b", 0)
+
+
+class TestAccounting:
+    def test_peaks(self):
+        cache = StateCache()
+        cache.working_created()
+        s0 = cache.store("a", 0)
+        s1 = cache.store("b", 1)
+        assert cache.num_stored == 2
+        assert cache.num_live == 3
+        cache.take(s1)
+        cache.take(s0)
+        cache.working_destroyed()
+        stats = cache.stats()
+        assert stats.peak_msv == 3
+        assert stats.peak_stored == 2
+        assert stats.snapshots_taken == 2
+        assert stats.snapshots_released == 2
+
+    def test_working_only(self):
+        cache = StateCache()
+        cache.working_created()
+        cache.working_destroyed()
+        assert cache.stats().peak_msv == 1
+        assert cache.stats().peak_stored == 0
+
+    def test_working_underflow_rejected(self):
+        with pytest.raises(RuntimeError):
+            StateCache().working_destroyed()
+
+    def test_assert_drained_passes_when_empty(self):
+        cache = StateCache()
+        cache.working_created()
+        cache.working_destroyed()
+        cache.assert_drained()
+
+    def test_assert_drained_catches_leaked_slot(self):
+        cache = StateCache()
+        cache.store("leak", 0)
+        with pytest.raises(RuntimeError):
+            cache.assert_drained()
+
+    def test_assert_drained_catches_live_working(self):
+        cache = StateCache()
+        cache.working_created()
+        with pytest.raises(RuntimeError):
+            cache.assert_drained()
+
+    def test_stats_repr(self):
+        assert "CacheStats" in repr(StateCache().stats())

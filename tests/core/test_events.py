@@ -1,0 +1,67 @@
+"""Tests for error events and trials."""
+
+import pytest
+
+from repro.core import ErrorEvent, Trial, make_trial
+
+
+class TestErrorEvent:
+    def test_ordering(self):
+        a = ErrorEvent(0, 1, "x")
+        b = ErrorEvent(1, 0, "x")
+        c = ErrorEvent(1, 0, "z")
+        assert a < b < c
+
+    def test_gate_property(self):
+        assert ErrorEvent(0, 0, "y").gate.name == "y"
+
+    def test_str(self):
+        assert str(ErrorEvent(2, 1, "x")) == "X@(L2,q1)"
+
+
+class TestMakeTrial:
+    def test_events_sorted(self):
+        trial = make_trial([ErrorEvent(3, 0, "z"), ErrorEvent(1, 2, "x")])
+        assert trial.events[0].layer == 1
+        assert trial.events[1].layer == 3
+
+    def test_flips_sorted_deduped(self):
+        trial = make_trial([], meas_flips=[3, 1, 3])
+        assert trial.meas_flips == (1, 3)
+
+    def test_duplicate_position_rejected(self):
+        with pytest.raises(ValueError):
+            make_trial([ErrorEvent(0, 0, "x"), ErrorEvent(0, 0, "z")])
+
+    def test_same_layer_different_qubits_allowed(self):
+        trial = make_trial([ErrorEvent(0, 0, "x"), ErrorEvent(0, 1, "z")])
+        assert trial.num_errors == 2
+
+    def test_bad_pauli_rejected(self):
+        with pytest.raises(ValueError):
+            make_trial([ErrorEvent(0, 0, "w")])
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(ValueError):
+            make_trial([ErrorEvent(-1, 0, "x")])
+
+    def test_error_free(self):
+        trial = make_trial([])
+        assert trial.is_error_free
+        assert trial.num_errors == 0
+        assert "error-free" in str(trial)
+
+    def test_sort_key(self):
+        trial = make_trial([ErrorEvent(2, 1, "y")])
+        assert trial.sort_key() == ((2, 1, "y"),)
+
+    def test_trials_hashable_and_comparable(self):
+        a = make_trial([ErrorEvent(0, 0, "x")])
+        b = make_trial([ErrorEvent(0, 0, "x")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_with_flips(self):
+        trial = make_trial([ErrorEvent(0, 0, "x")], meas_flips=[2])
+        assert "flips=[2]" in str(trial)

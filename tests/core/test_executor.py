@@ -1,0 +1,178 @@
+"""Tests for the optimized and baseline executors.
+
+The central correctness claim of the paper — the optimization is
+"mathematically equivalent to the original simulation" — is established
+here: every trial's final statevector from the optimized executor must
+equal the baseline's, for hand-built and randomly sampled trial sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import layerize
+from repro.core import (
+    ErrorEvent,
+    baseline_operation_count,
+    build_plan,
+    make_trial,
+    run_baseline,
+    run_optimized,
+)
+from repro.noise import NoiseModel, sample_trials
+from repro.sim import CountingBackend, StatevectorBackend
+from repro.testing import assert_states_close, random_circuit, random_trials
+from tests.core.test_reorder import trials_strategy
+
+
+def collect_states(layered, trials, runner):
+    backend = StatevectorBackend(layered)
+    states = [None] * len(trials)
+
+    def on_finish(payload, indices):
+        for index in indices:
+            states[index] = payload.copy()
+
+    outcome = runner(layered, trials, backend, on_finish)
+    return states, outcome
+
+
+class TestEquivalence:
+    def test_hand_built_trials(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        trials = [
+            make_trial([]),
+            make_trial([ErrorEvent(0, 0, "x")]),
+            make_trial([ErrorEvent(0, 0, "x"), ErrorEvent(1, 1, "z")]),
+            make_trial([ErrorEvent(2, 2, "y")]),
+            make_trial([ErrorEvent(0, 0, "x")]),  # duplicate
+        ]
+        optimized, opt_outcome = collect_states(layered, trials, run_optimized)
+        baseline, base_outcome = collect_states(layered, trials, run_baseline)
+        for opt_state, base_state in zip(optimized, baseline):
+            assert_states_close(opt_state, base_state)
+        assert opt_outcome.ops_applied < base_outcome.ops_applied
+
+    def test_sampled_trials_on_random_circuit(self, rng):
+        circuit = random_circuit(3, 20, rng)
+        layered = layerize(circuit)
+        model = NoiseModel.uniform(0.05, two=0.2, measurement=0.0)
+        trials = sample_trials(layered, model, 100, rng)
+        optimized, _ = collect_states(layered, trials, run_optimized)
+        baseline, _ = collect_states(layered, trials, run_baseline)
+        for opt_state, base_state in zip(optimized, baseline):
+            assert_states_close(opt_state, base_state)
+
+    @given(trials_strategy(max_trials=15))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_property(self, trials):
+        if not trials:
+            return
+        rng = np.random.default_rng(0)
+        circuit = random_circuit(5, 25, rng)
+        layered = layerize(circuit)
+        optimized, _ = collect_states(layered, trials, run_optimized)
+        baseline, _ = collect_states(layered, trials, run_baseline)
+        for opt_state, base_state in zip(optimized, baseline):
+            assert_states_close(opt_state, base_state)
+
+
+class TestOperationAccounting:
+    def test_counting_matches_statevector_ops(self, ghz3_circuit, rng):
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 50, rng)
+        counting = CountingBackend(layered)
+        real = StatevectorBackend(layered)
+        count_outcome = run_optimized(layered, trials, counting)
+        real_outcome = run_optimized(layered, trials, real)
+        assert count_outcome.ops_applied == real_outcome.ops_applied
+        assert count_outcome.peak_msv == real_outcome.peak_msv
+
+    def test_baseline_closed_form_matches_run(self, ghz3_circuit, rng):
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 60, rng)
+        backend = CountingBackend(layered)
+        outcome = run_baseline(layered, trials, backend)
+        assert outcome.ops_applied == baseline_operation_count(layered, trials)
+
+    def test_baseline_peak_msv_is_one(self, ghz3_circuit, rng):
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 20, rng)
+        backend = CountingBackend(layered)
+        outcome = run_baseline(layered, trials, backend)
+        assert outcome.peak_msv == 1
+        assert outcome.peak_stored == 0
+
+    def test_duplicate_heavy_sets_collapse(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        trials = [make_trial([])] * 1000
+        backend = CountingBackend(layered)
+        outcome = run_optimized(layered, trials, backend)
+        # All 1000 trials share the single error-free execution.
+        assert outcome.ops_applied == layered.num_gates
+        assert outcome.finish_calls == 1
+
+    def test_prebuilt_plan_respected(self, ghz3_circuit, rng):
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 10, rng)
+        plan = build_plan(layered, trials)
+        backend = CountingBackend(layered)
+        outcome = run_optimized(layered, trials, backend, plan=plan)
+        assert outcome.ops_applied == plan.planned_operations(layered)
+
+    def test_plan_trial_count_mismatch_rejected(self, ghz3_circuit, rng):
+        from repro.core import ScheduleError
+
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 10, rng)
+        plan = build_plan(layered, trials)
+        with pytest.raises(ScheduleError):
+            run_optimized(layered, trials[:5], CountingBackend(layered), plan=plan)
+
+
+class TestCacheBehaviour:
+    def test_no_leaked_states(self, ghz3_circuit, rng):
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 40, rng)
+        backend = StatevectorBackend(layered)
+        run_optimized(layered, trials, backend)
+        assert backend.live_states == 0
+
+    def test_msv_grows_with_shared_prefix_depth(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        shallow = [
+            make_trial([ErrorEvent(0, 0, "x")]),
+            make_trial([ErrorEvent(1, 0, "x")]),
+        ]
+        e0, e1 = ErrorEvent(0, 0, "x"), ErrorEvent(1, 1, "y")
+        deep = [
+            make_trial([e0, e1]),
+            make_trial([e0, e1, ErrorEvent(2, 0, "z")]),
+            make_trial([e0, ErrorEvent(2, 2, "x")]),
+            make_trial([e0]),
+        ]
+        shallow_outcome = run_optimized(layered, shallow, CountingBackend(layered))
+        deep_outcome = run_optimized(layered, deep, CountingBackend(layered))
+        assert deep_outcome.peak_msv > shallow_outcome.peak_msv
+
+    def test_finish_callback_counts(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        trials = [make_trial([]), make_trial([]), make_trial([ErrorEvent(0, 0, "x")])]
+        calls = []
+        backend = CountingBackend(layered)
+        run_optimized(
+            layered, trials, backend, on_finish=lambda p, idx: calls.append(idx)
+        )
+        assert sorted(i for idx in calls for i in idx) == [0, 1, 2]
+        assert len(calls) == 2  # two distinct final states
+
+
+class TestOutcomeObject:
+    def test_repr_and_props(self, ghz3_circuit, rng):
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 5, rng)
+        outcome = run_optimized(layered, trials, CountingBackend(layered))
+        assert "ExecutionOutcome" in repr(outcome)
+        assert outcome.num_trials == 5
+        assert outcome.peak_msv >= 1
+        assert outcome.peak_stored >= 0

@@ -1,0 +1,51 @@
+"""Tests for the RunMetrics container."""
+
+import pytest
+
+from repro.core.metrics import RunMetrics
+
+
+def make_metrics(**overrides):
+    fields = dict(
+        num_trials=1000,
+        num_distinct_trials=250,
+        optimized_ops=2000,
+        baseline_ops=10000,
+        peak_msv=4,
+        peak_stored=3,
+        num_gates=10,
+        num_layers=5,
+    )
+    fields.update(overrides)
+    return RunMetrics(**fields)
+
+
+class TestDerivedQuantities:
+    def test_normalized_computation(self):
+        assert make_metrics().normalized_computation == pytest.approx(0.2)
+
+    def test_computation_saving(self):
+        assert make_metrics().computation_saving == pytest.approx(0.8)
+
+    def test_zero_baseline_degenerate(self):
+        metrics = make_metrics(baseline_ops=0, optimized_ops=0)
+        assert metrics.normalized_computation == 1.0
+
+    def test_duplication_ratio(self):
+        assert make_metrics().duplication_ratio == pytest.approx(4.0)
+        assert make_metrics(num_distinct_trials=0).duplication_ratio == 0.0
+
+    def test_memory_estimates(self):
+        metrics = make_metrics(peak_msv=4)
+        assert metrics.statevector_bytes(5) == 16 * 32
+        assert metrics.peak_state_memory_bytes(5) == 4 * 16 * 32
+        # 25 qubits: one state = 512 MiB, so MSV matters.
+        assert metrics.statevector_bytes(25) == 2**25 * 16
+
+    def test_as_dict_roundtrip(self):
+        data = make_metrics().as_dict()
+        assert data["peak_msv"] == 4
+        assert data["computation_saving"] == pytest.approx(0.8)
+
+    def test_repr(self):
+        assert "RunMetrics" in repr(make_metrics())

@@ -1,0 +1,76 @@
+"""Tests for trial-set persistence."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import layerize
+from repro.core import ErrorEvent, make_trial
+from repro.core.persistence import FORMAT_VERSION, load_trials, save_trials
+from repro.noise import NoiseModel, sample_trials
+
+
+class TestRoundTrip:
+    def test_hand_built(self, tmp_path):
+        trials = [
+            make_trial([]),
+            make_trial([ErrorEvent(0, 0, "x")]),
+            make_trial(
+                [ErrorEvent(3, 2, "z"), ErrorEvent(1, 1, "y")], meas_flips=[0, 2]
+            ),
+        ]
+        path = tmp_path / "trials.npz"
+        save_trials(path, trials)
+        assert load_trials(path) == trials
+
+    def test_sampled_workload(self, tmp_path, ghz3_circuit, rng):
+        layered = layerize(ghz3_circuit)
+        model = NoiseModel.uniform(0.05)
+        trials = sample_trials(layered, model, 500, rng)
+        path = tmp_path / "sampled.npz"
+        save_trials(path, trials)
+        assert load_trials(path) == trials
+
+    def test_empty_set(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trials(path, [])
+        assert load_trials(path) == []
+
+    def test_rerun_determinism(self, tmp_path, ghz3_circuit):
+        """Archived trials reproduce identical metrics on reload."""
+        from repro.core import NoisySimulator
+
+        sim = NoisySimulator(ghz3_circuit, NoiseModel.uniform(0.02), seed=7)
+        trials = sim.sample(200)
+        path = tmp_path / "t.npz"
+        save_trials(path, trials)
+        reloaded = load_trials(path)
+        original_metrics = sim.analyze(trials=trials)
+        reloaded_metrics = sim.analyze(trials=reloaded)
+        assert original_metrics.optimized_ops == reloaded_metrics.optimized_ops
+        assert original_metrics.peak_msv == reloaded_metrics.peak_msv
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            version=np.array([FORMAT_VERSION + 1]),
+            event_counts=np.array([], dtype=np.int64),
+            event_bytes=np.array([], dtype=np.uint8),
+            flip_counts=np.array([], dtype=np.int64),
+            flips=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            load_trials(path)
+
+    def test_corrupt_counts_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        np.savez(
+            path,
+            version=np.array([FORMAT_VERSION]),
+            event_counts=np.array([1], dtype=np.int64),
+            event_bytes=np.zeros(5, dtype=np.uint8),
+            flip_counts=np.array([], dtype=np.int64),
+            flips=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            load_trials(path)

@@ -1,0 +1,146 @@
+"""Tests for Algorithm 1: trial reordering.
+
+Includes the hypothesis property test establishing that the literal
+recursive algorithm and the lexicographic sort produce identical orders.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ErrorEvent,
+    adjacent_prefix_lengths,
+    longest_common_prefix,
+    make_trial,
+    reorder_trials,
+    reorder_trials_recursive,
+)
+
+# -- hypothesis strategies ----------------------------------------------------
+
+events = st.builds(
+    ErrorEvent,
+    layer=st.integers(min_value=0, max_value=6),
+    qubit=st.integers(min_value=0, max_value=4),
+    pauli=st.sampled_from(["x", "y", "z"]),
+)
+
+
+@st.composite
+def trials_strategy(draw, max_trials=40):
+    count = draw(st.integers(min_value=0, max_value=max_trials))
+    result = []
+    for _ in range(count):
+        raw = draw(st.lists(events, max_size=5))
+        deduped = {}
+        for event in raw:
+            deduped[(event.layer, event.qubit)] = event
+        result.append(make_trial(tuple(deduped.values())))
+    return result
+
+
+class TestEquivalenceProperty:
+    @given(trials_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_recursive_equals_sort(self, trials):
+        assert reorder_trials_recursive(trials) == reorder_trials(trials)
+
+    @given(trials_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_reorder_is_permutation(self, trials):
+        reordered = reorder_trials_recursive(trials)
+        assert sorted(map(str, reordered)) == sorted(map(str, trials))
+
+    @given(trials_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_lexicographic_invariant(self, trials):
+        reordered = reorder_trials(trials)
+        for first, second in zip(reordered, reordered[1:]):
+            assert first.sort_key() <= second.sort_key()
+
+    @given(trials_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_reordering_never_hurts_adjacency(self, trials):
+        """Total consecutive-pair prefix sharing never decreases."""
+        if len(trials) < 2:
+            return
+        before = sum(adjacent_prefix_lengths(trials))
+        after = sum(adjacent_prefix_lengths(reorder_trials(trials)))
+        assert after >= before
+
+
+class TestConcreteOrders:
+    def test_empty_and_singleton(self):
+        assert reorder_trials([]) == []
+        trial = make_trial([ErrorEvent(0, 0, "x")])
+        assert reorder_trials_recursive([trial]) == [trial]
+
+    def test_error_free_trial_first(self):
+        noisy = make_trial([ErrorEvent(0, 0, "x")])
+        clean = make_trial([])
+        assert reorder_trials([noisy, clean])[0] is clean
+        assert reorder_trials_recursive([noisy, clean])[0] is clean
+
+    def test_paper_fig2_order(self):
+        """The Fig. 2 example: trials ordered by first-error location."""
+        # Trial 1: error late; trial 2: error mid; trial 3: error early.
+        trial1 = make_trial([ErrorEvent(2, 0, "x")])
+        trial2 = make_trial([ErrorEvent(1, 0, "x")])
+        trial3 = make_trial([ErrorEvent(0, 0, "x")])
+        reordered = reorder_trials([trial1, trial2, trial3])
+        assert reordered == [trial3, trial2, trial1]
+
+    def test_grouping_by_shared_first_error(self):
+        shared = ErrorEvent(0, 0, "x")
+        a = make_trial([shared, ErrorEvent(2, 1, "z")])
+        b = make_trial([shared, ErrorEvent(1, 1, "y")])
+        c = make_trial([ErrorEvent(1, 0, "x")])
+        reordered = reorder_trials([a, c, b])
+        # The two trials sharing the first error are adjacent, ordered by
+        # their second error; the layer-1 first-error trial comes after.
+        assert reordered == [b, a, c]
+
+    def test_duplicates_stay_adjacent(self):
+        trial = make_trial([ErrorEvent(1, 1, "y")])
+        other = make_trial([ErrorEvent(0, 0, "x")])
+        reordered = reorder_trials([trial, other, trial])
+        assert reordered == [other, trial, trial]
+
+    def test_qubit_breaks_layer_ties(self):
+        a = make_trial([ErrorEvent(0, 1, "x")])
+        b = make_trial([ErrorEvent(0, 0, "x")])
+        assert reorder_trials([a, b]) == [b, a]
+
+    def test_pauli_breaks_position_ties(self):
+        a = make_trial([ErrorEvent(0, 0, "z")])
+        b = make_trial([ErrorEvent(0, 0, "x")])
+        assert reorder_trials([a, b]) == [b, a]
+
+
+class TestPrefixHelpers:
+    def test_longest_common_prefix(self):
+        shared = ErrorEvent(0, 0, "x")
+        a = make_trial([shared, ErrorEvent(1, 0, "y")])
+        b = make_trial([shared, ErrorEvent(2, 0, "y")])
+        assert longest_common_prefix(a, b) == 1
+        assert longest_common_prefix(a, a) == 2
+        assert longest_common_prefix(a, make_trial([])) == 0
+
+    def test_adjacent_prefix_lengths(self):
+        shared = ErrorEvent(0, 0, "x")
+        trials = [
+            make_trial([]),
+            make_trial([shared]),
+            make_trial([shared, ErrorEvent(1, 1, "z")]),
+        ]
+        assert adjacent_prefix_lengths(trials) == [0, 1]
+
+    def test_sampled_realistic_reorder(self, rng, mild_noise, ghz3_circuit):
+        from repro.circuits import layerize
+        from repro.noise import sample_trials
+
+        layered = layerize(ghz3_circuit)
+        trials = sample_trials(layered, mild_noise, 500, rng)
+        assert reorder_trials(trials) == reorder_trials_recursive(trials)

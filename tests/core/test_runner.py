@@ -1,0 +1,149 @@
+"""Tests for the high-level NoisySimulator and its results."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import total_variation_distance
+from repro.core import NoisySimulator
+from repro.noise import NoiseModel
+from repro.testing import assert_states_close
+
+
+class TestRunModes:
+    def test_optimized_run_returns_counts(self, bell_circuit, mild_noise):
+        sim = NoisySimulator(bell_circuit, mild_noise, seed=1)
+        result = sim.run(num_trials=256)
+        assert sum(result.counts.values()) == 256
+        assert result.mode == "optimized"
+        assert result.metrics.num_trials == 256
+
+    def test_baseline_run(self, bell_circuit, mild_noise):
+        sim = NoisySimulator(bell_circuit, mild_noise, seed=1)
+        result = sim.run(num_trials=128, mode="baseline")
+        assert sum(result.counts.values()) == 128
+        # Baseline pays full price.
+        assert result.metrics.normalized_computation == pytest.approx(1.0)
+        assert result.metrics.peak_msv == 1
+
+    def test_optimized_saves_computation(self, bell_circuit, mild_noise):
+        sim = NoisySimulator(bell_circuit, mild_noise, seed=1)
+        result = sim.run(num_trials=512)
+        assert result.metrics.normalized_computation < 0.5
+        assert result.metrics.computation_saving > 0.5
+
+    def test_same_trials_same_final_states(self, ghz3_circuit, mild_noise):
+        """Optimized and baseline agree per-trial on the same trial set."""
+        sim = NoisySimulator(ghz3_circuit, mild_noise, seed=3)
+        trials = sim.sample(64)
+        optimized = sim.run(trials=trials, collect_final_states=True)
+        baseline = sim.run(
+            trials=trials, mode="baseline", collect_final_states=True
+        )
+        for opt_state, base_state in zip(
+            optimized.final_states, baseline.final_states
+        ):
+            assert_states_close(opt_state, base_state)
+
+    def test_output_distributions_statistically_close(self, bell_circuit):
+        model = NoiseModel.uniform(0.002)
+        opt = NoisySimulator(bell_circuit, model, seed=11).run(2000)
+        base = NoisySimulator(bell_circuit, model, seed=12).run(
+            2000, mode="baseline"
+        )
+        assert total_variation_distance(opt.counts, base.counts) < 0.06
+
+    def test_noiseless_bell_counts(self, bell_circuit):
+        sim = NoisySimulator(bell_circuit, NoiseModel.noiseless(), seed=5)
+        result = sim.run(num_trials=300)
+        assert set(result.counts) <= {"00", "11"}
+        assert result.counts["00"] == pytest.approx(150, abs=40)
+
+    def test_counting_backend_returns_metrics_only(self, bell_circuit, mild_noise):
+        sim = NoisySimulator(bell_circuit, mild_noise, seed=2)
+        result = sim.run(num_trials=100, backend="counting")
+        assert result.counts == {}
+        assert result.trial_clbits is None
+        assert result.metrics.optimized_ops > 0
+
+    def test_reproducible_with_seed(self, bell_circuit, mild_noise):
+        a = NoisySimulator(bell_circuit, mild_noise, seed=9).run(200)
+        b = NoisySimulator(bell_circuit, mild_noise, seed=9).run(200)
+        assert a.counts == b.counts
+
+    def test_bad_mode_rejected(self, bell_circuit, mild_noise):
+        sim = NoisySimulator(bell_circuit, mild_noise)
+        with pytest.raises(ValueError):
+            sim.run(10, mode="turbo")
+
+    def test_bad_backend_rejected(self, bell_circuit, mild_noise):
+        sim = NoisySimulator(bell_circuit, mild_noise)
+        with pytest.raises(ValueError):
+            sim.run(10, backend="gpu")
+
+    def test_mid_circuit_measurement_rejected(self, mild_noise):
+        from repro.circuits import CircuitError, QuantumCircuit
+
+        circ = QuantumCircuit(1)
+        circ.h(0).measure(0, 0).x(0)
+        with pytest.raises(CircuitError):
+            NoisySimulator(circ, mild_noise)
+
+
+class TestAnalyze:
+    def test_analyze_matches_counting_run(self, ghz3_circuit, mild_noise):
+        sim = NoisySimulator(ghz3_circuit, mild_noise, seed=4)
+        trials = sim.sample(300)
+        metrics = sim.analyze(trials=trials)
+        result = sim.run(trials=trials, backend="counting")
+        assert metrics.optimized_ops == result.metrics.optimized_ops
+        assert metrics.peak_msv == result.metrics.peak_msv
+
+    def test_analyze_statevector_parity(self, bell_circuit, mild_noise):
+        """The counting metric equals real statevector execution cost."""
+        sim = NoisySimulator(bell_circuit, mild_noise, seed=8)
+        trials = sim.sample(150)
+        metrics = sim.analyze(trials=trials)
+        real = sim.run(trials=trials, backend="statevector")
+        assert metrics.optimized_ops == real.metrics.optimized_ops
+        assert metrics.baseline_ops == real.metrics.baseline_ops
+
+
+class TestResultObject:
+    def test_probabilities_normalized(self, bell_circuit, mild_noise):
+        result = NoisySimulator(bell_circuit, mild_noise, seed=1).run(100)
+        probs = result.probabilities()
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_empty_probabilities(self, bell_circuit, mild_noise):
+        result = NoisySimulator(bell_circuit, mild_noise, seed=1).run(
+            50, backend="counting"
+        )
+        assert result.probabilities() == {}
+
+    def test_trial_clbits_recorded(self, bell_circuit, mild_noise):
+        result = NoisySimulator(bell_circuit, mild_noise, seed=1).run(30)
+        assert len(result.trial_clbits) == 30
+        for clbits in result.trial_clbits:
+            assert set(clbits) == {0, 1}
+
+    def test_measurement_error_visible_in_counts(self, bell_circuit):
+        # Readout-only noise on a |00>-only circuit produces nonzero bits.
+        from repro.circuits import QuantumCircuit
+
+        circ = QuantumCircuit(2)
+        circ.i(0)
+        circ.measure_all()
+        model = NoiseModel(default_measurement=0.5)
+        result = NoisySimulator(circ, model, seed=6).run(400)
+        assert len(result.counts) > 1
+
+    def test_repr(self, bell_circuit, mild_noise):
+        result = NoisySimulator(bell_circuit, mild_noise, seed=1).run(10)
+        assert "SimulationResult" in repr(result)
+        assert "RunMetrics" in repr(result.metrics)
+
+    def test_metrics_as_dict(self, bell_circuit, mild_noise):
+        metrics = NoisySimulator(bell_circuit, mild_noise, seed=1).analyze(50)
+        data = metrics.as_dict()
+        assert data["num_trials"] == 50
+        assert 0 <= data["normalized_computation"] <= 1

@@ -1,0 +1,196 @@
+"""Tests for execution-plan generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import QuantumCircuit, layerize
+from repro.core import (
+    Advance,
+    ErrorEvent,
+    Finish,
+    Inject,
+    Restore,
+    ScheduleError,
+    Snapshot,
+    build_plan,
+    make_trial,
+)
+from repro.sim import CountingBackend
+from repro.core.executor import run_optimized
+from tests.core.test_reorder import trials_strategy
+
+
+@pytest.fixture
+def three_layer_circuit():
+    """One gate per layer, three layers — the Fig. 2 setting."""
+    circ = QuantumCircuit(2)
+    circ.h(0).h(0).h(0)
+    circ.measure_all()
+    return layerize(circ)
+
+
+class TestPlanStructure:
+    def test_single_error_free_trial(self, three_layer_circuit):
+        plan = build_plan(three_layer_circuit, [make_trial([])])
+        plan.validate()
+        assert plan.count(Advance) == 1
+        assert plan.count(Finish) == 1
+        assert plan.count(Snapshot) == 0
+        assert plan.planned_operations(three_layer_circuit) == 3
+
+    def test_empty_trials_rejected(self, three_layer_circuit):
+        with pytest.raises(ScheduleError):
+            build_plan(three_layer_circuit, [])
+
+    def test_event_beyond_depth_rejected(self, three_layer_circuit):
+        with pytest.raises(ScheduleError):
+            build_plan(three_layer_circuit, [make_trial([ErrorEvent(9, 0, "x")])])
+
+    def test_event_beyond_qubits_rejected(self, three_layer_circuit):
+        with pytest.raises(ScheduleError):
+            build_plan(three_layer_circuit, [make_trial([ErrorEvent(0, 7, "x")])])
+
+    def test_duplicate_trials_finish_together(self, three_layer_circuit):
+        trial = make_trial([ErrorEvent(0, 0, "x")])
+        plan = build_plan(three_layer_circuit, [trial, trial])
+        finishes = [i for i in plan if isinstance(i, Finish)]
+        assert len(finishes) == 1
+        assert finishes[0].trial_indices == (0, 1)
+
+    def test_fig2_example_costs(self, three_layer_circuit):
+        """The paper's Fig. 2: one error-free + three one-error trials.
+
+        Optimized: 6 layer applications + 3 injected errors = 9 ops vs the
+        baseline's 4 x 3 + 3 = 15, and only ONE stored state vector at a
+        time (the paper's optimized order 3-2-1).
+        """
+        trials = [
+            make_trial([]),
+            make_trial([ErrorEvent(2, 0, "x")]),
+            make_trial([ErrorEvent(1, 0, "x")]),
+            make_trial([ErrorEvent(0, 0, "x")]),
+        ]
+        plan = build_plan(three_layer_circuit, trials)
+        plan.validate()
+        assert plan.planned_operations(three_layer_circuit) == 9
+        backend = CountingBackend(three_layer_circuit)
+        outcome = run_optimized(three_layer_circuit, trials, backend, plan=plan)
+        assert outcome.ops_applied == 9
+        assert outcome.cache_stats.peak_stored == 1
+
+    def test_last_consumer_steals_state(self, three_layer_circuit):
+        """A node whose only consumer is one child takes no snapshot."""
+        trial = make_trial([ErrorEvent(1, 0, "x")])
+        plan = build_plan(three_layer_circuit, [trial])
+        assert plan.count(Snapshot) == 0
+        assert plan.count(Restore) == 0
+
+    def test_terminal_forces_snapshot(self, three_layer_circuit):
+        """A node with a terminal trial and a child must snapshot."""
+        trials = [make_trial([]), make_trial([ErrorEvent(0, 0, "x")])]
+        plan = build_plan(three_layer_circuit, trials)
+        assert plan.count(Snapshot) == 1
+        assert plan.count(Restore) == 1
+
+    def test_layer_advance_monotone(self, three_layer_circuit):
+        trials = [
+            make_trial([ErrorEvent(0, 0, "x")]),
+            make_trial([ErrorEvent(1, 0, "y")]),
+            make_trial([ErrorEvent(2, 1, "z")]),
+        ]
+        plan = build_plan(three_layer_circuit, trials)
+        plan.validate()
+
+    def test_finished_indices_complete(self, three_layer_circuit):
+        trials = [
+            make_trial([ErrorEvent(1, 0, "x")]),
+            make_trial([]),
+            make_trial([ErrorEvent(1, 0, "x"), ErrorEvent(2, 0, "z")]),
+        ]
+        plan = build_plan(three_layer_circuit, trials)
+        assert sorted(plan.finished_trial_indices()) == [0, 1, 2]
+
+
+class TestPlanValidation:
+    def test_validate_catches_double_snapshot(self, three_layer_circuit):
+        from repro.core.schedule import ExecutionPlan
+
+        plan = ExecutionPlan(
+            [Snapshot(0), Snapshot(0)], num_trials=0, num_layers=3
+        )
+        with pytest.raises(ScheduleError):
+            plan.validate()
+
+    def test_validate_catches_unknown_restore(self, three_layer_circuit):
+        from repro.core.schedule import ExecutionPlan
+
+        plan = ExecutionPlan([Restore(5)], num_trials=0, num_layers=3)
+        with pytest.raises(ScheduleError):
+            plan.validate()
+
+    def test_validate_catches_leaked_slot(self):
+        from repro.core.schedule import ExecutionPlan
+
+        plan = ExecutionPlan([Snapshot(0)], num_trials=0, num_layers=3)
+        with pytest.raises(ScheduleError):
+            plan.validate()
+
+    def test_validate_catches_double_finish(self):
+        from repro.core.schedule import ExecutionPlan
+
+        plan = ExecutionPlan(
+            [Finish((0,)), Finish((0,))], num_trials=1, num_layers=1
+        )
+        with pytest.raises(ScheduleError):
+            plan.validate()
+
+    def test_validate_catches_missing_trials(self):
+        from repro.core.schedule import ExecutionPlan
+
+        plan = ExecutionPlan([Finish((0,))], num_trials=2, num_layers=1)
+        with pytest.raises(ScheduleError):
+            plan.validate()
+
+    def test_validate_catches_bad_advance(self):
+        from repro.core.schedule import ExecutionPlan
+
+        plan = ExecutionPlan([Advance(2, 1)], num_trials=0, num_layers=3)
+        with pytest.raises(ScheduleError):
+            plan.validate()
+
+
+class TestPlanProperties:
+    @given(trials_strategy(max_trials=25))
+    @settings(max_examples=100, deadline=None)
+    def test_random_trials_produce_valid_plans(self, trials):
+        circ = QuantumCircuit(5)
+        for _ in range(7):
+            for q in range(5):
+                circ.h(q)
+        layered = layerize(circ)
+        if not trials:
+            return
+        plan = build_plan(layered, trials)
+        plan.validate()
+        # Ops from the closed form match a counting execution.
+        backend = CountingBackend(layered)
+        outcome = run_optimized(layered, trials, backend, plan=plan)
+        assert outcome.ops_applied == plan.planned_operations(layered)
+
+    @given(trials_strategy(max_trials=25))
+    @settings(max_examples=100, deadline=None)
+    def test_optimized_never_exceeds_baseline(self, trials):
+        from repro.core import baseline_operation_count
+
+        circ = QuantumCircuit(5)
+        for _ in range(7):
+            for q in range(5):
+                circ.h(q)
+        layered = layerize(circ)
+        if not trials:
+            return
+        plan = build_plan(layered, trials)
+        assert plan.planned_operations(layered) <= baseline_operation_count(
+            layered, trials
+        )

@@ -1,0 +1,111 @@
+"""Tests for the trial prefix trie."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import ErrorEvent, TrialTrie, build_trie, make_trial, reorder_trials
+from tests.core.test_reorder import trials_strategy
+
+
+class TestConstruction:
+    def test_empty(self):
+        trie = build_trie([])
+        assert trie.num_trials == 0
+        assert trie.num_nodes == 1
+        assert trie.root.is_leaf
+
+    def test_single_error_free_trial(self):
+        trie = build_trie([make_trial([])])
+        assert trie.num_nodes == 1
+        assert trie.root.terminal_trials == [0]
+
+    def test_shared_prefix_shares_nodes(self):
+        shared = ErrorEvent(0, 0, "x")
+        a = make_trial([shared, ErrorEvent(1, 0, "y")])
+        b = make_trial([shared, ErrorEvent(2, 0, "y")])
+        trie = build_trie([a, b])
+        # root + shared + two divergent leaves.
+        assert trie.num_nodes == 4
+        assert len(trie.root.children) == 1
+
+    def test_duplicate_trials_share_leaf(self):
+        trial = make_trial([ErrorEvent(0, 0, "x")])
+        trie = build_trie([trial, trial, trial])
+        assert trie.num_nodes == 2
+        leaf = trie.root.children[ErrorEvent(0, 0, "x")]
+        assert leaf.terminal_trials == [0, 1, 2]
+
+    def test_depth(self):
+        trials = [
+            make_trial([]),
+            make_trial([ErrorEvent(0, 0, "x"), ErrorEvent(1, 0, "x")]),
+        ]
+        assert build_trie(trials).depth() == 2
+
+    def test_node_depth_field(self):
+        trial = make_trial([ErrorEvent(0, 0, "x"), ErrorEvent(1, 0, "y")])
+        trie = build_trie([trial])
+        node = trie.root.children[ErrorEvent(0, 0, "x")]
+        assert node.depth == 1
+        assert node.children[ErrorEvent(1, 0, "y")].depth == 2
+
+
+class TestTraversal:
+    def test_sorted_children(self):
+        trials = [
+            make_trial([ErrorEvent(1, 0, "x")]),
+            make_trial([ErrorEvent(0, 0, "x")]),
+        ]
+        trie = build_trie(trials)
+        children = trie.root.sorted_children()
+        assert children[0].event.layer == 0
+        assert children[1].event.layer == 1
+
+    def test_iter_nodes_yields_paths(self):
+        shared = ErrorEvent(0, 0, "x")
+        trial = make_trial([shared, ErrorEvent(1, 1, "z")])
+        trie = build_trie([trial])
+        paths = [path for _, path in trie.iter_nodes()]
+        assert () in paths
+        assert (shared,) in paths
+        assert (shared, ErrorEvent(1, 1, "z")) in paths
+
+    @given(trials_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_execution_order_matches_reorder(self, trials):
+        """Trie DFS pre-order == Algorithm 1's lexicographic order."""
+        trie = build_trie(trials)
+        ordered_by_trie = [trials[i] for i in trie.execution_order()]
+        assert ordered_by_trie == reorder_trials(trials)
+
+    @given(trials_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_every_trial_reachable_once(self, trials):
+        trie = build_trie(trials)
+        order = trie.execution_order()
+        assert sorted(order) == list(range(len(trials)))
+
+
+class TestAnalysis:
+    def test_count_branch_nodes(self):
+        shared = ErrorEvent(0, 0, "x")
+        trials = [
+            make_trial([shared, ErrorEvent(1, 0, "y")]),
+            make_trial([shared, ErrorEvent(2, 0, "y")]),
+        ]
+        trie = build_trie(trials)
+        # Only the shared node has two futures.
+        assert trie.count_branch_nodes() == 1
+
+    def test_branch_counts_terminal_plus_child(self):
+        shared = ErrorEvent(0, 0, "x")
+        trials = [
+            make_trial([shared]),
+            make_trial([shared, ErrorEvent(1, 0, "y")]),
+        ]
+        assert build_trie(trials).count_branch_nodes() == 1
+
+    def test_repr(self):
+        assert "TrialTrie" in repr(build_trie([make_trial([])]))
+        assert "TrieNode" in repr(build_trie([make_trial([])]).root)

@@ -1,0 +1,152 @@
+"""Tests for the ablation cost models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, layerize
+from repro.core import ErrorEvent, make_trial, reorder_trials
+from repro.experiments.ablations import (
+    ablation_report,
+    consecutive_reuse_ops,
+    dedup_only_ops,
+    trial_cost,
+)
+from repro.noise import NoiseModel, sample_trials
+
+
+@pytest.fixture
+def four_layer():
+    circ = QuantumCircuit(2)
+    for _ in range(4):
+        circ.h(0)
+    return layerize(circ)
+
+
+class TestTrialCost:
+    def test_error_free(self, four_layer):
+        assert trial_cost(four_layer, make_trial([])) == 4
+
+    def test_with_errors(self, four_layer):
+        trial = make_trial([ErrorEvent(0, 0, "x"), ErrorEvent(2, 1, "y")])
+        assert trial_cost(four_layer, trial) == 6
+
+
+class TestConsecutiveReuse:
+    def test_empty(self, four_layer):
+        assert consecutive_reuse_ops(four_layer, []) == 0
+
+    def test_single_trial_full_cost(self, four_layer):
+        assert consecutive_reuse_ops(four_layer, [make_trial([])]) == 4
+
+    def test_duplicates_free(self, four_layer):
+        trial = make_trial([ErrorEvent(1, 0, "x")])
+        assert consecutive_reuse_ops(four_layer, [trial, trial]) == trial_cost(
+            four_layer, trial
+        )
+
+    def test_shared_prefix_reused(self, four_layer):
+        clean = make_trial([])
+        late_error = make_trial([ErrorEvent(3, 0, "x")])
+        # Second trial resumes at layer 4 (the error-free frontier).
+        cost = consecutive_reuse_ops(four_layer, [clean, late_error])
+        assert cost == 4 + (0 + 1)
+
+    def test_divergence_limits_reuse(self, four_layer):
+        early = make_trial([ErrorEvent(0, 0, "x")])
+        late = make_trial([ErrorEvent(3, 0, "x")])
+        # 'late' can only reuse up to layer 1, where 'early' diverged.
+        cost = consecutive_reuse_ops(four_layer, [early, late])
+        assert cost == (4 + 1) + (3 + 1)
+
+
+class TestDedupOnly:
+    def test_counts_each_distinct_once(self, four_layer):
+        trial = make_trial([ErrorEvent(1, 0, "x")])
+        trials = [trial, trial, make_trial([])]
+        assert dedup_only_ops(four_layer, trials) == 5 + 4
+
+
+class TestAblationReport:
+    @pytest.fixture
+    def sampled(self, four_layer, rng):
+        model = NoiseModel.uniform(0.1, two=0.3, measurement=0.0)
+        return sample_trials(four_layer, model, 600, rng)
+
+    def test_full_is_best(self, four_layer, sampled):
+        report = ablation_report(four_layer, sampled)
+        assert report["full"] <= report["consecutive_sorted"]
+        assert report["full"] <= report["consecutive_raw"]
+        assert report["full"] <= report["dedup_only"]
+        assert report["full"] <= report["baseline"]
+
+    def test_reordering_helps_consecutive_reuse(self, four_layer, sampled):
+        report = ablation_report(four_layer, sampled)
+        assert report["consecutive_sorted"] <= report["consecutive_raw"]
+
+    def test_everything_beats_baseline(self, four_layer, sampled):
+        report = ablation_report(four_layer, sampled)
+        for key in ("dedup_only", "consecutive_raw", "consecutive_sorted", "full"):
+            assert report[key] <= report["baseline"]
+
+    def test_snapshot_stack_beats_single_predecessor(self, four_layer):
+        """The concrete case where the trie's stored frontier wins."""
+        trials = [
+            make_trial([]),
+            make_trial([ErrorEvent(2, 1, "x")]),
+            make_trial([ErrorEvent(3, 0, "y"), ErrorEvent(3, 1, "y")]),
+        ]
+        report = ablation_report(four_layer, trials)
+        assert report["full"] < report["consecutive_sorted"]
+
+    def test_realistic_benchmark_shape(self):
+        from repro.bench import build_compiled_benchmark
+        from repro.noise import ibm_yorktown
+
+        layered = layerize(build_compiled_benchmark("qft4"))
+        trials = sample_trials(
+            layered, ibm_yorktown(), 1000, np.random.default_rng(3)
+        )
+        report = ablation_report(layered, trials)
+        # Reordering must contribute on top of raw consecutive reuse.
+        assert report["consecutive_sorted"] < 0.8 * report["consecutive_raw"]
+        assert report["full"] < 0.5 * report["baseline"]
+
+
+class TestChunkedExecution:
+    @pytest.fixture
+    def sampled_trials(self, four_layer, rng):
+        from repro.experiments import chunk_sweep, chunked_ops
+
+        model = NoiseModel.uniform(0.08, two=0.3, measurement=0.0)
+        return sample_trials(four_layer, model, 400, rng)
+
+    def test_one_chunk_equals_full(self, four_layer, sampled_trials):
+        from repro.core import run_optimized
+        from repro.experiments import chunked_ops
+        from repro.sim import CountingBackend
+
+        full = run_optimized(
+            four_layer, sampled_trials, CountingBackend(four_layer)
+        ).ops_applied
+        assert chunked_ops(four_layer, sampled_trials, 1) == full
+
+    def test_more_chunks_cost_more(self, four_layer, sampled_trials):
+        from repro.experiments import chunk_sweep
+
+        sweep = chunk_sweep(four_layer, sampled_trials, (1, 4, 16, 64))
+        values = [sweep[k] for k in (1, 4, 16, 64)]
+        assert values == sorted(values)
+
+    def test_extreme_chunking_approaches_baseline(self, four_layer, sampled_trials):
+        from repro.core import baseline_operation_count
+        from repro.experiments import chunked_ops
+
+        per_trial = chunked_ops(four_layer, sampled_trials, len(sampled_trials))
+        baseline = baseline_operation_count(four_layer, sampled_trials)
+        assert per_trial == baseline
+
+    def test_zero_chunks_rejected(self, four_layer, sampled_trials):
+        from repro.experiments import chunked_ops
+
+        with pytest.raises(ValueError):
+            chunked_ops(four_layer, sampled_trials, 0)

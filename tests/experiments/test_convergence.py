@@ -1,0 +1,58 @@
+"""Tests for the Monte-Carlo convergence study."""
+
+import math
+
+import pytest
+
+from repro.experiments.convergence import (
+    exact_distribution,
+    run_convergence_study,
+)
+from repro.noise import NoiseModel
+
+
+class TestExactDistribution:
+    def test_noiseless_bell(self, bell_circuit):
+        distribution = exact_distribution(bell_circuit, NoiseModel.noiseless())
+        total = sum(distribution.values())
+        assert distribution["00"] / total == pytest.approx(0.5, abs=1e-9)
+        assert distribution["11"] / total == pytest.approx(0.5, abs=1e-9)
+        assert set(distribution) == {"00", "11"}
+
+    def test_readout_flips_folded_in(self, bell_circuit):
+        model = NoiseModel(default_measurement=0.5)
+        distribution = exact_distribution(bell_circuit, model)
+        total = sum(distribution.values())
+        # 50% flips on both bits fully mix the readout.
+        for bits in ("00", "01", "10", "11"):
+            assert distribution[bits] / total == pytest.approx(0.25, abs=1e-9)
+
+    def test_gate_noise_broadens_support(self, bell_circuit):
+        model = NoiseModel.uniform(0.05, two=0.2, measurement=0.0)
+        distribution = exact_distribution(bell_circuit, model)
+        assert len(distribution) == 4
+
+
+class TestConvergence:
+    def test_tv_shrinks_with_trials(self, bell_circuit):
+        model = NoiseModel.uniform(0.01)
+        points = run_convergence_study(
+            bell_circuit, model, trial_counts=(64, 4096), seed=3
+        )
+        assert points[-1].tv_distance < points[0].tv_distance
+
+    def test_monte_carlo_rate(self, bell_circuit):
+        """TV at N trials is within a few multiples of 1/sqrt(N)."""
+        model = NoiseModel.uniform(0.01)
+        points = run_convergence_study(
+            bell_circuit, model, trial_counts=(256, 4096), seed=5
+        )
+        for point in points:
+            assert point.tv_distance < 6.0 / math.sqrt(point.num_trials)
+
+    def test_saving_grows_alongside(self, bell_circuit):
+        model = NoiseModel.uniform(0.01)
+        points = run_convergence_study(
+            bell_circuit, model, trial_counts=(128, 2048), seed=7
+        )
+        assert points[-1].computation_saving >= points[0].computation_saving

@@ -1,0 +1,111 @@
+"""Tests for the experiment drivers (small configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    REALISTIC_TRIAL_COUNTS,
+    error_level_label,
+    fig5_rows,
+    fig6_rows,
+    fig7_rows,
+    fig8_rows,
+    run_realistic_experiment,
+    run_scalability_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def realistic_records():
+    return run_realistic_experiment(
+        benchmarks=["rb", "bv4"], trial_counts=(256, 512), seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def scalability_records():
+    return run_scalability_experiment(
+        sizes=((4, 3), (6, 3)),
+        error_levels=(1e-3, 1e-4),
+        num_trials=2000,
+        seed=1,
+    )
+
+
+class TestRealistic:
+    def test_record_grid(self, realistic_records):
+        assert len(realistic_records) == 4
+        benchmarks = {r.benchmark for r in realistic_records}
+        assert benchmarks == {"rb", "bv4"}
+
+    def test_savings_positive(self, realistic_records):
+        for record in realistic_records:
+            assert 0.0 < record.normalized_computation < 1.0
+            assert record.computation_saving > 0.0
+
+    def test_more_trials_more_saving(self, realistic_records):
+        by_benchmark = {}
+        for record in realistic_records:
+            by_benchmark.setdefault(record.benchmark, {})[
+                record.num_trials
+            ] = record.normalized_computation
+        for values in by_benchmark.values():
+            assert values[512] <= values[256]
+
+    def test_msv_small(self, realistic_records):
+        for record in realistic_records:
+            assert 1 <= record.peak_msv <= 10
+
+    def test_fig5_pivot(self, realistic_records):
+        rows = fig5_rows(realistic_records)
+        assert len(rows) == 2
+        assert "256 trials" in rows[0]
+        assert "512 trials" in rows[0]
+
+    def test_fig6_pivot(self, realistic_records):
+        rows = fig6_rows(realistic_records, num_trials=256)
+        assert len(rows) == 2
+        assert all("msv" in row for row in rows)
+
+    def test_default_trial_counts(self):
+        assert REALISTIC_TRIAL_COUNTS == (1024, 2048, 4096, 8192)
+
+    def test_record_repr(self, realistic_records):
+        assert "RealisticRecord" in repr(realistic_records[0])
+
+
+class TestScalability:
+    def test_record_grid(self, scalability_records):
+        assert len(scalability_records) == 4
+
+    def test_lower_error_rate_saves_more(self, scalability_records):
+        by_size = {}
+        for record in scalability_records:
+            by_size.setdefault(record.size_label, {})[
+                record.single_rate
+            ] = record.normalized_computation
+        for values in by_size.values():
+            assert values[1e-4] <= values[1e-3]
+
+    def test_bigger_circuit_saves_less(self, scalability_records):
+        by_rate = {}
+        for record in scalability_records:
+            by_rate.setdefault(record.single_rate, {})[
+                record.num_qubits
+            ] = record.normalized_computation
+        for values in by_rate.values():
+            assert values[6] >= values[4]
+
+    def test_fig7_fig8_pivots(self, scalability_records):
+        rows7 = fig7_rows(scalability_records)
+        rows8 = fig8_rows(scalability_records)
+        assert len(rows7) == len(rows8) == 2
+        assert error_level_label(1e-3) in rows7[0]
+
+    def test_error_level_label(self):
+        assert error_level_label(1e-3) == "1e-03/1e-02"
+
+    def test_record_fields(self, scalability_records):
+        record = scalability_records[0]
+        assert record.size_label == "n4,d3"
+        assert record.baseline_ops > record.optimized_ops
+        assert "ScalabilityRecord" in repr(record)

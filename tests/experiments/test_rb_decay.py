@@ -1,0 +1,62 @@
+"""Tests for the randomized-benchmarking decay study."""
+
+import pytest
+
+from repro.experiments.rb_decay import RBPoint, fit_rb_decay, run_rb_decay
+from repro.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def decay_points():
+    model = NoiseModel.uniform(5e-3)
+    return run_rb_decay(
+        model,
+        lengths=(1, 4, 16),
+        sequences_per_length=2,
+        trials_per_sequence=256,
+        seed=9,
+    )
+
+
+class TestRunRBDecay:
+    def test_point_structure(self, decay_points):
+        assert len(decay_points) == 3
+        for point in decay_points:
+            assert isinstance(point, RBPoint)
+            assert 0.0 <= point.survival <= 1.0
+            assert point.num_trials == 512
+
+    def test_survival_decays_with_length(self, decay_points):
+        survivals = [point.survival for point in decay_points]
+        assert survivals[0] > survivals[-1]
+
+    def test_noiseless_survival_is_one(self):
+        points = run_rb_decay(
+            NoiseModel.noiseless(),
+            lengths=(1, 8),
+            sequences_per_length=1,
+            trials_per_sequence=64,
+        )
+        assert all(point.survival == 1.0 for point in points)
+
+    def test_savings_reported(self, decay_points):
+        for point in decay_points:
+            assert point.computation_saving > 0.3
+
+
+class TestFit:
+    def test_fit_recovers_synthetic_decay(self):
+        points = [
+            RBPoint(m, 0.7 * 0.9**m + 0.25, 0.0, 1)
+            for m in (1, 2, 4, 8, 16, 32, 64)
+        ]
+        amplitude, decay_p, floor = fit_rb_decay(points)
+        assert decay_p == pytest.approx(0.9, abs=0.01)
+        assert amplitude == pytest.approx(0.7, abs=0.02)
+        assert floor == pytest.approx(0.25, abs=0.02)
+
+    def test_fit_on_simulated_data(self, decay_points):
+        amplitude, decay_p, floor = fit_rb_decay(decay_points)
+        assert 0.0 < decay_p < 1.0
+        # Error per round should reflect the injected noise scale.
+        assert 1e-4 < 1 - decay_p < 0.5

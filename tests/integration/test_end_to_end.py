@@ -1,0 +1,65 @@
+"""End-to-end integration: full pipeline on the paper's benchmarks."""
+
+import pytest
+
+from repro.analysis import total_variation_distance
+from repro.bench import benchmark_names, build_compiled_benchmark
+from repro.core import NoisySimulator
+from repro.noise import ibm_yorktown
+from repro.testing import assert_states_close
+
+SMALL_SET = ["rb", "wstate", "bv4", "7x1mod15"]
+
+
+class TestBenchmarkPipelines:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_optimized_equals_baseline_states(self, name):
+        """Per-trial exactness on every Table I benchmark."""
+        circuit = build_compiled_benchmark(name)
+        sim = NoisySimulator(circuit, ibm_yorktown(), seed=17)
+        trials = sim.sample(48)
+        optimized = sim.run(trials=trials, collect_final_states=True)
+        baseline = sim.run(trials=trials, mode="baseline", collect_final_states=True)
+        for opt_state, base_state in zip(
+            optimized.final_states, baseline.final_states
+        ):
+            assert_states_close(opt_state, base_state, atol=1e-8)
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_counting_matches_statevector_metrics(self, name):
+        circuit = build_compiled_benchmark(name)
+        sim = NoisySimulator(circuit, ibm_yorktown(), seed=23)
+        trials = sim.sample(128)
+        counted = sim.analyze(trials=trials)
+        real = sim.run(trials=trials, backend="statevector")
+        assert counted.optimized_ops == real.metrics.optimized_ops
+        assert counted.peak_msv == real.metrics.peak_msv
+
+    @pytest.mark.parametrize("name", SMALL_SET)
+    def test_computation_saving_in_paper_band(self, name):
+        """>=50% computation saving on the realistic model at 1024 trials."""
+        circuit = build_compiled_benchmark(name)
+        metrics = NoisySimulator(circuit, ibm_yorktown(), seed=5).analyze(1024)
+        assert metrics.computation_saving > 0.5
+
+    @pytest.mark.parametrize("name", SMALL_SET)
+    def test_msv_stays_single_digit(self, name):
+        circuit = build_compiled_benchmark(name)
+        metrics = NoisySimulator(circuit, ibm_yorktown(), seed=5).analyze(1024)
+        assert metrics.peak_msv <= 9
+
+    def test_distributions_agree_between_modes(self):
+        """Optimized vs baseline output distributions on a noisy benchmark."""
+        circuit = build_compiled_benchmark("bv4")
+        opt = NoisySimulator(circuit, ibm_yorktown(), seed=31).run(3000)
+        base = NoisySimulator(circuit, ibm_yorktown(), seed=77).run(
+            3000, mode="baseline"
+        )
+        assert total_variation_distance(opt.counts, base.counts) < 0.05
+
+    def test_noise_degrades_but_preserves_winner(self):
+        """Under realistic noise bv4 still outputs the hidden string most."""
+        circuit = build_compiled_benchmark("bv4")
+        result = NoisySimulator(circuit, ibm_yorktown(), seed=13).run(2000)
+        assert max(result.counts, key=result.counts.get) == "111"
+        assert result.counts["111"] / 2000 > 0.5

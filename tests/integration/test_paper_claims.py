@@ -1,0 +1,121 @@
+"""The paper's headline claims, asserted as tests (laptop-scale).
+
+Each test names the claim it pins.  The benchmark harness re-checks the
+same claims at full experiment scale; here they run at reduced size so a
+plain ``pytest tests/`` certifies the reproduction's substance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_compiled_benchmark, quantum_volume
+from repro.circuits import layerize
+from repro.core import NoisySimulator
+from repro.core.packed import analyze_packed_trials, sample_packed_trials
+from repro.noise import NoiseModel, artificial_model, ibm_yorktown
+
+BENCHMARK_SET = ["rb", "wstate", "bv4", "qft4", "qv_n5d3"]
+
+
+class TestAbstractClaims:
+    def test_80_percent_average_saving(self):
+        """'save on average 80% computation' (abstract), realistic model."""
+        savings = []
+        for name in BENCHMARK_SET:
+            circuit = build_compiled_benchmark(name)
+            metrics = NoisySimulator(circuit, ibm_yorktown(), seed=1).analyze(1024)
+            savings.append(metrics.computation_saving)
+        assert sum(savings) / len(savings) > 0.75
+
+    def test_small_number_of_state_vectors(self):
+        """'only a small number of state vectors stored' (abstract)."""
+        for name in BENCHMARK_SET:
+            circuit = build_compiled_benchmark(name)
+            metrics = NoisySimulator(circuit, ibm_yorktown(), seed=1).analyze(1024)
+            assert metrics.peak_msv <= 8
+
+    def test_more_trials_more_saving(self):
+        """'more computation can be saved with more simulation trials'."""
+        circuit = build_compiled_benchmark("qft4")
+        sim = NoisySimulator(circuit, ibm_yorktown(), seed=2)
+        small = sim.analyze(256).normalized_computation
+        large = sim.analyze(4096).normalized_computation
+        assert large < small
+
+    def test_lower_error_rates_save_more(self):
+        """'more computation saved ... on future QC devices with reduced
+        error rates' (abstract / Fig. 7)."""
+        circuit = quantum_volume(8, 6, seed=0)
+        layered = layerize(circuit)
+        values = {}
+        for rate in (1e-3, 1e-4):
+            packed = sample_packed_trials(
+                layered, artificial_model(rate), 20_000, np.random.default_rng(1)
+            )
+            values[rate] = analyze_packed_trials(
+                layered, packed
+            ).normalized_computation
+        assert values[1e-4] < values[1e-3]
+
+
+class TestSectionIVClaims:
+    def test_mathematically_equivalent(self):
+        """'will not affect the final simulation result' (Sec. I/IV)."""
+        from repro.testing import assert_states_close
+
+        circuit = build_compiled_benchmark("wstate")
+        sim = NoisySimulator(circuit, ibm_yorktown(), seed=5)
+        trials = sim.sample(96)
+        optimized = sim.run(trials=trials, collect_final_states=True)
+        baseline = sim.run(
+            trials=trials, mode="baseline", collect_final_states=True
+        )
+        for a, b in zip(optimized.final_states, baseline.final_states):
+            assert_states_close(a, b, atol=1e-8)
+
+    def test_msv_equals_reordering_recursion_depth_scale(self):
+        """'maximal number of stored state vectors is the recursion depth'
+        — MSVs track the deepest shared-prefix chain, not the trial count."""
+        from repro.core import build_trie
+
+        circuit = build_compiled_benchmark("qft4")
+        sim = NoisySimulator(circuit, ibm_yorktown(), seed=7)
+        trials = sim.sample(2048)
+        metrics = sim.analyze(trials=trials)
+        depth = build_trie(trials).depth()
+        # peak MSV is bounded by (and tracks) the trie depth + frontier.
+        assert metrics.peak_msv <= depth + 2
+        assert metrics.peak_msv >= 2
+
+    def test_sharing_probability_decays_with_prefix_length(self):
+        """'probability for two trials to share m errors decays
+        exponentially as m increases' — the LCP histogram is decreasing."""
+        from repro.analysis import analyze_sharing
+
+        circuit = build_compiled_benchmark("qv_n5d3")
+        sim = NoisySimulator(circuit, ibm_yorktown(), seed=3)
+        trials = sim.sample(4096)
+        report = analyze_sharing(layerize(circuit), trials)
+        histogram = report.lcp_histogram
+        # In *event* terms a fired two-qubit label contributes up to two
+        # shared events at once, so compare in coarse bands: shallow
+        # sharing (<= 2 events ~ one shared fired position) must dominate
+        # deep sharing (>= 3 events ~ two+ shared fired positions), and
+        # the tail must vanish quickly.
+        shallow = sum(count for k, count in histogram.items() if 1 <= k <= 2)
+        deep = sum(count for k, count in histogram.items() if k >= 3)
+        assert deep < 0.1 * shallow
+        assert max(histogram) <= 6
+
+    def test_orthogonal_to_single_trial_optimizations(self):
+        """Sec. II: composes with stabilizer simulation (our extension)."""
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(20)
+        circuit.h(0)
+        for qubit in range(19):
+            circuit.cx(qubit, qubit + 1)
+        circuit.measure_all()
+        sim = NoisySimulator(circuit, NoiseModel.uniform(1e-4), seed=4)
+        result = sim.run(num_trials=128, backend="stabilizer")
+        assert result.metrics.computation_saving > 0.8

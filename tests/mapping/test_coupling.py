@@ -1,0 +1,64 @@
+"""Tests for coupling maps."""
+
+import pytest
+
+from repro.mapping import CouplingMap, grid_coupling, line_coupling, yorktown_coupling
+
+
+class TestCouplingMap:
+    def test_yorktown(self):
+        coupling = yorktown_coupling()
+        assert coupling.num_qubits == 5
+        assert len(coupling.edges) == 6
+        assert coupling.connected(0, 1)
+        assert coupling.connected(1, 0)
+        assert not coupling.connected(0, 3)
+
+    def test_distances(self):
+        coupling = yorktown_coupling()
+        assert coupling.distance(0, 0) == 0
+        assert coupling.distance(0, 2) == 1
+        assert coupling.distance(0, 3) == 2
+        assert coupling.distance(1, 4) == 2
+
+    def test_shortest_path_endpoints(self):
+        coupling = yorktown_coupling()
+        path = coupling.shortest_path(0, 4)
+        assert path[0] == 0 and path[-1] == 4
+        assert len(path) == coupling.distance(0, 4) + 1
+
+    def test_neighbors(self):
+        assert yorktown_coupling().neighbors(2) == [0, 1, 3, 4]
+
+    def test_line(self):
+        coupling = line_coupling(4)
+        assert coupling.distance(0, 3) == 3
+        assert coupling.connected(1, 2)
+        assert not coupling.connected(0, 2)
+
+    def test_grid(self):
+        coupling = grid_coupling(2, 3)
+        assert coupling.num_qubits == 6
+        assert coupling.connected(0, 1)
+        assert coupling.connected(0, 3)
+        assert not coupling.connected(0, 4)
+        assert coupling.distance(0, 5) == 3
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(4, [(0, 1), (2, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, [(0, 0), (0, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, [(0, 5)])
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_coupling(0, 3)
+
+    def test_repr(self):
+        assert "CouplingMap" in repr(yorktown_coupling())

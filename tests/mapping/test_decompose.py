@@ -1,0 +1,157 @@
+"""Tests for basis decomposition: every rewrite preserves the unitary."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import GateOp, QuantumCircuit, standard_gate
+from repro.mapping import DecomposeError, decompose_gate_op, decompose_to_basis
+from repro.sim import Statevector
+
+
+def unitary_of_ops(ops, num_qubits):
+    """Dense unitary of an op list via simulation of basis columns."""
+    dim = 2**num_qubits
+    matrix = np.zeros((dim, dim), dtype=np.complex128)
+    for column in range(dim):
+        label = format(column, f"0{num_qubits}b")
+        state = Statevector.from_label(label)
+        for op in ops:
+            state.apply_op(op)
+        matrix[:, column] = state.vector
+    return matrix
+
+
+def assert_same_unitary(original_op, decomposed_ops, num_qubits):
+    original = unitary_of_ops([original_op], num_qubits)
+    rewritten = unitary_of_ops(decomposed_ops, num_qubits)
+    # Allow a global phase between the two.
+    index = np.unravel_index(np.argmax(np.abs(original)), original.shape)
+    phase = rewritten[index] / original[index]
+    assert abs(abs(phase) - 1.0) < 1e-9
+    assert np.allclose(original * phase, rewritten, atol=1e-9)
+
+
+class TestSingleDecompositions:
+    @pytest.mark.parametrize(
+        "name,qubits",
+        [
+            ("swap", (0, 1)),
+            ("swap", (1, 0)),
+            ("cz", (0, 1)),
+            ("cz", (1, 0)),
+            ("cy", (0, 1)),
+            ("ch", (0, 1)),
+            ("ch", (1, 0)),
+        ],
+    )
+    def test_fixed_two_qubit(self, name, qubits):
+        op = GateOp(standard_gate(name), qubits)
+        assert_same_unitary(op, decompose_gate_op(op), 2)
+
+    @pytest.mark.parametrize("theta", [0.3, 1.0, -2.2, np.pi])
+    def test_crz(self, theta):
+        op = GateOp(standard_gate("crz", (theta,)), (0, 1))
+        assert_same_unitary(op, decompose_gate_op(op), 2)
+
+    @pytest.mark.parametrize("lam", [0.4, np.pi / 2, -1.1])
+    def test_cu1(self, lam):
+        op = GateOp(standard_gate("cu1", (lam,)), (0, 1))
+        assert_same_unitary(op, decompose_gate_op(op), 2)
+
+    @pytest.mark.parametrize(
+        "qubits", [(0, 1, 2), (2, 1, 0), (1, 2, 0)]
+    )
+    def test_ccx(self, qubits):
+        op = GateOp(standard_gate("ccx"), qubits)
+        assert_same_unitary(op, decompose_gate_op(op), 3)
+
+    def test_single_qubit_passthrough(self):
+        op = GateOp(standard_gate("h"), (0,))
+        assert decompose_gate_op(op) == [op]
+
+    def test_cx_passthrough(self):
+        op = GateOp(standard_gate("cx"), (0, 1))
+        assert decompose_gate_op(op) == [op]
+
+    def test_unknown_gate_rejected(self):
+        from repro.circuits import unitary as unitary_gate
+
+        op = GateOp(unitary_gate(np.eye(4), name="mystery"), (0, 1))
+        with pytest.raises(DecomposeError):
+            decompose_gate_op(op)
+
+
+class TestCircuitDecomposition:
+    def test_only_basis_gates_remain(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 40, rng)
+        circ.ccx(0, 1, 2)
+        circ.crz(0.5, 0, 3)
+        result = decompose_to_basis(circ)
+        for op in result.gate_ops():
+            assert op.gate.num_qubits == 1 or op.gate.name == "cx"
+
+    def test_measurements_and_barriers_preserved(self):
+        circ = QuantumCircuit(2)
+        circ.swap(0, 1)
+        circ.barrier()
+        circ.measure_all()
+        result = decompose_to_basis(circ)
+        assert result.num_measurements() == 2
+        assert result.count_ops().get("barrier") == 1
+
+    def test_full_circuit_unitary_preserved(self, rng):
+        circ = QuantumCircuit(3)
+        circ.h(0).swap(0, 2).cz(1, 2).ccx(0, 1, 2).cu1(0.7, 0, 2)
+        decomposed = decompose_to_basis(circ)
+        original = unitary_of_ops(circ.gate_ops(), 3)
+        rewritten = unitary_of_ops(decomposed.gate_ops(), 3)
+        index = np.unravel_index(np.argmax(np.abs(original)), original.shape)
+        phase = rewritten[index] / original[index]
+        assert np.allclose(original * phase, rewritten, atol=1e-9)
+
+
+class TestExtendedGateDecompositions:
+    @pytest.mark.parametrize("theta", [0.4, -1.7, np.pi / 3])
+    def test_rzz(self, theta):
+        op = GateOp(standard_gate("rzz", (theta,)), (0, 1))
+        assert_same_unitary(op, decompose_gate_op(op), 2)
+
+    @pytest.mark.parametrize("theta", [0.4, -1.7, np.pi / 3])
+    def test_rxx(self, theta):
+        op = GateOp(standard_gate("rxx", (theta,)), (0, 1))
+        assert_same_unitary(op, decompose_gate_op(op), 2)
+
+    def test_cp(self):
+        op = GateOp(standard_gate("cp", (0.8,)), (0, 1))
+        assert_same_unitary(op, decompose_gate_op(op), 2)
+
+    @pytest.mark.parametrize("qubits", [(0, 1, 2), (2, 0, 1), (1, 2, 0)])
+    def test_cswap(self, qubits):
+        op = GateOp(standard_gate("cswap"), qubits)
+        assert_same_unitary(op, decompose_gate_op(op), 3)
+
+    def test_cswap_truth_table(self):
+        from repro.circuits import QuantumCircuit
+        from repro.sim import run_circuit
+
+        # |1 a b> -> |1 b a>; |0 a b> unchanged.
+        for control, a, b in [(1, 0, 1), (1, 1, 0), (0, 0, 1), (0, 1, 1)]:
+            circ = QuantumCircuit(3)
+            if control:
+                circ.x(0)
+            if a:
+                circ.x(1)
+            if b:
+                circ.x(2)
+            circ.cswap(0, 1, 2)
+            state, _ = run_circuit(circ)
+            expected_a, expected_b = (b, a) if control else (a, b)
+            label = f"{control}{expected_a}{expected_b}"
+            assert state.probability_of(label) == pytest.approx(1.0)
+
+    def test_rzz_symmetric(self):
+        mat = standard_gate("rzz", (0.9,)).matrix
+        swap = standard_gate("swap").matrix
+        assert np.allclose(swap @ mat @ swap, mat)

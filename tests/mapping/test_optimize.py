@@ -1,0 +1,199 @@
+"""Tests for the peephole optimization passes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import QuantumCircuit, standard_gate
+from repro.mapping.optimize import (
+    cancel_inverse_pairs,
+    fuse_single_qubit_runs,
+    optimize_circuit,
+    u3_params_from_matrix,
+)
+from repro.sim import Statevector
+from tests.mapping.test_decompose import unitary_of_ops
+
+
+def assert_unitary_equiv(circuit_a, circuit_b, num_qubits):
+    a = unitary_of_ops(circuit_a.gate_ops(), num_qubits)
+    b = unitary_of_ops(circuit_b.gate_ops(), num_qubits)
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    assert abs(a[index]) > 1e-9
+    phase = b[index] / a[index]
+    assert abs(abs(phase) - 1.0) < 1e-8
+    assert np.allclose(a * phase, b, atol=1e-8)
+
+
+class TestCancellation:
+    def test_adjacent_h_pair_removed(self):
+        circ = QuantumCircuit(1).h(0).h(0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 0
+
+    def test_cx_pair_removed(self):
+        circ = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 0
+
+    def test_cx_different_direction_kept(self):
+        circ = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 2
+
+    def test_s_sdg_pair_removed(self):
+        circ = QuantumCircuit(1).s(0).sdg(0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 0
+
+    def test_opposite_rotations_removed(self):
+        circ = QuantumCircuit(1).rz(0.7, 0).rz(-0.7, 0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 0
+
+    def test_unequal_rotations_kept(self):
+        circ = QuantumCircuit(1).rz(0.7, 0).rz(-0.6, 0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 2
+
+    def test_cascading_cancellation(self):
+        # h x x h collapses completely via the fixed point.
+        circ = QuantumCircuit(1).h(0).x(0).x(0).h(0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 0
+
+    def test_intervening_gate_blocks(self):
+        circ = QuantumCircuit(1).h(0).t(0).h(0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 3
+
+    def test_gate_on_other_qubit_does_not_block(self):
+        circ = QuantumCircuit(2).h(0).x(1).h(0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 1
+
+    def test_barrier_blocks(self):
+        circ = QuantumCircuit(1).h(0)
+        circ.barrier()
+        circ.h(0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 2
+
+    def test_measurement_blocks(self):
+        circ = QuantumCircuit(1, 1)
+        circ.h(0).measure(0, 0).h(0)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 2
+
+    def test_partial_qubit_overlap_blocks(self):
+        circ = QuantumCircuit(2).cx(0, 1).x(1).cx(0, 1)
+        assert len(cancel_inverse_pairs(circ).gate_ops()) == 3
+
+    def test_unitary_preserved(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(3, 30, rng, measured=False)
+        assert_unitary_equiv(circ, cancel_inverse_pairs(circ), 3)
+
+
+class TestU3Extraction:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("h", ()),
+            ("x", ()),
+            ("z", ()),
+            ("t", ()),
+            ("sx", ()),
+            ("rx", (0.7,)),
+            ("ry", (-1.3,)),
+            ("rz", (2.4,)),
+            ("u3", (0.4, 1.1, -0.8)),
+        ],
+    )
+    def test_roundtrip(self, name, params):
+        gate = standard_gate(name, params)
+        theta, phi, lam = u3_params_from_matrix(gate.matrix)
+        rebuilt = standard_gate("u3", (theta, phi, lam)).matrix
+        anchor = gate.matrix.flat[np.argmax(np.abs(gate.matrix))]
+        rebuilt_anchor = rebuilt.flat[np.argmax(np.abs(gate.matrix))]
+        phase = anchor / rebuilt_anchor
+        assert np.allclose(phase * rebuilt, gate.matrix, atol=1e-9)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            u3_params_from_matrix(np.eye(4))
+
+
+class TestFusion:
+    def test_run_fused_to_one_u3(self):
+        circ = QuantumCircuit(1).h(0).t(0).h(0).s(0)
+        fused = fuse_single_qubit_runs(circ)
+        assert len(fused.gate_ops()) == 1
+        assert fused.gate_ops()[0].gate.name == "u3"
+        assert_unitary_equiv(circ, fused, 1)
+
+    def test_identity_run_dropped(self):
+        circ = QuantumCircuit(1).h(0).h(0)
+        assert len(fuse_single_qubit_runs(circ).gate_ops()) == 0
+
+    def test_single_gate_untouched(self):
+        circ = QuantumCircuit(1).t(0)
+        fused = fuse_single_qubit_runs(circ)
+        assert fused.gate_ops()[0].gate.name == "t"
+
+    def test_two_qubit_gate_splits_runs(self):
+        circ = QuantumCircuit(2)
+        circ.h(0).t(0).cx(0, 1).s(0).h(0)
+        fused = fuse_single_qubit_runs(circ)
+        names = [op.gate.name for op in fused.gate_ops()]
+        assert names == ["u3", "cx", "u3"]
+        assert_unitary_equiv(circ, fused, 2)
+
+    def test_runs_on_different_qubits_independent(self):
+        circ = QuantumCircuit(2)
+        circ.h(0).h(1).t(0).s(1)
+        fused = fuse_single_qubit_runs(circ)
+        assert len(fused.gate_ops()) == 2
+        assert_unitary_equiv(circ, fused, 2)
+
+    def test_measurement_flushes_run(self):
+        circ = QuantumCircuit(1, 1)
+        circ.h(0).t(0).measure(0, 0)
+        fused = fuse_single_qubit_runs(circ)
+        assert fused.gate_ops()[0].gate.name == "u3"
+        assert fused.num_measurements() == 1
+
+    def test_unitary_preserved_random(self, rng):
+        from repro.testing import random_circuit
+
+        for _ in range(5):
+            circ = random_circuit(3, 25, rng, measured=False)
+            assert_unitary_equiv(circ, fuse_single_qubit_runs(circ), 3)
+
+
+class TestOptimizeCircuit:
+    def test_full_pipeline_preserves_unitary(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(3, 40, rng, measured=False)
+        assert_unitary_equiv(circ, optimize_circuit(circ), 3)
+
+    def test_never_increases_gate_count(self, rng):
+        from repro.testing import random_circuit
+
+        for _ in range(5):
+            circ = random_circuit(4, 30, rng, measured=False)
+            assert len(optimize_circuit(circ).gate_ops()) <= len(circ.gate_ops())
+
+    def test_benchmarks_shrink_or_stay(self):
+        from repro.bench import benchmark_names, build_compiled_benchmark
+
+        for name in benchmark_names()[:6]:
+            circuit = build_compiled_benchmark(name)
+            optimized = optimize_circuit(circuit)
+            assert len(optimized.gate_ops()) <= len(circuit.gate_ops())
+            assert optimized.num_measurements() == circuit.num_measurements()
+
+    def test_fewer_gates_means_fewer_error_positions(self):
+        from repro.bench import build_compiled_benchmark
+        from repro.circuits import layerize
+        from repro.noise import ibm_yorktown
+
+        circuit = build_compiled_benchmark("qft4")
+        optimized = optimize_circuit(circuit)
+        model = ibm_yorktown()
+        before = len(model.error_positions(layerize(circuit)))
+        after = len(model.error_positions(layerize(optimized)))
+        assert after <= before

@@ -1,0 +1,124 @@
+"""Tests for the SWAP router and full device compilation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitError, GateOp, Measurement, QuantumCircuit
+from repro.mapping import (
+    compile_for_device,
+    line_coupling,
+    route_circuit,
+    yorktown_coupling,
+)
+from repro.noise import NoiseModel
+from repro.core import NoisySimulator
+
+
+def all_two_qubit_gates_coupled(circuit, coupling):
+    for op in circuit.gate_ops():
+        if len(op.qubits) == 2:
+            if not coupling.connected(*op.qubits):
+                return False
+    return True
+
+
+class TestRouting:
+    def test_already_coupled_circuit_unchanged(self):
+        circ = QuantumCircuit(2)
+        circ.h(0).cx(0, 1)
+        mapped = route_circuit(circ, yorktown_coupling())
+        assert mapped.swaps_inserted == 0
+
+    def test_far_pair_gets_swaps(self):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 3)
+        mapped = route_circuit(circ, line_coupling(4), initial_layout={i: i for i in range(4)})
+        assert mapped.swaps_inserted >= 1
+        assert all_two_qubit_gates_coupled(mapped.circuit, line_coupling(4))
+
+    def test_random_circuits_fully_routed(self, rng):
+        from repro.testing import random_circuit
+
+        coupling = line_coupling(5)
+        for _ in range(5):
+            circ = random_circuit(5, 30, rng)
+            mapped = route_circuit(circ, coupling)
+            assert all_two_qubit_gates_coupled(mapped.circuit, coupling)
+
+    def test_measurements_follow_layout(self):
+        circ = QuantumCircuit(2, 2)
+        circ.measure(0, 0).measure(1, 1)
+        mapped = route_circuit(
+            circ, line_coupling(3), initial_layout={0: 2, 1: 1}
+        )
+        measured = {m.clbit: m.qubit for m in mapped.circuit.measurements()}
+        assert measured == {0: 2, 1: 1}
+
+    def test_layout_tracking_after_swaps(self):
+        circ = QuantumCircuit(3, 3)
+        circ.cx(0, 2)
+        circ.measure(0, 0)
+        mapped = route_circuit(
+            circ, line_coupling(3), initial_layout={0: 0, 1: 1, 2: 2}
+        )
+        # Qubit 0 was swapped toward qubit 2 before the CX.
+        final_physical = mapped.final_layout[0]
+        measured = mapped.circuit.measurements()[0]
+        assert measured.qubit == final_physical
+
+    def test_too_many_qubits_rejected(self):
+        circ = QuantumCircuit(6)
+        with pytest.raises(CircuitError):
+            route_circuit(circ, yorktown_coupling())
+
+    def test_three_qubit_gate_rejected(self):
+        circ = QuantumCircuit(3)
+        circ.ccx(0, 1, 2)
+        with pytest.raises(CircuitError):
+            route_circuit(circ, yorktown_coupling())
+
+    def test_bad_layout_rejected(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            route_circuit(circ, yorktown_coupling(), initial_layout={0: 9, 1: 0})
+        with pytest.raises(CircuitError):
+            route_circuit(circ, yorktown_coupling(), initial_layout={0: 1, 1: 1})
+
+    def test_repr(self):
+        circ = QuantumCircuit(2)
+        assert "MappedCircuit" in repr(route_circuit(circ, yorktown_coupling()))
+
+
+class TestCompileForDevice:
+    def test_output_in_device_basis(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 30, rng)
+        circ.ccx(0, 1, 2)
+        compiled = compile_for_device(circ, yorktown_coupling())
+        coupling = yorktown_coupling()
+        for op in compiled.gate_ops():
+            assert op.gate.num_qubits == 1 or op.gate.name == "cx"
+            if op.gate.name == "cx":
+                assert coupling.connected(*op.qubits)
+
+    def test_compiled_circuit_semantics_preserved(self):
+        """Noise-free measurement outcomes survive compilation."""
+        from repro.bench import bv
+
+        logical = bv(4)
+        compiled = compile_for_device(logical, yorktown_coupling())
+        result = NoisySimulator(compiled, NoiseModel.noiseless(), seed=0).run(64)
+        # Hidden string 111 must be read out on clbits 0..2 regardless of
+        # the physical qubit placement.
+        assert set(result.counts) == {"111"}
+
+    def test_ghz_semantics_preserved(self, ghz3_circuit):
+        compiled = compile_for_device(ghz3_circuit, yorktown_coupling())
+        result = NoisySimulator(compiled, NoiseModel.noiseless(), seed=1).run(200)
+        assert set(result.counts) == {"000", "111"}
+
+    def test_compilation_is_deterministic(self, ghz3_circuit):
+        a = compile_for_device(ghz3_circuit, yorktown_coupling())
+        b = compile_for_device(ghz3_circuit, yorktown_coupling())
+        assert list(a.instructions) == list(b.instructions)

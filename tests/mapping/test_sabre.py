@@ -1,0 +1,138 @@
+"""Tests for the SABRE-style lookahead router."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitError, QuantumCircuit
+from repro.core import NoisySimulator
+from repro.mapping import (
+    compile_for_device,
+    line_coupling,
+    route_circuit,
+    yorktown_coupling,
+)
+from repro.mapping.sabre import route_circuit_lookahead
+from repro.noise import NoiseModel
+
+
+def all_coupled(circuit, coupling):
+    return all(
+        coupling.connected(*op.qubits)
+        for op in circuit.gate_ops()
+        if len(op.qubits) == 2
+    )
+
+
+class TestLookaheadRouting:
+    def test_coupled_circuit_unchanged(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1)
+        mapped = route_circuit_lookahead(circ, yorktown_coupling())
+        assert mapped.swaps_inserted == 0
+
+    def test_far_gates_routed(self):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 3).cx(3, 0)
+        mapped = route_circuit_lookahead(
+            circ, line_coupling(4), initial_layout={i: i for i in range(4)}
+        )
+        assert all_coupled(mapped.circuit, line_coupling(4))
+        assert mapped.swaps_inserted >= 1
+
+    def test_random_circuits_fully_routed(self, rng):
+        from repro.testing import random_circuit
+
+        coupling = line_coupling(5)
+        for _ in range(8):
+            circ = random_circuit(5, 40, rng)
+            mapped = route_circuit_lookahead(circ, coupling)
+            assert all_coupled(mapped.circuit, coupling)
+            # Every instruction routed exactly once.
+            assert mapped.circuit.num_measurements() == circ.num_measurements()
+            assert len(mapped.circuit.gate_ops()) == len(
+                circ.gate_ops()
+            ) + 1 * mapped.swaps_inserted
+
+    def test_semantics_preserved(self):
+        from repro.bench import bv
+
+        logical = bv(4)
+        compiled = compile_for_device(logical, yorktown_coupling(), router="sabre")
+        result = NoisySimulator(compiled, NoiseModel.noiseless(), seed=0).run(64)
+        assert set(result.counts) == {"111"}
+
+    def test_ghz_semantics_preserved(self, ghz3_circuit):
+        compiled = compile_for_device(
+            ghz3_circuit, yorktown_coupling(), router="sabre"
+        )
+        result = NoisySimulator(compiled, NoiseModel.noiseless(), seed=1).run(128)
+        assert set(result.counts) == {"000", "111"}
+
+    def test_barriers_and_order_preserved(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.barrier()
+        circ.cx(0, 2)
+        circ.measure_all()
+        mapped = route_circuit_lookahead(
+            circ, line_coupling(3), initial_layout={0: 0, 1: 1, 2: 2}
+        )
+        kinds = [type(i).__name__ for i in mapped.circuit]
+        assert kinds.count("Barrier") == 1
+        # Barrier stays between the h and the (possibly routed) cx.
+        assert kinds.index("Barrier") == 1
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            route_circuit_lookahead(QuantumCircuit(9), yorktown_coupling())
+
+    def test_three_qubit_gate_rejected(self):
+        circ = QuantumCircuit(3).ccx(0, 1, 2)
+        with pytest.raises(CircuitError):
+            route_circuit_lookahead(circ, yorktown_coupling())
+
+    def test_bad_layout_rejected(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            route_circuit_lookahead(
+                circ, yorktown_coupling(), initial_layout={0: 0, 1: 0}
+            )
+
+    def test_unknown_router_rejected(self, ghz3_circuit):
+        with pytest.raises(ValueError):
+            compile_for_device(ghz3_circuit, yorktown_coupling(), router="magic")
+
+
+class TestLookaheadQuality:
+    def test_not_worse_than_greedy_on_average(self, rng):
+        """Aggregate SWAP count across random workloads: sabre <= greedy."""
+        from repro.testing import random_circuit
+
+        coupling = line_coupling(6)
+        greedy_total = 0
+        sabre_total = 0
+        for seed in range(10):
+            circ = random_circuit(
+                6, 30, np.random.default_rng(seed), two_qubit_fraction=0.5
+            )
+            layout = {i: i for i in range(6)}
+            greedy_total += route_circuit(
+                circ, coupling, initial_layout=dict(layout)
+            ).swaps_inserted
+            sabre_total += route_circuit_lookahead(
+                circ, coupling, initial_layout=dict(layout)
+            ).swaps_inserted
+        assert sabre_total <= greedy_total
+
+    def test_quantum_volume_benefit(self):
+        """QV permutation layers are where lookahead should shine."""
+        from repro.bench import quantum_volume
+        from repro.mapping import decompose_to_basis
+
+        circ = decompose_to_basis(quantum_volume(5, 4, seed=3))
+        coupling = yorktown_coupling()
+        layout = {i: i for i in range(5)}
+        greedy = route_circuit(circ, coupling, initial_layout=dict(layout))
+        sabre = route_circuit_lookahead(
+            circ, coupling, initial_layout=dict(layout)
+        )
+        assert sabre.swaps_inserted <= greedy.swaps_inserted

@@ -1,0 +1,134 @@
+"""Unit tests for Pauli channels."""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    PauliChannel,
+    bit_flip,
+    depolarizing,
+    pauli_label_matrix,
+    pauli_matrix,
+    phase_flip,
+    two_qubit_depolarizing,
+    uniform_pauli_channel,
+)
+
+
+class TestPauliMatrices:
+    def test_labels(self):
+        assert np.allclose(pauli_matrix("i"), np.eye(2))
+        assert np.allclose(pauli_matrix("X") @ pauli_matrix("X"), np.eye(2))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            pauli_matrix("q")
+
+    def test_label_matrix_kron(self):
+        xy = pauli_label_matrix("xy")
+        assert xy.shape == (4, 4)
+        assert np.allclose(xy, np.kron(pauli_matrix("x"), pauli_matrix("y")))
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            pauli_label_matrix("")
+
+
+class TestChannelConstruction:
+    def test_depolarizing_shares(self):
+        channel = depolarizing(0.3)
+        assert channel.width == 1
+        assert channel.total_probability == pytest.approx(0.3)
+        for label in ("x", "y", "z"):
+            assert channel.probabilities[label] == pytest.approx(0.1)
+
+    def test_two_qubit_depolarizing_has_15_labels(self):
+        channel = two_qubit_depolarizing(0.15)
+        assert channel.width == 2
+        assert len(channel.labels()) == 15
+        assert channel.total_probability == pytest.approx(0.15)
+        assert "ii" not in channel.labels()
+
+    def test_uniform_channel_width3(self):
+        channel = uniform_pauli_channel(0.1, 3)
+        assert len(channel.labels()) == 63
+
+    def test_zero_probability_labels_dropped(self):
+        channel = PauliChannel({"x": 0.1, "z": 0.0})
+        assert channel.labels() == ("x",)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            PauliChannel({"x": -0.1})
+
+    def test_total_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            PauliChannel({"x": 0.6, "y": 0.6})
+
+    def test_identity_label_rejected(self):
+        with pytest.raises(ValueError):
+            PauliChannel({"i": 0.1})
+        with pytest.raises(ValueError):
+            PauliChannel({"ii": 0.1})
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(ValueError):
+            PauliChannel({"x": 0.1, "xy": 0.1})
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError):
+            PauliChannel({"w": 0.1})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PauliChannel({})
+
+    def test_named_constructors(self):
+        assert bit_flip(0.2).labels() == ("x",)
+        assert phase_flip(0.2).labels() == ("z",)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_pauli_channel(0.1, 0)
+
+
+class TestChannelBehaviour:
+    def test_conditional_probability(self):
+        channel = PauliChannel({"x": 0.2, "z": 0.1})
+        assert channel.conditional_probability("x") == pytest.approx(2 / 3)
+        assert channel.conditional_probability("z") == pytest.approx(1 / 3)
+        assert channel.conditional_probability("y") == 0.0
+
+    def test_sample_label_distribution(self):
+        channel = PauliChannel({"x": 0.3, "z": 0.1})
+        rng = np.random.default_rng(11)
+        labels = channel.sample_labels(4000, rng)
+        x_fraction = float(np.mean(labels == "x"))
+        assert x_fraction == pytest.approx(0.75, abs=0.03)
+
+    def test_sample_single_label(self):
+        channel = bit_flip(0.1)
+        rng = np.random.default_rng(0)
+        assert channel.sample_label(rng) == "x"
+
+    def test_kraus_completeness(self):
+        for channel in (
+            depolarizing(0.25),
+            two_qubit_depolarizing(0.1),
+            PauliChannel({"x": 0.07, "y": 0.02}),
+        ):
+            total = sum(k.conj().T @ k for k in channel.kraus_operators())
+            assert np.allclose(total, np.eye(total.shape[0]), atol=1e-12)
+
+    def test_scaled(self):
+        channel = depolarizing(0.3).scaled(0.5)
+        assert channel.total_probability == pytest.approx(0.15)
+
+    def test_equality_and_hash(self):
+        assert depolarizing(0.3) == depolarizing(0.3)
+        assert depolarizing(0.3) != depolarizing(0.2)
+        assert hash(depolarizing(0.3)) == hash(depolarizing(0.3))
+
+    def test_repr_compact_for_wide_channels(self):
+        assert "labels=15" in repr(two_qubit_depolarizing(0.1))
+        assert "x=" in repr(bit_flip(0.1))

@@ -1,0 +1,84 @@
+"""Tests for device calibration models (paper Fig. 4)."""
+
+import pytest
+
+from repro.circuits import GateOp, Measurement, standard_gate
+from repro.noise import (
+    ARTIFICIAL_ERROR_LEVELS,
+    YORKTOWN_COUPLING,
+    artificial_model,
+    artificial_sweep,
+    ibm_yorktown,
+)
+
+
+class TestYorktown:
+    def test_single_qubit_rates_match_fig4(self):
+        model = ibm_yorktown()
+        expected = {0: 1.37e-3, 1: 1.37e-3, 2: 2.23e-3, 3: 1.72e-3, 4: 0.94e-3}
+        for qubit, rate in expected.items():
+            assert model.single_qubit_error[qubit] == pytest.approx(rate)
+
+    def test_measurement_rates_match_fig4(self):
+        model = ibm_yorktown()
+        expected = {0: 2.40e-2, 1: 2.60e-2, 2: 3.00e-2, 3: 2.20e-2, 4: 4.50e-2}
+        for qubit, rate in expected.items():
+            assert model.measurement_error[qubit] == pytest.approx(rate)
+
+    def test_two_qubit_rates_match_fig4(self):
+        model = ibm_yorktown()
+        expected = {
+            (0, 1): 2.72e-2,
+            (0, 2): 3.77e-2,
+            (1, 2): 4.18e-2,
+            (2, 3): 3.97e-2,
+            (2, 4): 3.62e-2,
+            (3, 4): 3.51e-2,
+        }
+        for pair, rate in expected.items():
+            assert model.two_qubit_error[frozenset(pair)] == pytest.approx(rate)
+
+    def test_coupling_is_bowtie(self):
+        assert len(YORKTOWN_COUPLING) == 6
+        assert set(YORKTOWN_COUPLING) == {
+            (0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4),
+        }
+
+    def test_every_edge_has_a_rate(self):
+        model = ibm_yorktown()
+        for edge in YORKTOWN_COUPLING:
+            assert frozenset(edge) in model.two_qubit_error
+
+    def test_lookup_through_model_api(self):
+        model = ibm_yorktown()
+        op = GateOp(standard_gate("cx"), (2, 4))
+        assert model.gate_error_probability(op) == pytest.approx(3.62e-2)
+        meas = Measurement(4, 4)
+        assert model.measurement_flip_probability(meas) == pytest.approx(4.5e-2)
+
+
+class TestArtificialModels:
+    def test_levels(self):
+        assert ARTIFICIAL_ERROR_LEVELS == (1e-3, 5e-4, 2e-4, 1e-4)
+
+    def test_two_qubit_is_10x(self):
+        model = artificial_model(2e-4)
+        op1 = GateOp(standard_gate("h"), (0,))
+        op2 = GateOp(standard_gate("cx"), (0, 1))
+        assert model.gate_error_probability(op1) == pytest.approx(2e-4)
+        assert model.gate_error_probability(op2) == pytest.approx(2e-3)
+
+    def test_measurement_is_10x(self):
+        model = artificial_model(5e-4)
+        assert model.measurement_flip_probability(
+            Measurement(10, 10)
+        ) == pytest.approx(5e-3)
+
+    def test_sweep_order(self):
+        sweep = artificial_sweep()
+        rates = [m.default_single for m in sweep]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            artificial_model(-1e-3)

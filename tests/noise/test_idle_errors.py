@@ -1,0 +1,121 @@
+"""Tests for idle-qubit errors (Sec. III-B: errors without an operation)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, layerize
+from repro.core import NoisySimulator, run_optimized
+from repro.noise import NoiseModel, bit_flip, enumerate_trials, sample_trials
+from repro.sim import (
+    DensityMatrix,
+    StatevectorBackend,
+    run_layered_density,
+)
+
+
+@pytest.fixture
+def lopsided_circuit():
+    """Qubit 1 is idle in both layers; qubit 0 works."""
+    circ = QuantumCircuit(2)
+    circ.h(0).t(0)
+    circ.measure_all()
+    return circ
+
+
+class TestIdlePositions:
+    def test_idle_positions_added(self, lopsided_circuit):
+        model = NoiseModel.uniform(1e-3)
+        layered = layerize(lopsided_circuit)
+        assert len(model.error_positions(layered)) == 2  # gates only
+        idle_model = NoiseModel(
+            default_single=1e-3, default_two=1e-2, idle_error=1e-4
+        )
+        positions = idle_model.error_positions(layered)
+        assert len(positions) == 4  # 2 gates + qubit 1 idle in both layers
+        idle_positions = [p for p in positions if p.qubits == (1,)]
+        assert [p.layer for p in idle_positions] == [0, 1]
+        for position in idle_positions:
+            assert position.channel.total_probability == pytest.approx(1e-4)
+
+    def test_busy_layers_have_no_idle_positions(self, ghz3_circuit):
+        # In GHZ's layer 1 (cx on 0,1), qubit 2 idles; layer 0 has h(0)
+        # with 1 and 2 idle, etc.
+        model = NoiseModel(default_single=0.0, default_two=0.0, idle_error=0.1)
+        layered = layerize(ghz3_circuit)
+        positions = model.error_positions(layered)
+        by_layer = {}
+        for position in positions:
+            by_layer.setdefault(position.layer, []).append(position.qubits[0])
+        assert sorted(by_layer[0]) == [1, 2]
+        assert sorted(by_layer[1]) == [2]
+        assert sorted(by_layer[2]) == [0]
+
+    def test_custom_idle_channel(self, lopsided_circuit):
+        model = NoiseModel(
+            default_single=0.0, idle_error=0.2, idle_channel=bit_flip(0.2)
+        )
+        positions = model.error_positions(layerize(lopsided_circuit))
+        assert all(p.channel.labels() == ("x",) for p in positions)
+
+    def test_multi_qubit_idle_channel_rejected(self):
+        from repro.noise import two_qubit_depolarizing
+
+        with pytest.raises(ValueError):
+            NoiseModel(idle_error=0.1, idle_channel=two_qubit_depolarizing(0.1))
+
+    def test_idle_probability_validated(self):
+        with pytest.raises(ValueError):
+            NoiseModel(idle_error=1.5)
+
+
+class TestIdleSampling:
+    def test_idle_errors_sampled_on_idle_qubit(self, lopsided_circuit, rng):
+        model = NoiseModel(default_single=0.0, idle_error=0.4)
+        layered = layerize(lopsided_circuit)
+        trials = sample_trials(layered, model, 500, rng)
+        idle_hits = sum(
+            1 for t in trials for e in t.events if e.qubit == 1
+        )
+        # 2 idle positions x 0.4 x 500 = 400 expected.
+        assert idle_hits == pytest.approx(400, rel=0.15)
+        assert all(e.qubit == 1 for t in trials for e in t.events)
+
+    def test_optimizer_handles_idle_trials(self, lopsided_circuit, rng):
+        model = NoiseModel(default_single=1e-3, idle_error=1e-2)
+        sim = NoisySimulator(lopsided_circuit, model, seed=5)
+        result = sim.run(num_trials=400)
+        assert result.metrics.computation_saving > 0.5
+
+
+class TestIdleExactness:
+    def test_ensemble_matches_layered_density(self):
+        """MC ensemble with idle errors == exact per-layer channels."""
+        circ = QuantumCircuit(2)
+        circ.h(0).t(0)
+        model = NoiseModel(default_single=0.1, idle_error=0.15)
+        layered = layerize(circ)
+        patterns = enumerate_trials(layered, model, max_positions=4)
+        trials = [t for t, _ in patterns]
+        weights = [p for _, p in patterns]
+        states = {}
+
+        def on_finish(payload, indices):
+            for index in indices:
+                states[index] = payload.copy()
+
+        run_optimized(layered, trials, StatevectorBackend(layered), on_finish)
+        mixture = np.zeros((4, 4), dtype=np.complex128)
+        for index, weight in enumerate(weights):
+            vec = states[index].vector
+            mixture += weight * np.outer(vec, vec.conj())
+        exact = run_layered_density(layered, model)
+        assert np.allclose(mixture, exact.matrix, atol=1e-10)
+
+    def test_layered_density_matches_gate_density_without_idle(self, ghz3_circuit):
+        from repro.sim import run_circuit_density
+
+        model = NoiseModel.uniform(0.05)
+        layered = layerize(ghz3_circuit)
+        a = run_layered_density(layered, model)
+        b = run_circuit_density(ghz3_circuit, kraus_after_gate=model.kraus_after_gate)
+        assert a.allclose(b)

@@ -1,0 +1,140 @@
+"""Unit tests for the noise model (positions, probabilities, Kraus view)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import GateOp, Measurement, QuantumCircuit, layerize, standard_gate
+from repro.noise import NoiseModel
+
+
+class TestLookups:
+    def test_uniform_defaults(self):
+        model = NoiseModel.uniform(1e-3)
+        single = GateOp(standard_gate("h"), (0,))
+        double = GateOp(standard_gate("cx"), (0, 1))
+        assert model.gate_error_probability(single) == pytest.approx(1e-3)
+        assert model.gate_error_probability(double) == pytest.approx(1e-2)
+        assert model.measurement_flip_probability(
+            Measurement(0, 0)
+        ) == pytest.approx(1e-2)
+
+    def test_uniform_overrides(self):
+        model = NoiseModel.uniform(1e-3, two=5e-3, measurement=2e-2)
+        double = GateOp(standard_gate("cx"), (0, 1))
+        assert model.gate_error_probability(double) == pytest.approx(5e-3)
+        assert model.measurement_flip_probability(
+            Measurement(3, 3)
+        ) == pytest.approx(2e-2)
+
+    def test_per_qubit_calibration(self):
+        model = NoiseModel(
+            single_qubit_error={0: 1e-3, 1: 2e-3},
+            two_qubit_error={frozenset((0, 1)): 3e-2},
+            measurement_error={0: 1e-2},
+            default_single=9e-3,
+            default_two=9e-2,
+            default_measurement=9e-2,
+        )
+        assert model.gate_error_probability(
+            GateOp(standard_gate("h"), (1,))
+        ) == pytest.approx(2e-3)
+        assert model.gate_error_probability(
+            GateOp(standard_gate("h"), (5,))
+        ) == pytest.approx(9e-3)
+        # Pair lookup is orderless.
+        assert model.gate_error_probability(
+            GateOp(standard_gate("cx"), (1, 0))
+        ) == pytest.approx(3e-2)
+        assert model.gate_error_probability(
+            GateOp(standard_gate("cx"), (2, 3))
+        ) == pytest.approx(9e-2)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(default_single=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(single_qubit_error={0: -0.1})
+
+    def test_noiseless(self):
+        model = NoiseModel.noiseless()
+        assert model.gate_error_probability(
+            GateOp(standard_gate("h"), (0,))
+        ) == 0.0
+
+
+class TestErrorPositions:
+    def test_one_position_per_gate(self, ghz3_circuit):
+        model = NoiseModel.uniform(1e-3)
+        layered = layerize(ghz3_circuit)
+        positions = model.error_positions(layered)
+        assert len(positions) == 3  # h, cx, cx
+
+    def test_positions_carry_layer_and_qubits(self, bell_circuit):
+        model = NoiseModel.uniform(1e-3)
+        positions = model.error_positions(layerize(bell_circuit))
+        assert positions[0].layer == 0
+        assert positions[0].qubits == (0,)
+        assert positions[1].layer == 1
+        assert positions[1].qubits == (0, 1)
+
+    def test_channel_width_matches_gate(self, bell_circuit):
+        model = NoiseModel.uniform(1e-3)
+        positions = model.error_positions(layerize(bell_circuit))
+        assert positions[0].channel.width == 1
+        assert positions[1].channel.width == 2
+
+    def test_channel_strength_by_gate_kind(self, bell_circuit):
+        model = NoiseModel.uniform(1e-3)
+        positions = model.error_positions(layerize(bell_circuit))
+        assert positions[0].channel.total_probability == pytest.approx(1e-3)
+        assert positions[1].channel.total_probability == pytest.approx(1e-2)
+
+    def test_zero_probability_positions_omitted(self, bell_circuit):
+        model = NoiseModel(default_single=0.0, default_two=1e-2)
+        positions = model.error_positions(layerize(bell_circuit))
+        assert len(positions) == 1
+        assert positions[0].qubits == (0, 1)
+
+    def test_positions_ordered_by_layer(self, rng):
+        from repro.testing import random_circuit
+
+        model = NoiseModel.uniform(1e-3)
+        circ = random_circuit(4, 30, rng)
+        positions = model.error_positions(layerize(circ))
+        layers = [p.layer for p in positions]
+        assert layers == sorted(layers)
+
+    def test_measurement_positions(self, ghz3_circuit):
+        model = NoiseModel.uniform(1e-3)
+        positions = model.measurement_positions(layerize(ghz3_circuit))
+        assert len(positions) == 3
+        for _, probability in positions:
+            assert probability == pytest.approx(1e-2)
+
+
+class TestKrausView:
+    def test_noise_free_gate_has_no_channel(self):
+        model = NoiseModel.noiseless()
+        assert model.kraus_after_gate(GateOp(standard_gate("h"), (0,))) == []
+
+    def test_single_qubit_kraus(self):
+        model = NoiseModel.uniform(0.03)
+        channels = model.kraus_after_gate(GateOp(standard_gate("h"), (0,)))
+        assert len(channels) == 1
+        operators, qubits = channels[0]
+        assert qubits == (0,)
+        assert len(operators) == 4  # sqrt(1-p) I + X,Y,Z
+        total = sum(k.conj().T @ k for k in operators)
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+    def test_two_qubit_kraus(self):
+        model = NoiseModel.uniform(0.03)
+        channels = model.kraus_after_gate(GateOp(standard_gate("cx"), (0, 1)))
+        operators, qubits = channels[0]
+        assert qubits == (0, 1)
+        assert len(operators) == 16
+        total = sum(k.conj().T @ k for k in operators)
+        assert np.allclose(total, np.eye(4), atol=1e-12)
+
+    def test_repr(self):
+        assert "uniform" in repr(NoiseModel.uniform(1e-3))

@@ -1,0 +1,78 @@
+"""Tests for noise-model serialization and scaling."""
+
+import json
+
+import pytest
+
+from repro.circuits import GateOp, Measurement, standard_gate
+from repro.noise import NoiseModel, bit_flip, ibm_yorktown
+
+
+class TestSerialization:
+    def test_roundtrip_uniform(self):
+        model = NoiseModel.uniform(1e-3)
+        rebuilt = NoiseModel.from_dict(model.to_dict())
+        assert rebuilt.default_single == model.default_single
+        assert rebuilt.default_two == model.default_two
+        assert rebuilt.default_measurement == model.default_measurement
+
+    def test_roundtrip_yorktown(self):
+        model = ibm_yorktown()
+        rebuilt = NoiseModel.from_dict(model.to_dict())
+        assert rebuilt.single_qubit_error == model.single_qubit_error
+        assert rebuilt.two_qubit_error == model.two_qubit_error
+        assert rebuilt.measurement_error == model.measurement_error
+        assert rebuilt.name == "ibm-yorktown"
+
+    def test_roundtrip_idle_channel(self):
+        model = NoiseModel(
+            default_single=1e-3, idle_error=1e-4, idle_channel=bit_flip(1e-4)
+        )
+        rebuilt = NoiseModel.from_dict(model.to_dict())
+        assert rebuilt.idle_error == pytest.approx(1e-4)
+        assert rebuilt.idle_channel.labels() == ("x",)
+
+    def test_json_roundtrip(self, tmp_path):
+        model = ibm_yorktown()
+        path = tmp_path / "yorktown.json"
+        path.write_text(json.dumps(model.to_dict()))
+        rebuilt = NoiseModel.from_dict(json.loads(path.read_text()))
+        op = GateOp(standard_gate("cx"), (2, 4))
+        assert rebuilt.gate_error_probability(op) == pytest.approx(3.62e-2)
+
+    def test_behavioural_equivalence(self, ghz3_circuit):
+        from repro.circuits import layerize
+
+        model = ibm_yorktown()
+        rebuilt = NoiseModel.from_dict(model.to_dict())
+        layered = layerize(ghz3_circuit)
+        assert model.error_positions(layered) == rebuilt.error_positions(layered)
+
+
+class TestScaling:
+    def test_uniform_scaling(self):
+        model = NoiseModel.uniform(1e-3).scaled(0.5)
+        op1 = GateOp(standard_gate("h"), (0,))
+        op2 = GateOp(standard_gate("cx"), (0, 1))
+        assert model.gate_error_probability(op1) == pytest.approx(5e-4)
+        assert model.gate_error_probability(op2) == pytest.approx(5e-3)
+        assert model.measurement_flip_probability(
+            Measurement(0, 0)
+        ) == pytest.approx(5e-3)
+
+    def test_calibrated_scaling(self):
+        model = ibm_yorktown().scaled(0.1)
+        assert model.single_qubit_error[0] == pytest.approx(1.37e-4)
+        assert model.two_qubit_error[frozenset((3, 4))] == pytest.approx(3.51e-3)
+
+    def test_scaling_validates(self):
+        with pytest.raises(ValueError):
+            NoiseModel.uniform(0.09).scaled(20.0)
+
+    def test_name_records_factor(self):
+        assert "x0.5" in NoiseModel.uniform(1e-3).scaled(0.5).name
+
+    def test_idle_scaled(self):
+        model = NoiseModel(default_single=1e-3, idle_error=2e-4).scaled(2.0)
+        assert model.idle_error == pytest.approx(4e-4)
+        assert model.idle_channel.total_probability == pytest.approx(4e-4)

@@ -1,0 +1,168 @@
+"""Tests for Monte-Carlo trial sampling and the exact enumerator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, layerize
+from repro.noise import (
+    NoiseModel,
+    enumerate_trials,
+    expected_errors_per_trial,
+    sample_trials,
+    trial_statistics,
+)
+
+
+@pytest.fixture
+def tiny_layered():
+    circ = QuantumCircuit(2)
+    circ.h(0).cx(0, 1).measure_all()
+    return layerize(circ)
+
+
+class TestSampleTrials:
+    def test_deterministic_per_seed(self, tiny_layered, mild_noise):
+        a = sample_trials(tiny_layered, mild_noise, 200, np.random.default_rng(7))
+        b = sample_trials(tiny_layered, mild_noise, 200, np.random.default_rng(7))
+        assert a == b
+
+    def test_trial_count(self, tiny_layered, mild_noise, rng):
+        trials = sample_trials(tiny_layered, mild_noise, 123, rng)
+        assert len(trials) == 123
+
+    def test_zero_trials_rejected(self, tiny_layered, mild_noise, rng):
+        with pytest.raises(ValueError):
+            sample_trials(tiny_layered, mild_noise, 0, rng)
+
+    def test_noiseless_model_gives_empty_trials(self, tiny_layered, rng):
+        trials = sample_trials(tiny_layered, NoiseModel.noiseless(), 50, rng)
+        assert all(trial.is_error_free for trial in trials)
+        assert all(not trial.meas_flips for trial in trials)
+
+    def test_error_rate_statistics(self, tiny_layered, rng):
+        model = NoiseModel.uniform(0.05)  # 5% 1q, 50% 2q/meas
+        trials = sample_trials(tiny_layered, model, 4000, rng)
+        expected_fires = expected_errors_per_trial(tiny_layered, model)
+        assert expected_fires == pytest.approx(0.05 + 0.5)
+        # A fired two-qubit label carries 1.6 single-qubit events on
+        # average (9 of the 15 non-identity Pauli pairs have weight 2).
+        expected_events = 0.05 + 0.5 * (6 * 1 + 9 * 2) / 15
+        stats = trial_statistics(trials)
+        assert stats.mean_errors == pytest.approx(expected_events, rel=0.15)
+
+    def test_events_are_sorted_and_valid(self, tiny_layered, rng):
+        model = NoiseModel.uniform(0.2, two=0.6, measurement=0.2)
+        trials = sample_trials(tiny_layered, model, 300, rng)
+        for trial in trials:
+            assert list(trial.events) == sorted(trial.events)
+            for event in trial.events:
+                assert 0 <= event.layer < tiny_layered.num_layers
+                assert 0 <= event.qubit < tiny_layered.num_qubits
+                assert event.pauli in ("x", "y", "z")
+
+    def test_no_duplicate_positions_within_trial(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 30, rng)
+        layered = layerize(circ)
+        model = NoiseModel.uniform(0.3, two=0.8, measurement=0.3)
+        trials = sample_trials(layered, model, 200, rng)
+        for trial in trials:
+            positions = [(e.layer, e.qubit) for e in trial.events]
+            assert len(positions) == len(set(positions))
+
+    def test_measurement_flips_sampled(self, tiny_layered, rng):
+        model = NoiseModel.uniform(0.0, two=0.0, measurement=0.5)
+        trials = sample_trials(tiny_layered, model, 2000, rng)
+        flips = sum(len(trial.meas_flips) for trial in trials)
+        # 2 measurements x 0.5 flip probability x 2000 trials.
+        assert flips == pytest.approx(2000, rel=0.1)
+        for trial in trials:
+            assert set(trial.meas_flips) <= {0, 1}
+
+    def test_two_qubit_label_expansion(self, rng):
+        # Only a cx, huge rate: some trials must carry two simultaneous
+        # events from one fired two-qubit label.
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1).measure_all()
+        layered = layerize(circ)
+        model = NoiseModel.uniform(0.0, two=0.9, measurement=0.0)
+        trials = sample_trials(layered, model, 500, rng)
+        double_events = [t for t in trials if t.num_errors == 2]
+        assert double_events, "expected some two-qubit Pauli labels"
+        for trial in double_events:
+            assert {e.qubit for e in trial.events} == {0, 1}
+            assert {e.layer for e in trial.events} == {0}
+
+
+class TestEnumerateTrials:
+    def test_probabilities_sum_to_one(self, tiny_layered, mild_noise):
+        patterns = enumerate_trials(tiny_layered, mild_noise)
+        total = sum(probability for _, probability in patterns)
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_probabilities_sum_with_flips(self, tiny_layered, mild_noise):
+        patterns = enumerate_trials(
+            tiny_layered, mild_noise, include_measurement_flips=True
+        )
+        total = sum(probability for _, probability in patterns)
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pattern_count(self, tiny_layered, mild_noise):
+        # One 1q position (4 outcomes) x one 2q position (16 outcomes).
+        patterns = enumerate_trials(tiny_layered, mild_noise)
+        assert len(patterns) == 4 * 16
+
+    def test_error_free_probability(self, tiny_layered):
+        model = NoiseModel.uniform(0.1)  # 1q 0.1, 2q 1.0 -> never error-free
+        patterns = dict_of = {
+            trial: probability
+            for trial, probability in enumerate_trials(tiny_layered, model)
+        }
+        error_free = [t for t in dict_of if t.is_error_free]
+        assert len(error_free) == 1
+        assert dict_of[error_free[0]] == pytest.approx(0.9 * 0.0, abs=1e-12)
+
+    def test_guard_against_blowup(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 40, rng)
+        model = NoiseModel.uniform(0.01)
+        with pytest.raises(ValueError):
+            enumerate_trials(layerize(circ), model, max_positions=5)
+
+    def test_sampler_matches_enumeration(self, tiny_layered, rng):
+        """Empirical trial frequencies converge to exact probabilities."""
+        model = NoiseModel.uniform(0.1, two=0.3, measurement=0.0)
+        exact = dict()
+        for trial, probability in enumerate_trials(tiny_layered, model):
+            exact[trial] = exact.get(trial, 0.0) + probability
+        num_trials = 20_000
+        sampled = sample_trials(tiny_layered, model, num_trials, rng)
+        for trial, probability in sorted(
+            exact.items(), key=lambda kv: -kv[1]
+        )[:5]:
+            frequency = sum(1 for t in sampled if t == trial) / num_trials
+            noise_floor = 4 * math.sqrt(probability * (1 - probability) / num_trials)
+            assert abs(frequency - probability) < max(noise_floor, 0.01)
+
+
+class TestTrialStatistics:
+    def test_fields(self, tiny_layered, mild_noise, rng):
+        trials = sample_trials(tiny_layered, mild_noise, 500, rng)
+        stats = trial_statistics(trials)
+        assert stats.num_trials == 500
+        assert 0 <= stats.num_error_free <= 500
+        assert stats.num_distinct <= 500
+        assert stats.duplication_ratio >= 1.0
+
+    def test_empty(self):
+        stats = trial_statistics([])
+        assert stats.num_trials == 0
+        assert stats.duplication_ratio == 0.0
+
+    def test_repr(self, tiny_layered, mild_noise, rng):
+        trials = sample_trials(tiny_layered, mild_noise, 10, rng)
+        assert "TrialStatistics" in repr(trial_statistics(trials))

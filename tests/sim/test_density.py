@@ -1,0 +1,132 @@
+"""Unit tests for the density-matrix engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, standard_gate
+from repro.noise import depolarizing, two_qubit_depolarizing
+from repro.sim import DensityMatrix, Statevector, run_circuit_density
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        rho = DensityMatrix(2)
+        assert rho.matrix[0, 0] == 1.0
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_statevector(self):
+        state = Statevector(1).apply_gate(standard_gate("h"), (0,))
+        rho = DensityMatrix.from_statevector(state)
+        assert rho.matrix[0, 1] == pytest.approx(0.5)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(2, np.eye(3))
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(0)
+
+
+class TestUnitaryEvolution:
+    def test_matches_statevector(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(3, 25, rng, measured=False)
+        state = Statevector(3)
+        rho = DensityMatrix(3)
+        for op in circ.gate_ops():
+            state.apply_op(op)
+            rho.apply_gate(op.gate, op.qubits)
+        expected = DensityMatrix.from_statevector(state)
+        assert rho.allclose(expected)
+
+    def test_trace_preserved(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(3, 25, rng, measured=False)
+        rho = DensityMatrix(3)
+        for op in circ.gate_ops():
+            rho.apply_gate(op.gate, op.qubits)
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_probabilities_match_statevector(self):
+        state = Statevector(2)
+        state.apply_gate(standard_gate("h"), (0,))
+        state.apply_gate(standard_gate("cx"), (0, 1))
+        rho = DensityMatrix.from_statevector(state)
+        assert np.allclose(rho.probabilities(), state.probabilities())
+
+
+class TestKrausChannels:
+    def test_depolarizing_preserves_trace(self):
+        rho = DensityMatrix(1)
+        rho.apply_gate(standard_gate("h"), (0,))
+        rho.apply_kraus(depolarizing(0.2).kraus_operators(), (0,))
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_depolarizing_reduces_purity(self):
+        rho = DensityMatrix(1)
+        rho.apply_kraus(depolarizing(0.3).kraus_operators(), (0,))
+        assert rho.purity() < 1.0
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        # p_total = 3/4 on a |+> state fully mixes it.
+        rho = DensityMatrix(1)
+        rho.apply_gate(standard_gate("h"), (0,))
+        rho.apply_kraus(depolarizing(0.75).kraus_operators(), (0,))
+        assert np.allclose(rho.matrix, 0.5 * np.eye(2), atol=1e-10)
+
+    def test_two_qubit_channel_trace(self):
+        rho = DensityMatrix(2)
+        rho.apply_gate(standard_gate("h"), (0,))
+        rho.apply_gate(standard_gate("cx"), (0, 1))
+        rho.apply_kraus(two_qubit_depolarizing(0.1).kraus_operators(), (0, 1))
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_kraus_completeness(self):
+        for channel in (depolarizing(0.17), two_qubit_depolarizing(0.08)):
+            operators = channel.kraus_operators()
+            total = sum(k.conj().T @ k for k in operators)
+            assert np.allclose(total, np.eye(total.shape[0]), atol=1e-12)
+
+    def test_empty_kraus_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(1).apply_kraus([], (0,))
+
+
+class TestReadout:
+    def test_marginal_probability(self):
+        rho = DensityMatrix(2)
+        rho.apply_gate(standard_gate("h"), (0,))
+        assert rho.marginal_probability(0, 1) == pytest.approx(0.5)
+        assert rho.marginal_probability(1, 0) == pytest.approx(1.0)
+
+    def test_expectation(self):
+        rho = DensityMatrix(1)
+        z = standard_gate("z").matrix
+        assert rho.expectation(z) == pytest.approx(1.0)
+        rho.apply_gate(standard_gate("x"), (0,))
+        assert rho.expectation(z) == pytest.approx(-1.0)
+
+    def test_fidelity_with_pure(self):
+        state = Statevector(1).apply_gate(standard_gate("h"), (0,))
+        rho = DensityMatrix.from_statevector(state)
+        assert rho.fidelity_with_pure(state) == pytest.approx(1.0)
+
+
+class TestRunCircuitDensity:
+    def test_noise_free_run(self, ghz3_circuit):
+        rho = run_circuit_density(ghz3_circuit)
+        probs = rho.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_with_noise_callback(self, bell_circuit, yorktown_model):
+        rho = run_circuit_density(
+            bell_circuit, kraus_after_gate=yorktown_model.kraus_after_gate
+        )
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() < 1.0

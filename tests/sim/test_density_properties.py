@@ -1,0 +1,96 @@
+"""Hypothesis property tests for the density-matrix engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import standard_gate
+from repro.noise import PauliChannel, uniform_pauli_channel
+from repro.sim import DensityMatrix, Statevector
+
+channel_probs = st.floats(min_value=0.0, max_value=0.9, allow_nan=False)
+
+
+@st.composite
+def random_channels(draw):
+    width = draw(st.integers(1, 2))
+    total = draw(channel_probs)
+    return uniform_pauli_channel(total, width) if total > 0 else None
+
+
+@st.composite
+def gate_and_channel_sequences(draw, num_qubits=2, max_steps=8):
+    steps = []
+    names_1q = ["h", "s", "t", "x", "rz"]
+    for _ in range(draw(st.integers(0, max_steps))):
+        if draw(st.booleans()):
+            name = draw(st.sampled_from(names_1q))
+            params = (draw(st.floats(-3.0, 3.0)),) if name == "rz" else ()
+            steps.append(
+                ("gate", standard_gate(name, params), (draw(st.integers(0, 1)),))
+            )
+        elif draw(st.booleans()):
+            steps.append(("gate", standard_gate("cx"), (0, 1)))
+        else:
+            channel = draw(random_channels())
+            if channel is not None:
+                qubits = (0, 1) if channel.width == 2 else (draw(st.integers(0, 1)),)
+                steps.append(("kraus", channel, qubits))
+    return steps
+
+
+def evolve(steps):
+    rho = DensityMatrix(2)
+    for kind, payload, qubits in steps:
+        if kind == "gate":
+            rho.apply_gate(payload, qubits)
+        else:
+            rho.apply_kraus(payload.kraus_operators(), qubits)
+    return rho
+
+
+class TestChannelProperties:
+    @given(gate_and_channel_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_trace_preserved(self, steps):
+        assert evolve(steps).trace() == pytest.approx(1.0, abs=1e-9)
+
+    @given(gate_and_channel_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_hermitian(self, steps):
+        matrix = evolve(steps).matrix
+        assert np.allclose(matrix, matrix.conj().T, atol=1e-10)
+
+    @given(gate_and_channel_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_positive_semidefinite(self, steps):
+        eigenvalues = np.linalg.eigvalsh(evolve(steps).matrix)
+        assert eigenvalues.min() > -1e-9
+
+    @given(gate_and_channel_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_purity_never_above_one(self, steps):
+        assert evolve(steps).purity() <= 1.0 + 1e-9
+
+    @given(gate_and_channel_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_distribution(self, steps):
+        probs = evolve(steps).probabilities()
+        assert probs.min() > -1e-9
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestUnitaryVsKraus:
+    @given(st.floats(min_value=0.01, max_value=0.74))
+    @settings(max_examples=40, deadline=None)
+    def test_depolarizing_contracts_bloch_vector(self, probability):
+        """Depolarizing shrinks off-diagonal coherence monotonically."""
+        state = Statevector(1).apply_gate(standard_gate("h"), (0,))
+        rho = DensityMatrix.from_statevector(state)
+        before = abs(rho.matrix[0, 1])
+        rho.apply_kraus(
+            uniform_pauli_channel(probability, 1).kraus_operators(), (0,)
+        )
+        after = abs(rho.matrix[0, 1])
+        assert after < before

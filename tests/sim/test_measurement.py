@@ -1,0 +1,85 @@
+"""Tests for measurement sampling and readout flips."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Measurement, QuantumCircuit, standard_gate
+from repro.sim import (
+    Statevector,
+    apply_readout_flips,
+    counts_from_samples,
+    merge_counts,
+    sample_measurements,
+)
+
+
+class TestSampleMeasurements:
+    def test_deterministic_state(self):
+        state = Statevector.from_label("10")
+        clbits = sample_measurements(
+            state,
+            [Measurement(0, 0), Measurement(1, 1)],
+            np.random.default_rng(0),
+        )
+        assert clbits == {0: 1, 1: 0}
+
+    def test_clbit_remapping(self):
+        state = Statevector.from_label("10")
+        clbits = sample_measurements(
+            state, [Measurement(0, 5)], np.random.default_rng(0)
+        )
+        assert clbits == {5: 1}
+
+    def test_joint_outcome_consistency(self):
+        # On a Bell state both bits must agree in every sample.
+        state = Statevector(2)
+        state.apply_gate(standard_gate("h"), (0,))
+        state.apply_gate(standard_gate("cx"), (0, 1))
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            clbits = sample_measurements(
+                state, [Measurement(0, 0), Measurement(1, 1)], rng
+            )
+            assert clbits[0] == clbits[1]
+
+    def test_statistics(self):
+        state = Statevector(1).apply_gate(standard_gate("h"), (0,))
+        rng = np.random.default_rng(3)
+        ones = sum(
+            sample_measurements(state, [Measurement(0, 0)], rng)[0]
+            for _ in range(2000)
+        )
+        assert ones == pytest.approx(1000, abs=120)
+
+
+class TestReadoutFlips:
+    def test_flip_applies(self):
+        assert apply_readout_flips({0: 0, 1: 1}, (0,)) == {0: 1, 1: 1}
+
+    def test_double_flip_cancels(self):
+        original = {0: 1}
+        flipped = apply_readout_flips(apply_readout_flips(original, (0,)), (0,))
+        assert flipped == original
+
+    def test_missing_clbit_ignored(self):
+        assert apply_readout_flips({0: 0}, (7,)) == {0: 0}
+
+    def test_input_not_mutated(self):
+        original = {0: 0}
+        apply_readout_flips(original, (0,))
+        assert original == {0: 0}
+
+
+class TestCountsAggregation:
+    def test_counts_from_samples(self):
+        samples = [{0: 1, 1: 0}, {0: 1, 1: 0}, {0: 0, 1: 1}]
+        counts = counts_from_samples(samples, 2)
+        assert counts == {"10": 2, "01": 1}
+
+    def test_unmeasured_bits_default_zero(self):
+        counts = counts_from_samples([{1: 1}], 3)
+        assert counts == {"010": 1}
+
+    def test_merge_counts(self):
+        merged = merge_counts({"0": 2, "1": 1}, {"1": 3, "0": 0})
+        assert merged == {"0": 2, "1": 4}

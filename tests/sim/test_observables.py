@@ -1,0 +1,134 @@
+"""Tests for Pauli observables and noisy expectation estimation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, layerize, standard_gate
+from repro.core import NoisySimulator
+from repro.noise import NoiseModel
+from repro.sim import (
+    DensityMatrix,
+    Observable,
+    PauliObservable,
+    Statevector,
+    run_layered_density,
+)
+
+
+class TestPauliObservable:
+    def test_z_on_basis_states(self):
+        z = PauliObservable("Z")
+        assert z.expectation(Statevector.from_label("0")) == pytest.approx(1.0)
+        assert z.expectation(Statevector.from_label("1")) == pytest.approx(-1.0)
+
+    def test_x_on_plus_state(self):
+        plus = Statevector(1).apply_gate(standard_gate("h"), (0,))
+        assert PauliObservable("X").expectation(plus) == pytest.approx(1.0)
+        assert PauliObservable("Z").expectation(plus) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_zz_on_bell_state(self):
+        bell = Statevector(2)
+        bell.apply_gate(standard_gate("h"), (0,))
+        bell.apply_gate(standard_gate("cx"), (0, 1))
+        assert PauliObservable("ZZ").expectation(bell) == pytest.approx(1.0)
+        assert PauliObservable("XX").expectation(bell) == pytest.approx(1.0)
+        assert PauliObservable("ZI").expectation(bell) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_coefficient_scales(self):
+        state = Statevector.from_label("0")
+        assert PauliObservable("Z", 2.5).expectation(state) == pytest.approx(2.5)
+        assert (3 * PauliObservable("Z")).coefficient == 3.0
+
+    def test_identity_term(self):
+        obs = PauliObservable("II", 0.7)
+        assert obs.is_identity
+        assert obs.expectation(Statevector(2)) == pytest.approx(0.7)
+
+    def test_matrix_matches_expectation(self, rng):
+        from repro.testing import random_circuit
+
+        circuit = random_circuit(3, 15, rng, measured=False)
+        state = Statevector(3)
+        for op in circuit.gate_ops():
+            state.apply_op(op)
+        obs = PauliObservable("XYZ", 1.3)
+        via_matrix = float(
+            np.real(state.vector.conj() @ obs.matrix() @ state.vector)
+        )
+        assert obs.expectation(state) == pytest.approx(via_matrix)
+
+    def test_density_expectation(self):
+        rho = DensityMatrix(1)
+        assert PauliObservable("Z").expectation_density(rho) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PauliObservable("")
+        with pytest.raises(ValueError):
+            PauliObservable("ZQ")
+        with pytest.raises(ValueError):
+            PauliObservable("Z").expectation(Statevector(2))
+
+
+class TestObservable:
+    def test_sum_of_terms(self):
+        obs = Observable({"ZI": 0.5, "IZ": 0.5})
+        assert obs.expectation(Statevector.from_label("00")) == pytest.approx(1.0)
+        assert obs.expectation(Statevector.from_label("11")) == pytest.approx(-1.0)
+        assert obs.expectation(Statevector.from_label("01")) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_from_term_list(self):
+        obs = Observable([PauliObservable("Z", 1.0), PauliObservable("X", 2.0)])
+        assert obs.num_qubits == 1
+
+    def test_matrix_is_hermitian(self):
+        obs = Observable({"XX": 0.3, "ZZ": -0.7, "II": 0.1})
+        matrix = obs.matrix()
+        assert np.allclose(matrix, matrix.conj().T)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Observable([])
+        with pytest.raises(ValueError):
+            Observable({"Z": 1.0, "ZZ": 1.0})
+        with pytest.raises(TypeError):
+            Observable(["Z"])
+
+    def test_repr(self):
+        assert "Observable" in repr(Observable({"Z": 1.0}))
+        many = Observable(
+            {"I" * k + "Z" + "I" * (5 - k): 1.0 for k in range(6)}
+        )
+        assert "terms" in repr(many)
+
+
+class TestNoisyExpectation:
+    def test_noiseless_matches_pure_state(self, bell_circuit):
+        sim = NoisySimulator(bell_circuit, NoiseModel.noiseless(), seed=0)
+        value = sim.expectation(PauliObservable("ZZ"), num_trials=50)
+        assert value == pytest.approx(1.0)
+
+    def test_converges_to_exact_channel(self):
+        """MC expectation -> Tr(P rho_noisy) as trials grow."""
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        model = NoiseModel.uniform(0.02, two=0.1, measurement=0.0)
+        sim = NoisySimulator(circuit, model, seed=4)
+        observable = Observable({"ZZ": 1.0, "XX": 1.0})
+        estimated = sim.expectation(observable, num_trials=4000)
+        exact = observable.expectation_density(
+            run_layered_density(layerize(circuit), model)
+        )
+        assert estimated == pytest.approx(exact, abs=0.05)
+
+    def test_noise_shrinks_correlations(self, bell_circuit):
+        quiet = NoisySimulator(bell_circuit, NoiseModel.uniform(1e-4), seed=1)
+        loud = NoisySimulator(bell_circuit, NoiseModel.uniform(2e-2), seed=1)
+        zz = PauliObservable("ZZ")
+        assert loud.expectation(zz, 2000) < quiet.expectation(zz, 2000)

@@ -1,0 +1,238 @@
+"""Unit tests for the statevector engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, standard_gate
+from repro.sim import Statevector, apply_gate_matrix, run_circuit
+
+SQRT1_2 = 1 / math.sqrt(2)
+
+
+class TestConstruction:
+    def test_initial_state_is_all_zero(self):
+        state = Statevector(3)
+        vec = state.vector
+        assert vec[0] == 1.0
+        assert np.allclose(vec[1:], 0.0)
+
+    def test_from_label(self):
+        state = Statevector.from_label("10")
+        # qubit 0 is the most significant bit -> index 0b10 == 2.
+        assert state.vector[2] == 1.0
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Statevector.from_label("0a1")
+        with pytest.raises(ValueError):
+            Statevector.from_label("")
+
+    def test_from_amplitudes(self):
+        state = Statevector.from_amplitudes([SQRT1_2, 0, 0, SQRT1_2])
+        assert state.num_qubits == 2
+
+    def test_from_amplitudes_checks_norm(self):
+        with pytest.raises(ValueError):
+            Statevector.from_amplitudes([1.0, 1.0])
+
+    def test_from_amplitudes_checks_size(self):
+        with pytest.raises(ValueError):
+            Statevector.from_amplitudes([1.0, 0.0, 0.0])
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(0)
+
+
+class TestGateApplication:
+    def test_hadamard(self):
+        state = Statevector(1).apply_gate(standard_gate("h"), (0,))
+        assert np.allclose(state.vector, [SQRT1_2, SQRT1_2])
+
+    def test_x_flips(self):
+        state = Statevector(2).apply_gate(standard_gate("x"), (0,))
+        assert state.probability_of("10") == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        state = Statevector(2)
+        state.apply_gate(standard_gate("h"), (0,))
+        state.apply_gate(standard_gate("cx"), (0, 1))
+        assert np.allclose(state.vector, [SQRT1_2, 0, 0, SQRT1_2])
+
+    def test_cx_direction_matters(self):
+        # X on qubit 1 then CX with control=1 flips qubit 0.
+        state = Statevector(2)
+        state.apply_gate(standard_gate("x"), (1,))
+        state.apply_gate(standard_gate("cx"), (1, 0))
+        assert state.probability_of("11") == pytest.approx(1.0)
+
+    def test_big_endian_convention(self):
+        # X on qubit 0 of three -> |100> -> flat index 4.
+        state = Statevector(3).apply_gate(standard_gate("x"), (0,))
+        assert state.vector[4] == pytest.approx(1.0)
+
+    def test_norm_preserved_by_random_gates(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 40, rng, measured=False)
+        state = Statevector(4)
+        for op in circ.gate_ops():
+            state.apply_op(op)
+        assert state.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_gate_then_dagger_is_identity(self, rng):
+        state = Statevector(2)
+        state.apply_gate(standard_gate("h"), (0,))
+        original = state.copy()
+        gate = standard_gate("u3", (0.3, 0.7, 1.1))
+        state.apply_gate(gate, (1,))
+        state.apply_gate(gate.dagger(), (1,))
+        assert state.allclose(original)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_gate(standard_gate("cx"), (0,))
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(1).apply_gate(standard_gate("h"), (3,))
+
+    def test_apply_gate_matrix_pure_function(self):
+        tensor = Statevector(2).tensor
+        result = apply_gate_matrix(tensor, standard_gate("x").matrix, (0,))
+        assert tensor[0, 0] == 1.0  # input untouched
+        assert result[1, 0] == 1.0
+
+
+class TestReadout:
+    def test_probabilities_sum_to_one(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(3, 20, rng, measured=False)
+        state = Statevector(3)
+        for op in circ.gate_ops():
+            state.apply_op(op)
+        assert state.probabilities().sum() == pytest.approx(1.0)
+
+    def test_marginal_probability(self):
+        state = Statevector(2)
+        state.apply_gate(standard_gate("h"), (0,))
+        assert state.marginal_probability(0, 1) == pytest.approx(0.5)
+        assert state.marginal_probability(1, 1) == pytest.approx(0.0)
+
+    def test_probability_of_validates(self):
+        with pytest.raises(ValueError):
+            Statevector(2).probability_of("0")
+
+    def test_sample_counts_deterministic_per_seed(self):
+        state = Statevector(2)
+        state.apply_gate(standard_gate("h"), (0,))
+        counts_a = state.sample_counts(100, np.random.default_rng(1))
+        counts_b = state.sample_counts(100, np.random.default_rng(1))
+        assert counts_a == counts_b
+
+    def test_sample_counts_distribution(self):
+        state = Statevector(1)
+        state.apply_gate(standard_gate("h"), (0,))
+        counts = state.sample_counts(10_000, np.random.default_rng(5))
+        assert counts["0"] == pytest.approx(5000, abs=300)
+
+    def test_sample_counts_subset(self):
+        state = Statevector(2).apply_gate(standard_gate("x"), (1,))
+        counts = state.sample_counts(10, np.random.default_rng(0), qubits=(1,))
+        assert counts == {"1": 10}
+
+    def test_measure_collapses(self):
+        rng = np.random.default_rng(9)
+        state = Statevector(1)
+        state.apply_gate(standard_gate("h"), (0,))
+        outcome = state.measure(0, rng)
+        assert outcome in (0, 1)
+        assert state.probability_of(str(outcome)) == pytest.approx(1.0)
+
+    def test_fidelity(self):
+        a = Statevector.from_label("0")
+        b = Statevector.from_label("1")
+        assert a.fidelity(a) == pytest.approx(1.0)
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_fidelity_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Statevector(1).fidelity(Statevector(2))
+
+    def test_equiv_up_to_global_phase(self):
+        a = Statevector.from_label("0")
+        b = Statevector.from_amplitudes([1j, 0])
+        assert a.equiv_up_to_global_phase(b)
+        assert not a.allclose(b)
+
+
+class TestRunCircuit:
+    def test_noise_free_ghz(self, ghz3_circuit, rng):
+        state, clbits = run_circuit(ghz3_circuit, rng=rng)
+        assert set(clbits.values()) in ({0}, {1})  # GHZ correlations
+
+    def test_mid_circuit_measurement_supported(self, rng):
+        circ = QuantumCircuit(1)
+        circ.h(0).measure(0, 0).x(0)
+        state, clbits = run_circuit(circ, rng=rng)
+        assert clbits[0] in (0, 1)
+        # After measuring then X, the state is the flipped outcome.
+        assert state.probability_of(str(1 - clbits[0])) == pytest.approx(1.0)
+
+    def test_initial_state_respected(self):
+        circ = QuantumCircuit(1)
+        circ.x(0)
+        state, _ = run_circuit(circ, initial=Statevector.from_label("1"))
+        assert state.probability_of("0") == pytest.approx(1.0)
+
+    def test_copy_independent(self):
+        state = Statevector(1)
+        dup = state.copy()
+        dup.apply_gate(standard_gate("x"), (0,))
+        assert state.probability_of("0") == pytest.approx(1.0)
+        assert dup.probability_of("1") == pytest.approx(1.0)
+
+
+class TestDiagonalFastPath:
+    """The diagonal-gate fast path must match the dense contraction."""
+
+    DIAGONAL_CASES = [
+        ("z", (), (0,)),
+        ("s", (), (1,)),
+        ("rz", (0.37,), (2,)),
+        ("u1", (-1.2,), (0,)),
+        ("cz", (), (0, 2)),
+        ("cz", (), (2, 0)),
+        ("cu1", (0.9,), (1, 2)),
+        ("cu1", (0.9,), (2, 1)),
+    ]
+
+    @pytest.mark.parametrize("name,params,qubits", DIAGONAL_CASES)
+    def test_matches_dense_path(self, name, params, qubits, rng):
+        gate = standard_gate(name, params)
+        vec = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        vec /= np.linalg.norm(vec)
+        tensor = vec.reshape((2, 2, 2))
+        fast = apply_gate_matrix(tensor, gate.matrix, qubits)
+        k = gate.num_qubits
+        gate_tensor = gate.matrix.reshape((2,) * (2 * k))
+        dense = np.moveaxis(
+            np.tensordot(
+                gate_tensor, tensor, axes=(tuple(range(k, 2 * k)), qubits)
+            ),
+            tuple(range(k)),
+            qubits,
+        )
+        assert np.allclose(fast, dense, atol=1e-12)
+
+    def test_qft_still_correct(self):
+        """QFT uses cu1 heavily; end-to-end check through the fast path."""
+        from repro.bench import qft
+        from repro.sim import run_circuit
+
+        circuit = qft(4, measured=False)
+        state, _ = run_circuit(circuit)
+        assert np.allclose(np.abs(state.vector), 0.25, atol=1e-9)

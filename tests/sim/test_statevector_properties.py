@@ -1,0 +1,114 @@
+"""Hypothesis property tests for the statevector engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import standard_gate
+from repro.circuits.gates import STANDARD_GATE_ARITY
+from repro.sim import Statevector
+from repro.testing import random_circuit
+
+FIXED_1Q = ["h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "id"]
+FIXED_2Q = ["cx", "cy", "cz", "ch", "swap"]
+
+gate_names_1q = st.sampled_from(FIXED_1Q)
+gate_names_2q = st.sampled_from(FIXED_2Q)
+angles = st.floats(
+    min_value=-2 * np.pi, max_value=2 * np.pi, allow_nan=False
+)
+
+
+@st.composite
+def gate_sequences(draw, num_qubits=3, max_gates=20):
+    sequence = []
+    for _ in range(draw(st.integers(0, max_gates))):
+        if draw(st.booleans()):
+            gate = standard_gate(draw(gate_names_1q))
+            qubits = (draw(st.integers(0, num_qubits - 1)),)
+        elif draw(st.booleans()):
+            theta = draw(angles)
+            name = draw(st.sampled_from(["rx", "ry", "rz"]))
+            gate = standard_gate(name, (theta,))
+            qubits = (draw(st.integers(0, num_qubits - 1)),)
+        else:
+            gate = standard_gate(draw(gate_names_2q))
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            qubits = (a, b)
+        sequence.append((gate, qubits))
+    return sequence
+
+
+class TestUnitarityProperties:
+    @given(gate_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_norm_preserved(self, sequence):
+        state = Statevector(3)
+        for gate, qubits in sequence:
+            state.apply_gate(gate, qubits)
+        assert state.norm() == pytest.approx(1.0, abs=1e-9)
+
+    @given(gate_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_sequence_restores_state(self, sequence):
+        state = Statevector(3)
+        for gate, qubits in sequence:
+            state.apply_gate(gate, qubits)
+        for gate, qubits in reversed(sequence):
+            state.apply_gate(gate.dagger(), qubits)
+        assert state.probability_of("000") == pytest.approx(1.0, abs=1e-8)
+
+    @given(gate_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_probabilities_are_a_distribution(self, sequence):
+        state = Statevector(3)
+        for gate, qubits in sequence:
+            state.apply_gate(gate, qubits)
+        probs = state.probabilities()
+        assert probs.min() >= -1e-12
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(gate_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_marginals_consistent_with_joint(self, sequence):
+        state = Statevector(3)
+        for gate, qubits in sequence:
+            state.apply_gate(gate, qubits)
+        probs = state.probabilities()
+        for qubit in range(3):
+            shift = 3 - 1 - qubit
+            joint = sum(
+                p for i, p in enumerate(probs) if (i >> shift) & 1
+            )
+            assert state.marginal_probability(qubit, 1) == pytest.approx(
+                joint, abs=1e-9
+            )
+
+
+class TestPauliCommutation:
+    @given(
+        st.sampled_from(["x", "y", "z"]),
+        st.sampled_from(["x", "y", "z"]),
+        st.integers(0, 2),
+        st.integers(0, 2),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_paulis_on_distinct_qubits_commute(self, p1, p2, q1, q2):
+        if q1 == q2:
+            return
+        rng = np.random.default_rng(9)
+        circuit = random_circuit(3, 8, rng, measured=False)
+        base = Statevector(3)
+        for op in circuit.gate_ops():
+            base.apply_op(op)
+        order_a = base.copy()
+        order_a.apply_gate(standard_gate(p1), (q1,))
+        order_a.apply_gate(standard_gate(p2), (q2,))
+        order_b = base.copy()
+        order_b.apply_gate(standard_gate(p2), (q2,))
+        order_b.apply_gate(standard_gate(p1), (q1,))
+        assert order_a.allclose(order_b)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "qv_n5d5" in out
+        assert "cnot_paper" in out
+
+    def test_device(self, capsys):
+        assert main(["device"]) == 0
+        out = capsys.readouterr().out
+        assert "Q0" in out
+        assert "Q3-Q4" in out
+
+    def test_fig5_subset(self, capsys):
+        assert main(["fig5", "--benchmarks", "rb"]) == 0
+        out = capsys.readouterr().out
+        assert "rb" in out
+        assert "8192 trials" in out
+
+    def test_fig6_subset(self, capsys):
+        assert main(["fig6", "--benchmarks", "rb", "bv4"]) == 0
+        out = capsys.readouterr().out
+        assert "msv" in out
+
+    def test_fig7_tiny(self, capsys):
+        assert main(["fig7", "--trials", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "n40,d20" in out
+        assert "average computation saving" in out
+
+    def test_fig8_tiny(self, capsys):
+        assert main(["fig8", "--trials", "500"]) == 0
+        assert "n10,d5" in capsys.readouterr().out
+
+    def test_run_optimized(self, capsys):
+        assert main(["run", "rb", "--trials", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "computation saved" in out
+        assert "peak MSV" in out
+
+    def test_run_baseline(self, capsys):
+        assert main(["run", "rb", "--trials", "64", "--mode", "baseline"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-a-benchmark"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_ablations(self, capsys):
+        assert main(["ablations", "--benchmarks", "bv4", "--trials", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "dedup_only" in out
+        assert "consecutive_sorted" in out
+
+    def test_draw_logical(self, capsys):
+        assert main(["draw", "bv4"]) == 0
+        assert "q0:" in capsys.readouterr().out
+
+    def test_draw_compiled(self, capsys):
+        assert main(["draw", "rb", "--compiled"]) == 0
+        assert "q4:" in capsys.readouterr().out
+
+    def test_fig7_object_engine(self, capsys):
+        assert main(["fig7", "--trials", "300", "--engine", "object"]) == 0
+        assert "n40,d20" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "fig6.json"
+        assert main(["fig6", "--benchmarks", "rb", "--json", str(target)]) == 0
+        import json
+
+        rows = json.loads(target.read_text())
+        assert rows[0]["benchmark"] == "rb"
+        assert "wrote 1 rows" in capsys.readouterr().out
+
+    def test_table1_json_export(self, tmp_path):
+        target = tmp_path / "t1.json"
+        assert main(["table1", "--json", str(target)]) == 0
+        import json
+
+        assert len(json.loads(target.read_text())) == 12
+
+    def test_predict(self, capsys):
+        assert main(["predict", "bv4", "--trials", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted saving (bound)" in out
+        assert "measured saving" in out

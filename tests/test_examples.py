@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("trial_reordering_anatomy.py", []),
+    ("qasm_workflow.py", []),
+    ("yorktown_device_study.py", ["--trials", "64"]),
+    ("scalability_study.py", ["--trials", "500"]),
+    ("grover_noise_sweep.py", ["--trials", "200"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_at_least_three_examples_exist():
+    scripts = list(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+
+
+def test_observable_estimation_example():
+    path = EXAMPLES_DIR / "observable_estimation.py"
+    result = subprocess.run(
+        [sys.executable, str(path), "--trials", "300"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "exact noisy" in result.stdout
+
+
+def test_rb_decay_example():
+    path = EXAMPLES_DIR / "rb_decay_study.py"
+    result = subprocess.run(
+        [sys.executable, str(path), "--trials", "96"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "error per RB round" in result.stdout
+
+
+def test_stabilizer_ghz_example():
+    path = EXAMPLES_DIR / "stabilizer_ghz_study.py"
+    result = subprocess.run(
+        [sys.executable, str(path), "--trials", "60"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "100" in result.stdout

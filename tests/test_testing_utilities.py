@@ -1,0 +1,73 @@
+"""Tests for the public repro.testing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, layerize
+from repro.sim import Statevector
+from repro.testing import (
+    GATE_POOL_1Q,
+    GATE_POOL_2Q,
+    assert_states_close,
+    random_circuit,
+    random_trials,
+)
+
+
+class TestRandomCircuit:
+    def test_size(self, rng):
+        circ = random_circuit(4, 25, rng)
+        assert circ.num_qubits == 4
+        assert len(circ.gate_ops()) == 25
+        assert circ.num_measurements() == 4
+
+    def test_unmeasured(self, rng):
+        assert random_circuit(3, 5, rng, measured=False).num_measurements() == 0
+
+    def test_gate_pool_respected(self, rng):
+        circ = random_circuit(3, 50, rng, parametric=False)
+        pool = set(GATE_POOL_1Q) | set(GATE_POOL_2Q)
+        for op in circ.gate_ops():
+            assert op.gate.name in pool
+
+    def test_single_qubit_circuit(self, rng):
+        circ = random_circuit(1, 10, rng)
+        assert all(len(op.qubits) == 1 for op in circ.gate_ops())
+
+    def test_deterministic(self):
+        a = random_circuit(3, 20, np.random.default_rng(5))
+        b = random_circuit(3, 20, np.random.default_rng(5))
+        assert list(a.instructions) == list(b.instructions)
+
+
+class TestRandomTrials:
+    def test_counts_and_validity(self, rng, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        trials = random_trials(layered, 30, rng, max_errors=3)
+        assert len(trials) == 30
+        for trial in trials:
+            assert trial.num_errors <= 3
+            for event in trial.events:
+                assert 0 <= event.layer < layered.num_layers
+                assert 0 <= event.qubit < layered.num_qubits
+
+    def test_empty_circuit_rejected(self, rng):
+        circ = QuantumCircuit(1)
+        circ.measure_all()
+        with pytest.raises(ValueError):
+            random_trials(layerize(circ), 5, rng)
+
+
+class TestAssertStatesClose:
+    def test_passes_for_equal(self):
+        assert_states_close(Statevector(2), Statevector(2))
+
+    def test_fails_for_different(self):
+        with pytest.raises(AssertionError):
+            assert_states_close(
+                Statevector.from_label("00"), Statevector.from_label("01")
+            )
+
+    def test_fails_for_shape_mismatch(self):
+        with pytest.raises(AssertionError):
+            assert_states_close(Statevector(1), Statevector(2))
