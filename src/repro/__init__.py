@@ -38,6 +38,13 @@ from .core import (
     run_baseline,
     run_optimized,
 )
+from .lint import (
+    Diagnostic,
+    LintConfig,
+    LintResult,
+    lint_circuit,
+    sanitize_plan,
+)
 from .noise import (
     NoiseModel,
     artificial_model,
@@ -51,7 +58,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DensityMatrix",
+    "Diagnostic",
     "ErrorEvent",
+    "LintConfig",
+    "LintResult",
     "NoiseModel",
     "NoisySimulator",
     "QuantumCircuit",
@@ -65,8 +75,10 @@ __all__ = [
     "depolarizing",
     "ibm_yorktown",
     "layerize",
+    "lint_circuit",
     "make_trial",
     "parse_qasm",
+    "sanitize_plan",
     "reorder_trials",
     "reorder_trials_recursive",
     "run_baseline",

@@ -11,7 +11,7 @@ saving (see :mod:`repro.analysis.predictor`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from ..circuits.layers import LayeredCircuit
 from ..noise.model import NoiseModel

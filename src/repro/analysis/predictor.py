@@ -20,7 +20,6 @@ error rates.
 
 from __future__ import annotations
 
-import math
 from typing import Dict
 
 from ..circuits.layers import LayeredCircuit

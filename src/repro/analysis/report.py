@@ -8,7 +8,7 @@ use.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 __all__ = ["render_table", "format_value", "rows_to_table"]
 

@@ -7,7 +7,7 @@ and by the experiment harness to summarize sweeps.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ assert exactly that.  Table I's ``bv4`` / ``bv5`` are ``bv(4)`` / ``bv(5)``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..circuits.circuit import QuantumCircuit
 

@@ -8,7 +8,6 @@ tests assert the marked state dominates the output distribution.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from ..circuits.circuit import QuantumCircuit
 

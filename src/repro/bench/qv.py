@@ -20,7 +20,7 @@ matching how Table I's counts include mapping overhead.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ decays, which is what RB measures on hardware.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ evaluation metrics (Figs. 5-6) are computed from *our* compiled circuits.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..mapping.coupling import yorktown_coupling

@@ -16,11 +16,11 @@ the standard gate library.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .gates import Gate, GateError, standard_gate, unitary as unitary_gate
+from .gates import Gate, standard_gate, unitary as unitary_gate
 
 __all__ = [
     "CircuitError",

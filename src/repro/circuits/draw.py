@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from .circuit import GateOp, Measurement, QuantumCircuit
+from .circuit import GateOp, QuantumCircuit
 from .layers import layerize
 
 __all__ = ["draw"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import cmath
 import math
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

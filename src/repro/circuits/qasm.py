@@ -21,7 +21,7 @@ from __future__ import annotations
 import ast
 import math
 import re
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from .circuit import GateOp, Measurement, QuantumCircuit
 from .gates import STANDARD_GATE_ARITY, standard_gate

@@ -9,6 +9,8 @@ Examples::
     python -m repro fig7 --trials 100000   # scalability, normalized computation
     python -m repro fig8 --trials 100000   # scalability, MSVs
     python -m repro run bv4 --trials 2048  # one benchmark end to end
+    python -m repro lint                   # static audit of every benchmark
+    python -m repro lint circuit.qasm      # lint an OpenQASM file
 """
 
 from __future__ import annotations
@@ -17,14 +19,12 @@ import argparse
 import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .analysis.report import render_table, rows_to_table
-from .analysis.stats import geometric_mean
+from .analysis.report import rows_to_table
 from .bench.suite import benchmark_names, build_compiled_benchmark, table1_rows
 from .core.runner import NoisySimulator
 from .experiments.realistic import (
-    REALISTIC_TRIAL_COUNTS,
     fig5_rows,
     fig6_rows,
     run_realistic_experiment,
@@ -35,7 +35,6 @@ from .experiments.scalability import (
     run_scalability_experiment,
 )
 from .noise.devices import (
-    ARTIFICIAL_ERROR_LEVELS,
     YORKTOWN_COUPLING,
     ibm_yorktown,
 )
@@ -278,6 +277,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: plan sanitizer + circuit/QASM/noise lint rules."""
+    from .lint import LintConfig, all_rules, lint_qasm_file, lint_suite
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.code}  {rule.severity.label:<7}  "
+                f"{rule.name:<26}  {rule.description}"
+            )
+        return 0
+
+    config = LintConfig(
+        disabled=frozenset(args.disable or ()),
+        warnings_as_errors=args.werror,
+    )
+    if args.paths:
+        results = {
+            path: lint_qasm_file(path, config=config) for path in args.paths
+        }
+    else:
+        try:
+            results = lint_suite(
+                benchmarks=args.benchmarks,
+                num_trials=args.trials,
+                seed=args.seed,
+                config=config,
+                runtime_crosscheck=not args.no_crosscheck,
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    num_errors = sum(len(result.errors) for result in results.values())
+    if args.format == "json":
+        payload = {name: result.to_dict() for name, result in results.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if num_errors else 0
+
+    for name, result in results.items():
+        if result.diagnostics:
+            print(f"{name}: {result.summary()}")
+            for diagnostic in result:
+                print(f"  {diagnostic.render()}")
+        else:
+            detail = ""
+            if "peak_msv" in result.info:
+                detail = (
+                    f" ({result.info['num_instructions']} plan "
+                    f"instructions, static peak MSV "
+                    f"{result.info['peak_msv']})"
+                )
+            print(f"{name}: ok{detail}")
+    num_warnings = sum(len(result.warnings) for result in results.values())
+    print(
+        f"\nchecked {len(results)} target(s): {num_errors} error(s), "
+        f"{num_warnings} warning(s)"
+    )
+    return 1 if num_errors else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -324,6 +384,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     pdraw.add_argument("--compiled", action="store_true")
     pdraw.add_argument("--width", type=int, default=120)
 
+    plint = sub.add_parser(
+        "lint",
+        help="static plan sanitizer + circuit/QASM lint",
+        description=(
+            "With no arguments, audit every Table I benchmark: lint the "
+            "compiled circuit and noise model, sample a seeded trial set, "
+            "build the execution plan, prove it sound with the symbolic "
+            "sanitizer and cross-check the static peak-MSV bound against a "
+            "counting-backend run.  With file arguments, lint OpenQASM "
+            "programs instead.  Exit status 1 when any error-severity "
+            "diagnostic fires."
+        ),
+    )
+    plint.add_argument(
+        "paths", nargs="*", help="OpenQASM files (default: benchmark audit)"
+    )
+    plint.add_argument("--benchmarks", nargs="*", default=None)
+    plint.add_argument("--trials", type=int, default=256)
+    plint.add_argument("--format", choices=("text", "json"), default="text")
+    plint.add_argument(
+        "--disable", nargs="*", default=None, metavar="CODE",
+        help="diagnostic codes to suppress",
+    )
+    plint.add_argument(
+        "--werror", action="store_true", help="treat warnings as errors"
+    )
+    plint.add_argument(
+        "--no-crosscheck", action="store_true",
+        help="skip the runtime peak-MSV cross-check",
+    )
+    plint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered diagnostic code and exit",
+    )
+
     prun = sub.add_parser("run", help="run one benchmark end to end")
     prun.add_argument("benchmark", choices=benchmark_names())
     prun.add_argument("--trials", type=int, default=1024)
@@ -340,6 +435,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig7": _cmd_fig7,
         "fig8": _cmd_fig8,
         "ablations": _cmd_ablations,
+        "lint": _cmd_lint,
         "predict": _cmd_predict,
         "draw": _cmd_draw,
         "run": _cmd_run,

@@ -18,7 +18,7 @@ Two peaks are tracked:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["StateCache", "CacheStats"]
 
@@ -73,10 +73,22 @@ class StateCache:
 
     # -- snapshot slots -----------------------------------------------------------
 
-    def store(self, state: Any, layer: int) -> int:
-        """Store a snapshot (a state advanced to ``layer``); returns its slot."""
-        slot = self._next_slot
-        self._next_slot += 1
+    def store(self, state: Any, layer: int, slot: Optional[int] = None) -> int:
+        """Store a snapshot (a state advanced to ``layer``); returns its slot.
+
+        With ``slot`` given, the snapshot is stored under exactly that id —
+        the executor passes the plan's ``Snapshot.slot`` so cache ids and
+        plan ids can never drift apart.  Storing into an occupied slot
+        raises; auto-assignment (``slot=None``) keeps handing out fresh ids.
+        """
+        if slot is None:
+            slot = self._next_slot
+            self._next_slot += 1
+        else:
+            slot = int(slot)
+            if slot in self._slots:
+                raise RuntimeError(f"cache slot {slot} is already occupied")
+            self._next_slot = max(self._next_slot, slot + 1)
         self._slots[slot] = (state, layer)
         self._snapshots_taken += 1
         self._update_peaks()

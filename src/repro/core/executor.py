@@ -15,7 +15,7 @@ no executor ever holds more than the cache-accounted number of states.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 from ..circuits.layers import LayeredCircuit
 from ..sim.backend import SimulationBackend
@@ -74,6 +74,7 @@ def run_optimized(
     backend: SimulationBackend,
     on_finish: Optional[FinishCallback] = None,
     plan: Optional[ExecutionPlan] = None,
+    check: bool = False,
 ) -> ExecutionOutcome:
     """Execute ``trials`` with prefix-state reuse.
 
@@ -87,6 +88,11 @@ def run_optimized(
         ``finish`` payload (a statevector copy for the statevector backend,
         ``None`` for the counting backend) and the tuple of original trial
         indices sharing that state.
+    check:
+        Run the static plan sanitizer (:func:`repro.lint.sanitize_plan`)
+        before touching the backend: slot discipline, layer alignment and
+        per-trial event exactness are proven up front, so a bad plan fails
+        fast instead of mid-run with statevectors allocated.
     """
     if plan is None:
         plan = build_plan(layered, trials)
@@ -94,6 +100,8 @@ def run_optimized(
         raise ScheduleError(
             f"plan covers {plan.num_trials} trials, got {len(trials)}"
         )
+    if check:
+        plan.validate(trials=trials, layered=layered)
 
     backend.reset_counter()
     cache = StateCache()
@@ -113,7 +121,15 @@ def run_optimized(
             working_layer = instr.end_layer
         elif isinstance(instr, Snapshot):
             snapshot = backend.copy_state(working)
-            cache.store(snapshot, working_layer)
+            try:
+                assigned = cache.store(snapshot, working_layer, slot=instr.slot)
+            except RuntimeError as exc:
+                raise ScheduleError(str(exc)) from exc
+            if assigned != instr.slot:
+                raise ScheduleError(
+                    f"cache stored snapshot in slot {assigned}, plan "
+                    f"expected slot {instr.slot}"
+                )
         elif isinstance(instr, Inject):
             event = instr.event
             if event.layer + 1 != working_layer:

@@ -20,7 +20,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from .events import PAULI_LABELS, ErrorEvent, Trial, make_trial
+from .events import ErrorEvent, Trial, make_trial
 from .packed import EVENT_BYTES, pack_trial, unpack_trial_events
 
 __all__ = ["save_trials", "load_trials", "FORMAT_VERSION"]

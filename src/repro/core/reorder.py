@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from .events import ErrorEvent, Trial
+from .events import Trial
 
 __all__ = [
     "reorder_trials",

@@ -30,12 +30,10 @@ from ..noise.model import NoiseModel
 from ..noise.sampling import sample_trials
 from ..sim.backend import SimulationBackend, StatevectorBackend
 from ..sim.counting import CountingBackend
-from ..sim.measurement import apply_readout_flips, sample_measurements
+from ..sim.measurement import apply_readout_flips
 from ..sim.statevector import Statevector
 from .events import Trial
 from .executor import (
-    ExecutionOutcome,
-    baseline_operation_count,
     run_baseline,
     run_optimized,
 )
@@ -121,9 +119,13 @@ class NoisySimulator:
         """Statically generate ``num_trials`` error-injection trials."""
         return sample_trials(self.layered, self.noise_model, num_trials, self._rng)
 
-    def plan(self, trials: Sequence[Trial]) -> ExecutionPlan:
-        """Reorder ``trials`` and build the optimized execution plan."""
-        return build_plan(self.layered, trials)
+    def plan(self, trials: Sequence[Trial], check: bool = False) -> ExecutionPlan:
+        """Reorder ``trials`` and build the optimized execution plan.
+
+        ``check=True`` additionally proves the plan sound with the static
+        sanitizer (:mod:`repro.lint`) before returning it.
+        """
+        return build_plan(self.layered, trials, check=check)
 
     def make_backend(self, backend: str) -> SimulationBackend:
         if backend == "statevector":
@@ -145,6 +147,7 @@ class NoisySimulator:
         backend: str = "statevector",
         trials: Optional[Sequence[Trial]] = None,
         collect_final_states: bool = False,
+        check: bool = False,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -162,6 +165,9 @@ class NoisySimulator:
         collect_final_states:
             Keep every trial's final statevector on the result — memory
             heavy; meant for equivalence tests and small analyses.
+        check:
+            Statically sanitize the optimized plan before execution
+            (ignored in baseline mode, which has no plan).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
@@ -190,7 +196,9 @@ class NoisySimulator:
                     final_states[index] = payload.copy()
 
         if mode == "optimized":
-            outcome = run_optimized(self.layered, trial_list, engine, on_finish)
+            outcome = run_optimized(
+                self.layered, trial_list, engine, on_finish, check=check
+            )
         else:
             outcome = run_baseline(self.layered, trial_list, engine, on_finish)
 

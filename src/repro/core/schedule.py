@@ -33,7 +33,7 @@ the last consumer steals the state instead of copying it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Sequence, Tuple, Union
+from typing import List, NamedTuple, Sequence, Tuple, Union
 
 from ..circuits.layers import LayeredCircuit
 from .events import ErrorEvent, Trial
@@ -121,37 +121,33 @@ class ExecutionPlan:
                 ops += 1
         return ops
 
-    def validate(self) -> None:
-        """Structural sanity checks: slot discipline and layer monotonicity.
+    def validate(self, trials=None, layered=None) -> None:
+        """Run the static plan sanitizer; raise on the first violation.
 
-        Raises :class:`ScheduleError` on any violation.  Used by tests and
-        cheap enough to run on every schedule in debug contexts.
+        Delegates to :func:`repro.lint.sanitize_plan` — the symbolic
+        interpreter that proves slot discipline, layer alignment, trial
+        coverage and (when ``trials`` is given) per-trial error-event
+        exactness, all without a backend.  Raises :class:`ScheduleError`
+        listing every error-severity diagnostic.  Cheap enough to run on
+        every schedule in debug contexts; ``run_optimized(check=True)``
+        calls it before execution.
         """
-        open_slots = set()
-        finished = set()
-        for instr in self.instructions:
-            if isinstance(instr, Advance):
-                if not 0 <= instr.start_layer <= instr.end_layer <= self.num_layers:
-                    raise ScheduleError(f"bad advance range {instr}")
-            elif isinstance(instr, Snapshot):
-                if instr.slot in open_slots:
-                    raise ScheduleError(f"slot {instr.slot} snapshotted twice")
-                open_slots.add(instr.slot)
-            elif isinstance(instr, Restore):
-                if instr.slot not in open_slots:
-                    raise ScheduleError(f"restore of unknown slot {instr.slot}")
-                open_slots.remove(instr.slot)
-            elif isinstance(instr, Finish):
-                for index in instr.trial_indices:
-                    if index in finished:
-                        raise ScheduleError(f"trial {index} finished twice")
-                    finished.add(index)
-        if open_slots:
-            raise ScheduleError(f"slots never restored: {sorted(open_slots)}")
-        if len(finished) != self.num_trials:
+        audit = self.audit(trials=trials, layered=layered)
+        if not audit.ok:
             raise ScheduleError(
-                f"plan finishes {len(finished)} trials, expected {self.num_trials}"
+                "; ".join(str(diagnostic) for diagnostic in audit.errors)
             )
+
+    def audit(self, trials=None, layered=None):
+        """Sanitize without raising: the full :class:`repro.lint.PlanAudit`.
+
+        Exposes the diagnostics *and* the static cache bounds
+        (``audit.peak_msv`` equals the runtime ``CacheStats.peak_msv`` of
+        an optimized run of this plan).
+        """
+        from ..lint.plan_sanitizer import sanitize_plan
+
+        return sanitize_plan(self, trials=trials, layered=layered)
 
     def __repr__(self) -> str:
         return (
@@ -220,16 +216,30 @@ class _PlanBuilder:
             self.instructions.append(Finish(tuple(node.terminal_trials)))
 
 
-def build_plan(layered: LayeredCircuit, trials: Sequence[Trial]) -> ExecutionPlan:
+def build_plan(
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    check: bool = False,
+) -> ExecutionPlan:
     """Build the optimized execution plan for ``trials`` on ``layered``.
 
     The trials may be in any order — the trie canonicalizes them into the
-    reordered (lexicographic) schedule.
+    reordered (lexicographic) schedule.  With ``check=True`` the finished
+    plan is run through the static sanitizer (including the per-trial
+    exactness replay) before being returned.
     """
     trie = TrialTrie(trials)
-    return _PlanBuilder(layered, trie).build()
+    plan = _PlanBuilder(layered, trie).build()
+    if check:
+        plan.validate(trials=trials, layered=layered)
+    return plan
 
 
-def build_plan_from_trie(layered: LayeredCircuit, trie: TrialTrie) -> ExecutionPlan:
+def build_plan_from_trie(
+    layered: LayeredCircuit, trie: TrialTrie, check: bool = False
+) -> ExecutionPlan:
     """Build the plan from a pre-built trie (avoids re-inserting trials)."""
-    return _PlanBuilder(layered, trie).build()
+    plan = _PlanBuilder(layered, trie).build()
+    if check:
+        plan.validate(trials=trie.trials, layered=layered)
+    return plan

@@ -20,7 +20,7 @@ semantics as the real scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..circuits.layers import LayeredCircuit
 from ..core.events import Trial

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Sequence
 
-import numpy as np
 
 from ..analysis.stats import total_variation_distance
 from ..circuits.circuit import QuantumCircuit

@@ -13,7 +13,7 @@ and a demanding end-to-end exercise of the trial-reordering simulator
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 

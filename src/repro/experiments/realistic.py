@@ -11,7 +11,7 @@ the integration tests), but runs in milliseconds per configuration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bench.suite import TABLE1_BENCHMARKS, build_compiled_benchmark
 from ..core.runner import NoisySimulator

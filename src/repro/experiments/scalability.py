@@ -21,7 +21,7 @@ depends only on the schedule (see :mod:`repro.sim.counting`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -1,0 +1,193 @@
+"""High-level lint entry points used by the CLI and the test suite.
+
+These functions compose the low-level passes into whole-artifact checks:
+a QASM file (parse + circuit rules), a plan (sanitizer + optional runtime
+cross-check) and a full benchmark (compiled circuit + sampled trials +
+noise model + plan, optionally verified against a counting-backend run).
+Heavyweight imports (benchmarks, backends) are deferred into the function
+bodies so ``import repro.lint`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..circuits.layers import LayeredCircuit
+from ..circuits.qasm import QasmError, parse_qasm
+from ..core.events import Trial
+from ..core.schedule import ExecutionPlan
+from .circuit_rules import lint_circuit
+from .diagnostics import LintConfig, LintResult, Severity
+from .plan_sanitizer import sanitize_plan
+from .registry import make_diagnostic, register
+from .trial_rules import lint_noise_model, lint_trials
+
+__all__ = [
+    "lint_qasm_text",
+    "lint_qasm_file",
+    "lint_plan",
+    "lint_benchmark",
+    "lint_suite",
+]
+
+register(
+    "Q001",
+    "qasm-parse-error",
+    Severity.ERROR,
+    "qasm",
+    "The OpenQASM source could not be parsed.",
+)
+
+
+def lint_qasm_text(
+    text: str, name: str = "qasm", config: Optional[LintConfig] = None
+) -> LintResult:
+    """Parse an OpenQASM 2.0 program and lint the resulting circuit.
+
+    A parse failure is reported as a ``Q001`` diagnostic instead of an
+    exception, so one broken file does not abort a multi-file lint run.
+    """
+    try:
+        circuit = parse_qasm(text, name=name)
+    except QasmError as exc:
+        result = LintResult(info={"circuit": name})
+        diagnostic = make_diagnostic(
+            "Q001", str(exc), location=name, config=config
+        )
+        if diagnostic is not None:
+            result.add(diagnostic)
+        return result
+    return lint_circuit(circuit, config=config)
+
+
+def lint_qasm_file(path: str, config: Optional[LintConfig] = None) -> LintResult:
+    """Lint one OpenQASM file from disk.
+
+    An unreadable file is reported as ``Q001`` (like a parse failure), so
+    one missing path does not abort a multi-file lint run.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        result = LintResult(info={"circuit": path})
+        diagnostic = make_diagnostic(
+            "Q001", f"cannot read file: {exc}", location=path, config=config
+        )
+        if diagnostic is not None:
+            result.add(diagnostic)
+        return result
+    return lint_qasm_text(text, name=path, config=config)
+
+
+def lint_plan(
+    plan: ExecutionPlan,
+    trials: Optional[Sequence[Trial]] = None,
+    layered: Optional[LayeredCircuit] = None,
+    config: Optional[LintConfig] = None,
+    runtime_crosscheck: bool = False,
+) -> LintResult:
+    """Sanitize a plan; optionally verify the static peak-MSV bound.
+
+    With ``runtime_crosscheck=True`` (requires ``layered`` and ``trials``,
+    and a structurally clean plan) the plan is executed on the counting
+    backend — no amplitudes — and the runtime ``CacheStats.peak_msv`` is
+    compared against the sanitizer's static bound (``P013`` on mismatch).
+    """
+    audit = sanitize_plan(plan, trials=trials, layered=layered, config=config)
+    result = LintResult(audit.diagnostics, info=dict(audit.info))
+    if (
+        runtime_crosscheck
+        and audit.ok
+        and layered is not None
+        and trials is not None
+    ):
+        from ..core.executor import run_optimized
+        from ..sim.counting import CountingBackend
+
+        outcome = run_optimized(
+            layered, trials, CountingBackend(layered), plan=plan
+        )
+        result.info["runtime_peak_msv"] = outcome.peak_msv
+        if outcome.peak_msv != audit.peak_msv:
+            diagnostic = make_diagnostic(
+                "P013",
+                f"static peak MSV {audit.peak_msv} != runtime peak MSV "
+                f"{outcome.peak_msv}",
+                location="plan",
+                hint="the sanitizer's cache mirror has diverged from "
+                "StateCache; file a bug",
+                config=config,
+            )
+            if diagnostic is not None:
+                result.add(diagnostic)
+    return result
+
+
+def lint_benchmark(
+    name: str,
+    num_trials: int = 256,
+    seed: int = 2020,
+    config: Optional[LintConfig] = None,
+    runtime_crosscheck: bool = True,
+) -> LintResult:
+    """Full static audit of one Table I benchmark.
+
+    Lints the Yorktown-compiled circuit, the device noise model, a seeded
+    sampled trial set, and the execution plan built from those trials —
+    the same pipeline ``NoisySimulator.run`` would execute.
+    """
+    import numpy as np
+
+    from ..bench.suite import build_compiled_benchmark
+    from ..circuits.layers import layerize
+    from ..core.schedule import build_plan
+    from ..noise.devices import ibm_yorktown
+    from ..noise.sampling import sample_trials
+
+    circuit = build_compiled_benchmark(name)
+    layered = layerize(circuit)
+    model = ibm_yorktown()
+    trials = sample_trials(
+        layered, model, num_trials, np.random.default_rng(seed)
+    )
+    plan = build_plan(layered, trials)
+
+    result = lint_circuit(circuit, config=config)
+    result.extend(lint_noise_model(model, layered, config=config))
+    result.extend(lint_trials(trials, layered, config=config))
+    result.extend(
+        lint_plan(
+            plan,
+            trials=trials,
+            layered=layered,
+            config=config,
+            runtime_crosscheck=runtime_crosscheck,
+        )
+    )
+    result.info["benchmark"] = name
+    result.info["num_trials"] = num_trials
+    return result
+
+
+def lint_suite(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_trials: int = 256,
+    seed: int = 2020,
+    config: Optional[LintConfig] = None,
+    runtime_crosscheck: bool = True,
+) -> Dict[str, LintResult]:
+    """Audit several benchmarks (all of Table I by default)."""
+    from ..bench.suite import benchmark_names
+
+    names: List[str] = list(benchmarks) if benchmarks else benchmark_names()
+    return {
+        name: lint_benchmark(
+            name,
+            num_trials=num_trials,
+            seed=seed,
+            config=config,
+            runtime_crosscheck=runtime_crosscheck,
+        )
+        for name in names
+    }

@@ -1,0 +1,263 @@
+"""Circuit-level lint rules (also applied to parsed QASM programs).
+
+Each rule is registered under a stable ``C0xx`` code with a checker that
+yields ``(message, location, hint)`` tuples; :func:`lint_circuit` runs all
+registered circuit rules against one :class:`QuantumCircuit`.  The rules
+are defensive: the circuit builders validate most of these properties at
+construction time, but circuits also arrive from QASM files, serialized
+payloads and direct ``_instructions`` manipulation, where nothing has been
+checked yet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Barrier, GateOp, Measurement, QuantumCircuit
+from ..circuits.gates import Gate
+from .diagnostics import LintConfig, LintResult, Severity
+from .registry import all_rules, make_diagnostic, rule_checker
+
+__all__ = ["lint_circuit"]
+
+_Finding = Tuple[str, Optional[str], str]
+
+_UNITARY_ATOL = 1e-8
+
+
+@rule_checker(
+    "C001",
+    "qubit-out-of-range",
+    Severity.ERROR,
+    "circuit",
+    "An instruction references a qubit index outside the circuit.",
+)
+def _check_qubit_ranges(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    for index, instr in enumerate(circuit):
+        for qubit in instr.qubits:
+            if not 0 <= qubit < circuit.num_qubits:
+                yield (
+                    f"{instr!r} references qubit {qubit}; the circuit has "
+                    f"{circuit.num_qubits} qubit(s)",
+                    f"instr {index}",
+                    "qubit indices run 0 .. num_qubits - 1",
+                )
+
+
+@rule_checker(
+    "C002",
+    "clbit-out-of-range",
+    Severity.ERROR,
+    "circuit",
+    "A measurement writes a classical bit outside the register.",
+)
+def _check_clbit_ranges(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    for index, instr in enumerate(circuit):
+        if isinstance(instr, Measurement):
+            if not 0 <= instr.clbit < circuit.num_clbits:
+                yield (
+                    f"{instr!r} writes clbit {instr.clbit}; the circuit has "
+                    f"{circuit.num_clbits} classical bit(s)",
+                    f"instr {index}",
+                    "",
+                )
+
+
+@rule_checker(
+    "C003",
+    "unused-qubit",
+    Severity.WARNING,
+    "circuit",
+    "A declared qubit is never touched by any gate or measurement.",
+)
+def _check_unused_qubits(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    touched = set()
+    for instr in circuit:
+        if not isinstance(instr, Barrier):
+            touched.update(instr.qubits)
+    for qubit in range(circuit.num_qubits):
+        if qubit not in touched:
+            yield (
+                f"qubit {qubit} is declared but never used",
+                None,
+                "unused qubits double the statevector size for nothing",
+            )
+
+
+@rule_checker(
+    "C004",
+    "non-unitary-gate",
+    Severity.ERROR,
+    "circuit",
+    "A gate's matrix is not numerically unitary.",
+)
+def _check_unitarity(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    verdicts: Dict[Gate, bool] = {}
+    for index, instr in enumerate(circuit):
+        if not isinstance(instr, GateOp):
+            continue
+        gate = instr.gate
+        verdict = verdicts.get(gate)
+        if verdict is None:
+            matrix = gate.matrix
+            product = matrix @ matrix.conj().T
+            verdict = bool(
+                np.allclose(
+                    product, np.eye(matrix.shape[0]), atol=_UNITARY_ATOL
+                )
+            )
+            verdicts[gate] = verdict
+        if not verdict:
+            yield (
+                f"gate {gate.name!r} at instr {index} has a non-unitary "
+                "matrix",
+                f"instr {index}",
+                "normalize the matrix or rebuild the gate with "
+                "check_unitary=True to see the constructor error",
+            )
+
+
+def _is_self_inverse(gate: Gate) -> bool:
+    matrix = gate.matrix
+    return bool(
+        np.allclose(
+            matrix @ matrix, np.eye(matrix.shape[0]), atol=_UNITARY_ATOL
+        )
+    )
+
+
+@rule_checker(
+    "C005",
+    "redundant-gate-pair",
+    Severity.WARNING,
+    "circuit",
+    "Two adjacent identical self-inverse gates cancel to the identity.",
+)
+def _check_redundant_pairs(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    # last_op[q] == (instruction index, op) of the latest instruction
+    # touching qubit q; a pair is adjacent when no intervening instruction
+    # touched any of its qubits.
+    last_op: Dict[int, Tuple[int, Optional[GateOp]]] = {}
+    self_inverse: Dict[Gate, bool] = {}
+    for index, instr in enumerate(circuit):
+        if isinstance(instr, Barrier):
+            continue
+        if isinstance(instr, GateOp):
+            previous = {last_op.get(q) for q in instr.qubits}
+            if len(previous) == 1:
+                entry = previous.pop()
+                if entry is not None:
+                    prev_index, prev_op = entry
+                    if (
+                        prev_op is not None
+                        and prev_op == instr
+                        and tuple(prev_op.qubits) == tuple(instr.qubits)
+                    ):
+                        verdict = self_inverse.get(instr.gate)
+                        if verdict is None:
+                            verdict = _is_self_inverse(instr.gate)
+                            self_inverse[instr.gate] = verdict
+                        if verdict:
+                            yield (
+                                f"{instr.gate.name} on {instr.qubits} at "
+                                f"instr {index} cancels the identical gate "
+                                f"at instr {prev_index}",
+                                f"instr {index}",
+                                "drop both gates; they multiply to the "
+                                "identity",
+                            )
+            for qubit in instr.qubits:
+                last_op[qubit] = (index, instr)
+        else:  # Measurement blocks pairing across it
+            for qubit in instr.qubits:
+                last_op[qubit] = (index, None)
+
+
+@rule_checker(
+    "C006",
+    "mid-circuit-measurement",
+    Severity.ERROR,
+    "circuit",
+    "A gate follows a measurement on the same qubit (executor contract).",
+)
+def _check_terminal_measurements(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    measured: Dict[int, int] = {}
+    for index, instr in enumerate(circuit):
+        if isinstance(instr, Measurement):
+            measured[instr.qubit] = index
+        elif isinstance(instr, GateOp):
+            for qubit in instr.qubits:
+                if qubit in measured:
+                    yield (
+                        f"gate {instr.gate.name!r} at instr {index} acts on "
+                        f"qubit {qubit}, measured at instr "
+                        f"{measured[qubit]}",
+                        f"instr {index}",
+                        "the trial-reordering executor requires terminal "
+                        "measurements",
+                    )
+                    measured.pop(qubit)
+
+
+@rule_checker(
+    "C007",
+    "duplicate-clbit-target",
+    Severity.WARNING,
+    "circuit",
+    "Two measurements write the same classical bit.",
+)
+def _check_clbit_collisions(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    writers: Dict[int, int] = {}
+    for index, instr in enumerate(circuit):
+        if not isinstance(instr, Measurement):
+            continue
+        if instr.clbit in writers:
+            yield (
+                f"measurement at instr {index} overwrites clbit "
+                f"{instr.clbit}, already written at instr "
+                f"{writers[instr.clbit]}",
+                f"instr {index}",
+                "only the last write survives in the readout bitstring",
+            )
+        writers[instr.clbit] = index
+
+
+@rule_checker(
+    "C008",
+    "empty-circuit",
+    Severity.WARNING,
+    "circuit",
+    "The circuit contains no gates and no measurements.",
+)
+def _check_nonempty(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    if not circuit.gate_ops() and not circuit.measurements():
+        yield (
+            f"circuit {circuit.name!r} has no gates and no measurements",
+            None,
+            "",
+        )
+
+
+def lint_circuit(
+    circuit: QuantumCircuit, config: Optional[LintConfig] = None
+) -> LintResult:
+    """Run every registered circuit rule against ``circuit``."""
+    result = LintResult(info={"circuit": circuit.name})
+    for entry in all_rules(scope="circuit"):
+        if entry.checker is None:
+            continue
+        if config is not None and not config.is_enabled(entry.code):
+            continue
+        for message, location, hint in entry.checker(circuit):
+            diagnostic = make_diagnostic(
+                entry.code,
+                message,
+                location=location,
+                hint=hint or None,
+                config=config,
+            )
+            if diagnostic is not None:
+                result.add(diagnostic)
+    return result

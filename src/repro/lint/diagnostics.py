@@ -1,0 +1,214 @@
+"""Diagnostic objects, lint configuration and renderers.
+
+A :class:`Diagnostic` is one finding of a static pass: a stable code, a
+severity, a human message, an optional location (``plan[12]``,
+``instr 3``, ``trial 7``, a file path, ...) and an optional fix hint.
+:class:`LintResult` aggregates findings; :class:`LintConfig` filters and
+re-grades them (disable codes, promote warnings to errors).  Two renderers
+are provided: compiler-style text lines and a JSON document for tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintConfig",
+    "LintResult",
+    "render_text",
+    "render_json",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic grade; ordering allows threshold comparisons."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+class Diagnostic:
+    """One static-analysis finding."""
+
+    __slots__ = ("code", "severity", "message", "location", "hint")
+
+    def __init__(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        location: Optional[str] = None,
+        hint: Optional[str] = None,
+    ) -> None:
+        self.code = code
+        self.severity = Severity(severity)
+        self.message = message
+        self.location = location
+        self.hint = hint
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+        if self.location is not None:
+            payload["location"] = self.location
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+    def render(self) -> str:
+        """Compiler-style one-liner: ``error[P004] plan[3]: message``."""
+        where = f" {self.location}" if self.location else ""
+        text = f"{self.severity.label}[{self.code}]{where}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"Diagnostic({self.render()!r})"
+
+
+class LintConfig:
+    """Filtering and severity policy applied to every emitted diagnostic.
+
+    Parameters
+    ----------
+    disabled:
+        Diagnostic codes to suppress entirely.
+    warnings_as_errors:
+        Promote every WARNING to ERROR (the ``--werror`` CLI flag).
+    max_diagnostics:
+        Stop recording after this many findings (None = unlimited).
+    """
+
+    def __init__(
+        self,
+        disabled: Iterable[str] = (),
+        warnings_as_errors: bool = False,
+        max_diagnostics: Optional[int] = None,
+    ) -> None:
+        self.disabled = frozenset(disabled)
+        self.warnings_as_errors = bool(warnings_as_errors)
+        self.max_diagnostics = max_diagnostics
+
+    def is_enabled(self, code: str) -> bool:
+        return code not in self.disabled
+
+    def apply(self, diagnostic: Diagnostic) -> Optional[Diagnostic]:
+        """Return the (possibly re-graded) diagnostic, or None if suppressed."""
+        if not self.is_enabled(diagnostic.code):
+            return None
+        if (
+            self.warnings_as_errors
+            and diagnostic.severity == Severity.WARNING
+        ):
+            return Diagnostic(
+                diagnostic.code,
+                Severity.ERROR,
+                diagnostic.message,
+                location=diagnostic.location,
+                hint=diagnostic.hint,
+            )
+        return diagnostic
+
+    def __repr__(self) -> str:
+        return (
+            f"LintConfig(disabled={sorted(self.disabled)}, "
+            f"warnings_as_errors={self.warnings_as_errors})"
+        )
+
+
+class LintResult:
+    """An ordered collection of diagnostics plus pass metadata.
+
+    ``info`` carries pass-specific statistics (e.g. the plan sanitizer's
+    static ``peak_msv``) so CLI reports and cross-check tests can read them
+    without re-deriving anything.
+    """
+
+    def __init__(
+        self,
+        diagnostics: Optional[Sequence[Diagnostic]] = None,
+        info: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics or ())
+        self.info: Dict[str, object] = dict(info or {})
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, other: "LintResult") -> "LintResult":
+        """Merge another result into this one (diagnostics and info)."""
+        self.diagnostics.extend(other.diagnostics)
+        self.info.update(other.info)
+        return self
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were recorded."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics)} total"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "info": self.info,
+        }
+
+    def __repr__(self) -> str:
+        return f"LintResult({self.summary()})"
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """One line per diagnostic, in emission order."""
+    return "\n".join(d.render() for d in diagnostics)
+
+
+def render_json(diagnostics: Iterable[Diagnostic], indent: int = 2) -> str:
+    """A JSON array of diagnostic objects."""
+    return json.dumps(
+        [d.to_dict() for d in diagnostics], indent=indent, sort_keys=True
+    )

@@ -1,0 +1,420 @@
+"""Static plan sanitizer: a symbolic interpreter over execution plans.
+
+:func:`sanitize_plan` replays an :class:`~repro.core.schedule.ExecutionPlan`
+with *symbolic* state — no backend, no amplitudes — and proves, before a
+single statevector is allocated, every invariant the executor would
+otherwise discover mid-run:
+
+* **slot discipline** — each snapshot slot is written once and consumed
+  exactly once; restores of empty slots (use-after-free / double restore)
+  and leaked slots are rejected;
+* **layer alignment** — the working layer is tracked through every
+  ``Advance``/``Restore``; a ``Restore`` resumes at the layer its
+  ``Snapshot`` was taken, so any following ``Advance``, ``Inject`` or
+  ``Finish`` that disagrees with that layer is flagged statically;
+* **trial exactness** — the symbolic working state carries the sequence of
+  injected :class:`~repro.core.events.ErrorEvent`; at each ``Finish`` the
+  sequence must equal the listed trials' sampled event sequences.  This is
+  the paper's claim that reordering is *exact* — same errors, same final
+  state per trial — checked without simulating;
+* **coverage** — every trial index is finished exactly once;
+* **memory bound** — the interpreter mirrors
+  :class:`~repro.core.cache.StateCache` accounting, so the returned static
+  ``peak_msv`` / ``peak_stored`` equal the runtime ``CacheStats`` values of
+  an optimized run of the same plan (cross-checked in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.layers import LayeredCircuit
+from ..core.events import PAULI_LABELS, ErrorEvent, Trial
+from ..core.schedule import (
+    Advance,
+    ExecutionPlan,
+    Finish,
+    Inject,
+    Restore,
+    Snapshot,
+)
+from .diagnostics import Diagnostic, LintConfig, LintResult, Severity
+from .registry import make_diagnostic, register
+
+__all__ = ["PlanAudit", "sanitize_plan"]
+
+
+register(
+    "P001",
+    "advance-range",
+    Severity.ERROR,
+    "plan",
+    "Advance layer range is malformed or outside the circuit depth.",
+)
+register(
+    "P002",
+    "advance-gap",
+    Severity.ERROR,
+    "plan",
+    "Advance does not begin at the working state's current layer.",
+)
+register(
+    "P003",
+    "snapshot-slot-reused",
+    Severity.ERROR,
+    "plan",
+    "Snapshot writes a slot that is still occupied.",
+)
+register(
+    "P004",
+    "restore-unknown-slot",
+    Severity.ERROR,
+    "plan",
+    "Restore consumes a slot that is empty or already consumed "
+    "(use-after-free / double restore).",
+)
+register(
+    "P005",
+    "slot-leaked",
+    Severity.ERROR,
+    "plan",
+    "Snapshot slot is never restored (leaked cached state).",
+)
+register(
+    "P006",
+    "inject-layer-mismatch",
+    Severity.ERROR,
+    "plan",
+    "Inject fires at a working layer other than its event's layer boundary.",
+)
+register(
+    "P007",
+    "finish-before-end",
+    Severity.ERROR,
+    "plan",
+    "Finish reached before the working state advanced to the final layer.",
+)
+register(
+    "P008",
+    "trial-finished-twice",
+    Severity.ERROR,
+    "plan",
+    "A trial index is finished by more than one Finish instruction.",
+)
+register(
+    "P009",
+    "trial-never-finished",
+    Severity.ERROR,
+    "plan",
+    "A trial index is never finished by the plan (lost trial).",
+)
+register(
+    "P010",
+    "trial-unknown-index",
+    Severity.ERROR,
+    "plan",
+    "Finish lists a trial index outside the plan's trial range.",
+)
+register(
+    "P011",
+    "event-sequence-mismatch",
+    Severity.ERROR,
+    "plan",
+    "A finished trial's symbolic error history differs from its sampled "
+    "event sequence (exactness violation).",
+)
+register(
+    "P012",
+    "event-out-of-bounds",
+    Severity.ERROR,
+    "plan",
+    "Injected event lies beyond the circuit's depth or qubit count.",
+)
+register(
+    "P013",
+    "peak-msv-mismatch",
+    Severity.ERROR,
+    "plan",
+    "Static peak-MSV bound disagrees with the runtime cache statistics.",
+)
+register(
+    "P014",
+    "trial-count-mismatch",
+    Severity.ERROR,
+    "plan",
+    "Plan's declared trial count differs from the supplied trial list.",
+)
+register(
+    "P015",
+    "unknown-instruction",
+    Severity.ERROR,
+    "plan",
+    "Plan contains an object that is not a known instruction kind.",
+)
+register(
+    "P016",
+    "unknown-error-operator",
+    Severity.ERROR,
+    "plan",
+    "Injected event carries an operator outside the Pauli alphabet.",
+)
+
+
+class PlanAudit(LintResult):
+    """Sanitizer verdict: diagnostics plus the static cache bounds."""
+
+    def __init__(
+        self,
+        diagnostics: Sequence[Diagnostic],
+        peak_msv: int,
+        peak_stored: int,
+        snapshots_taken: int,
+        num_instructions: int,
+    ) -> None:
+        super().__init__(
+            diagnostics,
+            info={
+                "peak_msv": peak_msv,
+                "peak_stored": peak_stored,
+                "snapshots_taken": snapshots_taken,
+                "num_instructions": num_instructions,
+            },
+        )
+        #: Static bound on simultaneously live statevectors (working state
+        #: included) — must equal the runtime ``CacheStats.peak_msv``.
+        self.peak_msv = peak_msv
+        #: Static bound on simultaneously stored snapshots.
+        self.peak_stored = peak_stored
+        self.snapshots_taken = snapshots_taken
+        self.num_instructions = num_instructions
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanAudit(ok={self.ok}, peak_msv={self.peak_msv}, "
+            f"diagnostics={len(self.diagnostics)})"
+        )
+
+
+def sanitize_plan(
+    plan: ExecutionPlan,
+    trials: Optional[Sequence[Trial]] = None,
+    layered: Optional[LayeredCircuit] = None,
+    config: Optional[LintConfig] = None,
+) -> PlanAudit:
+    """Symbolically interpret ``plan`` and collect every violation.
+
+    Parameters
+    ----------
+    trials:
+        When given, each ``Finish`` is checked against the listed trials'
+        event sequences (the exactness proof) and the trial count is
+        cross-checked.
+    layered:
+        When given, injected events are bounds-checked against the real
+        circuit (depth *and* qubit count; without it only the plan's
+        declared ``num_layers`` is available).
+    config:
+        Optional filtering/severity policy.
+
+    The interpreter never raises on a bad plan — it records diagnostics and
+    keeps going with a best-effort recovery, so one structural bug does not
+    mask the rest.
+    """
+    diagnostics: List[Diagnostic] = []
+
+    def emit(
+        code: str, message: str, index: Optional[int] = None, hint: str = ""
+    ) -> None:
+        location = f"plan[{index}]" if index is not None else "plan"
+        diagnostic = make_diagnostic(
+            code, message, location=location, hint=hint or None, config=config
+        )
+        if diagnostic is not None:
+            if (
+                config is not None
+                and config.max_diagnostics is not None
+                and len(diagnostics) >= config.max_diagnostics
+            ):
+                return
+            diagnostics.append(diagnostic)
+
+    num_layers = plan.num_layers
+    num_qubits = layered.num_qubits if layered is not None else None
+    if layered is not None and layered.num_layers != num_layers:
+        emit(
+            "P001",
+            f"plan declares {num_layers} layer(s) but the circuit has "
+            f"{layered.num_layers}",
+        )
+    if trials is not None and len(trials) != plan.num_trials:
+        emit(
+            "P014",
+            f"plan covers {plan.num_trials} trial(s) but {len(trials)} "
+            "were supplied",
+            hint="rebuild the plan from the trial set actually executed",
+        )
+
+    # Symbolic working state: current layer + injected-event history.
+    cursor = 0
+    history: Tuple[ErrorEvent, ...] = ()
+    # slot -> (layer at snapshot, history at snapshot, instruction index)
+    open_slots: Dict[int, Tuple[int, Tuple[ErrorEvent, ...], int]] = {}
+    finished_at: Dict[int, int] = {}
+
+    # Mirror of StateCache accounting: one working state is live from the
+    # start; snapshots add stored states; a restore consumes one.
+    stored = 0
+    peak_msv = 1
+    peak_stored = 0
+    snapshots_taken = 0
+
+    for index, instr in enumerate(plan.instructions):
+        if isinstance(instr, Advance):
+            if not 0 <= instr.start_layer <= instr.end_layer <= num_layers:
+                emit(
+                    "P001",
+                    f"advance range [{instr.start_layer}, {instr.end_layer}) "
+                    f"is invalid for {num_layers} layer(s)",
+                    index,
+                )
+            elif instr.start_layer != cursor:
+                emit(
+                    "P002",
+                    f"advance starts at layer {instr.start_layer} but the "
+                    f"working state is at layer {cursor}",
+                    index,
+                    hint="a Restore above may have resumed at a different "
+                    "layer than this instruction assumes",
+                )
+            cursor = instr.end_layer
+        elif isinstance(instr, Snapshot):
+            if instr.slot in open_slots:
+                taken_at = open_slots[instr.slot][2]
+                emit(
+                    "P003",
+                    f"slot {instr.slot} snapshotted again while still "
+                    f"occupied (first written at plan[{taken_at}])",
+                    index,
+                    hint="the previous snapshot was never restored",
+                )
+            else:
+                open_slots[instr.slot] = (cursor, history, index)
+                stored += 1
+                snapshots_taken += 1
+                peak_msv = max(peak_msv, stored + 1)
+                peak_stored = max(peak_stored, stored)
+        elif isinstance(instr, Inject):
+            event = instr.event
+            depth_bound = num_layers
+            if not 0 <= event.layer < depth_bound:
+                emit(
+                    "P012",
+                    f"event {event} beyond circuit depth {depth_bound}",
+                    index,
+                )
+            elif num_qubits is not None and not 0 <= event.qubit < num_qubits:
+                emit(
+                    "P012",
+                    f"event {event} beyond qubit count {num_qubits}",
+                    index,
+                )
+            elif event.layer + 1 != cursor:
+                emit(
+                    "P006",
+                    f"inject of {event} at working layer {cursor}; errors "
+                    f"fire right after their layer (expected layer "
+                    f"{event.layer + 1})",
+                    index,
+                )
+            if event.pauli not in PAULI_LABELS:
+                emit(
+                    "P016",
+                    f"event {event} carries operator {event.pauli!r}; "
+                    f"expected one of {PAULI_LABELS}",
+                    index,
+                )
+            history = history + (event,)
+        elif isinstance(instr, Restore):
+            entry = open_slots.pop(instr.slot, None)
+            if entry is None:
+                emit(
+                    "P004",
+                    f"restore of slot {instr.slot}, which is empty or "
+                    "already consumed",
+                    index,
+                    hint="each Snapshot slot may be restored exactly once",
+                )
+            else:
+                cursor, history, _ = entry
+                stored -= 1
+        elif isinstance(instr, Finish):
+            if cursor != num_layers:
+                emit(
+                    "P007",
+                    f"finish at layer {cursor}; the circuit has "
+                    f"{num_layers} layer(s)",
+                    index,
+                )
+            for trial_index in instr.trial_indices:
+                if not 0 <= trial_index < plan.num_trials:
+                    emit(
+                        "P010",
+                        f"finish of trial {trial_index}, outside the plan's "
+                        f"{plan.num_trials} trial(s)",
+                        index,
+                    )
+                    continue
+                if trial_index in finished_at:
+                    emit(
+                        "P008",
+                        f"trial {trial_index} finished twice (first at "
+                        f"plan[{finished_at[trial_index]}])",
+                        index,
+                    )
+                    continue
+                finished_at[trial_index] = index
+                if trials is not None and trial_index < len(trials):
+                    expected = tuple(trials[trial_index].events)
+                    if expected != history:
+                        emit(
+                            "P011",
+                            f"trial {trial_index} finished with error "
+                            f"history ({', '.join(map(str, history))}) but "
+                            f"its sampled sequence is "
+                            f"({', '.join(map(str, expected))})",
+                            index,
+                            hint="the reordering must be exact: every trial "
+                            "receives precisely its own sampled errors",
+                        )
+        else:
+            emit("P015", f"unknown plan instruction {instr!r}", index)
+
+    for slot, (_, _, taken_at) in sorted(open_slots.items()):
+        emit(
+            "P005",
+            f"slot {slot} (snapshotted at plan[{taken_at}]) is never "
+            "restored",
+            hint="leaked snapshots keep a full statevector alive to the "
+            "end of the run",
+        )
+    missing = [
+        t for t in range(plan.num_trials) if t not in finished_at
+    ]
+    if missing:
+        shown = ", ".join(str(t) for t in missing[:8])
+        if len(missing) > 8:
+            shown += f", ... ({len(missing)} total)"
+        emit(
+            "P009",
+            f"trial(s) never finished: {shown}",
+            hint="every sampled trial must reach the final layer exactly "
+            "once",
+        )
+
+    return PlanAudit(
+        diagnostics,
+        peak_msv=peak_msv,
+        peak_stored=peak_stored,
+        snapshots_taken=snapshots_taken,
+        num_instructions=len(plan.instructions),
+    )

@@ -1,0 +1,112 @@
+"""Rule registry: one entry per diagnostic code.
+
+Every code a pass can emit is registered here with a short name, a default
+severity, the scope it applies to (``plan`` / ``circuit`` / ``trials`` /
+``noise`` / ``qasm``) and a one-line description.  Circuit-, trial- and
+noise-scope rules also register a *checker* callable; the plan sanitizer is
+a single symbolic interpreter, so its codes are metadata-only and emitted
+from :mod:`repro.lint.plan_sanitizer` directly.
+
+The registry is the single source of truth for ``repro lint --list-rules``
+and for the code table in ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from .diagnostics import Diagnostic, LintConfig, Severity
+
+__all__ = [
+    "Rule",
+    "register",
+    "rule_checker",
+    "get_rule",
+    "all_rules",
+    "registered_codes",
+    "make_diagnostic",
+]
+
+
+class Rule(NamedTuple):
+    """Metadata (and optional checker) behind one diagnostic code."""
+
+    code: str
+    name: str
+    severity: Severity
+    scope: str
+    description: str
+    checker: Optional[Callable] = None
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(
+    code: str,
+    name: str,
+    severity: Severity,
+    scope: str,
+    description: str,
+    checker: Optional[Callable] = None,
+) -> Rule:
+    """Register a diagnostic code; codes must be unique."""
+    if code in _REGISTRY:
+        raise ValueError(f"diagnostic code {code!r} registered twice")
+    entry = Rule(code, name, severity, scope, description, checker)
+    _REGISTRY[code] = entry
+    return entry
+
+
+def rule_checker(
+    code: str, name: str, severity: Severity, scope: str, description: str
+) -> Callable[[Callable], Callable]:
+    """Decorator form of :func:`register` for rules with a checker.
+
+    The decorated checker receives the scope's subject (a circuit, a trial
+    list, ...) and yields ``(message, location, hint)`` tuples; the caller
+    wraps them into :class:`Diagnostic` objects with the rule's code and
+    severity.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        register(code, name, severity, scope, description, checker=func)
+        return func
+
+    return decorate
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown diagnostic code {code!r}") from None
+
+
+def all_rules(scope: Optional[str] = None) -> List[Rule]:
+    """All registered rules (optionally one scope), sorted by code."""
+    rules = sorted(_REGISTRY.values(), key=lambda r: r.code)
+    if scope is not None:
+        rules = [r for r in rules if r.scope == scope]
+    return rules
+
+
+def registered_codes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    location: Optional[str] = None,
+    hint: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> Optional[Diagnostic]:
+    """Build a diagnostic with the registry's severity, filtered by config."""
+    entry = get_rule(code)
+    diagnostic = Diagnostic(
+        code, entry.severity, message, location=location, hint=hint
+    )
+    if config is not None:
+        return config.apply(diagnostic)
+    return diagnostic

@@ -9,7 +9,7 @@ constructor; line and grid topologies cover the artificial large devices.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 

@@ -10,14 +10,10 @@ reproduce the original unitary exactly or up to global phase.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Sequence
+from typing import List
 
 from ..circuits.circuit import (
-    Barrier,
     GateOp,
-    Instruction,
-    Measurement,
     QuantumCircuit,
 )
 from ..circuits.gates import standard_gate

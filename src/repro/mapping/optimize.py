@@ -34,7 +34,7 @@ from ..circuits.circuit import (
     Measurement,
     QuantumCircuit,
 )
-from ..circuits.gates import Gate, standard_gate
+from ..circuits.gates import standard_gate
 
 __all__ = [
     "cancel_inverse_pairs",

@@ -13,7 +13,7 @@ as Enfield on these small benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..circuits.circuit import (
     Barrier,

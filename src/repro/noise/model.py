@@ -27,7 +27,7 @@ guaranteeing all three views model the identical noise process.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Tuple
 
 from ..circuits.circuit import GateOp, Measurement
 from ..circuits.layers import LayeredCircuit

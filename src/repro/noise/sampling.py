@@ -17,7 +17,7 @@ lets tests compare the Monte-Carlo ensemble against the exact channel.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

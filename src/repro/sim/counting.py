@@ -16,7 +16,7 @@ identical schedules.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 from ..circuits.gates import Gate
 from ..circuits.layers import LayeredCircuit

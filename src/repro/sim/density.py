@@ -15,12 +15,11 @@ significant.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..circuits.circuit import GateOp, Measurement, QuantumCircuit
+from ..circuits.circuit import GateOp, QuantumCircuit
 from ..circuits.gates import Gate
 from .statevector import Statevector
 

@@ -17,12 +17,12 @@ deduplicated executor evaluates each *distinct* final state only once.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Union
 
 import numpy as np
 
 from ..circuits.gates import standard_gate
-from .statevector import Statevector, apply_gate_matrix
+from .statevector import Statevector
 
 __all__ = ["PauliObservable", "Observable"]
 

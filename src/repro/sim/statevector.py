@@ -17,7 +17,7 @@ follow the same order, so ``"10"`` on two qubits means qubit 0 measured 1.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -6,13 +6,12 @@ writing property tests against the simulator.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from .circuits.circuit import QuantumCircuit
-from .circuits.gates import standard_gate
-from .circuits.layers import LayeredCircuit, layerize
+from .circuits.layers import LayeredCircuit
 from .core.events import ErrorEvent, Trial, make_trial
 
 __all__ = [

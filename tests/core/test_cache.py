@@ -28,6 +28,45 @@ class TestSlots:
         assert cache.store("a", 0) != cache.store("b", 0)
 
 
+class TestExplicitSlots:
+    def test_store_honors_requested_slot(self):
+        cache = StateCache()
+        assert cache.store("a", 0, slot=5) == 5
+        assert cache.peek(5) == ("a", 0)
+
+    def test_store_occupied_slot_raises(self):
+        cache = StateCache()
+        cache.store("a", 0, slot=2)
+        with pytest.raises(RuntimeError, match="slot 2 is already occupied"):
+            cache.store("b", 1, slot=2)
+
+    def test_auto_assignment_skips_past_explicit_slot(self):
+        cache = StateCache()
+        cache.store("a", 0, slot=3)
+        # The next auto slot must not collide with the explicit one.
+        assert cache.store("b", 1) == 4
+
+    def test_explicit_then_auto_then_reuse_released(self):
+        cache = StateCache()
+        cache.store("a", 0, slot=0)
+        cache.take(0)
+        # Released ids are not recycled; plan ids stay globally unique.
+        assert cache.store("b", 1) == 1
+
+    def test_mixed_explicit_and_auto_accounting(self):
+        cache = StateCache()
+        cache.working_created()
+        cache.store("a", 0, slot=7)
+        cache.store("b", 1)
+        stats_peak = cache.num_live
+        assert stats_peak == 3
+        cache.take(7)
+        cache.take(8)
+        cache.working_destroyed()
+        cache.assert_drained()
+        assert cache.stats().peak_msv == 3
+
+
 class TestAccounting:
     def test_peaks(self):
         cache = StateCache()

@@ -130,6 +130,108 @@ class TestOperationAccounting:
             run_optimized(layered, trials[:5], CountingBackend(layered), plan=plan)
 
 
+class TestExplicitSlotContract:
+    """The executor stores snapshots under the plan's slot ids, so cache
+    ids and plan ids can never drift apart."""
+
+    def test_non_sequential_plan_slots_execute(self, ghz3_circuit):
+        from repro.core.schedule import (
+            Advance,
+            ExecutionPlan,
+            Finish,
+            Inject,
+            Restore,
+            Snapshot,
+        )
+
+        layered = layerize(ghz3_circuit)
+        event = ErrorEvent(0, 0, "x")
+        trials = [make_trial([event]), make_trial([])]
+        # Hand-written plan using a non-zero slot id the auto-assigner
+        # would never pick first.
+        plan = ExecutionPlan(
+            [
+                Advance(0, 1),
+                Snapshot(9),
+                Inject(event),
+                Advance(1, layered.num_layers),
+                Finish((0,)),
+                Restore(9),
+                Advance(1, layered.num_layers),
+                Finish((1,)),
+            ],
+            num_trials=2,
+            num_layers=layered.num_layers,
+        )
+        plan.validate(trials=trials, layered=layered)
+        outcome = run_optimized(
+            layered, trials, CountingBackend(layered), plan=plan, check=True
+        )
+        assert outcome.num_trials == 2
+        assert outcome.cache_stats.snapshots_taken == 1
+
+    def test_occupied_slot_rejected_at_runtime(self, ghz3_circuit):
+        from repro.core import ScheduleError
+        from repro.core.schedule import (
+            Advance,
+            ExecutionPlan,
+            Finish,
+            Inject,
+            Restore,
+            Snapshot,
+        )
+
+        layered = layerize(ghz3_circuit)
+        e0, e1 = ErrorEvent(0, 0, "x"), ErrorEvent(0, 1, "y")
+        trials = [make_trial([e0]), make_trial([e1]), make_trial([])]
+        plan = ExecutionPlan(
+            [
+                Advance(0, 1),
+                Snapshot(0),
+                Inject(e0),
+                Advance(1, layered.num_layers),
+                Finish((0,)),
+                Restore(0),
+                Snapshot(0),  # slot 0 was just freed by the Restore
+                Inject(e1),
+                Advance(1, layered.num_layers),
+                Finish((1,)),
+                Restore(0),
+                Advance(1, layered.num_layers),
+                Finish((2,)),
+            ],
+            num_trials=3,
+            num_layers=layered.num_layers,
+        )
+        # Snapshot(0) after Restore(0) re-opens a *freed* slot: both the
+        # sanitizer and the runtime accept it.
+        plan.validate(trials=trials, layered=layered)
+        run_optimized(
+            layered, trials, CountingBackend(layered), plan=plan, check=True
+        )
+
+        # A Snapshot into a slot that is still live must fail fast.
+        bad = ExecutionPlan(
+            [Advance(0, 1), Snapshot(0), Snapshot(0)],
+            num_trials=0,
+            num_layers=layered.num_layers,
+        )
+        with pytest.raises(ScheduleError, match="already occupied"):
+            run_optimized(layered, [], CountingBackend(layered), plan=bad)
+
+    def test_check_true_fails_before_backend_runs(self, ghz3_circuit, rng):
+        from repro.core import ScheduleError
+        from repro.core.schedule import ExecutionPlan, Restore
+
+        layered = layerize(ghz3_circuit)
+        bad = ExecutionPlan([Restore(4)], num_trials=0, num_layers=3)
+        backend = CountingBackend(layered)
+        with pytest.raises(ScheduleError, match="P004"):
+            run_optimized(layered, [], backend, plan=bad, check=True)
+        # The sanitizer rejected the plan before any layer was applied.
+        assert backend.ops_applied == 0
+
+
 class TestCacheBehaviour:
     def test_no_leaked_states(self, ghz3_circuit, rng):
         layered = layerize(ghz3_circuit)

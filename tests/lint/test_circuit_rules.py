@@ -1,0 +1,179 @@
+"""Tests for the circuit lint rules (C001-C008)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import benchmark_names, build_compiled_benchmark
+from repro.circuits.circuit import GateOp, Measurement, QuantumCircuit
+from repro.circuits.gates import Gate, standard_gate
+from repro.lint import LintConfig, lint_circuit
+
+
+def codes_of(result):
+    return [d.code for d in result.diagnostics]
+
+
+def error_codes(result):
+    return {d.code for d in result.errors}
+
+
+class TestCleanCircuits:
+    def test_ghz_is_clean(self, ghz3_circuit):
+        result = lint_circuit(ghz3_circuit)
+        assert result.ok
+        assert not result.diagnostics
+
+    @pytest.mark.parametrize("name", ["bv4", "qft4", "grover"])
+    def test_benchmarks_have_no_errors(self, name):
+        circuit = build_compiled_benchmark(name)
+        result = lint_circuit(circuit)
+        # Warnings (e.g. unused qubits after mapping) are acceptable;
+        # errors are not.
+        assert result.ok, [str(d) for d in result.errors]
+
+
+class TestC001QubitRange:
+    def test_out_of_range_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        # The builders validate on append; corrupt the instruction list the
+        # way a bad deserializer would.
+        circuit._instructions.append(GateOp(standard_gate("x"), (5,)))
+        assert "C001" in error_codes(lint_circuit(circuit))
+
+
+class TestC002ClbitRange:
+    def test_out_of_range_clbit(self):
+        circuit = QuantumCircuit(2, num_clbits=1)
+        circuit.h(0)
+        circuit._instructions.append(Measurement(0, 4))
+        assert "C002" in error_codes(lint_circuit(circuit))
+
+
+class TestC003UnusedQubit:
+    def test_unused_qubit_warns(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0)
+        result = lint_circuit(circuit)
+        assert "C003" in codes_of(result)
+        assert result.ok  # warning only
+
+    def test_barrier_does_not_count_as_use(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier(0, 1)
+        assert "C003" in codes_of(lint_circuit(circuit))
+
+
+class TestC004NonUnitary:
+    def test_non_unitary_gate(self):
+        bad = Gate(
+            "bad", 1, np.array([[1.0, 0.0], [0.0, 0.5]]), check_unitary=False
+        )
+        circuit = QuantumCircuit(1)
+        circuit.apply(bad, 0)
+        assert "C004" in error_codes(lint_circuit(circuit))
+
+    def test_unitary_gates_pass(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).t(0).sx(0)
+        assert "C004" not in codes_of(lint_circuit(circuit))
+
+
+class TestC005RedundantPair:
+    def test_adjacent_self_inverse_pair(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(0)
+        assert "C005" in codes_of(lint_circuit(circuit))
+
+    def test_cx_cx_pair(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        assert "C005" in codes_of(lint_circuit(circuit))
+
+    def test_non_self_inverse_pair_ok(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        circuit.t(0)
+        assert "C005" not in codes_of(lint_circuit(circuit))
+
+    def test_intervening_gate_blocks_pair(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.h(0)
+        assert "C005" not in codes_of(lint_circuit(circuit))
+
+    def test_partial_overlap_blocks_pair(self):
+        # cx(0,1), x(1), cx(0,1): qubit 1 was touched in between.
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.x(1)
+        circuit.cx(0, 1)
+        assert "C005" not in codes_of(lint_circuit(circuit))
+
+    def test_measurement_blocks_pair(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit._instructions.append(GateOp(standard_gate("h"), (0,)))
+        result = lint_circuit(circuit)
+        assert "C005" not in codes_of(result)
+
+
+class TestC006MidCircuitMeasurement:
+    def test_gate_after_measure(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit._instructions.append(GateOp(standard_gate("x"), (0,)))
+        assert "C006" in error_codes(lint_circuit(circuit))
+
+    def test_terminal_measure_ok(self, ghz3_circuit):
+        assert "C006" not in codes_of(lint_circuit(ghz3_circuit))
+
+
+class TestC007DuplicateClbit:
+    def test_duplicate_clbit_target(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.x(1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 0)
+        result = lint_circuit(circuit)
+        assert "C007" in codes_of(result)
+        assert result.ok  # warning only
+
+
+class TestC008EmptyCircuit:
+    def test_empty_circuit_warns(self):
+        circuit = QuantumCircuit(1)
+        assert "C008" in codes_of(lint_circuit(circuit))
+
+
+class TestConfig:
+    def test_disable_rule(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        config = LintConfig(disabled=["C003"])
+        assert "C003" not in codes_of(lint_circuit(circuit, config))
+
+    def test_werror_promotes(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        config = LintConfig(warnings_as_errors=True)
+        result = lint_circuit(circuit, config)
+        assert not result.ok
+        assert "C003" in error_codes(result)
+
+
+def test_full_benchmark_sweep_error_free():
+    """Every compiled paper benchmark passes with zero error diagnostics."""
+    for name in benchmark_names():
+        circuit = build_compiled_benchmark(name)
+        result = lint_circuit(circuit)
+        assert result.ok, (name, [str(d) for d in result.errors])

@@ -1,0 +1,109 @@
+"""Tests for the ``repro lint`` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+
+GOOD_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"""
+
+WARN_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+h q[0];
+measure q[0] -> c[0];
+"""
+
+BAD_QASM = "OPENQASM 2.0; qreg q[2; h q[0];"
+
+
+class TestLintBenchmarks:
+    def test_benchmark_subset_exits_zero(self, capsys):
+        code = main(
+            ["lint", "--benchmarks", "bv4", "qft4", "--trials", "128"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bv4" in out and "qft4" in out
+        assert "static peak MSV" in out or "warning" in out
+        assert "0 error(s)" in out
+
+    def test_no_crosscheck_flag(self, capsys):
+        assert main(
+            ["lint", "--benchmarks", "bv4", "--trials", "64",
+             "--no-crosscheck"]
+        ) == 0
+
+    def test_json_format_parses(self, capsys):
+        code = main(
+            ["lint", "--benchmarks", "bv4", "--trials", "64",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bv4"]["ok"] is True
+        assert payload["bv4"]["info"]["peak_msv"] >= 1
+
+    def test_werror_fails_on_warning_bearing_target(self, capsys):
+        # Compiled rb carries C003/C005 warnings (unused mapped qubits,
+        # cancelling cx pair); --werror must turn them into a failure.
+        relaxed = main(["lint", "--benchmarks", "rb", "--trials", "64"])
+        assert relaxed == 0
+        strict = main(
+            ["lint", "--benchmarks", "rb", "--trials", "64", "--werror"]
+        )
+        assert strict == 1
+
+    def test_disable_suppresses_codes(self, capsys):
+        code = main(
+            ["lint", "--benchmarks", "rb", "--trials", "64", "--werror",
+             "--disable", "C003", "C005"]
+        )
+        assert code == 0
+
+
+class TestLintQasmFiles:
+    def test_clean_file(self, tmp_path, capsys):
+        path = tmp_path / "good.qasm"
+        path.write_text(GOOD_QASM)
+        assert main(["lint", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_warning_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "warn.qasm"
+        path.write_text(WARN_QASM)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "C005" in out  # h; h cancels
+        assert "C003" in out  # unused qubits
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.qasm"
+        path.write_text(BAD_QASM)
+        assert main(["lint", str(path)]) == 1
+        assert "Q001" in capsys.readouterr().out
+
+    def test_mixed_files_one_bad(self, tmp_path, capsys):
+        good = tmp_path / "good.qasm"
+        good.write_text(GOOD_QASM)
+        bad = tmp_path / "bad.qasm"
+        bad.write_text(BAD_QASM)
+        assert main(["lint", str(good), str(bad)]) == 1
+
+
+class TestListRules:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("P001", "P011", "P013", "C001", "N001", "Q001"):
+            assert code in out
+        assert "event-sequence-mismatch" in out

@@ -1,0 +1,140 @@
+"""Tests for the diagnostic framework: objects, config, registry, renderers."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    LintResult,
+    Severity,
+    all_rules,
+    get_rule,
+    registered_codes,
+    render_json,
+    render_text,
+)
+
+
+class TestDiagnostic:
+    def test_render_full(self):
+        diag = Diagnostic(
+            "P004",
+            Severity.ERROR,
+            "restore of slot 3",
+            location="plan[12]",
+            hint="each slot restores once",
+        )
+        text = diag.render()
+        assert text.startswith("error[P004] plan[12]: restore of slot 3")
+        assert "hint: each slot restores once" in text
+
+    def test_render_minimal(self):
+        diag = Diagnostic("C003", Severity.WARNING, "unused qubit")
+        assert diag.render() == "warning[C003]: unused qubit"
+
+    def test_to_dict_round_trip(self):
+        diag = Diagnostic(
+            "N001", Severity.ERROR, "bad layer", location="trial 2", hint="h"
+        )
+        payload = diag.to_dict()
+        assert payload == {
+            "code": "N001",
+            "severity": "error",
+            "message": "bad layer",
+            "location": "trial 2",
+            "hint": "h",
+        }
+
+    def test_is_error(self):
+        assert Diagnostic("X", Severity.ERROR, "m").is_error
+        assert not Diagnostic("X", Severity.WARNING, "m").is_error
+        assert not Diagnostic("X", Severity.INFO, "m").is_error
+
+
+class TestLintConfig:
+    def test_disable_suppresses(self):
+        config = LintConfig(disabled=["C003"])
+        assert config.apply(Diagnostic("C003", Severity.WARNING, "m")) is None
+        assert config.apply(Diagnostic("C004", Severity.ERROR, "m")) is not None
+
+    def test_warnings_as_errors_promotes(self):
+        config = LintConfig(warnings_as_errors=True)
+        promoted = config.apply(Diagnostic("C005", Severity.WARNING, "m"))
+        assert promoted.severity == Severity.ERROR
+        # INFO and ERROR are untouched.
+        info = config.apply(Diagnostic("C005", Severity.INFO, "m"))
+        assert info.severity == Severity.INFO
+
+
+class TestLintResult:
+    def test_partitions_and_ok(self):
+        result = LintResult(
+            [
+                Diagnostic("A", Severity.ERROR, "e"),
+                Diagnostic("B", Severity.WARNING, "w"),
+                Diagnostic("C", Severity.INFO, "i"),
+            ]
+        )
+        assert len(result.errors) == 1
+        assert len(result.warnings) == 1
+        assert not result.ok
+        assert result.codes() == ["A", "B", "C"]
+
+    def test_ok_with_warnings_only(self):
+        result = LintResult([Diagnostic("B", Severity.WARNING, "w")])
+        assert result.ok
+
+    def test_extend_merges_info(self):
+        left = LintResult([], info={"a": 1})
+        right = LintResult([Diagnostic("X", Severity.ERROR, "m")], info={"b": 2})
+        left.extend(right)
+        assert len(left) == 1
+        assert left.info == {"a": 1, "b": 2}
+
+    def test_to_dict(self):
+        result = LintResult([Diagnostic("X", Severity.ERROR, "m")])
+        payload = result.to_dict()
+        assert payload["ok"] is False
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "X"
+
+
+class TestRenderers:
+    def test_render_text_lines(self):
+        diags = [
+            Diagnostic("A", Severity.ERROR, "first"),
+            Diagnostic("B", Severity.WARNING, "second"),
+        ]
+        lines = render_text(diags).splitlines()
+        assert len(lines) == 2
+        assert "first" in lines[0] and "second" in lines[1]
+
+    def test_render_json_parses(self):
+        diags = [Diagnostic("A", Severity.ERROR, "first", location="plan[0]")]
+        payload = json.loads(render_json(diags))
+        assert payload[0]["code"] == "A"
+        assert payload[0]["location"] == "plan[0]"
+
+
+class TestRegistry:
+    def test_codes_unique_and_sorted(self):
+        codes = registered_codes()
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+
+    def test_all_scopes_present(self):
+        scopes = {rule.scope for rule in all_rules()}
+        assert {"plan", "circuit", "trials", "noise", "qasm"} <= scopes
+
+    def test_get_rule(self):
+        rule = get_rule("P004")
+        assert rule.name == "restore-unknown-slot"
+        assert rule.severity == Severity.ERROR
+        with pytest.raises(KeyError):
+            get_rule("Z999")
+
+    def test_plan_codes_cover_sanitizer_families(self):
+        plan_codes = {rule.code for rule in all_rules(scope="plan")}
+        assert {"P001", "P004", "P005", "P009", "P011"} <= plan_codes

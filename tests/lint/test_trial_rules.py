@@ -1,0 +1,116 @@
+"""Tests for the trial-set and noise-model lint rules (N001-N008)."""
+
+import pytest
+
+from repro.circuits.layers import layerize
+from repro.core.events import ErrorEvent, Trial, make_trial
+from repro.lint import LintConfig
+from repro.lint.trial_rules import lint_noise_model, lint_trials
+from repro.noise import ibm_yorktown
+from repro.noise.model import NoiseModel
+
+
+def codes_of(result):
+    return {d.code for d in result.diagnostics}
+
+
+@pytest.fixture
+def layered(ghz3_circuit):
+    return layerize(ghz3_circuit)
+
+
+class TestTrialRules:
+    def test_sampled_style_trials_clean(self, layered):
+        trials = [
+            make_trial([ErrorEvent(0, 0, "x"), ErrorEvent(1, 2, "z")]),
+            make_trial([], meas_flips=[1]),
+            make_trial([ErrorEvent(2, 1, "y")]),
+        ]
+        result = lint_trials(trials, layered)
+        assert result.ok
+        assert not result.diagnostics
+        assert result.info["num_trials"] == 3
+
+    def test_n001_layer_out_of_range(self, layered):
+        trials = [Trial((ErrorEvent(99, 0, "x"),))]
+        assert "N001" in codes_of(lint_trials(trials, layered))
+
+    def test_n002_qubit_out_of_range(self, layered):
+        trials = [Trial((ErrorEvent(0, 99, "x"),))]
+        assert "N002" in codes_of(lint_trials(trials, layered))
+
+    def test_n003_duplicate_position(self, layered):
+        # make_trial rejects this; raw Trial construction models a bad
+        # deserialized payload.
+        trials = [Trial((ErrorEvent(0, 0, "x"), ErrorEvent(0, 0, "z")))]
+        assert "N003" in codes_of(lint_trials(trials, layered))
+
+    def test_n004_unknown_pauli(self, layered):
+        trials = [Trial((ErrorEvent(0, 0, "w"),))]
+        assert "N004" in codes_of(lint_trials(trials, layered))
+
+    def test_n005_not_canonical_is_warning(self, layered):
+        trials = [Trial((ErrorEvent(1, 0, "x"), ErrorEvent(0, 0, "x")))]
+        result = lint_trials(trials, layered)
+        assert "N005" in codes_of(result)
+        assert result.ok  # warning only
+
+    def test_n006_meas_flip_out_of_range(self, layered):
+        trials = [Trial((), meas_flips=(17,))]
+        assert "N006" in codes_of(lint_trials(trials, layered))
+
+    def test_without_layered_only_intrinsic_checks(self):
+        # No circuit: bounds can't be checked, but operators still are.
+        trials = [Trial((ErrorEvent(99, 99, "w"),))]
+        codes = codes_of(lint_trials(trials))
+        assert "N004" in codes
+        assert "N001" not in codes and "N002" not in codes
+
+    def test_disable_config(self, layered):
+        trials = [Trial((ErrorEvent(99, 0, "x"),))]
+        config = LintConfig(disabled=["N001"])
+        assert "N001" not in codes_of(lint_trials(trials, layered, config))
+
+
+class TestNoiseModelRules:
+    def test_yorktown_clean(self, layered):
+        result = lint_noise_model(ibm_yorktown(), layered)
+        assert result.ok, [str(d) for d in result.errors]
+
+    def test_n007_mutated_measurement_error(self, layered):
+        model = ibm_yorktown()
+        model.measurement_error[0] = 1.5
+        result = lint_noise_model(model, layered)
+        assert "N007" in codes_of(result)
+
+    def test_n007_negative_gate_error(self):
+        model = ibm_yorktown()
+        model.default_single = -0.25
+        # Without a circuit only the calibration maps are audited.
+        assert "N007" in codes_of(lint_noise_model(model))
+
+    def test_n008_tampered_idle_channel(self, layered):
+        from repro.noise.channels import depolarizing
+
+        model = NoiseModel(
+            default_single=0.01,
+            idle_error=0.01,
+            idle_channel=depolarizing(0.01),
+            name="tampered",
+        )
+        # PauliChannel validates at construction; corrupt its internal map
+        # the way a bad in-place edit would.
+        model.idle_channel._probs["x"] = 0.9
+        model.idle_channel._probs["z"] = 0.9
+        result = lint_noise_model(model, layered)
+        assert "N008" in codes_of(result)
+
+    def test_n008_oversized_gate_rate_reported_not_raised(self, layered):
+        model = NoiseModel.uniform(single=0.01)
+        model.default_single = 1.5
+        result = lint_noise_model(model, layered)
+        # Channel construction rejects the rate; the linter reports it.
+        assert codes_of(result) & {"N007", "N008"}
+
+    def test_noiseless_clean(self, layered):
+        assert lint_noise_model(NoiseModel.noiseless(), layered).ok
