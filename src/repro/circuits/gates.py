@@ -84,7 +84,15 @@ class Gate:
         callers constructing known-good matrices may disable the check.
     """
 
-    __slots__ = ("_name", "_num_qubits", "_matrix", "_params", "_key")
+    __slots__ = (
+        "_name",
+        "_num_qubits",
+        "_matrix",
+        "_params",
+        "_key",
+        "_diagonal",
+        "_permutation",
+    )
 
     def __init__(
         self,
@@ -120,6 +128,15 @@ class Gate:
             self._params,
             np.round(self._matrix, 12).tobytes(),
         )
+        # Structure flags, computed once at construction so hot paths never
+        # rescan the matrix per application (matrices are at most 8x8 here,
+        # so the scan is cheap to do eagerly).
+        off_diagonal = matrix - np.diag(np.diagonal(matrix))
+        self._diagonal = bool(np.count_nonzero(off_diagonal) == 0)
+        support = np.abs(matrix) > 1e-12
+        self._permutation = bool(
+            np.all(support.sum(axis=0) == 1) and np.all(support.sum(axis=1) == 1)
+        )
 
     @property
     def name(self) -> str:
@@ -137,6 +154,16 @@ class Gate:
     @property
     def params(self) -> Tuple[float, ...]:
         return self._params
+
+    @property
+    def is_diagonal(self) -> bool:
+        """Whether the matrix is diagonal (flag cached at construction)."""
+        return self._diagonal
+
+    @property
+    def is_permutation(self) -> bool:
+        """One nonzero per row/column — a phase permutation (cached flag)."""
+        return self._permutation
 
     def dagger(self) -> "Gate":
         """Return the adjoint gate, named ``<name>_dg``."""

@@ -11,6 +11,7 @@ Examples::
     python -m repro run bv4 --trials 2048  # one benchmark end to end
     python -m repro lint                   # static audit of every benchmark
     python -m repro lint circuit.qasm      # lint an OpenQASM file
+    python -m repro bench --json BENCH.json  # compiled-vs-interpreted perf
 """
 
 from __future__ import annotations
@@ -253,6 +254,49 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Wall-clock perf harness: compiled kernels vs interpreted statevector."""
+    from .perf import bench_rows, run_bench, write_bench_json
+
+    try:
+        payload = run_bench(
+            benchmarks=args.benchmarks,
+            num_trials=args.trials,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            seed=args.seed,
+            check=not args.no_check,
+            progress=lambda name: print(f"benching {name} ...", file=sys.stderr),
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(
+        rows_to_table(
+            bench_rows(payload),
+            title=(
+                f"repro bench: statevector execution, {args.trials} trials "
+                f"(best of {args.repeats} after {args.warmup} warmup)"
+            ),
+        )
+    )
+    summary = payload["summary"]
+    print(
+        f"\ngeomean speedup: {summary['geomean_speedup']:.2f}x "
+        f"(min {summary['min_speedup']:.2f}x, "
+        f"max {summary['max_speedup']:.2f}x)"
+    )
+    if not args.no_check:
+        status = "ok" if summary["all_equivalent"] else "FAILED"
+        print(f"equivalence (ops, peak MSV, final states): {status}")
+    if args.json:
+        write_bench_json(payload, args.json)
+        print(f"wrote {args.json}")
+    if not args.no_check and not summary["all_equivalent"]:
+        return 1
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     circuit = build_compiled_benchmark(args.benchmark)
     simulator = NoisySimulator(circuit, ibm_yorktown(), seed=args.seed)
@@ -419,6 +463,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print every registered diagnostic code and exit",
     )
 
+    pbench = sub.add_parser(
+        "bench",
+        help="perf harness: compiled vs interpreted statevector execution",
+        description=(
+            "Time the optimized executor over the Table I suite with the "
+            "compiled-kernel backend and the interpreted tensordot backend "
+            "against the same prebuilt plan, then report wall time, ops/sec "
+            "and speedup.  Unless --no-check is passed, also prove exactness "
+            "(equal ops_applied, equal peak MSV, allclose final states); "
+            "exit status 1 if any benchmark diverges.  --json emits the "
+            "BENCH_<nnnn>.json payload committed with each PR."
+        ),
+    )
+    pbench.add_argument("--benchmarks", nargs="*", default=None)
+    pbench.add_argument("--trials", type=int, default=1024)
+    pbench.add_argument("--repeats", type=int, default=3)
+    pbench.add_argument("--warmup", type=int, default=1)
+    pbench.add_argument("--json", default=None)
+    pbench.add_argument(
+        "--no-check", action="store_true",
+        help="skip the compiled-vs-interpreted equivalence proof",
+    )
+
     prun = sub.add_parser("run", help="run one benchmark end to end")
     prun.add_argument("benchmark", choices=benchmark_names())
     prun.add_argument("--trials", type=int, default=1024)
@@ -435,6 +502,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig7": _cmd_fig7,
         "fig8": _cmd_fig8,
         "ablations": _cmd_ablations,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
         "predict": _cmd_predict,
         "draw": _cmd_draw,

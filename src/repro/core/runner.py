@@ -20,9 +20,12 @@ produced.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.compiled import CompiledCircuit
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.layers import LayeredCircuit, layerize
@@ -43,7 +46,12 @@ from .schedule import ExecutionPlan, build_plan
 __all__ = ["SimulationResult", "NoisySimulator"]
 
 _MODES = ("optimized", "baseline")
-_BACKENDS = ("statevector", "counting", "stabilizer")
+_BACKENDS = (
+    "statevector",
+    "statevector-interpreted",
+    "counting",
+    "stabilizer",
+)
 
 
 class SimulationResult:
@@ -112,6 +120,7 @@ class NoisySimulator:
         self.noise_model = noise_model
         self.layered: LayeredCircuit = layerize(circuit)
         self._rng = np.random.default_rng(seed)
+        self._compiled: Optional["CompiledCircuit"] = None
 
     # -- pipeline stages (public for composition and testing) ---------------
 
@@ -127,8 +136,22 @@ class NoisySimulator:
         """
         return build_plan(self.layered, trials, check=check)
 
+    def compiled_circuit(self) -> "CompiledCircuit":
+        """The lazily built compiled-kernel form, shared across runs."""
+        if self._compiled is None:
+            from ..sim.compiled import CompiledCircuit
+
+            self._compiled = CompiledCircuit(self.layered)
+        return self._compiled
+
     def make_backend(self, backend: str) -> SimulationBackend:
         if backend == "statevector":
+            from ..sim.compiled import CompiledStatevectorBackend
+
+            return CompiledStatevectorBackend(
+                self.layered, compiled=self.compiled_circuit()
+            )
+        if backend == "statevector-interpreted":
             return StatevectorBackend(self.layered)
         if backend == "counting":
             return CountingBackend(self.layered)
@@ -229,7 +252,7 @@ class NoisySimulator:
         which the integration tests verify.
         """
         trial_list = list(trials) if trials is not None else self.sample(num_trials)
-        engine = StatevectorBackend(self.layered)
+        engine = self.make_backend("statevector")
         total = 0.0
 
         def on_finish(payload, trial_indices: Tuple[int, ...]) -> None:

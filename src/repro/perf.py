@@ -1,0 +1,250 @@
+"""``repro bench``: the wall-clock performance harness.
+
+Measures the statevector execution hot path — compiled kernels vs the
+interpreted ``tensordot`` path — over the Table I benchmark suite, with
+warmup runs, best-of-N repeats and machine-readable JSON output suitable
+for committing as ``BENCH_<nnnn>.json`` so every PR records the perf
+trajectory.
+
+Methodology
+-----------
+For each benchmark the harness builds the Yorktown-compiled circuit,
+samples a seeded trial set, builds the execution plan **once**, then times
+:func:`~repro.core.executor.run_optimized` with each backend against that
+same plan (plan construction and trial sampling are deliberately excluded
+— the paper's reordering is shared by both paths; this harness isolates
+the per-gate kernel cost).  Reported time is the best of ``repeats``
+timed runs after ``warmup`` untimed ones; ops/sec divides the paper's
+basic-operation counter by that best time.
+
+With ``check=True`` (the default) the harness also proves exactness on
+every benchmark: identical ``ops_applied``, identical ``peak_msv``, and
+``allclose`` final states between the two paths, recorded per benchmark
+in the JSON payload.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .bench.suite import benchmark_names, build_compiled_benchmark
+from .circuits.layers import layerize
+from .core.executor import run_optimized
+from .core.schedule import build_plan
+from .noise.devices import ibm_yorktown
+from .noise.sampling import sample_trials
+from .sim.backend import StatevectorBackend
+from .sim.compiled import CompiledCircuit, CompiledStatevectorBackend
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_one",
+    "bench_rows",
+    "run_bench",
+    "write_bench_json",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def _time_run(layered, trials, plan, make_backend, warmup: int, repeats: int):
+    """Best-of-``repeats`` wall time of one optimized run; returns outcome."""
+    backend = make_backend()
+    for _ in range(warmup):
+        run_optimized(layered, trials, backend, plan=plan)
+    best = float("inf")
+    total = 0.0
+    outcome = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        outcome = run_optimized(layered, trials, backend, plan=plan)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+    return outcome, best, total / max(1, repeats)
+
+
+def _collect_final_states(layered, trials, plan, backend):
+    states: List[np.ndarray] = []
+    indices: List[tuple] = []
+
+    def on_finish(payload, trial_indices):
+        indices.append(tuple(trial_indices))
+        states.append(payload.vector.copy())
+
+    outcome = run_optimized(layered, trials, backend, on_finish, plan=plan)
+    return outcome, indices, states
+
+
+def bench_one(
+    name: str,
+    num_trials: int = 1024,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: int = 2020,
+    check: bool = True,
+) -> Dict[str, object]:
+    """Benchmark one Table I circuit; returns one JSON-ready record."""
+    circuit = build_compiled_benchmark(name)
+    layered = layerize(circuit)
+    model = ibm_yorktown()
+    trials = sample_trials(
+        layered, model, num_trials, np.random.default_rng(seed)
+    )
+    plan = build_plan(layered, trials)
+    compiled = CompiledCircuit(layered)
+
+    interp_outcome, interp_best, interp_mean = _time_run(
+        layered, trials, plan, lambda: StatevectorBackend(layered),
+        warmup, repeats,
+    )
+    comp_outcome, comp_best, comp_mean = _time_run(
+        layered, trials, plan,
+        lambda: CompiledStatevectorBackend(layered, compiled=compiled),
+        warmup, repeats,
+    )
+
+    record: Dict[str, object] = {
+        "benchmark": name,
+        "num_qubits": layered.num_qubits,
+        "num_layers": layered.num_layers,
+        "num_gates": layered.num_gates,
+        "num_trials": num_trials,
+        "ops_applied": comp_outcome.ops_applied,
+        "peak_msv": comp_outcome.peak_msv,
+        "interpreted": {
+            "best_s": interp_best,
+            "mean_s": interp_mean,
+            "ops_per_s": interp_outcome.ops_applied / interp_best,
+        },
+        "compiled": {
+            "best_s": comp_best,
+            "mean_s": comp_mean,
+            "ops_per_s": comp_outcome.ops_applied / comp_best,
+        },
+        "speedup": interp_best / comp_best,
+        "kernel_stats": compiled.stats(),
+    }
+
+    if check:
+        i_out, i_idx, i_states = _collect_final_states(
+            layered, trials, plan, StatevectorBackend(layered)
+        )
+        c_out, c_idx, c_states = _collect_final_states(
+            layered, trials, plan,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+        )
+        states_close = i_idx == c_idx and all(
+            np.allclose(a, b, atol=1e-8) for a, b in zip(i_states, c_states)
+        )
+        record["equivalence"] = {
+            "ops_equal": i_out.ops_applied == c_out.ops_applied,
+            "peak_msv_equal": i_out.peak_msv == c_out.peak_msv,
+            "states_allclose": bool(states_close),
+            "ok": bool(
+                i_out.ops_applied == c_out.ops_applied
+                and i_out.peak_msv == c_out.peak_msv
+                and states_close
+            ),
+        }
+    return record
+
+
+def run_bench(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_trials: int = 1024,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: int = 2020,
+    check: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the harness over ``benchmarks`` (default: the full Table I suite)."""
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    unknown = sorted(set(names) - set(benchmark_names()))
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark(s) {unknown}; known: {benchmark_names()}"
+        )
+    results = []
+    for name in names:
+        if progress is not None:
+            progress(name)
+        results.append(
+            bench_one(
+                name,
+                num_trials=num_trials,
+                repeats=repeats,
+                warmup=warmup,
+                seed=seed,
+                check=check,
+            )
+        )
+    speedups = [record["speedup"] for record in results]
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+        },
+        "config": {
+            "num_trials": num_trials,
+            "repeats": repeats,
+            "warmup": warmup,
+            "seed": seed,
+            "check": check,
+        },
+        "results": results,
+        "summary": {
+            "benchmarks": len(results),
+            "min_speedup": min(speedups) if speedups else None,
+            "max_speedup": max(speedups) if speedups else None,
+            "geomean_speedup": (
+                float(np.exp(np.mean(np.log(speedups)))) if speedups else None
+            ),
+            "all_equivalent": (
+                all(
+                    record.get("equivalence", {}).get("ok", True)
+                    for record in results
+                )
+                if check
+                else None
+            ),
+        },
+    }
+    return payload
+
+
+def write_bench_json(payload: Dict[str, object], path: str) -> None:
+    """Write a harness payload as stable, reviewable JSON."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def bench_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Flatten a payload into table rows for the CLI renderer."""
+    rows = []
+    for record in payload["results"]:
+        row = {
+            "benchmark": record["benchmark"],
+            "gates": record["num_gates"],
+            "ops": record["ops_applied"],
+            "interp (ms)": record["interpreted"]["best_s"] * 1e3,
+            "compiled (ms)": record["compiled"]["best_s"] * 1e3,
+            "Mops/s": record["compiled"]["ops_per_s"] / 1e6,
+            "speedup": record["speedup"],
+        }
+        if "equivalence" in record:
+            row["exact"] = "yes" if record["equivalence"]["ok"] else "NO"
+        rows.append(row)
+    return rows

@@ -1,7 +1,17 @@
 """Simulation engines: statevector, density matrix and operation counting."""
 
 from .backend import SimulationBackend, StatevectorBackend
+from .compiled import CompiledCircuit, CompiledStatevectorBackend
 from .counting import CountingBackend, CountingState
+from .kernels import (
+    ControlledKernel,
+    DenseKernel,
+    DiagonalKernel,
+    Kernel,
+    PermutationKernel,
+    compile_matrix,
+    kernel_for_gate,
+)
 from .density import DensityMatrix, run_circuit_density, run_layered_density
 from .observables import Observable, PauliObservable
 from .measurement import (
@@ -20,9 +30,18 @@ from .stabilizer import (
 from .statevector import Statevector, apply_gate_matrix, run_circuit
 
 __all__ = [
+    "CompiledCircuit",
+    "CompiledStatevectorBackend",
+    "ControlledKernel",
     "CountingBackend",
     "CountingState",
+    "DenseKernel",
     "DensityMatrix",
+    "DiagonalKernel",
+    "Kernel",
+    "PermutationKernel",
+    "compile_matrix",
+    "kernel_for_gate",
     "Observable",
     "PauliObservable",
     "SimulationBackend",

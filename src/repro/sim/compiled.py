@@ -1,0 +1,184 @@
+"""Compiled-circuit execution: segment kernels, fusion, in-place backend.
+
+:class:`CompiledCircuit` turns a :class:`~repro.circuits.layers.LayeredCircuit`
+into kernel programs exactly once.  The trial-reordering executor replays
+the same layer ranges thousands of times per experiment (every ``Advance``
+of every trial segment), so each requested range is compiled on first use
+and memoized:
+
+* the gates of the range are flattened in layer order;
+* maximal runs of single-qubit gates on the same qubit (with no
+  intervening multi-qubit gate on that qubit) are **fused** into one 2x2
+  product, which is then classified like any other matrix — a run of
+  phase gates fuses into a single diagonal multiply;
+* every remaining gate is classified through the shared
+  :func:`~repro.sim.kernels.kernel_for_gate` cache (keyed by
+  ``Gate._key``), which error-injection operators also go through.
+
+Fusion never changes the paper's accounting: ``ops_applied`` is charged
+from :meth:`LayeredCircuit.gates_between` (the gate count of the range),
+not from the number of kernel applications, and snapshots are untouched,
+so ``peak_msv`` is identical to the interpreted path.
+
+:class:`CompiledStatevectorBackend` drives the kernels against the working
+state's tensor and one preallocated scratch buffer, threading the
+``(tensor, scratch)`` pair through each kernel's ping-pong contract — the
+steady state allocates nothing per gate.  It subclasses
+:class:`~repro.sim.backend.StatevectorBackend`, so live-state tracking,
+``finish`` snapshots and measurement sampling are inherited unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.gates import Gate
+from ..circuits.layers import LayeredCircuit
+from .backend import StatevectorBackend
+from .kernels import Kernel, compile_matrix, kernel_for_gate
+from .statevector import Statevector
+
+__all__ = ["CompiledCircuit", "CompiledStatevectorBackend"]
+
+
+def _compile_ops(ops: Sequence, num_qubits: int) -> Tuple[Kernel, ...]:
+    """Compile a flattened gate-op sequence with single-qubit fusion.
+
+    ``pending[q]`` accumulates the matrix product of a run of single-qubit
+    gates on qubit ``q``.  A multi-qubit gate flushes the runs of exactly
+    the qubits it touches *before* it is emitted (preserving order on
+    those qubits); runs on untouched qubits stay pending, which is sound
+    because gates on disjoint qubits commute.
+    """
+    kernels: List[Kernel] = []
+    pending: Dict[int, List] = {}  # qubit -> [GateOp, ...] of the run
+
+    def flush(qubit: int) -> None:
+        run = pending.pop(qubit, None)
+        if run is None:
+            return
+        if len(run) == 1:
+            kernels.append(
+                kernel_for_gate(run[0].gate, run[0].qubits, num_qubits)
+            )
+            return
+        fused = run[0].gate.matrix
+        for op in run[1:]:
+            fused = op.gate.matrix @ fused
+        kernels.append(compile_matrix(fused, (qubit,), num_qubits))
+
+    for op in ops:
+        if op.gate.num_qubits == 1:
+            pending.setdefault(op.qubits[0], []).append(op)
+        else:
+            for qubit in op.qubits:
+                flush(qubit)
+            kernels.append(kernel_for_gate(op.gate, op.qubits, num_qubits))
+    for qubit in sorted(pending):
+        flush(qubit)
+    return tuple(kernels)
+
+
+class CompiledCircuit:
+    """Lazy, memoized kernel programs for every layer range of a circuit."""
+
+    def __init__(self, layered: LayeredCircuit) -> None:
+        self.layered = layered
+        self.num_qubits = layered.num_qubits
+        self._segments: Dict[Tuple[int, int], Tuple[Kernel, ...]] = {}
+
+    def segment(self, start_layer: int, end_layer: int) -> Tuple[Kernel, ...]:
+        """The compiled kernel program for layers ``start .. end - 1``."""
+        key = (start_layer, end_layer)
+        program = self._segments.get(key)
+        if program is None:
+            if not 0 <= start_layer <= end_layer <= self.layered.num_layers:
+                raise ValueError(
+                    f"bad layer range [{start_layer}, {end_layer}) for "
+                    f"{self.layered.num_layers} layer(s)"
+                )
+            ops = [
+                op
+                for layer in self.layered.layers[start_layer:end_layer]
+                for op in layer
+            ]
+            program = _compile_ops(ops, self.num_qubits)
+            self._segments[key] = program
+        return program
+
+    def operator_kernel(self, gate: Gate, qubits: Sequence[int]) -> Kernel:
+        """Kernel for an injected error operator (same ``Gate._key`` cache)."""
+        return kernel_for_gate(gate, qubits, self.num_qubits)
+
+    def stats(self) -> Dict[str, int]:
+        """Kernel-kind histogram over all segments compiled so far."""
+        histogram: Dict[str, int] = {
+            "segments": len(self._segments),
+            "kernels": 0,
+            "gates": 0,
+        }
+        for (start, end), program in self._segments.items():
+            histogram["kernels"] += len(program)
+            histogram["gates"] += self.layered.gates_between(start, end)
+            for kernel in program:
+                histogram[kernel.kind] = histogram.get(kernel.kind, 0) + 1
+        return histogram
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.layered.circuit.name!r}, "
+            f"segments={len(self._segments)})"
+        )
+
+
+class CompiledStatevectorBackend(StatevectorBackend):
+    """Statevector backend executing compiled kernels in place.
+
+    Drop-in replacement for :class:`StatevectorBackend`: identical
+    ``ops_applied`` / ``peak_msv`` accounting and final states ``allclose``
+    to the interpreted path (bit-identical except where fusion reorders
+    float rounding).  A single scratch buffer of ``2**n`` amplitudes is
+    owned by the backend and shared by all kernels — it is only ever used
+    transiently inside one gate application.
+    """
+
+    def __init__(
+        self,
+        layered: LayeredCircuit,
+        compiled: Optional[CompiledCircuit] = None,
+    ) -> None:
+        super().__init__(layered)
+        if compiled is not None and compiled.layered is not layered:
+            raise ValueError("compiled circuit belongs to a different layering")
+        self.compiled = compiled if compiled is not None else CompiledCircuit(layered)
+        self._scratch = np.empty(
+            (2,) * layered.num_qubits, dtype=np.complex128
+        )
+
+    def _run_kernels(
+        self, state: Statevector, kernels: Sequence[Kernel]
+    ) -> None:
+        tensor = state._tensor
+        scratch = self._scratch
+        for kernel in kernels:
+            tensor, scratch = kernel.apply(tensor, scratch)
+        # Adopt whichever buffer holds the result; the other becomes the
+        # backend's scratch for the next application.
+        state._tensor = tensor
+        self._scratch = scratch
+
+    def apply_layers(
+        self, state: Statevector, start_layer: int, end_layer: int
+    ) -> None:
+        self._run_kernels(state, self.compiled.segment(start_layer, end_layer))
+        self.ops_applied += self.layered.gates_between(start_layer, end_layer)
+
+    def apply_operator(
+        self, state: Statevector, gate: Gate, qubits: Sequence[int]
+    ) -> None:
+        self._run_kernels(
+            state, (self.compiled.operator_kernel(gate, tuple(qubits)),)
+        )
+        self.ops_applied += 1

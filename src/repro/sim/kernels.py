@@ -1,0 +1,352 @@
+"""Compiled gate kernels: classify once, apply in place forever.
+
+The interpreted hot path (:func:`repro.sim.statevector.apply_gate_matrix`)
+re-derives everything on every application: it rescans the matrix for
+diagonality, rebuilds broadcast shapes, and allocates a fresh ``2**n``
+tensor per gate.  A :class:`Kernel` hoists all of that to compile time.
+Each gate of a circuit is classified **once** into the cheapest applicable
+kernel class and every per-application quantity (broadcast diagonal,
+permutation moves, einsum subscripts, control-slice indices) is
+precomputed, so the steady state is a handful of numpy calls writing into
+preallocated buffers — nothing is allocated per gate.
+
+Kernel taxonomy (classification priority top to bottom):
+
+``diagonal``
+    The matrix is diagonal (rz, z, s, t, cz, cu1, rzz, ...).  Applied as a
+    single in-place broadcast multiply: ``tensor *= diag``.
+``controlled``
+    Identity except a bottom-right block — a gate on the trailing target
+    qubits fired only when all leading control qubits are 1 (cx, ccx, ch,
+    cswap, ...).  Applied to the control slice only, touching ``2**(n-c)``
+    amplitudes instead of ``2**n``; the inner block is itself compiled
+    recursively (so a CX costs one slice-permutation of half the state).
+``permutation``
+    One nonzero of unit modulus per column (x, y, swap).  Applied as
+    ``2**k`` strided copy/scale moves into the scratch buffer, then the
+    buffers are swapped — no contraction at all.
+``dense``
+    Everything else (h, sx, u3, rxx, Haar-random su4, fused runs).  A
+    single preplanned ``einsum`` contraction into the scratch buffer.
+
+Apply contract
+--------------
+``kernel.apply(tensor, scratch)`` returns ``(tensor, scratch)`` *possibly
+swapped*: kernels that write out of place return the scratch as the new
+state tensor and the old tensor as the new scratch.  Both arrays must have
+shape ``(2,) * num_qubits`` and be distinct.  Callers thread the pair
+through a kernel sequence and adopt the final ``tensor``.
+
+The module-level :func:`kernel_for_gate` cache is keyed by
+:attr:`Gate._key` (name, arity, params, rounded matrix bytes) plus the
+qubit placement, so error-injection operators and circuit gates share one
+compilation cache across all circuits of the same width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.gates import Gate
+
+__all__ = [
+    "Kernel",
+    "DiagonalKernel",
+    "PermutationKernel",
+    "ControlledKernel",
+    "DenseKernel",
+    "compile_matrix",
+    "kernel_for_gate",
+    "controlled_split",
+    "is_permutation_matrix",
+    "clear_kernel_cache",
+]
+
+_ATOL = 1e-12
+
+#: index tuple addressing a sub-array: ints on some axes, full slices elsewhere
+_Index = Tuple[object, ...]
+
+
+def _basis_index(bits: int, qubits: Sequence[int], num_qubits: int) -> _Index:
+    """Index tuple selecting the sub-array where ``qubits`` read ``bits``.
+
+    ``bits`` follows the matrix convention: ``qubits[0]`` is the most
+    significant bit.  Fixed axes use length-1 slices (not ints) so the
+    result is always an array view — even when every axis is fixed —
+    which keeps it usable as an ``out=`` target.
+    """
+    index: List[object] = [slice(None)] * num_qubits
+    k = len(qubits)
+    for position, qubit in enumerate(qubits):
+        bit = (bits >> (k - 1 - position)) & 1
+        index[qubit] = slice(bit, bit + 1)
+    return tuple(index)
+
+
+class Kernel:
+    """One compiled gate application.  Subclasses fill ``kind`` and apply."""
+
+    __slots__ = ("qubits",)
+
+    kind = "abstract"
+
+    def __init__(self, qubits: Sequence[int]) -> None:
+        self.qubits = tuple(qubits)
+
+    def apply(
+        self, tensor: np.ndarray, scratch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(qubits={self.qubits})"
+
+
+class DiagonalKernel(Kernel):
+    """Diagonal gate as one in-place broadcast multiply."""
+
+    __slots__ = ("_diag",)
+
+    kind = "diagonal"
+
+    def __init__(
+        self, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+    ) -> None:
+        super().__init__(qubits)
+        k = len(qubits)
+        diagonal = np.ascontiguousarray(
+            np.diagonal(matrix), dtype=np.complex128
+        ).reshape((2,) * k)
+        # The diagonal's axes follow the qubits argument order; transpose
+        # them into ascending-qubit order so a plain reshape broadcasts.
+        order = np.argsort(qubits)
+        diagonal = np.ascontiguousarray(np.transpose(diagonal, order))
+        shape = [1] * num_qubits
+        for qubit in qubits:
+            shape[qubit] = 2
+        self._diag = diagonal.reshape(shape)
+
+    def apply(
+        self, tensor: np.ndarray, scratch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        np.multiply(tensor, self._diag, out=tensor)
+        return tensor, scratch
+
+
+class PermutationKernel(Kernel):
+    """Phase-permutation gate as ``2**k`` strided moves into scratch."""
+
+    __slots__ = ("_moves",)
+
+    kind = "permutation"
+
+    def __init__(
+        self, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+    ) -> None:
+        super().__init__(qubits)
+        dim = matrix.shape[0]
+        moves: List[Tuple[_Index, _Index, complex]] = []
+        for column in range(dim):
+            rows = np.nonzero(np.abs(matrix[:, column]) > _ATOL)[0]
+            if len(rows) != 1:
+                raise ValueError("matrix is not a phase permutation")
+            row = int(rows[0])
+            phase = complex(matrix[row, column])
+            moves.append(
+                (
+                    _basis_index(row, qubits, num_qubits),
+                    _basis_index(column, qubits, num_qubits),
+                    phase,
+                )
+            )
+        self._moves = tuple(moves)
+
+    def apply(
+        self, tensor: np.ndarray, scratch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        for dest, src, phase in self._moves:
+            if phase == 1.0:
+                scratch[dest] = tensor[src]
+            else:
+                np.multiply(tensor[src], phase, out=scratch[dest])
+        return scratch, tensor
+
+
+class ControlledKernel(Kernel):
+    """Controlled gate applied only to the all-controls-1 slice.
+
+    The inner block is compiled recursively against the sliced view, so
+    e.g. CX becomes a permutation over half the state and CH a dense 2x2
+    contraction over half the state.  The full tensor is never rewritten,
+    so this kernel does not swap buffers.
+    """
+
+    __slots__ = ("_ctrl_index", "_inner")
+
+    kind = "controlled"
+
+    def __init__(
+        self,
+        inner_matrix: np.ndarray,
+        controls: Sequence[int],
+        targets: Sequence[int],
+        num_qubits: int,
+    ) -> None:
+        super().__init__(tuple(controls) + tuple(targets))
+        index: List[object] = [slice(None)] * num_qubits
+        for qubit in controls:
+            index[qubit] = 1
+        self._ctrl_index = tuple(index)
+        # Axis numbering inside the sliced view: control axes vanish.
+        remaining = [a for a in range(num_qubits) if a not in set(controls)]
+        view_targets = tuple(remaining.index(q) for q in targets)
+        self._inner = compile_matrix(inner_matrix, view_targets, len(remaining))
+
+    def apply(
+        self, tensor: np.ndarray, scratch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        view = tensor[self._ctrl_index]
+        result, _ = self._inner.apply(view, scratch[self._ctrl_index])
+        if result is not view:
+            # Inner kernel wrote out of place into the scratch slice.
+            view[...] = result
+        return tensor, scratch
+
+
+class DenseKernel(Kernel):
+    """General gate as one preplanned einsum contraction into scratch."""
+
+    __slots__ = ("_gate_tensor", "_gate_sub", "_in_sub", "_out_sub")
+
+    kind = "dense"
+
+    def __init__(
+        self, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+    ) -> None:
+        super().__init__(qubits)
+        k = len(qubits)
+        self._gate_tensor = np.ascontiguousarray(
+            matrix, dtype=np.complex128
+        ).reshape((2,) * (2 * k))
+        # Integer-subscript einsum: state axes are 0..n-1; the gate's k
+        # output axes get fresh labels n..n+k-1 and its k input axes take
+        # the target-qubit labels, which einsum then contracts away.
+        self._gate_sub = [num_qubits + i for i in range(k)] + list(qubits)
+        self._in_sub = list(range(num_qubits))
+        out_sub = list(range(num_qubits))
+        for i, qubit in enumerate(qubits):
+            out_sub[qubit] = num_qubits + i
+        self._out_sub = out_sub
+
+    def apply(
+        self, tensor: np.ndarray, scratch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        np.einsum(
+            self._gate_tensor,
+            self._gate_sub,
+            tensor,
+            self._in_sub,
+            self._out_sub,
+            out=scratch,
+        )
+        return scratch, tensor
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+def _is_diagonal_matrix(matrix: np.ndarray) -> bool:
+    return bool(
+        np.count_nonzero(matrix - np.diag(np.diagonal(matrix))) == 0
+    )
+
+
+def is_permutation_matrix(matrix: np.ndarray, atol: float = _ATOL) -> bool:
+    """One nonzero per row and column (unit modulus follows from unitarity)."""
+    mask = np.abs(matrix) > atol
+    return bool(
+        np.all(mask.sum(axis=0) == 1) and np.all(mask.sum(axis=1) == 1)
+    )
+
+
+def controlled_split(
+    matrix: np.ndarray, num_qubits: int, atol: float = _ATOL
+) -> Optional[Tuple[int, np.ndarray]]:
+    """Split a controlled gate into ``(num_controls, inner_block)``.
+
+    Detects the standard leading-control structure: the matrix is the
+    identity except for the bottom-right ``2**(k-c)`` block, which acts on
+    the trailing target qubits when all ``c`` leading controls read 1.
+    Returns the split with the **largest** viable control count (smallest
+    active block), or ``None`` when the gate is not of this form.
+    """
+    dim = matrix.shape[0]
+    for controls in range(num_qubits - 1, 0, -1):
+        split = dim - 2 ** (num_qubits - controls)
+        top_left = matrix[:split, :split]
+        if (
+            np.all(np.abs(top_left - np.eye(split)) <= atol)
+            and np.all(np.abs(matrix[:split, split:]) <= atol)
+            and np.all(np.abs(matrix[split:, :split]) <= atol)
+        ):
+            return controls, np.array(matrix[split:, split:])
+    return None
+
+
+def compile_matrix(
+    matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> Kernel:
+    """Classify ``matrix`` on ``qubits`` into its cheapest kernel."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    qubits = tuple(qubits)
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not act on {k} qubit(s)"
+        )
+    if _is_diagonal_matrix(matrix):
+        return DiagonalKernel(matrix, qubits, num_qubits)
+    if k >= 2:
+        split = controlled_split(matrix, k)
+        if split is not None:
+            num_controls, inner = split
+            return ControlledKernel(
+                inner, qubits[:num_controls], qubits[num_controls:], num_qubits
+            )
+    if is_permutation_matrix(matrix):
+        return PermutationKernel(matrix, qubits, num_qubits)
+    return DenseKernel(matrix, qubits, num_qubits)
+
+
+# ---------------------------------------------------------------------------
+# The shared per-gate kernel cache
+# ---------------------------------------------------------------------------
+
+_GATE_KERNEL_CACHE: Dict[tuple, Kernel] = {}
+
+
+def kernel_for_gate(
+    gate: Gate, qubits: Sequence[int], num_qubits: int
+) -> Kernel:
+    """Compile (or fetch) the kernel for ``gate`` at a qubit placement.
+
+    Keyed by ``Gate._key`` — name, arity, params and rounded matrix bytes —
+    so circuit gates and injected error operators with equal matrices share
+    one compiled kernel per placement.
+    """
+    key = (gate._key, tuple(qubits), num_qubits)
+    kernel = _GATE_KERNEL_CACHE.get(key)
+    if kernel is None:
+        kernel = compile_matrix(gate.matrix, qubits, num_qubits)
+        _GATE_KERNEL_CACHE[key] = kernel
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached compiled kernel (tests / memory pressure)."""
+    _GATE_KERNEL_CACHE.clear()

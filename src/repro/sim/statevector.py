@@ -34,7 +34,10 @@ def _is_diagonal(matrix: np.ndarray) -> bool:
 
 
 def apply_gate_matrix(
-    tensor: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+    tensor: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    diagonal: Optional[bool] = None,
 ) -> np.ndarray:
     """Apply a ``2**k x 2**k`` unitary to ``qubits`` of a state tensor.
 
@@ -45,9 +48,15 @@ def apply_gate_matrix(
     diagonal is broadcast-multiplied into the amplitudes, avoiding the
     axis-permuting ``tensordot`` contraction.  The result is numerically
     identical (element-wise product vs the same product inside a matmul).
+
+    ``diagonal`` lets callers that already know the matrix structure (a
+    :class:`Gate` caches it at construction) skip the per-application scan;
+    ``None`` keeps the old behaviour of detecting it from the raw matrix.
     """
     k = len(qubits)
-    if _is_diagonal(matrix):
+    if diagonal is None:
+        diagonal = _is_diagonal(matrix)
+    if diagonal:
         num_axes = tensor.ndim
         shape = [1] * num_axes
         for qubit in qubits:
@@ -139,7 +148,9 @@ class Statevector:
     def apply_gate(self, gate: Gate, qubits: Sequence[int]) -> "Statevector":
         """Apply ``gate`` in place; returns self for chaining."""
         self._check_qubits(qubits, gate.num_qubits)
-        self._tensor = apply_gate_matrix(self._tensor, gate.matrix, qubits)
+        self._tensor = apply_gate_matrix(
+            self._tensor, gate.matrix, qubits, diagonal=gate.is_diagonal
+        )
         return self
 
     def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
@@ -192,13 +203,21 @@ class Statevector:
         probs /= probs.sum()
         outcomes = rng.choice(len(probs), size=shots, p=probs)
         measured = tuple(range(self.num_qubits)) if qubits is None else tuple(qubits)
+        # Vectorized tally: collapse the shots to their distinct basis
+        # indices first, then extract the measured bits for those few
+        # distinct values only — the Python-level loop is over unique
+        # outcomes (<= 2**n), not over shots.
+        values, frequencies = np.unique(np.asarray(outcomes), return_counts=True)
+        shifts = np.array(
+            [self.num_qubits - 1 - q for q in measured], dtype=np.int64
+        )
+        bit_rows = (values.astype(np.int64)[:, None] >> shifts[None, :]) & 1
         counts: Dict[str, int] = {}
-        for outcome in outcomes:
-            bits = "".join(
-                str((int(outcome) >> (self.num_qubits - 1 - q)) & 1)
-                for q in measured
-            )
-            counts[bits] = counts.get(bits, 0) + 1
+        for row, frequency in zip(bit_rows, frequencies):
+            bits = "".join("1" if b else "0" for b in row)
+            # Distinct outcomes can collapse to one bitstring when only a
+            # subset of qubits is measured.
+            counts[bits] = counts.get(bits, 0) + int(frequency)
         return counts
 
     def measure(

@@ -213,3 +213,44 @@ class TestHelpers:
     def test_random_su4_varies(self):
         rng = np.random.default_rng(4)
         assert random_su4(rng) != random_su4(rng)
+
+
+class TestStructureFlags:
+    """Diagonality / permutation flags cached at construction time."""
+
+    def test_diagonal_flags(self):
+        for name in ("id", "z", "s", "sdg", "t", "tdg", "cz"):
+            assert standard_gate(name).is_diagonal, name
+            assert standard_gate(name).is_permutation, name  # diag is a perm
+        assert standard_gate("rz", (0.3,)).is_diagonal
+        assert standard_gate("crz", (0.3,)).is_diagonal
+        assert standard_gate("cu1", (0.3,)).is_diagonal
+        assert standard_gate("rzz", (0.3,)).is_diagonal
+
+    def test_permutation_flags(self):
+        for name in ("x", "y", "swap", "cx", "cy", "ccx", "cswap"):
+            gate = standard_gate(name)
+            assert gate.is_permutation, name
+            assert not gate.is_diagonal, name
+
+    def test_dense_gates_have_no_flags(self):
+        for gate in (
+            standard_gate("h"),
+            standard_gate("sx"),
+            standard_gate("u3", (0.2, 0.3, 0.4)),
+            standard_gate("rxx", (0.5,)),
+        ):
+            assert not gate.is_diagonal
+            assert not gate.is_permutation
+
+    def test_flags_survive_dagger(self):
+        assert standard_gate("s").dagger().is_diagonal
+        assert standard_gate("cx").dagger().is_permutation
+
+    def test_flags_on_custom_unitary(self):
+        from repro.circuits.gates import unitary
+
+        assert unitary(np.diag([1, 1j])).is_diagonal
+        assert not unitary(
+            np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        ).is_diagonal

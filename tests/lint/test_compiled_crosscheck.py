@@ -1,0 +1,68 @@
+"""Lint follow-through for the compiled execution layer.
+
+The static plan sanitizer proves its peak-MSV bound against the runtime
+``CacheStats`` of the interpreted backend; this suite is the regression
+guard that the bound (and the full sanitizer pass) still holds when the
+same plan is *executed* through the compiled-kernel backend — fusion and
+in-place kernels must not change snapshot or cache behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import benchmark_names, build_compiled_benchmark
+from repro.circuits.layers import layerize
+from repro.core.executor import run_optimized
+from repro.core.schedule import build_plan
+from repro.lint import sanitize_plan
+from repro.noise import ibm_yorktown, sample_trials
+from repro.sim.compiled import CompiledStatevectorBackend
+from repro.testing import random_circuit, random_trials
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_static_peak_matches_compiled_runtime(name):
+    layered = layerize(build_compiled_benchmark(name))
+    trials = sample_trials(
+        layered, ibm_yorktown(), 128, np.random.default_rng(2020)
+    )
+    plan = build_plan(layered, trials)
+
+    audit = sanitize_plan(plan, trials=trials, layered=layered)
+    assert audit.ok, (name, [str(d) for d in audit.errors])
+
+    outcome = run_optimized(
+        layered, trials, CompiledStatevectorBackend(layered), plan=plan
+    )
+    assert audit.peak_msv == outcome.peak_msv, name
+    assert audit.peak_stored == outcome.peak_stored, name
+    assert audit.snapshots_taken == outcome.cache_stats.snapshots_taken, name
+
+
+@pytest.mark.parametrize("seed", [5, 23])
+def test_static_peak_matches_compiled_runtime_on_random_sets(seed):
+    rng = np.random.default_rng(seed)
+    layered = layerize(random_circuit(4, 24, rng))
+    trials = random_trials(layered, 96, rng, max_errors=4)
+    plan = build_plan(layered, trials)
+
+    audit = sanitize_plan(plan, trials=trials, layered=layered)
+    assert audit.ok
+    outcome = run_optimized(
+        layered, trials, CompiledStatevectorBackend(layered), plan=plan
+    )
+    assert audit.peak_msv == outcome.peak_msv
+    assert audit.peak_stored == outcome.peak_stored
+
+
+def test_sanitized_plan_executes_on_compiled_backend_with_check():
+    # check=True routes through the sanitizer before the compiled backend
+    # touches a single amplitude — the end-to-end wiring must hold.
+    layered = layerize(build_compiled_benchmark("bv4"))
+    trials = sample_trials(
+        layered, ibm_yorktown(), 64, np.random.default_rng(9)
+    )
+    outcome = run_optimized(
+        layered, trials, CompiledStatevectorBackend(layered), check=True
+    )
+    assert outcome.num_trials == 64

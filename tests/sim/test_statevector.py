@@ -236,3 +236,59 @@ class TestDiagonalFastPath:
         circuit = qft(4, measured=False)
         state, _ = run_circuit(circuit)
         assert np.allclose(np.abs(state.vector), 0.25, atol=1e-9)
+
+
+class TestSampleCountsVectorized:
+    """The np.unique-based tally must keep the per-shot loop's semantics."""
+
+    @staticmethod
+    def _naive_counts(state, shots, rng, qubits=None):
+        # The pre-vectorization reference implementation.
+        probs = np.clip(state.probabilities(), 0.0, None)
+        probs /= probs.sum()
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        measured = (
+            tuple(range(state.num_qubits)) if qubits is None else tuple(qubits)
+        )
+        counts = {}
+        for outcome in outcomes:
+            bits = "".join(
+                str((int(outcome) >> (state.num_qubits - 1 - q)) & 1)
+                for q in measured
+            )
+            counts[bits] = counts.get(bits, 0) + 1
+        return counts
+
+    def test_matches_naive_reference(self, rng):
+        from repro.testing import random_circuit
+
+        circ = random_circuit(4, 25, rng, measured=False)
+        state = Statevector(4)
+        for op in circ.gate_ops():
+            state.apply_op(op)
+        fast = state.sample_counts(5000, np.random.default_rng(42))
+        naive = self._naive_counts(state, 5000, np.random.default_rng(42))
+        assert fast == naive
+
+    def test_subset_accumulates_collapsed_outcomes(self):
+        # Measuring one qubit of a product state: the four distinct basis
+        # outcomes collapse onto two bitstrings, whose counts must sum.
+        state = Statevector(2)
+        state.apply_gate(standard_gate("h"), (0,))
+        state.apply_gate(standard_gate("h"), (1,))
+        fast = state.sample_counts(4000, np.random.default_rng(3), qubits=(0,))
+        naive = self._naive_counts(
+            state, 4000, np.random.default_rng(3), qubits=(0,)
+        )
+        assert fast == naive
+        assert sum(fast.values()) == 4000
+        assert set(fast) == {"0", "1"}
+
+    def test_qubit_order_respected(self):
+        state = Statevector(2).apply_gate(standard_gate("x"), (1,))
+        assert state.sample_counts(
+            5, np.random.default_rng(0), qubits=(1, 0)
+        ) == {"10": 5}
+
+    def test_zero_shots(self):
+        assert Statevector(2).sample_counts(0, np.random.default_rng(0)) == {}

@@ -1,0 +1,80 @@
+"""The ``repro bench`` perf harness: payload shape, exactness, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import BENCH_SCHEMA, bench_one, bench_rows, run_bench
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    # One small benchmark, minimal repeats: exercises the full pipeline
+    # (timing + equivalence proof) while staying fast.
+    return run_bench(
+        benchmarks=["bv4"], num_trials=24, repeats=1, warmup=0, seed=7
+    )
+
+
+class TestHarness:
+    def test_payload_shape(self, tiny_payload):
+        assert tiny_payload["schema"] == BENCH_SCHEMA
+        assert tiny_payload["config"]["num_trials"] == 24
+        (record,) = tiny_payload["results"]
+        assert record["benchmark"] == "bv4"
+        assert record["ops_applied"] > 0
+        assert record["interpreted"]["best_s"] > 0
+        assert record["compiled"]["best_s"] > 0
+        assert record["speedup"] > 0
+        assert record["kernel_stats"]["gates"] > 0
+
+    def test_equivalence_proved(self, tiny_payload):
+        (record,) = tiny_payload["results"]
+        assert record["equivalence"]["ops_equal"]
+        assert record["equivalence"]["peak_msv_equal"]
+        assert record["equivalence"]["states_allclose"]
+        assert tiny_payload["summary"]["all_equivalent"] is True
+
+    def test_payload_is_json_serializable(self, tiny_payload):
+        round_tripped = json.loads(json.dumps(tiny_payload))
+        assert round_tripped["summary"]["benchmarks"] == 1
+
+    def test_rows_flatten(self, tiny_payload):
+        (row,) = bench_rows(tiny_payload)
+        assert row["benchmark"] == "bv4"
+        assert row["exact"] == "yes"
+
+    def test_no_check_skips_equivalence(self):
+        record = bench_one(
+            "rb", num_trials=8, repeats=1, warmup=0, seed=1, check=False
+        )
+        assert "equivalence" not in record
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench(benchmarks=["nope"], num_trials=4, repeats=1, warmup=0)
+
+
+class TestBenchCli:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--benchmarks", "rb",
+                "--trials", "16",
+                "--repeats", "1",
+                "--warmup", "0",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "speedup" in captured
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["results"][0]["equivalence"]["ok"]
+
+    def test_bench_unknown_benchmark_exit_code(self, capsys):
+        assert main(["bench", "--benchmarks", "nope"]) == 2
