@@ -21,7 +21,8 @@ Package map: :mod:`repro.circuits` (IR + QASM), :mod:`repro.sim`
 (statevector / density / counting engines), :mod:`repro.noise` (error
 models and trial sampling), :mod:`repro.core` (the reordering optimization),
 :mod:`repro.mapping` (device compilation), :mod:`repro.bench` (paper
-benchmarks), :mod:`repro.experiments` (Table I / Figs. 5-8 drivers).
+benchmarks), :mod:`repro.experiments` (Table I / Figs. 5-8 drivers),
+:mod:`repro.obs` (execution tracing and profiling).
 """
 
 from .circuits import QuantumCircuit, layerize, parse_qasm, to_qasm
@@ -52,6 +53,7 @@ from .noise import (
     ibm_yorktown,
     sample_trials,
 )
+from .obs import InMemoryRecorder, NullRecorder, TraceRecorder
 from .sim import DensityMatrix, Statevector
 
 __version__ = "1.0.0"
@@ -60,14 +62,17 @@ __all__ = [
     "DensityMatrix",
     "Diagnostic",
     "ErrorEvent",
+    "InMemoryRecorder",
     "LintConfig",
     "LintResult",
     "NoiseModel",
     "NoisySimulator",
+    "NullRecorder",
     "QuantumCircuit",
     "RunMetrics",
     "SimulationResult",
     "Statevector",
+    "TraceRecorder",
     "Trial",
     "__version__",
     "artificial_model",

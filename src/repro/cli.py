@@ -12,6 +12,7 @@ Examples::
     python -m repro lint                   # static audit of every benchmark
     python -m repro lint circuit.qasm      # lint an OpenQASM file
     python -m repro bench --json BENCH.json  # compiled-vs-interpreted perf
+    python -m repro trace grover           # recorded run -> .trace.json + profile
 """
 
 from __future__ import annotations
@@ -266,6 +267,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             warmup=args.warmup,
             seed=args.seed,
             check=not args.no_check,
+            trace=args.trace,
             progress=lambda name: print(f"benching {name} ...", file=sys.stderr),
         )
     except KeyError as exc:
@@ -289,35 +291,111 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_check:
         status = "ok" if summary["all_equivalent"] else "FAILED"
         print(f"equivalence (ops, peak MSV, final states): {status}")
+    trace_failures = []
+    if args.trace:
+        trace_failures = [
+            record["benchmark"]
+            for record in payload["results"]
+            if not record["profile"]["crosscheck_ok"]
+        ]
+        status = "ok" if not trace_failures else (
+            f"FAILED ({', '.join(trace_failures)})"
+        )
+        print(f"trace profiles attached, replay cross-check: {status}")
     if args.json:
         write_bench_json(payload, args.json)
         print(f"wrote {args.json}")
     if not args.no_check and not summary["all_equivalent"]:
         return 1
+    if trace_failures:
+        return 1
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .obs import format_run_metrics
+
     circuit = build_compiled_benchmark(args.benchmark)
     simulator = NoisySimulator(circuit, ibm_yorktown(), seed=args.seed)
     start = time.perf_counter()
     result = simulator.run(num_trials=args.trials, mode=args.mode)
     elapsed = time.perf_counter() - start
     metrics = result.metrics
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "mode": args.mode,
+            "seed": args.seed,
+            "metrics": metrics.as_dict(),
+            "counts": result.counts,
+            "wall_s": elapsed,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print(f"benchmark         : {args.benchmark}")
     print(f"mode              : {args.mode}")
-    print(f"trials            : {metrics.num_trials}")
-    print(f"distinct trials   : {metrics.num_distinct_trials}")
-    print(f"basic operations  : {metrics.optimized_ops}")
-    print(f"baseline ops      : {metrics.baseline_ops}")
-    print(f"normalized comp.  : {metrics.normalized_computation:.3f}")
-    print(f"computation saved : {metrics.computation_saving:.1%}")
-    print(f"peak MSV          : {metrics.peak_msv}")
-    print(f"wall time         : {elapsed:.2f}s")
+    print(format_run_metrics(metrics, wall_s=elapsed))
     top = sorted(result.counts.items(), key=lambda kv: -kv[1])[:8]
     print("top outcomes      :")
     for bits, count in top:
         print(f"  {bits}  {count:6d}  ({count / metrics.num_trials:.3f})")
+    if args.json:
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one benchmark with recording on; emit trace file + profile."""
+    from .core.schedule import build_plan
+    from .lint import lint_trace
+    from .obs import (
+        InMemoryRecorder,
+        format_trace_summary,
+        summarize,
+        verify_trace,
+        write_chrome_trace,
+    )
+
+    circuit = build_compiled_benchmark(args.benchmark)
+    simulator = NoisySimulator(circuit, ibm_yorktown(), seed=args.seed)
+    trials = simulator.sample(args.trials)
+    recorder = InMemoryRecorder()
+    result = simulator.run(
+        trials=trials, mode=args.mode, backend=args.backend, recorder=recorder
+    )
+
+    out = args.out or f"{args.benchmark}.trace.json"
+    write_chrome_trace(
+        recorder,
+        out,
+        metadata={
+            "benchmark": args.benchmark,
+            "mode": args.mode,
+            "backend": args.backend,
+            "seed": args.seed,
+            "num_trials": args.trials,
+        },
+    )
+
+    print(f"benchmark         : {args.benchmark}")
+    print(f"backend           : {args.backend}")
+    summary = summarize(recorder)
+    print(format_trace_summary(summary, top=args.top))
+    print(f"\nwrote {out} ({len(recorder.events)} events)")
+
+    problems = verify_trace(recorder, metrics=result.metrics)
+    if args.mode == "optimized":
+        plan = build_plan(simulator.layered, trials)
+        audit = lint_trace(plan, recorder)
+        problems.extend(str(diagnostic) for diagnostic in audit.errors)
+    if problems:
+        print("trace cross-check : FAILED", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("trace cross-check : ok (replayed counters equal RunMetrics; "
+          "cache events match the plan)")
     return 0
 
 
@@ -485,12 +563,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-check", action="store_true",
         help="skip the compiled-vs-interpreted equivalence proof",
     )
+    pbench.add_argument(
+        "--trace", action="store_true",
+        help="attach a recorded-run profile per benchmark (outside the "
+        "timed loop) and cross-check it against the run's counters",
+    )
 
     prun = sub.add_parser("run", help="run one benchmark end to end")
     prun.add_argument("benchmark", choices=benchmark_names())
     prun.add_argument("--trials", type=int, default=1024)
     prun.add_argument(
         "--mode", choices=("optimized", "baseline"), default="optimized"
+    )
+    prun.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also dump metrics and counts as JSON",
+    )
+
+    ptrace = sub.add_parser(
+        "trace",
+        help="recorded run: Chrome-trace file + profile summary",
+        description=(
+            "Run one benchmark with the trace recorder attached, write the "
+            "events as a chrome://tracing (Perfetto) JSON file, and print a "
+            "profile summary: hottest segments, the MSV high-water timeline, "
+            "cache hit/evict ratios and the kernel-class histogram.  The "
+            "trace is then cross-checked: counters replayed from the events "
+            "must equal the run's RunMetrics, and the recorded cache events "
+            "must match the static plan's slot schedule (lint rule P017).  "
+            "Exit status 1 on any cross-check failure."
+        ),
+    )
+    ptrace.add_argument("benchmark", choices=benchmark_names())
+    ptrace.add_argument("--trials", type=int, default=1024)
+    ptrace.add_argument(
+        "--mode", choices=("optimized", "baseline"), default="optimized"
+    )
+    ptrace.add_argument(
+        "--backend",
+        choices=("statevector", "statevector-interpreted", "counting"),
+        default="statevector",
+    )
+    ptrace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="trace file path (default: <benchmark>.trace.json)",
+    )
+    ptrace.add_argument(
+        "--top", type=int, default=10,
+        help="how many hottest segments to show",
     )
 
     args = parser.parse_args(argv)
@@ -507,6 +627,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "predict": _cmd_predict,
         "draw": _cmd_draw,
         "run": _cmd_run,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -47,9 +47,16 @@ class CacheStats:
 
 
 class StateCache:
-    """Slot store for prefix snapshots, with live-state peak tracking."""
+    """Slot store for prefix snapshots, with live-state peak tracking.
 
-    def __init__(self) -> None:
+    When a :class:`~repro.obs.recorder.TraceRecorder` is attached, the
+    live-MSV level (and the stored-snapshot level) is sampled as a gauge
+    at **every** cache event — creation/destruction of the working state,
+    snapshot store, snapshot take — so the recorded ``msv.live`` timeline
+    peaks at exactly ``CacheStats.peak_msv``.
+    """
+
+    def __init__(self, recorder: Optional[Any] = None) -> None:
         self._slots: Dict[int, Tuple[Any, int]] = {}
         self._next_slot = 0
         self._working_live = 0
@@ -57,6 +64,14 @@ class StateCache:
         self._peak_stored = 0
         self._snapshots_taken = 0
         self._snapshots_released = 0
+        self._recorder = recorder
+
+    def _sample(self) -> None:
+        """Emit the live/stored levels to the attached recorder, if any."""
+        recorder = self._recorder
+        if recorder:
+            recorder.gauge("msv.live", self.num_live)
+            recorder.gauge("msv.stored", len(self._slots))
 
     # -- working-state lifecycle (called by the executor) ----------------------
 
@@ -64,12 +79,14 @@ class StateCache:
         """A working state came alive (initial state or restored snapshot)."""
         self._working_live += 1
         self._update_peaks()
+        self._sample()
 
     def working_destroyed(self) -> None:
         """The current working state was discarded or consumed."""
         if self._working_live <= 0:
             raise RuntimeError("working_destroyed without a live working state")
         self._working_live -= 1
+        self._sample()
 
     # -- snapshot slots -----------------------------------------------------------
 
@@ -92,6 +109,7 @@ class StateCache:
         self._slots[slot] = (state, layer)
         self._snapshots_taken += 1
         self._update_peaks()
+        self._sample()
         return slot
 
     def take(self, slot: int) -> Tuple[Any, int]:
@@ -101,6 +119,7 @@ class StateCache:
         except KeyError:
             raise KeyError(f"cache slot {slot} is empty or already taken") from None
         self._snapshots_released += 1
+        self._sample()
         return entry
 
     def peek(self, slot: int) -> Tuple[Any, int]:

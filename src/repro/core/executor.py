@@ -11,6 +11,17 @@ normalized-computation metric is a pure ratio of the two counters.  Final
 states are delivered through a streaming callback — one call per distinct
 final state, carrying all (deduplicated) trial indices that share it — so
 no executor ever holds more than the cache-accounted number of states.
+
+Both executors accept an optional ``recorder``
+(:class:`~repro.obs.recorder.TraceRecorder`): when attached, every
+``Advance`` becomes a span, every injection/finish an instant, every cache
+store/restore a cache event with the live-MSV gauge sampled alongside, and
+a ``run.meta`` instant carries enough context (trial counts, gate counts,
+closed-form baseline ops) that :class:`ExecutionOutcome` and
+:class:`~repro.core.metrics.RunMetrics` can be re-derived from the trace
+alone (see :mod:`repro.obs.summary`).  Every recorder touch sits behind a
+single ``if recorder:`` check and the default is off, so the un-traced hot
+path is unchanged.
 """
 
 from __future__ import annotations
@@ -67,6 +78,39 @@ class ExecutionOutcome:
             f"trials={self.num_trials}, peak_msv={self.peak_msv})"
         )
 
+    @classmethod
+    def from_trace(cls, recorder) -> "ExecutionOutcome":
+        """Re-derive an outcome purely from a recorded run's events.
+
+        The result must equal the outcome the executor computed live —
+        that equality is the observability layer's correctness pin (see
+        :func:`repro.obs.summary.verify_trace`).
+        """
+        from ..obs.summary import outcome_from_trace
+
+        return outcome_from_trace(recorder)
+
+
+def _record_run_meta(
+    recorder,
+    mode: str,
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    num_instructions: Optional[int] = None,
+) -> None:
+    """Emit the ``run.meta`` instant that makes a trace self-describing."""
+    args = {
+        "mode": mode,
+        "num_trials": len(trials),
+        "num_distinct_trials": len(set(trials)),
+        "num_layers": layered.num_layers,
+        "num_gates": layered.num_gates,
+        "baseline_ops": baseline_operation_count(layered, trials),
+    }
+    if num_instructions is not None:
+        args["num_instructions"] = num_instructions
+    recorder.instant("run.meta", cat="run", **args)
+
 
 def run_optimized(
     layered: LayeredCircuit,
@@ -75,6 +119,7 @@ def run_optimized(
     on_finish: Optional[FinishCallback] = None,
     plan: Optional[ExecutionPlan] = None,
     check: bool = False,
+    recorder=None,
 ) -> ExecutionOutcome:
     """Execute ``trials`` with prefix-state reuse.
 
@@ -93,6 +138,10 @@ def run_optimized(
         before touching the backend: slot discipline, layer alignment and
         per-trial event exactness are proven up front, so a bad plan fails
         fast instead of mid-run with statevectors allocated.
+    recorder:
+        Optional :class:`~repro.obs.recorder.TraceRecorder`.  Falsy
+        recorders (``None`` or :class:`~repro.obs.recorder.NullRecorder`)
+        cost one truthiness check per plan instruction and nothing else.
     """
     if plan is None:
         plan = build_plan(layered, trials)
@@ -104,7 +153,13 @@ def run_optimized(
         plan.validate(trials=trials, layered=layered)
 
     backend.reset_counter()
-    cache = StateCache()
+    backend.set_recorder(recorder)
+    cache = StateCache(recorder=recorder)
+    if recorder:
+        _record_run_meta(
+            recorder, "optimized", layered, trials, num_instructions=len(plan)
+        )
+        recorder.begin("run", cat="run")
     working = backend.make_initial()
     working_layer = 0
     cache.working_created()
@@ -117,7 +172,15 @@ def run_optimized(
                     f"advance from layer {instr.start_layer} but working "
                     f"state is at layer {working_layer}"
                 )
-            backend.apply_layers(working, instr.start_layer, instr.end_layer)
+            if recorder:
+                span = f"advance[{instr.start_layer},{instr.end_layer})"
+                gates = layered.gates_between(instr.start_layer, instr.end_layer)
+                recorder.begin(span, cat="segment", gates=gates)
+                backend.apply_layers(working, instr.start_layer, instr.end_layer)
+                recorder.end(span, cat="segment")
+                recorder.counter("ops.applied", gates)
+            else:
+                backend.apply_layers(working, instr.start_layer, instr.end_layer)
             working_layer = instr.end_layer
         elif isinstance(instr, Snapshot):
             snapshot = backend.copy_state(working)
@@ -130,6 +193,10 @@ def run_optimized(
                     f"cache stored snapshot in slot {assigned}, plan "
                     f"expected slot {instr.slot}"
                 )
+            if recorder:
+                recorder.instant(
+                    "cache.store", cat="cache", slot=assigned, layer=working_layer
+                )
         elif isinstance(instr, Inject):
             event = instr.event
             if event.layer + 1 != working_layer:
@@ -137,11 +204,28 @@ def run_optimized(
                     f"inject {event} at working layer {working_layer}"
                 )
             backend.apply_operator(working, event.gate, (event.qubit,))
+            if recorder:
+                recorder.instant(
+                    "inject",
+                    cat="exec",
+                    layer=event.layer,
+                    qubit=event.qubit,
+                    pauli=event.pauli,
+                )
+                recorder.counter("ops.applied", 1)
         elif isinstance(instr, Restore):
             backend.release_state(working)
             cache.working_destroyed()
             working, working_layer = cache.take(instr.slot)
             cache.working_created()
+            if recorder:
+                recorder.instant(
+                    "cache.hit",
+                    cat="cache",
+                    slot=instr.slot,
+                    layer=working_layer,
+                    evict=True,
+                )
         elif isinstance(instr, Finish):
             if working_layer != layered.num_layers:
                 raise ScheduleError(
@@ -152,18 +236,32 @@ def run_optimized(
             if on_finish is not None:
                 payload = backend.finish(working)
                 on_finish(payload, instr.trial_indices)
+            if recorder:
+                recorder.instant(
+                    "finish", cat="exec", trials=len(instr.trial_indices)
+                )
+                recorder.counter("trials.finished", len(instr.trial_indices))
         else:  # pragma: no cover - exhaustive over instruction kinds
             raise ScheduleError(f"unknown plan instruction {instr!r}")
 
     backend.release_state(working)
     cache.working_destroyed()
     cache.assert_drained()
-    return ExecutionOutcome(
+    outcome = ExecutionOutcome(
         ops_applied=backend.ops_applied,
         num_trials=len(trials),
         cache_stats=cache.stats(),
         finish_calls=finish_calls,
     )
+    if recorder:
+        recorder.end(
+            "run",
+            cat="run",
+            ops_applied=outcome.ops_applied,
+            peak_msv=outcome.peak_msv,
+            finish_calls=outcome.finish_calls,
+        )
+    return outcome
 
 
 def run_baseline(
@@ -171,26 +269,45 @@ def run_baseline(
     trials: Sequence[Trial],
     backend: SimulationBackend,
     on_finish: Optional[FinishCallback] = None,
+    recorder=None,
 ) -> ExecutionOutcome:
     """Execute every trial independently from scratch (no reuse, no reorder).
 
     This is the widely adopted straightforward Monte-Carlo strategy: one
     full circuit pass per trial, errors injected inline, only the final
-    result kept.  ``on_finish`` is called once per trial.
+    result kept.  ``on_finish`` is called once per trial.  With a
+    ``recorder`` attached each trial becomes one contiguous span (the
+    baseline is the one strategy where trials are not interleaved).
     """
     backend.reset_counter()
-    cache = StateCache()  # used only for uniform accounting (peak_msv == 1)
+    backend.set_recorder(recorder)
+    # Used only for uniform accounting (peak_msv == 1).
+    cache = StateCache(recorder=recorder)
+    if recorder:
+        _record_run_meta(recorder, "baseline", layered, trials)
+        recorder.begin("run", cat="run")
 
     for index, trial in enumerate(trials):
+        if recorder:
+            recorder.begin(f"trial[{index}]", cat="trial", errors=trial.num_errors)
         state = backend.make_initial()
         cache.working_created()
         cursor = 0
+        ops_before = backend.ops_applied
         for event in trial.events:
             target = event.layer + 1
             if target > cursor:
                 backend.apply_layers(state, cursor, target)
                 cursor = target
             backend.apply_operator(state, event.gate, (event.qubit,))
+            if recorder:
+                recorder.instant(
+                    "inject",
+                    cat="exec",
+                    layer=event.layer,
+                    qubit=event.qubit,
+                    pauli=event.pauli,
+                )
         if layered.num_layers > cursor:
             backend.apply_layers(state, cursor, layered.num_layers)
         if on_finish is not None:
@@ -198,14 +315,28 @@ def run_baseline(
             on_finish(payload, (index,))
         backend.release_state(state)
         cache.working_destroyed()
+        if recorder:
+            recorder.counter("ops.applied", backend.ops_applied - ops_before)
+            recorder.instant("finish", cat="exec", trials=1)
+            recorder.counter("trials.finished", 1)
+            recorder.end(f"trial[{index}]", cat="trial")
 
     cache.assert_drained()
-    return ExecutionOutcome(
+    outcome = ExecutionOutcome(
         ops_applied=backend.ops_applied,
         num_trials=len(trials),
         cache_stats=cache.stats(),
         finish_calls=len(trials),
     )
+    if recorder:
+        recorder.end(
+            "run",
+            cat="run",
+            ops_applied=outcome.ops_applied,
+            peak_msv=outcome.peak_msv,
+            finish_calls=outcome.finish_calls,
+        )
+    return outcome
 
 
 def baseline_operation_count(

@@ -171,6 +171,7 @@ class NoisySimulator:
         trials: Optional[Sequence[Trial]] = None,
         collect_final_states: bool = False,
         check: bool = False,
+        recorder=None,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -191,6 +192,11 @@ class NoisySimulator:
         check:
             Statically sanitize the optimized plan before execution
             (ignored in baseline mode, which has no plan).
+        recorder:
+            Optional :class:`~repro.obs.recorder.TraceRecorder` capturing
+            execution spans, cache events and the live-MSV timeline; see
+            :mod:`repro.obs`.  Falsy recorders cost nothing on the hot
+            path.
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
@@ -220,10 +226,17 @@ class NoisySimulator:
 
         if mode == "optimized":
             outcome = run_optimized(
-                self.layered, trial_list, engine, on_finish, check=check
+                self.layered,
+                trial_list,
+                engine,
+                on_finish,
+                check=check,
+                recorder=recorder,
             )
         else:
-            outcome = run_baseline(self.layered, trial_list, engine, on_finish)
+            outcome = run_baseline(
+                self.layered, trial_list, engine, on_finish, recorder=recorder
+            )
 
         metrics = compute_metrics(self.layered, trial_list, outcome)
         return SimulationResult(
@@ -266,6 +279,7 @@ class NoisySimulator:
         self,
         num_trials: int = 1024,
         trials: Optional[Sequence[Trial]] = None,
+        recorder=None,
     ) -> RunMetrics:
         """Compute the paper's metrics without simulating amplitudes.
 
@@ -275,5 +289,5 @@ class NoisySimulator:
         """
         trial_list = list(trials) if trials is not None else self.sample(num_trials)
         engine = CountingBackend(self.layered)
-        outcome = run_optimized(self.layered, trial_list, engine)
+        outcome = run_optimized(self.layered, trial_list, engine, recorder=recorder)
         return compute_metrics(self.layered, trial_list, outcome)

@@ -36,6 +36,7 @@ from .registry import Rule, all_rules, get_rule, registered_codes
 from .plan_sanitizer import PlanAudit, sanitize_plan
 from .circuit_rules import lint_circuit
 from .trial_rules import lint_noise_model, lint_trials
+from .trace_rules import lint_trace
 from .api import (
     lint_benchmark,
     lint_plan,
@@ -60,6 +61,7 @@ __all__ = [
     "lint_qasm_file",
     "lint_qasm_text",
     "lint_suite",
+    "lint_trace",
     "lint_trials",
     "registered_codes",
     "render_json",

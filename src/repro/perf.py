@@ -21,6 +21,12 @@ With ``check=True`` (the default) the harness also proves exactness on
 every benchmark: identical ``ops_applied``, identical ``peak_msv``, and
 ``allclose`` final states between the two paths, recorded per benchmark
 in the JSON payload.
+
+With ``trace=True`` (the ``repro bench --trace`` flag) one additional
+*recorded* compiled run is made per benchmark — outside the timed loop,
+so timings stay honest — and its :class:`~repro.obs.summary.TraceSummary`
+is attached to the record as ``profile`` after being cross-checked
+against the timed run's outcome.
 """
 
 from __future__ import annotations
@@ -89,6 +95,7 @@ def bench_one(
     warmup: int = 1,
     seed: int = 2020,
     check: bool = True,
+    trace: bool = False,
 ) -> Dict[str, object]:
     """Benchmark one Table I circuit; returns one JSON-ready record."""
     circuit = build_compiled_benchmark(name)
@@ -132,6 +139,23 @@ def bench_one(
         "kernel_stats": compiled.stats(),
     }
 
+    if trace:
+        from .obs import InMemoryRecorder, summarize, verify_trace
+
+        recorder = InMemoryRecorder()
+        traced_outcome = run_optimized(
+            layered,
+            trials,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+            plan=plan,
+            recorder=recorder,
+        )
+        profile = summarize(recorder).as_dict()
+        profile["crosscheck_ok"] = not verify_trace(
+            recorder, outcome=traced_outcome
+        )
+        record["profile"] = profile
+
     if check:
         i_out, i_idx, i_states = _collect_final_states(
             layered, trials, plan, StatevectorBackend(layered)
@@ -163,6 +187,7 @@ def run_bench(
     warmup: int = 1,
     seed: int = 2020,
     check: bool = True,
+    trace: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Run the harness over ``benchmarks`` (default: the full Table I suite)."""
@@ -184,6 +209,7 @@ def run_bench(
                 warmup=warmup,
                 seed=seed,
                 check=check,
+                trace=trace,
             )
         )
     speedups = [record["speedup"] for record in results]
@@ -202,6 +228,7 @@ def run_bench(
             "warmup": warmup,
             "seed": seed,
             "check": check,
+            "trace": trace,
         },
         "results": results,
         "summary": {

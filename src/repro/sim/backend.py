@@ -35,9 +35,17 @@ class SimulationBackend(abc.ABC):
     def __init__(self, layered: LayeredCircuit) -> None:
         self.layered = layered
         self.ops_applied = 0
+        #: Optional :class:`~repro.obs.recorder.TraceRecorder`; attached by
+        #: the executor at run start.  Backends that instrument their hot
+        #: path must guard every touch with a single ``if self.recorder:``.
+        self.recorder = None
 
     def reset_counter(self) -> None:
         self.ops_applied = 0
+
+    def set_recorder(self, recorder) -> None:
+        """Attach (or detach, with ``None``) a trace recorder."""
+        self.recorder = recorder
 
     # -- state lifecycle ------------------------------------------------------
 

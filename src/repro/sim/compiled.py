@@ -43,7 +43,9 @@ from .statevector import Statevector
 __all__ = ["CompiledCircuit", "CompiledStatevectorBackend"]
 
 
-def _compile_ops(ops: Sequence, num_qubits: int) -> Tuple[Kernel, ...]:
+def _compile_ops(
+    ops: Sequence, num_qubits: int
+) -> Tuple[Tuple[Kernel, ...], int, int]:
     """Compile a flattened gate-op sequence with single-qubit fusion.
 
     ``pending[q]`` accumulates the matrix product of a run of single-qubit
@@ -51,11 +53,17 @@ def _compile_ops(ops: Sequence, num_qubits: int) -> Tuple[Kernel, ...]:
     the qubits it touches *before* it is emitted (preserving order on
     those qubits); runs on untouched qubits stay pending, which is sound
     because gates on disjoint qubits commute.
+
+    Returns ``(kernels, fused_runs, fused_gates)``: how many multi-gate
+    runs were fused and how many gates they absorbed in total.
     """
     kernels: List[Kernel] = []
     pending: Dict[int, List] = {}  # qubit -> [GateOp, ...] of the run
+    fused_runs = 0
+    fused_gates = 0
 
     def flush(qubit: int) -> None:
+        nonlocal fused_runs, fused_gates
         run = pending.pop(qubit, None)
         if run is None:
             return
@@ -67,6 +75,8 @@ def _compile_ops(ops: Sequence, num_qubits: int) -> Tuple[Kernel, ...]:
         fused = run[0].gate.matrix
         for op in run[1:]:
             fused = op.gate.matrix @ fused
+        fused_runs += 1
+        fused_gates += len(run)
         kernels.append(compile_matrix(fused, (qubit,), num_qubits))
 
     for op in ops:
@@ -78,16 +88,26 @@ def _compile_ops(ops: Sequence, num_qubits: int) -> Tuple[Kernel, ...]:
             kernels.append(kernel_for_gate(op.gate, op.qubits, num_qubits))
     for qubit in sorted(pending):
         flush(qubit)
-    return tuple(kernels)
+    return tuple(kernels), fused_runs, fused_gates
 
 
 class CompiledCircuit:
-    """Lazy, memoized kernel programs for every layer range of a circuit."""
+    """Lazy, memoized kernel programs for every layer range of a circuit.
+
+    With a :class:`~repro.obs.recorder.TraceRecorder` attached (the
+    compiled backend forwards the executor's recorder here), every
+    first-use compilation becomes a ``compile[s,e)`` span carrying the
+    kernel-kind histogram and fusion counts of that segment, and every
+    memoized reuse bumps the ``segment.hit`` counter.
+    """
 
     def __init__(self, layered: LayeredCircuit) -> None:
         self.layered = layered
         self.num_qubits = layered.num_qubits
         self._segments: Dict[Tuple[int, int], Tuple[Kernel, ...]] = {}
+        # key -> (fused_runs, fused_gates), parallel to _segments.
+        self._segment_fusion: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self.recorder = None
 
     def segment(self, start_layer: int, end_layer: int) -> Tuple[Kernel, ...]:
         """The compiled kernel program for layers ``start .. end - 1``."""
@@ -99,13 +119,38 @@ class CompiledCircuit:
                     f"bad layer range [{start_layer}, {end_layer}) for "
                     f"{self.layered.num_layers} layer(s)"
                 )
+            recorder = self.recorder
+            if recorder:
+                recorder.begin(
+                    f"compile[{start_layer},{end_layer})", cat="compile"
+                )
             ops = [
                 op
                 for layer in self.layered.layers[start_layer:end_layer]
                 for op in layer
             ]
-            program = _compile_ops(ops, self.num_qubits)
+            program, fused_runs, fused_gates = _compile_ops(ops, self.num_qubits)
             self._segments[key] = program
+            self._segment_fusion[key] = (fused_runs, fused_gates)
+            if recorder:
+                recorder.end(
+                    f"compile[{start_layer},{end_layer})",
+                    cat="compile",
+                    kernels=len(program),
+                    gates=len(ops),
+                    fused_runs=fused_runs,
+                    fused_gates=fused_gates,
+                )
+                recorder.counter("segment.compile", 1)
+                if fused_runs:
+                    recorder.counter("fusion.runs", fused_runs)
+                    recorder.counter("fusion.gates", fused_gates)
+                for kernel in program:
+                    recorder.counter(f"kernel.{kernel.kind}", 1)
+        else:
+            recorder = self.recorder
+            if recorder:
+                recorder.counter("segment.hit", 1)
         return program
 
     def operator_kernel(self, gate: Gate, qubits: Sequence[int]) -> Kernel:
@@ -118,10 +163,15 @@ class CompiledCircuit:
             "segments": len(self._segments),
             "kernels": 0,
             "gates": 0,
+            "fused_runs": 0,
+            "fused_gates": 0,
         }
         for (start, end), program in self._segments.items():
             histogram["kernels"] += len(program)
             histogram["gates"] += self.layered.gates_between(start, end)
+            fused_runs, fused_gates = self._segment_fusion.get((start, end), (0, 0))
+            histogram["fused_runs"] += fused_runs
+            histogram["fused_gates"] += fused_gates
             for kernel in program:
                 histogram[kernel.kind] = histogram.get(kernel.kind, 0) + 1
         return histogram
@@ -157,13 +207,29 @@ class CompiledStatevectorBackend(StatevectorBackend):
             (2,) * layered.num_qubits, dtype=np.complex128
         )
 
+    def set_recorder(self, recorder) -> None:
+        """Attach the recorder to the backend *and* its compiled circuit."""
+        self.recorder = recorder
+        self.compiled.recorder = recorder
+
     def _run_kernels(
         self, state: Statevector, kernels: Sequence[Kernel]
     ) -> None:
         tensor = state._tensor
         scratch = self._scratch
-        for kernel in kernels:
-            tensor, scratch = kernel.apply(tensor, scratch)
+        recorder = self.recorder
+        if recorder:
+            swaps = 0
+            for kernel in kernels:
+                new_tensor, scratch = kernel.apply(tensor, scratch)
+                if new_tensor is not tensor:
+                    swaps += 1
+                tensor = new_tensor
+            if swaps:
+                recorder.counter("scratch.swaps", swaps)
+        else:
+            for kernel in kernels:
+                tensor, scratch = kernel.apply(tensor, scratch)
         # Adopt whichever buffer holds the result; the other becomes the
         # backend's scratch for the next application.
         state._tensor = tensor
@@ -172,7 +238,15 @@ class CompiledStatevectorBackend(StatevectorBackend):
     def apply_layers(
         self, state: Statevector, start_layer: int, end_layer: int
     ) -> None:
-        self._run_kernels(state, self.compiled.segment(start_layer, end_layer))
+        kernels = self.compiled.segment(start_layer, end_layer)
+        recorder = self.recorder
+        if recorder:
+            span = f"kernels[{start_layer},{end_layer})"
+            recorder.begin(span, cat="kernel", kernels=len(kernels))
+            self._run_kernels(state, kernels)
+            recorder.end(span, cat="kernel")
+        else:
+            self._run_kernels(state, kernels)
         self.ops_applied += self.layered.gates_between(start_layer, end_layer)
 
     def apply_operator(

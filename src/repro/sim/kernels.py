@@ -59,6 +59,7 @@ __all__ = [
     "DenseKernel",
     "compile_matrix",
     "kernel_for_gate",
+    "kernel_cache_info",
     "controlled_split",
     "is_permutation_matrix",
     "clear_kernel_cache",
@@ -328,6 +329,8 @@ def compile_matrix(
 # ---------------------------------------------------------------------------
 
 _GATE_KERNEL_CACHE: Dict[tuple, Kernel] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
 
 
 def kernel_for_gate(
@@ -339,14 +342,35 @@ def kernel_for_gate(
     so circuit gates and injected error operators with equal matrices share
     one compiled kernel per placement.
     """
+    global _CACHE_HITS, _CACHE_MISSES
     key = (gate._key, tuple(qubits), num_qubits)
     kernel = _GATE_KERNEL_CACHE.get(key)
     if kernel is None:
+        _CACHE_MISSES += 1
         kernel = compile_matrix(gate.matrix, qubits, num_qubits)
         _GATE_KERNEL_CACHE[key] = kernel
+    else:
+        _CACHE_HITS += 1
     return kernel
+
+
+def kernel_cache_info() -> Dict[str, int]:
+    """Lifetime statistics of the shared per-gate kernel cache.
+
+    ``hits``/``misses`` count :func:`kernel_for_gate` lookups since the
+    last :func:`clear_kernel_cache`; ``size`` is the number of distinct
+    compiled (gate, placement) entries currently held.
+    """
+    return {
+        "size": len(_GATE_KERNEL_CACHE),
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+    }
 
 
 def clear_kernel_cache() -> None:
     """Drop every cached compiled kernel (tests / memory pressure)."""
+    global _CACHE_HITS, _CACHE_MISSES
     _GATE_KERNEL_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0

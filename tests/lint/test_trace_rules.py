@@ -1,0 +1,135 @@
+"""Tests for P017: recorded cache events must match the plan's schedule.
+
+A faithful run passes; each mutation family — dropped store, wrong slot,
+phantom extra event, truncated trace — fires the diagnostic with a
+message pinpointing the first divergence.
+"""
+
+import pytest
+
+from repro.circuits.layers import layerize
+from repro.core.executor import run_optimized
+from repro.core.schedule import build_plan
+from repro.lint import LintConfig, lint_trace
+from repro.lint.trace_rules import plan_cache_schedule, trace_cache_events
+from repro.obs import InMemoryRecorder, TraceEvent
+from repro.sim.counting import CountingBackend
+from repro.testing import random_circuit, random_trials
+
+
+@pytest.fixture
+def layered(rng):
+    return layerize(random_circuit(3, 24, rng))
+
+
+@pytest.fixture
+def trials(layered, rng):
+    return random_trials(layered, 64, rng)
+
+
+@pytest.fixture
+def recorded(layered, trials):
+    """(plan, recorder) from one faithful optimized run."""
+    plan = build_plan(layered, trials)
+    recorder = InMemoryRecorder()
+    run_optimized(
+        layered, trials, CountingBackend(layered), plan=plan, recorder=recorder
+    )
+    return plan, recorder
+
+
+def _mutate(recorder, transform):
+    """A recorder clone whose cache instants went through ``transform``."""
+    clone = InMemoryRecorder()
+    clone.events.extend(transform(list(recorder.events)))
+    return clone
+
+
+class TestFaithfulTrace:
+    def test_clean_run_passes(self, recorded):
+        plan, recorder = recorded
+        result = lint_trace(plan, recorder)
+        assert result.ok
+        assert not result.diagnostics
+        assert result.info["planned_cache_events"] == result.info[
+            "recorded_cache_events"
+        ]
+
+    def test_schedule_extraction_agrees(self, recorded):
+        plan, recorder = recorded
+        assert plan_cache_schedule(plan) == trace_cache_events(recorder)
+        assert plan_cache_schedule(plan)  # non-trivial plan actually caches
+
+    def test_store_and_hit_kinds_present(self, recorded):
+        _, recorder = recorded
+        kinds = {kind for kind, _ in trace_cache_events(recorder)}
+        assert kinds == {"store", "hit"}
+
+
+class TestMutatedTraces:
+    def test_dropped_store_fires_p017(self, recorded):
+        plan, recorder = recorded
+
+        def drop_first_store(events):
+            for position, event in enumerate(events):
+                if event.name == "cache.store":
+                    return events[:position] + events[position + 1:]
+            return events
+
+        result = lint_trace(plan, _mutate(recorder, drop_first_store))
+        assert not result.ok
+        assert all(d.code == "P017" for d in result.diagnostics)
+
+    def test_wrong_slot_fires_p017(self, recorded):
+        plan, recorder = recorded
+
+        def corrupt_slot(events):
+            out = []
+            done = False
+            for event in events:
+                if not done and event.name == "cache.store":
+                    args = dict(event.args or {})
+                    args["slot"] = args.get("slot", 0) + 1000
+                    event = TraceEvent(
+                        event.ph, event.name, event.cat, event.ts, args
+                    )
+                    done = True
+                out.append(event)
+            return out
+
+        result = lint_trace(plan, _mutate(recorder, corrupt_slot))
+        assert not result.ok
+        assert "slot=1000" in result.diagnostics[0].message
+
+    def test_extra_hit_fires_p017(self, recorded):
+        plan, recorder = recorded
+
+        def append_phantom(events):
+            return events + [
+                TraceEvent("i", "cache.hit", "cache", events[-1].ts, {"slot": 0})
+            ]
+
+        result = lint_trace(plan, _mutate(recorder, append_phantom))
+        assert not result.ok
+        assert "extra" in result.diagnostics[0].message
+
+    def test_truncated_trace_fires_p017(self, recorded):
+        plan, recorder = recorded
+
+        def drop_all_cache(events):
+            return [e for e in events if e.cat != "cache"]
+
+        result = lint_trace(plan, _mutate(recorder, drop_all_cache))
+        assert not result.ok
+        assert "0 cache event(s)" in result.diagnostics[0].message
+
+    def test_disable_suppresses(self, recorded):
+        plan, recorder = recorded
+        result = lint_trace(
+            plan,
+            _mutate(recorder, lambda events: [
+                e for e in events if e.cat != "cache"
+            ]),
+            config=LintConfig(disabled=frozenset({"P017"})),
+        )
+        assert result.ok

@@ -1,0 +1,127 @@
+"""Tests for the Chrome-trace / structured JSON exporters and validator."""
+
+import json
+
+from repro.circuits.layers import layerize
+from repro.core.executor import run_optimized
+from repro.obs import (
+    TRACE_SCHEMA,
+    InMemoryRecorder,
+    chrome_trace,
+    trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_trace_json,
+)
+from repro.sim.compiled import CompiledStatevectorBackend
+from repro.testing import random_circuit, random_trials
+
+import pytest
+
+
+@pytest.fixture
+def recorder(rng):
+    layered = layerize(random_circuit(3, 20, rng))
+    trials = random_trials(layered, 48, rng)
+    recorder = InMemoryRecorder()
+    run_optimized(
+        layered, trials, CompiledStatevectorBackend(layered), recorder=recorder
+    )
+    return recorder
+
+
+class TestChromeTrace:
+    def test_real_run_is_valid(self, recorder):
+        document = chrome_trace(recorder)
+        assert validate_chrome_trace(document) == []
+
+    def test_timestamps_rebased_to_microseconds(self, recorder):
+        document = chrome_trace(recorder)
+        events = [e for e in document["traceEvents"] if e["ph"] != "M"]
+        assert events[0]["ts"] == 0.0
+        assert all(e["ts"] >= 0 for e in events)
+
+    def test_instants_are_thread_scoped(self, recorder):
+        document = chrome_trace(recorder)
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert instants
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_metadata_lands_in_other_data(self, recorder):
+        document = chrome_trace(recorder, metadata={"benchmark": "bv4"})
+        assert document["otherData"]["schema"] == TRACE_SCHEMA
+        assert document["otherData"]["benchmark"] == "bv4"
+
+    def test_write_round_trips(self, recorder, tmp_path):
+        path = tmp_path / "run.trace.json"
+        document = write_chrome_trace(recorder, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert len(loaded["traceEvents"]) == len(document["traceEvents"])
+
+    def test_write_refuses_invalid_stream(self, tmp_path):
+        broken = InMemoryRecorder()
+        broken.begin("run")  # never ended
+        with pytest.raises(ValueError, match="never ended"):
+            write_chrome_trace(broken, str(tmp_path / "bad.json"))
+        assert not (tmp_path / "bad.json").exists()
+
+
+class TestValidator:
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents is missing or not a list"]
+
+    def test_missing_required_keys(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "i", "name": "x"}]}
+        )
+        assert any("lacks required key 'ts'" in p for p in problems)
+
+    def test_backwards_timestamps(self):
+        events = [
+            {"ph": "i", "name": "a", "ts": 5, "pid": 1, "tid": 1},
+            {"ph": "i", "name": "b", "ts": 3, "pid": 1, "tid": 1},
+        ]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("goes backwards" in p for p in problems)
+
+    def test_unbalanced_end(self):
+        events = [{"ph": "E", "name": "x", "ts": 0, "pid": 1, "tid": 1}]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("no span open" in p for p in problems)
+
+    def test_mismatched_nesting(self):
+        events = [
+            {"ph": "B", "name": "outer", "ts": 0, "pid": 1, "tid": 1},
+            {"ph": "B", "name": "inner", "ts": 1, "pid": 1, "tid": 1},
+            {"ph": "E", "name": "outer", "ts": 2, "pid": 1, "tid": 1},
+        ]
+        problems = validate_chrome_trace({"traceEvents": events})
+        assert any("innermost open span" in p for p in problems)
+
+    def test_metadata_events_skip_timeline_checks(self):
+        events = [
+            {"ph": "i", "name": "a", "ts": 5, "pid": 1, "tid": 1},
+            {"ph": "M", "name": "process_name", "ts": 0, "pid": 1, "tid": 1},
+            {"ph": "i", "name": "b", "ts": 6, "pid": 1, "tid": 1},
+        ]
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+
+class TestStructuredJson:
+    def test_schema_and_sections(self, recorder, tmp_path):
+        path = tmp_path / "run.json"
+        document = write_trace_json(recorder, str(path), metadata={"m": 1})
+        assert document["schema"] == TRACE_SCHEMA
+        assert document["metadata"] == {"m": 1}
+        assert document["summary"]["ops_applied"] > 0
+        assert document["counters"]["ops.applied"] == document["summary"][
+            "ops_applied"
+        ]
+        assert len(document["events"]) == len(recorder.events)
+        assert json.loads(path.read_text()) == document
+
+    def test_matches_live_export(self, recorder):
+        assert trace_json(recorder)["summary"]["num_events"] == len(
+            recorder.events
+        )

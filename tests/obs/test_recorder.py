@@ -1,0 +1,110 @@
+"""Unit tests for the recorder protocol and its two implementations."""
+
+import pytest
+
+from repro.obs import InMemoryRecorder, NullRecorder, TraceEvent
+
+
+class TestNullRecorder:
+    def test_falsy(self):
+        assert not NullRecorder()
+        assert bool(NullRecorder()) is False
+
+    def test_methods_are_safe_noops(self):
+        recorder = NullRecorder()
+        recorder.begin("x")
+        recorder.end("x")
+        recorder.instant("x", cat="cache", slot=1)
+        recorder.counter("x", 5)
+        recorder.gauge("x", 3.0)
+        with recorder.span("y"):
+            pass
+
+
+class TestInMemoryRecorder:
+    def test_truthy_even_when_empty(self):
+        # A fresh recorder must enable guarded call sites immediately;
+        # __len__ alone would make it falsy and silently record nothing.
+        recorder = InMemoryRecorder()
+        assert len(recorder) == 0
+        assert recorder
+
+    def test_event_order_and_phases(self):
+        recorder = InMemoryRecorder()
+        recorder.begin("run", cat="run")
+        recorder.instant("inject", cat="exec", qubit=2)
+        recorder.counter("ops.applied", 7)
+        recorder.gauge("msv.live", 3)
+        recorder.end("run", cat="run")
+        assert [e.ph for e in recorder.events] == ["B", "i", "C", "C", "E"]
+        assert recorder.events[1].args == {"qubit": 2}
+
+    def test_counters_accumulate(self):
+        recorder = InMemoryRecorder()
+        recorder.counter("ops.applied", 3)
+        recorder.counter("ops.applied", 4)
+        assert recorder.counter_total("ops.applied") == 7
+        # each event carries running total and this increment
+        deltas = [e.args["delta"] for e in recorder.events_named("ops.applied")]
+        values = [e.args["value"] for e in recorder.events_named("ops.applied")]
+        assert deltas == [3, 4]
+        assert values == [3, 7]
+
+    def test_gauge_tracks_peak_not_sum(self):
+        recorder = InMemoryRecorder()
+        for value in (1, 4, 2):
+            recorder.gauge("msv.live", value)
+        assert recorder.gauge_peak("msv.live") == 4
+        assert recorder.gauge_timeline("msv.live") == [
+            (ts, v) for (ts, v) in recorder.gauge_timeline("msv.live")
+        ]
+        assert [v for _, v in recorder.gauge_timeline("msv.live")] == [1, 4, 2]
+
+    def test_span_durations_pair_lifo(self):
+        ticks = iter(range(100))
+        recorder = InMemoryRecorder(clock=lambda: next(ticks))
+        recorder.begin("outer")
+        recorder.begin("inner")
+        recorder.end("inner")
+        recorder.begin("inner")
+        recorder.end("inner")
+        recorder.end("outer")
+        durations = recorder.span_durations()
+        assert durations["inner"] == (2, 2.0)  # [1,2] and [3,4]
+        assert durations["outer"] == (1, 5.0)  # [0,5]
+
+    def test_span_context_manager_closes_on_error(self):
+        recorder = InMemoryRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("phase"):
+                raise RuntimeError("boom")
+        assert [e.ph for e in recorder.events] == ["B", "E"]
+
+    def test_first_instant_args(self):
+        recorder = InMemoryRecorder()
+        assert recorder.first_instant_args("run.meta") is None
+        recorder.instant("run.meta", cat="run", mode="optimized")
+        recorder.instant("run.meta", cat="run", mode="second")
+        assert recorder.first_instant_args("run.meta") == {"mode": "optimized"}
+
+    def test_instants_filter_by_cat(self):
+        recorder = InMemoryRecorder()
+        recorder.instant("cache.store", cat="cache", slot=0)
+        recorder.instant("inject", cat="exec")
+        assert len(recorder.instants("cache")) == 1
+        assert len(recorder.instants()) == 2
+
+    def test_clear(self):
+        recorder = InMemoryRecorder()
+        recorder.counter("x", 1)
+        recorder.gauge("g", 2)
+        recorder.clear()
+        assert not recorder.events
+        assert recorder.counter_total("x") == 0
+        assert recorder.gauge_peak("g") == 0
+        assert recorder  # still truthy: cleared, not disabled
+
+    def test_custom_clock(self):
+        recorder = InMemoryRecorder(clock=lambda: 42.0)
+        recorder.instant("x")
+        assert recorder.events[0] == TraceEvent("i", "x", "exec", 42.0, None)

@@ -103,10 +103,12 @@ class TestFusion:
         circuit = QuantumCircuit(1, name="run")
         circuit.h(0).t(0).s(0).h(0).rz(0.4, 0)
         layered = layerize(circuit)
-        program = _compile_ops(
+        program, fused_runs, fused_gates = _compile_ops(
             [op for layer in layered.layers for op in layer], 1
         )
         assert len(program) == 1
+        assert fused_runs == 1
+        assert fused_gates == 5
 
     def test_fusion_preserves_state(self, rng):
         for seed in range(5):

@@ -49,6 +49,46 @@ class TestCLI:
         assert main(["run", "rb", "--trials", "64", "--mode", "baseline"]) == 0
         assert "baseline" in capsys.readouterr().out
 
+    def test_run_json_dump(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "run.json"
+        assert main(
+            ["run", "bv4", "--trials", "128", "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["benchmark"] == "bv4"
+        assert payload["metrics"]["num_trials"] == 128
+        assert payload["metrics"]["optimized_ops"] > 0
+        assert sum(payload["counts"].values()) == 128
+        out = capsys.readouterr().out
+        assert "computation saved" in out
+        assert f"wrote {target}" in out
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        target = tmp_path / "bv4.trace.json"
+        assert main(
+            ["trace", "bv4", "--trials", "64", "--out", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace cross-check : ok" in out
+        assert "cache store/hit" in out
+        assert validate_chrome_trace(json.loads(target.read_text())) == []
+
+    def test_trace_baseline_mode(self, tmp_path, capsys):
+        target = tmp_path / "b.trace.json"
+        assert main(
+            [
+                "trace", "bv4", "--trials", "32",
+                "--mode", "baseline", "--out", str(target),
+            ]
+        ) == 0
+        assert "mode              : baseline" in capsys.readouterr().out
+
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "not-a-benchmark"])

@@ -55,6 +55,25 @@ class TestHarness:
         with pytest.raises(KeyError):
             run_bench(benchmarks=["nope"], num_trials=4, repeats=1, warmup=0)
 
+    def test_trace_attaches_crosschecked_profile(self):
+        record = bench_one(
+            "bv4", num_trials=24, repeats=1, warmup=0, seed=7,
+            check=False, trace=True,
+        )
+        profile = record["profile"]
+        assert profile["crosscheck_ok"] is True
+        assert profile["ops_applied"] == record["ops_applied"]
+        assert profile["peak_msv"] == record["peak_msv"]
+        # the traced run replays programs memoized during the timed runs,
+        # so it records reuse (segment.hit), not fresh compiles
+        assert profile["segment_hits"] > 0
+        assert profile["segment_compiles"] == 0
+        assert json.dumps(profile)  # JSON-ready for BENCH_<n>.json
+
+    def test_no_trace_no_profile(self, tiny_payload):
+        (record,) = tiny_payload["results"]
+        assert "profile" not in record
+
 
 class TestBenchCli:
     def test_bench_subcommand_writes_json(self, tmp_path, capsys):
@@ -78,3 +97,23 @@ class TestBenchCli:
 
     def test_bench_unknown_benchmark_exit_code(self, capsys):
         assert main(["bench", "--benchmarks", "nope"]) == 2
+
+    def test_bench_trace_flag(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--benchmarks", "bv4",
+                "--trials", "16",
+                "--repeats", "1",
+                "--warmup", "0",
+                "--no-check",
+                "--trace",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        assert "replay cross-check: ok" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["config"]["trace"] is True
+        assert payload["results"][0]["profile"]["crosscheck_ok"] is True
