@@ -15,21 +15,26 @@ from typing import Callable, Dict, List, NamedTuple, Tuple
 from ..circuits.circuit import QuantumCircuit
 from ..mapping.coupling import yorktown_coupling
 from ..mapping.router import compile_for_device
-from .bv import bv4, bv5
+from .bv import bv, bv4, bv5
 from .grover import grover3
 from .mod15 import seven_x_one_mod15
-from .qft import qft4, qft5
+from .qft import qft, qft4, qft5
 from .qv import qv_n5
 from .rb import rb2
 from .wstate import wstate3
 
 __all__ = [
     "BenchmarkSpec",
+    "LARGE_BENCHMARKS",
+    "LargeBenchmarkSpec",
     "TABLE1_BENCHMARKS",
+    "all_benchmark_names",
     "benchmark_names",
     "build_benchmark",
     "build_compiled_benchmark",
     "export_qasm_suite",
+    "large_benchmark_names",
+    "resolve_benchmark",
     "table1_rows",
 ]
 
@@ -121,6 +126,62 @@ def export_qasm_suite(directory, compiled: bool = True) -> List[str]:
             handle.write(to_qasm(circuit))
         written.append(path)
     return written
+
+
+class LargeBenchmarkSpec(NamedTuple):
+    """A beyond-Table-I benchmark for the parallel/perf harness.
+
+    Too many qubits for the 5-qubit Yorktown device, so these run as
+    *logical* circuits under a uniform artificial noise model (the
+    paper's Sec. V-B scalability methodology): single-qubit rate
+    ``error_rate``, two-qubit and measurement rates 10x that.
+    """
+
+    name: str
+    builder: Callable[[], QuantumCircuit]
+    num_qubits: int
+    error_rate: float
+
+
+#: 12+-qubit workloads for ``repro bench --workers``.  Error rates are
+#: tuned so a 1024-trial set branches into enough distinct subtrees to
+#: load-balance across workers while keeping the distinct-final-state
+#: count (hence memory and runtime) bounded.
+LARGE_BENCHMARKS: Tuple[LargeBenchmarkSpec, ...] = (
+    LargeBenchmarkSpec("qft12", lambda: qft(12), 12, 1.0e-3),
+    LargeBenchmarkSpec("bv14", lambda: bv(14), 14, 2.0e-3),
+    LargeBenchmarkSpec("qft14", lambda: qft(14), 14, 7.0e-4),
+)
+
+_LARGE_BY_NAME: Dict[str, LargeBenchmarkSpec] = {
+    spec.name: spec for spec in LARGE_BENCHMARKS
+}
+
+
+def large_benchmark_names() -> List[str]:
+    """Names of the large (12+-qubit) benchmarks."""
+    return [spec.name for spec in LARGE_BENCHMARKS]
+
+
+def all_benchmark_names() -> List[str]:
+    """Table I names followed by the large-suite names."""
+    return benchmark_names() + large_benchmark_names()
+
+
+def resolve_benchmark(name: str):
+    """Resolve any benchmark name to ``(circuit, noise_model)``.
+
+    Table I names yield the Yorktown-compiled circuit with the real
+    device model; large-suite names yield the logical circuit with the
+    spec's uniform artificial model.  This is the single lookup the CLI
+    and the perf harness share.
+    """
+    from ..noise.devices import artificial_model, ibm_yorktown
+
+    if name in _LARGE_BY_NAME:
+        spec = _LARGE_BY_NAME[name]
+        return spec.builder(), artificial_model(spec.error_rate)
+    return build_compiled_benchmark(name), ibm_yorktown()
 
 
 def table1_rows() -> List[Dict[str, object]]:

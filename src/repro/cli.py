@@ -24,7 +24,12 @@ import time
 from typing import Optional, Sequence
 
 from .analysis.report import rows_to_table
-from .bench.suite import benchmark_names, build_compiled_benchmark, table1_rows
+from .bench.suite import (
+    all_benchmark_names,
+    benchmark_names,
+    build_compiled_benchmark,
+    table1_rows,
+)
 from .core.runner import NoisySimulator
 from .experiments.realistic import (
     fig5_rows,
@@ -268,6 +273,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             check=not args.no_check,
             trace=args.trace,
+            workers=args.workers or (),
+            partition_depth=args.partition_depth,
             progress=lambda name: print(f"benching {name} ...", file=sys.stderr),
         )
     except KeyError as exc:
@@ -291,6 +298,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_check:
         status = "ok" if summary["all_equivalent"] else "FAILED"
         print(f"equivalence (ops, peak MSV, final states): {status}")
+    if args.workers:
+        status = "ok" if summary["all_parallel_exact"] else "FAILED"
+        print(
+            f"parallel exactness (bit-identical states, equal ops) at "
+            f"workers {args.workers}: {status}"
+        )
     trace_failures = []
     if args.trace:
         trace_failures = [
@@ -307,18 +320,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}")
     if not args.no_check and not summary["all_equivalent"]:
         return 1
+    if args.workers and not summary["all_parallel_exact"]:
+        return 1
     if trace_failures:
         return 1
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .bench.suite import resolve_benchmark
     from .obs import format_run_metrics
 
-    circuit = build_compiled_benchmark(args.benchmark)
-    simulator = NoisySimulator(circuit, ibm_yorktown(), seed=args.seed)
+    circuit, model = resolve_benchmark(args.benchmark)
+    simulator = NoisySimulator(circuit, model, seed=args.seed)
     start = time.perf_counter()
-    result = simulator.run(num_trials=args.trials, mode=args.mode)
+    result = simulator.run(
+        num_trials=args.trials,
+        mode=args.mode,
+        workers=args.workers,
+        partition_depth=args.partition_depth,
+    )
     elapsed = time.perf_counter() - start
     metrics = result.metrics
     if args.json:
@@ -326,6 +347,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "benchmark": args.benchmark,
             "mode": args.mode,
             "seed": args.seed,
+            "workers": args.workers,
             "metrics": metrics.as_dict(),
             "counts": result.counts,
             "wall_s": elapsed,
@@ -335,6 +357,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             handle.write("\n")
     print(f"benchmark         : {args.benchmark}")
     print(f"mode              : {args.mode}")
+    if args.workers:
+        print(
+            f"workers           : {args.workers} "
+            f"(partition depth {args.partition_depth})"
+        )
     print(format_run_metrics(metrics, wall_s=elapsed))
     top = sorted(result.counts.items(), key=lambda kv: -kv[1])[:8]
     print("top outcomes      :")
@@ -347,6 +374,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one benchmark with recording on; emit trace file + profile."""
+    from .bench.suite import resolve_benchmark
     from .core.schedule import build_plan
     from .lint import lint_trace
     from .obs import (
@@ -357,12 +385,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_chrome_trace,
     )
 
-    circuit = build_compiled_benchmark(args.benchmark)
-    simulator = NoisySimulator(circuit, ibm_yorktown(), seed=args.seed)
+    circuit, model = resolve_benchmark(args.benchmark)
+    simulator = NoisySimulator(circuit, model, seed=args.seed)
     trials = simulator.sample(args.trials)
     recorder = InMemoryRecorder()
     result = simulator.run(
-        trials=trials, mode=args.mode, backend=args.backend, recorder=recorder
+        trials=trials,
+        mode=args.mode,
+        backend=args.backend,
+        recorder=recorder,
+        workers=args.workers,
+        partition_depth=args.partition_depth,
     )
 
     out = args.out or f"{args.benchmark}.trace.json"
@@ -375,27 +408,69 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "backend": args.backend,
             "seed": args.seed,
             "num_trials": args.trials,
+            "workers": args.workers,
         },
     )
 
     print(f"benchmark         : {args.benchmark}")
     print(f"backend           : {args.backend}")
+    if args.workers:
+        print(
+            f"workers           : {args.workers} "
+            f"(partition depth {args.partition_depth})"
+        )
     summary = summarize(recorder)
     print(format_trace_summary(summary, top=args.top))
     print(f"\nwrote {out} ({len(recorder.events)} events)")
 
-    problems = verify_trace(recorder, metrics=result.metrics)
-    if args.mode == "optimized":
-        plan = build_plan(simulator.layered, trials)
-        audit = lint_trace(plan, recorder)
+    problems = []
+    if args.workers:
+        # A merged trace interleaves one prefix replay and N worker
+        # tracks, so the serial replay checks don't apply.  Instead
+        # prove the partition itself sound (P018), then re-derive it
+        # and hold every track to its own plan (per-worker P017).
+        from .core.parallel import partition_plan
+        from .lint import lint_partition, lint_partition_trace
+
+        partition = partition_plan(
+            simulator.layered, trials, depth=args.partition_depth
+        )
+        audit = lint_partition(
+            partition, trials=trials, layered=simulator.layered
+        )
         problems.extend(str(diagnostic) for diagnostic in audit.errors)
+        trace_audit = lint_partition_trace(
+            partition, partition.assign(args.workers), recorder
+        )
+        problems.extend(str(diagnostic) for diagnostic in trace_audit.errors)
+        recorded_ops = recorder.counters.get("ops.applied", 0)
+        if recorded_ops != result.metrics.optimized_ops:
+            problems.append(
+                f"merged ops.applied counter {recorded_ops} != "
+                f"RunMetrics.optimized_ops {result.metrics.optimized_ops}"
+            )
+        if not problems:
+            print(
+                "trace cross-check : ok (partition exactly covers the "
+                "trials; every worker track matches its sub-plans; "
+                "merged counters equal RunMetrics)"
+            )
+    else:
+        problems = verify_trace(recorder, metrics=result.metrics)
+        if args.mode == "optimized":
+            plan = build_plan(simulator.layered, trials)
+            audit = lint_trace(plan, recorder)
+            problems.extend(str(diagnostic) for diagnostic in audit.errors)
+        if not problems:
+            print(
+                "trace cross-check : ok (replayed counters equal "
+                "RunMetrics; cache events match the plan)"
+            )
     if problems:
         print("trace cross-check : FAILED", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    print("trace cross-check : ok (replayed counters equal RunMetrics; "
-          "cache events match the plan)")
     return 0
 
 
@@ -568,12 +643,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="attach a recorded-run profile per benchmark (outside the "
         "timed loop) and cross-check it against the run's counters",
     )
+    pbench.add_argument(
+        "--workers", nargs="*", type=int, default=None, metavar="N",
+        help="also time run_parallel at these worker counts and prove "
+        "the merged results bit-identical to the serial run",
+    )
+    pbench.add_argument(
+        "--partition-depth", type=int, default=1,
+        help="trie cut depth for the parallel partition (default 1)",
+    )
 
     prun = sub.add_parser("run", help="run one benchmark end to end")
-    prun.add_argument("benchmark", choices=benchmark_names())
+    prun.add_argument("benchmark", choices=all_benchmark_names())
     prun.add_argument("--trials", type=int, default=1024)
     prun.add_argument(
         "--mode", choices=("optimized", "baseline"), default="optimized"
+    )
+    prun.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="execute the partitioned plan across N worker processes "
+        "(optimized mode only; 0 = serial)",
+    )
+    prun.add_argument(
+        "--partition-depth", type=int, default=1,
+        help="trie cut depth for the parallel partition (default 1)",
     )
     prun.add_argument(
         "--json", default=None, metavar="PATH",
@@ -594,7 +687,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "Exit status 1 on any cross-check failure."
         ),
     )
-    ptrace.add_argument("benchmark", choices=benchmark_names())
+    ptrace.add_argument("benchmark", choices=all_benchmark_names())
     ptrace.add_argument("--trials", type=int, default=1024)
     ptrace.add_argument(
         "--mode", choices=("optimized", "baseline"), default="optimized"
@@ -603,6 +696,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--backend",
         choices=("statevector", "statevector-interpreted", "counting"),
         default="statevector",
+    )
+    ptrace.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="record a partitioned parallel run instead of a serial one; "
+        "worker events merge into per-worker trace tracks and the "
+        "cross-check validates each track against its sub-plans",
+    )
+    ptrace.add_argument(
+        "--partition-depth", type=int, default=1,
+        help="trie cut depth for the parallel partition (default 1)",
     )
     ptrace.add_argument(
         "--out", default=None, metavar="PATH",

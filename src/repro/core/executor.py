@@ -120,6 +120,9 @@ def run_optimized(
     plan: Optional[ExecutionPlan] = None,
     check: bool = False,
     recorder=None,
+    entry_state=None,
+    entry_layer: int = 0,
+    entry_events: Tuple = (),
 ) -> ExecutionOutcome:
     """Execute ``trials`` with prefix-state reuse.
 
@@ -130,9 +133,14 @@ def run_optimized(
         otherwise.
     on_finish:
         Streaming consumer of final states.  Receives the backend's
-        ``finish`` payload (a statevector copy for the statevector backend,
+        ``finish`` payload (a statevector for the statevector backend,
         ``None`` for the counting backend) and the tuple of original trial
-        indices sharing that state.
+        indices sharing that state.  When the working state is dropped
+        right after a ``Finish`` (next instruction is a ``Restore``, or the
+        plan ends — true for every ``Finish`` the planner emits) the
+        payload *borrows* the working state via ``backend.finish_view``
+        instead of copying it; callbacks that retain payloads past the
+        call must copy them.
     check:
         Run the static plan sanitizer (:func:`repro.lint.sanitize_plan`)
         before touching the backend: slot discipline, layer alignment and
@@ -142,6 +150,14 @@ def run_optimized(
         Optional :class:`~repro.obs.recorder.TraceRecorder`.  Falsy
         recorders (``None`` or :class:`~repro.obs.recorder.NullRecorder`)
         cost one truthiness check per plan instruction and nothing else.
+    entry_state / entry_layer / entry_events:
+        Resume execution from a mid-circuit state instead of ``|0...0>``:
+        ``entry_state`` (adopted via ``backend.adopt_state``) is a state
+        already advanced to ``entry_layer`` with ``entry_events`` injected.
+        This is how parallel workers replay a sub-plan cut out of a larger
+        plan (:mod:`repro.core.parallel`); the plan's instructions must
+        start from ``entry_layer`` and the sanitizer (``check=True``)
+        verifies trial exactness against the *full* event histories.
     """
     if plan is None:
         plan = build_plan(layered, trials)
@@ -150,7 +166,12 @@ def run_optimized(
             f"plan covers {plan.num_trials} trials, got {len(trials)}"
         )
     if check:
-        plan.validate(trials=trials, layered=layered)
+        plan.validate(
+            trials=trials,
+            layered=layered,
+            entry_layer=entry_layer,
+            entry_events=entry_events,
+        )
 
     backend.reset_counter()
     backend.set_recorder(recorder)
@@ -160,12 +181,18 @@ def run_optimized(
             recorder, "optimized", layered, trials, num_instructions=len(plan)
         )
         recorder.begin("run", cat="run")
-    working = backend.make_initial()
-    working_layer = 0
+    if entry_state is None:
+        working = backend.make_initial()
+        working_layer = 0
+    else:
+        working = backend.adopt_state(entry_state)
+        working_layer = entry_layer
     cache.working_created()
     finish_calls = 0
+    working_moved = False  # working was moved into the cache (no copy taken)
 
-    for instr in plan:
+    instructions = plan.instructions
+    for index, instr in enumerate(instructions):
         if isinstance(instr, Advance):
             if instr.start_layer != working_layer:
                 raise ScheduleError(
@@ -183,7 +210,16 @@ def run_optimized(
                 backend.apply_layers(working, instr.start_layer, instr.end_layer)
             working_layer = instr.end_layer
         elif isinstance(instr, Snapshot):
-            snapshot = backend.copy_state(working)
+            # Move peephole: when the very next instruction is a Restore,
+            # the working state is dropped in the same plan step — the
+            # stored snapshot can steal it instead of copying.  Cache
+            # accounting is unchanged (it mirrors the plan's nominal
+            # demand, keeping the static peak-MSV cross-check exact); only
+            # the allocation and memcpy are skipped.
+            moved = index + 1 < len(instructions) and isinstance(
+                instructions[index + 1], Restore
+            )
+            snapshot = working if moved else backend.copy_state(working)
             try:
                 assigned = cache.store(snapshot, working_layer, slot=instr.slot)
             except RuntimeError as exc:
@@ -193,10 +229,17 @@ def run_optimized(
                     f"cache stored snapshot in slot {assigned}, plan "
                     f"expected slot {instr.slot}"
                 )
+            working_moved = moved
             if recorder:
                 recorder.instant(
-                    "cache.store", cat="cache", slot=assigned, layer=working_layer
+                    "cache.store",
+                    cat="cache",
+                    slot=assigned,
+                    layer=working_layer,
+                    moved=moved,
                 )
+                if moved:
+                    recorder.counter("cache.store.moved", 1)
         elif isinstance(instr, Inject):
             event = instr.event
             if event.layer + 1 != working_layer:
@@ -214,7 +257,12 @@ def run_optimized(
                 )
                 recorder.counter("ops.applied", 1)
         elif isinstance(instr, Restore):
-            backend.release_state(working)
+            if working_moved:
+                # The working state lives on inside the cache (snapshot
+                # move); there is nothing to release.
+                working_moved = False
+            else:
+                backend.release_state(working)
             cache.working_destroyed()
             working, working_layer = cache.take(instr.slot)
             cache.working_created()
@@ -233,14 +281,31 @@ def run_optimized(
                     f"{layered.num_layers} layers"
                 )
             finish_calls += 1
+            # Borrow peephole: the planner always drops the working state
+            # right after a Finish (next instruction is a Restore, or the
+            # plan ends), so the payload can borrow it instead of copying.
+            # Guarded on the actual plan shape so hand-built plans that
+            # keep using the state still get an independent copy.
+            borrowed = index + 1 >= len(instructions) or isinstance(
+                instructions[index + 1], Restore
+            )
             if on_finish is not None:
-                payload = backend.finish(working)
+                payload = (
+                    backend.finish_view(working)
+                    if borrowed
+                    else backend.finish(working)
+                )
                 on_finish(payload, instr.trial_indices)
             if recorder:
                 recorder.instant(
-                    "finish", cat="exec", trials=len(instr.trial_indices)
+                    "finish",
+                    cat="exec",
+                    trials=len(instr.trial_indices),
+                    moved=borrowed,
                 )
                 recorder.counter("trials.finished", len(instr.trial_indices))
+                if borrowed:
+                    recorder.counter("finish.moved", 1)
         else:  # pragma: no cover - exhaustive over instruction kinds
             raise ScheduleError(f"unknown plan instruction {instr!r}")
 

@@ -1,0 +1,862 @@
+"""Parallel subtree execution: partition the plan trie across processes.
+
+After Algorithm 1 reorders the trial set into a prefix-sharing trie, the
+subtrees hanging off each branch point are mutually independent — nothing
+requires them to execute on one core (TQSim makes the same observation for
+its reuse tree).  This module splits the optimized schedule in two:
+
+* :func:`partition_plan` cuts the trie at a chosen ``depth`` into a
+  **prefix program** (the shared work above the cut, executed once by the
+  parent) and K independent :class:`SubPlan` tasks.  The prefix program is
+  the serial plan with each cut subtree replaced by an :class:`EmitTask`
+  pseudo-instruction that serializes the subtree's entry state; each task
+  carries its entry layer, entry event history and its own
+  Advance/Inject/Snapshot/Restore/Finish schedule (local trial indices).
+* :func:`run_parallel` executes the prefix against a real backend, ships
+  each entry state to a worker process through
+  ``multiprocessing.shared_memory`` (raw complex128 amplitudes — never
+  pickled statevectors), runs every sub-plan with the ordinary
+  :func:`~repro.core.executor.run_optimized` inside the workers, and
+  merges the per-worker results back into exactly the serial outcome.
+
+Determinism
+-----------
+Task ids are assigned in prefix-emission order, which by construction
+equals the serial plan's ``Finish`` order (the prefix walk mirrors the
+serial builder's DFS, and a subtree's finishes are contiguous in it).  The
+parent therefore replays ``on_finish`` callbacks *in serial order* from
+the workers' result buffers after the pool drains — so a seeded
+measurement RNG consumes the identical stream and the merged counts are
+bit-identical to ``run_optimized`` for any worker count, including 1.
+The instruction multiset is also conserved: prefix ops plus the union of
+sub-plan ops equal the serial plan's ops, so ``ops_applied`` totals match
+exactly (property-tested).
+
+Load balancing assigns tasks to workers with the LPT (longest processing
+time first) greedy heuristic, weighted by each sub-plan's statically known
+operation count — the same closed form the P-series sanitizer uses.
+
+MSV accounting
+--------------
+A parallel run keeps more statevectors alive than the serial schedule: the
+emitted entry snapshots (one per task) plus each worker's own working/
+cached states.  :class:`ParallelOutcome` reports the deterministic static
+bound ``max(prefix peak incl. emitted entries, num_tasks + sum of each
+worker's largest task peak)``; finish-payload buffers are I/O, not
+maintained state vectors, and are excluded (as in the serial accounting,
+where finish payloads are borrowed or copied out).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..circuits.layers import LayeredCircuit
+from ..sim.statevector import Statevector
+from .cache import CacheStats, StateCache
+from .events import ErrorEvent, Trial
+from .executor import ExecutionOutcome, FinishCallback, run_optimized
+from .schedule import (
+    Advance,
+    ExecutionPlan,
+    Finish,
+    Inject,
+    PlanInstruction,
+    Restore,
+    ScheduleError,
+    Snapshot,
+    emit_subtree,
+)
+from .trie import TrialTrie, TrieNode
+
+__all__ = [
+    "EmitTask",
+    "SubPlan",
+    "PlanPartition",
+    "ParallelOutcome",
+    "partition_plan",
+    "run_parallel",
+    "fork_available",
+]
+
+
+class EmitTask(NamedTuple):
+    """Prefix pseudo-instruction: serialize the working state as the entry
+    snapshot of task ``task_id`` (the working state is consumed, exactly
+    like a serial ``Finish``: the next instruction is a ``Restore`` or the
+    prefix ends)."""
+
+    task_id: int
+
+
+PrefixInstruction = Union[Advance, Snapshot, Inject, Restore, EmitTask]
+
+
+class SubPlan:
+    """One independent unit of parallel work: a subtree (or terminal tail)
+    of the trial trie with its shared-prefix entry context."""
+
+    def __init__(
+        self,
+        task_id: int,
+        entry_layer: int,
+        entry_events: Tuple[ErrorEvent, ...],
+        plan: ExecutionPlan,
+        trial_indices: Tuple[int, ...],
+        finishes: Tuple[Tuple[int, ...], ...],
+        est_ops: int,
+    ) -> None:
+        self.task_id = task_id
+        #: Layer the entry state has advanced to.
+        self.entry_layer = entry_layer
+        #: Error events already injected into the entry state, in order.
+        self.entry_events = entry_events
+        #: Local schedule; ``Finish`` carries *local* trial indices.
+        self.plan = plan
+        #: Local index -> global (original trial list) index.
+        self.trial_indices = trial_indices
+        #: Per-``Finish`` global index tuples, in the plan's finish order —
+        #: what the parent replays through ``on_finish`` after the merge.
+        self.finishes = finishes
+        #: Statically known basic-operation count (load-balancing weight).
+        self.est_ops = est_ops
+
+    @property
+    def num_finishes(self) -> int:
+        return len(self.finishes)
+
+    def __repr__(self) -> str:
+        return (
+            f"SubPlan(task={self.task_id}, entry_layer={self.entry_layer}, "
+            f"trials={len(self.trial_indices)}, est_ops={self.est_ops})"
+        )
+
+
+class PlanPartition:
+    """A prefix program plus the sub-plan tasks it emits (exact cover)."""
+
+    def __init__(
+        self,
+        prefix: Tuple[PrefixInstruction, ...],
+        tasks: Tuple[SubPlan, ...],
+        num_trials: int,
+        num_layers: int,
+        depth: int,
+    ) -> None:
+        self.prefix = prefix
+        #: Tasks indexed by ``task_id`` == prefix emission order == the
+        #: serial plan's finish order (the determinism invariant).
+        self.tasks = tasks
+        self.num_trials = num_trials
+        self.num_layers = num_layers
+        self.depth = depth
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_finishes(self) -> int:
+        return sum(task.num_finishes for task in self.tasks)
+
+    def prefix_operations(self, layered: LayeredCircuit) -> int:
+        """Basic operations the parent pays once (prefix Advances+Injects)."""
+        ops = 0
+        for instr in self.prefix:
+            if isinstance(instr, Advance):
+                ops += layered.gates_between(instr.start_layer, instr.end_layer)
+            elif isinstance(instr, Inject):
+                ops += 1
+        return ops
+
+    def planned_operations(self, layered: LayeredCircuit) -> int:
+        """Closed-form total ops — equals the serial plan's count exactly."""
+        return self.prefix_operations(layered) + sum(
+            task.est_ops for task in self.tasks
+        )
+
+    def assign(self, num_workers: int) -> List[List[int]]:
+        """LPT-balance task ids over ``num_workers`` buckets.
+
+        Heaviest task first, each to the least-loaded worker; fully
+        deterministic (ties broken by task id, then worker index).  Each
+        bucket is returned sorted by task id — execution order within a
+        worker does not affect results, only determinism of the trace.
+        """
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        loads = [0] * num_workers
+        buckets: List[List[int]] = [[] for _ in range(num_workers)]
+        order = sorted(
+            range(len(self.tasks)),
+            key=lambda t: (-self.tasks[t].est_ops, t),
+        )
+        for task_id in order:
+            worker = min(range(num_workers), key=lambda w: (loads[w], w))
+            buckets[worker].append(task_id)
+            loads[worker] += max(1, self.tasks[task_id].est_ops)
+        for bucket in buckets:
+            bucket.sort()
+        return buckets
+
+    def audit(self, trials=None, layered=None):
+        """Partition-cover lint (rule P018) without raising."""
+        from ..lint.partition_rules import lint_partition
+
+        return lint_partition(self, trials=trials, layered=layered)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanPartition(tasks={self.num_tasks}, depth={self.depth}, "
+            f"trials={self.num_trials}, prefix={len(self.prefix)} instr)"
+        )
+
+
+class _Partitioner:
+    """Mirror of the serial ``_PlanBuilder`` walk, cutting at ``depth``."""
+
+    def __init__(
+        self, layered: LayeredCircuit, trie: TrialTrie, depth: int
+    ) -> None:
+        self.layered = layered
+        self.trie = trie
+        self.depth = depth
+        self.prefix: List[PrefixInstruction] = []
+        self.tasks: List[SubPlan] = []
+        self.next_slot = 0
+
+    def build(self) -> PlanPartition:
+        if self.trie.num_trials == 0:
+            raise ScheduleError("cannot partition an empty trial set")
+        if self.depth < 1:
+            raise ScheduleError(
+                f"partition depth must be >= 1, got {self.depth}"
+            )
+        self._walk(self.trie.root, entry_layer=0, path=())
+        return PlanPartition(
+            prefix=tuple(self.prefix),
+            tasks=tuple(self.tasks),
+            num_trials=self.trie.num_trials,
+            num_layers=self.layered.num_layers,
+            depth=self.depth,
+        )
+
+    def _make_task(
+        self,
+        entry_layer: int,
+        path: Tuple[ErrorEvent, ...],
+        instructions: Sequence[PlanInstruction],
+    ) -> int:
+        """Localize a global-index instruction list into a SubPlan."""
+        ordered_globals: List[int] = []
+        finishes: List[Tuple[int, ...]] = []
+        local_instructions: List[PlanInstruction] = []
+        for instr in instructions:
+            if isinstance(instr, Finish):
+                start = len(ordered_globals)
+                ordered_globals.extend(instr.trial_indices)
+                finishes.append(instr.trial_indices)
+                local_instructions.append(
+                    Finish(tuple(range(start, len(ordered_globals))))
+                )
+            else:
+                local_instructions.append(instr)
+        plan = ExecutionPlan(
+            local_instructions,
+            num_trials=len(ordered_globals),
+            num_layers=self.layered.num_layers,
+        )
+        task = SubPlan(
+            task_id=len(self.tasks),
+            entry_layer=entry_layer,
+            entry_events=path,
+            plan=plan,
+            trial_indices=tuple(ordered_globals),
+            finishes=tuple(finishes),
+            est_ops=plan.planned_operations(self.layered),
+        )
+        self.tasks.append(task)
+        return task.task_id
+
+    def _walk(
+        self,
+        node: TrieNode,
+        entry_layer: int,
+        path: Tuple[ErrorEvent, ...],
+    ) -> None:
+        cursor = entry_layer
+        children = node.sorted_children()
+        has_terminals = bool(node.terminal_trials)
+        for position, child in enumerate(children):
+            target = child.event.layer + 1
+            if target > cursor:
+                self.prefix.append(Advance(cursor, target))
+                cursor = target
+            is_last_consumer = (
+                position == len(children) - 1 and not has_terminals
+            )
+            child_path = path + (child.event,)
+            if child.depth >= self.depth:
+                # Cut: the whole subtree under `child` becomes one task.
+                subtree, _ = emit_subtree(self.layered, child, cursor)
+                if is_last_consumer:
+                    self.prefix.append(Inject(child.event))
+                    task_id = self._make_task(cursor, child_path, subtree)
+                    self.prefix.append(EmitTask(task_id))
+                else:
+                    slot = self.next_slot
+                    self.next_slot += 1
+                    self.prefix.append(Snapshot(slot))
+                    self.prefix.append(Inject(child.event))
+                    task_id = self._make_task(cursor, child_path, subtree)
+                    self.prefix.append(EmitTask(task_id))
+                    self.prefix.append(Restore(slot))
+            else:
+                # Above the cut: keep walking in the prefix program.
+                if is_last_consumer:
+                    self.prefix.append(Inject(child.event))
+                    self._walk(child, cursor, child_path)
+                else:
+                    slot = self.next_slot
+                    self.next_slot += 1
+                    self.prefix.append(Snapshot(slot))
+                    self.prefix.append(Inject(child.event))
+                    self._walk(child, cursor, child_path)
+                    self.prefix.append(Restore(slot))
+        if has_terminals:
+            # Terminal tail of a node above the cut: the worker advances
+            # the entry state to the final layer and finishes — keeping
+            # the expensive remaining layers off the parent.
+            tail: List[PlanInstruction] = []
+            if self.layered.num_layers > cursor:
+                tail.append(Advance(cursor, self.layered.num_layers))
+            tail.append(Finish(tuple(node.terminal_trials)))
+            task_id = self._make_task(cursor, path, tail)
+            self.prefix.append(EmitTask(task_id))
+
+
+def partition_plan(
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    depth: int = 1,
+    check: bool = False,
+) -> PlanPartition:
+    """Cut the trial trie at ``depth`` into prefix program + sub-plans.
+
+    ``depth=1`` puts every first-error subtree (and the error-free
+    terminal tail) in its own task — the natural cut for the paper's
+    tries, whose roots fan out widely.  Larger depths produce more,
+    smaller tasks (finer load balancing, more entry snapshots to ship).
+    With ``check=True`` the partition is audited by lint rule ``P018``
+    (disjoint exact cover, consistent entry snapshots, sound sub-plans)
+    before being returned.
+    """
+    trie = TrialTrie(trials)
+    partition = _Partitioner(layered, trie, depth).build()
+    if check:
+        audit = partition.audit(trials=trials, layered=layered)
+        if not audit.ok:
+            raise ScheduleError(
+                "; ".join(str(diagnostic) for diagnostic in audit.errors)
+            )
+    return partition
+
+
+class ParallelOutcome(ExecutionOutcome):
+    """Merged counters of a parallel run, with the per-phase breakdown."""
+
+    def __init__(
+        self,
+        ops_applied: int,
+        num_trials: int,
+        cache_stats: CacheStats,
+        finish_calls: int,
+        num_workers: int,
+        partition_depth: int,
+        num_tasks: int,
+        assignment: Tuple[Tuple[int, ...], ...],
+        prefix_ops: int,
+        worker_ops: Tuple[int, ...],
+        shm_bytes: int,
+        used_fork: bool,
+    ) -> None:
+        super().__init__(ops_applied, num_trials, cache_stats, finish_calls)
+        self.num_workers = num_workers
+        self.partition_depth = partition_depth
+        self.num_tasks = num_tasks
+        self.assignment = assignment
+        self.prefix_ops = prefix_ops
+        self.worker_ops = worker_ops
+        #: Total shared memory allocated (entry + result buffers).
+        self.shm_bytes = shm_bytes
+        #: False when the pool ran inline (no ``fork`` support, or forced).
+        self.used_fork = used_fork
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelOutcome(ops={self.ops_applied}, "
+            f"trials={self.num_trials}, workers={self.num_workers}, "
+            f"tasks={self.num_tasks}, peak_msv={self.peak_msv})"
+        )
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_prefix(
+    partition: PlanPartition,
+    layered: LayeredCircuit,
+    backend,
+    entries: np.ndarray,
+    recorder,
+) -> Dict[str, int]:
+    """Execute the prefix program once; serialize entry states into
+    ``entries`` (one row per task).  Returns the phase-1 counters."""
+    backend.reset_counter()
+    backend.set_recorder(recorder)
+    cache = StateCache(recorder=recorder)
+    if recorder:
+        recorder.begin(
+            "prefix",
+            cat="parallel",
+            tasks=partition.num_tasks,
+            depth=partition.depth,
+        )
+    working: Any = backend.make_initial()
+    working_layer = 0
+    cache.working_created()
+    emitted = 0
+    peak_live = 1  # live states incl. the emitted entry snapshots
+    peak_stored = 0
+
+    instructions = partition.prefix
+    for index, instr in enumerate(instructions):
+        if isinstance(instr, Advance):
+            if instr.start_layer != working_layer:
+                raise ScheduleError(
+                    f"prefix advance from layer {instr.start_layer} but "
+                    f"working state is at layer {working_layer}"
+                )
+            if recorder:
+                span = f"advance[{instr.start_layer},{instr.end_layer})"
+                gates = layered.gates_between(instr.start_layer, instr.end_layer)
+                recorder.begin(span, cat="segment", gates=gates)
+                backend.apply_layers(working, instr.start_layer, instr.end_layer)
+                recorder.end(span, cat="segment")
+                recorder.counter("ops.applied", gates)
+            else:
+                backend.apply_layers(working, instr.start_layer, instr.end_layer)
+            working_layer = instr.end_layer
+        elif isinstance(instr, Snapshot):
+            snapshot = backend.copy_state(working)
+            cache.store(snapshot, working_layer, slot=instr.slot)
+            if recorder:
+                recorder.instant(
+                    "cache.store", cat="cache", slot=instr.slot,
+                    layer=working_layer,
+                )
+        elif isinstance(instr, Inject):
+            event = instr.event
+            if event.layer + 1 != working_layer:
+                raise ScheduleError(
+                    f"prefix inject {event} at working layer {working_layer}"
+                )
+            backend.apply_operator(working, event.gate, (event.qubit,))
+            if recorder:
+                recorder.instant(
+                    "inject", cat="exec", layer=event.layer,
+                    qubit=event.qubit, pauli=event.pauli,
+                )
+                recorder.counter("ops.applied", 1)
+        elif isinstance(instr, Restore):
+            backend.release_state(working)
+            cache.working_destroyed()
+            working, working_layer = cache.take(instr.slot)
+            cache.working_created()
+            if recorder:
+                recorder.instant(
+                    "cache.hit", cat="cache", slot=instr.slot,
+                    layer=working_layer, evict=True,
+                )
+        elif isinstance(instr, EmitTask):
+            task = partition.tasks[instr.task_id]
+            if working_layer != task.entry_layer:
+                raise ScheduleError(
+                    f"task {task.task_id} entry at layer {task.entry_layer} "
+                    f"but working state is at layer {working_layer}"
+                )
+            # Serialize straight out of the working state — no
+            # intermediate snapshot copy is ever taken for a task entry.
+            np.copyto(entries[instr.task_id], working.vector)
+            emitted += 1
+            if recorder:
+                recorder.instant(
+                    "task.emit", cat="parallel", task=task.task_id,
+                    layer=working_layer, trials=len(task.trial_indices),
+                )
+                recorder.counter("tasks.emitted", 1)
+            # The working state is consumed (like a serial Finish): a
+            # following Restore swaps in the next state; otherwise the
+            # prefix is done with it.
+            next_instr = (
+                instructions[index + 1]
+                if index + 1 < len(instructions)
+                else None
+            )
+            if not isinstance(next_instr, Restore):
+                backend.release_state(working)
+                cache.working_destroyed()
+                working = None
+        else:  # pragma: no cover - exhaustive over prefix kinds
+            raise ScheduleError(f"unknown prefix instruction {instr!r}")
+        peak_live = max(peak_live, cache.num_live + emitted)
+        peak_stored = max(peak_stored, cache.num_stored + emitted)
+
+    if working is not None:
+        raise ScheduleError(
+            "prefix program ended without consuming the working state "
+            "(last instruction must be an EmitTask)"
+        )
+    cache.assert_drained()
+    stats = cache.stats()
+    if recorder:
+        recorder.end(
+            "prefix", cat="parallel", ops_applied=backend.ops_applied,
+            tasks_emitted=emitted,
+        )
+    return {
+        "ops": backend.ops_applied,
+        "peak_live": peak_live,
+        "peak_stored": peak_stored,
+        "snapshots_taken": stats.snapshots_taken,
+        "emitted": emitted,
+    }
+
+
+def _execute_tasks(
+    worker_id: int,
+    task_ids: Sequence[int],
+    partition: PlanPartition,
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    backend_factory: Callable[[], Any],
+    entries: np.ndarray,
+    results: np.ndarray,
+    result_offsets: Sequence[int],
+    recorder,
+) -> Dict[str, Any]:
+    """Run one worker's assigned sub-plans (in a child process or inline).
+
+    ``recorder`` is the *parent's* recorder, used only for its falsiness
+    and its clock: a truthy recorder yields a fresh per-worker child
+    recorder (merged by the parent afterwards); a falsy one keeps the
+    workers completely uninstrumented — zero recorder calls.
+    """
+    backend = backend_factory()
+    worker_recorder = recorder.child() if recorder else None
+    num_qubits = layered.num_qubits
+    total_ops = 0
+    total_finish_calls = 0
+    snapshots_taken = 0
+    max_task_peak = 0
+    max_task_stored = 0
+    for task_id in task_ids:
+        task = partition.tasks[task_id]
+        # Each worker copies the entry snapshot into its own buffer; the
+        # shared region stays pristine (other tasks never alias it).
+        entry = Statevector(num_qubits, tensor=entries[task_id])
+        local_trials = [trials[g] for g in task.trial_indices]
+        cursor = [result_offsets[task_id]]
+
+        def write_finish(payload, _local_indices, _cursor=cursor):
+            np.copyto(results[_cursor[0]], payload.vector)
+            _cursor[0] += 1
+
+        outcome = run_optimized(
+            layered,
+            local_trials,
+            backend,
+            write_finish,
+            plan=task.plan,
+            recorder=worker_recorder,
+            entry_state=entry,
+            entry_layer=task.entry_layer,
+        )
+        total_ops += outcome.ops_applied
+        total_finish_calls += outcome.finish_calls
+        snapshots_taken += outcome.cache_stats.snapshots_taken
+        max_task_peak = max(max_task_peak, outcome.peak_msv)
+        max_task_stored = max(max_task_stored, outcome.peak_stored)
+    return {
+        "worker": worker_id,
+        "ops": total_ops,
+        "finish_calls": total_finish_calls,
+        "snapshots_taken": snapshots_taken,
+        "max_task_peak": max_task_peak,
+        "max_task_stored": max_task_stored,
+        "recorder": worker_recorder,
+    }
+
+
+def _worker_entry(
+    worker_id: int,
+    task_ids: Sequence[int],
+    partition: PlanPartition,
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    backend_factory: Callable[[], Any],
+    entries: np.ndarray,
+    results: np.ndarray,
+    result_offsets: Sequence[int],
+    recorder,
+    queue,
+) -> None:
+    """Forked child main: run the tasks, report through the queue."""
+    try:
+        report = _execute_tasks(
+            worker_id, task_ids, partition, layered, trials,
+            backend_factory, entries, results, result_offsets, recorder,
+        )
+    except BaseException as exc:  # pragma: no cover - exercised via fork
+        queue.put({"worker": worker_id, "error": repr(exc)})
+        raise
+    queue.put(report)
+
+
+def run_parallel(
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    backend_factory: Callable[[], Any],
+    on_finish: Optional[FinishCallback] = None,
+    workers: int = 2,
+    depth: int = 1,
+    check: bool = False,
+    recorder=None,
+    inline: Optional[bool] = None,
+) -> ParallelOutcome:
+    """Execute ``trials`` with prefix reuse across ``workers`` processes.
+
+    Produces results bit-identical to the serial
+    :func:`~repro.core.executor.run_optimized` for the same trial set:
+    the same ``on_finish`` payload/index sequence in the same order (so a
+    seeded RNG in the callback sees the identical stream), and the same
+    total ``ops_applied``.
+
+    Parameters
+    ----------
+    backend_factory:
+        Zero-argument callable building a statevector-family backend
+        (states must expose ``.vector``); called once in the parent for
+        the prefix phase and once inside every worker.  Never pickled —
+        workers inherit it through ``fork``.
+    on_finish:
+        Streaming consumer of final states, called in the parent *after*
+        the pool drains, in exactly the serial plan's finish order.  The
+        payload borrows the worker's result buffer (shared memory) and is
+        only valid during the callback — copy it to retain it.
+    workers:
+        Worker process count; any value >= 1 (a single worker still
+        exercises the full partition/serialize/merge machinery).
+    depth:
+        Trie cut depth passed to :func:`partition_plan`.
+    check:
+        Audit the partition with lint rule ``P018`` before executing and
+        verify the merged operation count against the closed form after.
+    recorder:
+        Optional trace recorder.  The parent records the prefix phase and
+        the merge; each worker records into a fresh child recorder whose
+        events are merged back tagged with a ``worker`` argument (the
+        exporter fans them out to per-worker threads).  Falsy recorders
+        keep the workers completely uninstrumented.
+    inline:
+        ``None`` (default) forks when the platform supports it and falls
+        back to in-process execution otherwise; ``True`` forces the
+        in-process path (deterministic tests, spy instrumentation);
+        ``False`` demands real processes and raises without ``fork``.
+    """
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    partition = partition_plan(layered, trials, depth=depth, check=check)
+    assignment = partition.assign(workers)
+    use_fork = fork_available() if inline is None else not inline
+    if inline is False and not fork_available():
+        raise RuntimeError(
+            "fork start method unavailable on this platform; "
+            "use inline=None/True"
+        )
+
+    num_qubits = layered.num_qubits
+    amplitudes = 2**num_qubits
+    state_bytes = amplitudes * 16  # complex128
+    num_tasks = partition.num_tasks
+    total_finishes = partition.total_finishes
+    result_offsets: List[int] = []
+    offset = 0
+    for task in partition.tasks:
+        result_offsets.append(offset)
+        offset += task.num_finishes
+    shm_bytes = (num_tasks + total_finishes) * state_bytes
+
+    from multiprocessing import shared_memory
+
+    entries_shm = shared_memory.SharedMemory(
+        create=True, size=num_tasks * state_bytes
+    )
+    results_shm = shared_memory.SharedMemory(
+        create=True, size=total_finishes * state_bytes
+    )
+    try:
+        entries = np.ndarray(
+            (num_tasks, amplitudes), dtype=np.complex128,
+            buffer=entries_shm.buf,
+        )
+        results = np.ndarray(
+            (total_finishes, amplitudes), dtype=np.complex128,
+            buffer=results_shm.buf,
+        )
+
+        if recorder:
+            recorder.instant(
+                "parallel.meta", cat="parallel", workers=workers,
+                depth=depth, tasks=num_tasks, shm_bytes=shm_bytes,
+                fork=use_fork,
+            )
+
+        backend = backend_factory()
+        phase1 = _run_prefix(partition, layered, backend, entries, recorder)
+
+        reports: List[Dict[str, Any]] = []
+        active = [
+            (worker_id, task_ids)
+            for worker_id, task_ids in enumerate(assignment)
+            if task_ids
+        ]
+        if use_fork and active:
+            ctx = multiprocessing.get_context("fork")
+            queue = ctx.SimpleQueue()
+            processes = [
+                ctx.Process(
+                    target=_worker_entry,
+                    args=(
+                        worker_id, task_ids, partition, layered, trials,
+                        backend_factory, entries, results, result_offsets,
+                        recorder, queue,
+                    ),
+                )
+                for worker_id, task_ids in active
+            ]
+            for process in processes:
+                process.start()
+            # Drain before joining: a child blocked on a full pipe would
+            # otherwise deadlock against our join.
+            for _ in processes:
+                reports.append(queue.get())
+            for process in processes:
+                process.join()
+            failed = [r for r in reports if "error" in r]
+            if failed:
+                raise RuntimeError(
+                    "parallel worker(s) failed: "
+                    + "; ".join(
+                        f"worker {r['worker']}: {r['error']}" for r in failed
+                    )
+                )
+        else:
+            for worker_id, task_ids in active:
+                reports.append(
+                    _execute_tasks(
+                        worker_id, task_ids, partition, layered, trials,
+                        backend_factory, entries, results, result_offsets,
+                        recorder,
+                    )
+                )
+        reports.sort(key=lambda r: r["worker"])
+
+        if recorder:
+            for report in reports:
+                worker_recorder = report.get("recorder")
+                if worker_recorder is not None:
+                    recorder.merge(worker_recorder, worker=report["worker"])
+
+        # Replay finishes in task-id order == serial finish order, so a
+        # stateful on_finish (measurement RNG!) sees the serial stream.
+        if on_finish is not None:
+            if recorder:
+                recorder.begin("merge", cat="parallel")
+            for task in partition.tasks:
+                base = result_offsets[task.task_id]
+                for position, global_indices in enumerate(task.finishes):
+                    payload = Statevector.from_buffer(
+                        results[base + position], num_qubits
+                    )
+                    on_finish(payload, global_indices)
+                    del payload
+            if recorder:
+                recorder.end(
+                    "merge", cat="parallel", finish_calls=total_finishes
+                )
+
+        worker_ops = tuple(report["ops"] for report in reports)
+        ops_applied = phase1["ops"] + sum(worker_ops)
+        if check:
+            planned = partition.planned_operations(layered)
+            if ops_applied != planned:
+                raise ScheduleError(
+                    f"merged ops {ops_applied} != planned {planned}"
+                )
+        peak_msv = max(
+            phase1["peak_live"],
+            num_tasks + sum(r["max_task_peak"] for r in reports),
+        )
+        peak_stored = max(
+            phase1["peak_stored"],
+            num_tasks + sum(r["max_task_stored"] for r in reports),
+        )
+        snapshots_taken = phase1["snapshots_taken"] + sum(
+            r["snapshots_taken"] for r in reports
+        )
+        cache_stats = CacheStats(
+            peak_msv=peak_msv,
+            peak_stored=peak_stored,
+            snapshots_taken=snapshots_taken,
+            snapshots_released=snapshots_taken,
+        )
+        return ParallelOutcome(
+            ops_applied=ops_applied,
+            num_trials=len(trials),
+            cache_stats=cache_stats,
+            finish_calls=sum(r["finish_calls"] for r in reports),
+            num_workers=workers,
+            partition_depth=depth,
+            num_tasks=num_tasks,
+            assignment=tuple(tuple(bucket) for bucket in assignment),
+            prefix_ops=phase1["ops"],
+            worker_ops=worker_ops,
+            shm_bytes=shm_bytes,
+            used_fork=use_fork and bool(active),
+        )
+    finally:
+        # Views must be gone before close() — numpy keeps buffer exports.
+        try:
+            del entries, results
+        except NameError:  # pragma: no cover - allocation failed mid-way
+            pass
+        entries_shm.close()
+        entries_shm.unlink()
+        results_shm.close()
+        results_shm.unlink()

@@ -172,6 +172,8 @@ class NoisySimulator:
         collect_final_states: bool = False,
         check: bool = False,
         recorder=None,
+        workers: int = 0,
+        partition_depth: int = 1,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -197,9 +199,29 @@ class NoisySimulator:
             execution spans, cache events and the live-MSV timeline; see
             :mod:`repro.obs`.  Falsy recorders cost nothing on the hot
             path.
+        workers:
+            ``0`` (default) runs serially.  Any value >= 1 partitions the
+            plan trie and executes the subtrees through
+            :func:`~repro.core.parallel.run_parallel` — optimized mode,
+            statevector-family backends only.  Counts are bit-identical
+            to the serial run for the same seed, regardless of the worker
+            count.
+        partition_depth:
+            Trie cut depth for the parallel partition (ignored serially).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+        if workers:
+            if mode != "optimized":
+                raise ValueError(
+                    "workers requires mode='optimized' (the baseline has "
+                    "no plan to partition)"
+                )
+            if backend not in ("statevector", "statevector-interpreted"):
+                raise ValueError(
+                    f"workers requires a statevector-family backend, "
+                    f"got {backend!r}"
+                )
         trial_list = list(trials) if trials is not None else self.sample(num_trials)
 
         engine = self.make_backend(backend)
@@ -224,7 +246,20 @@ class NoisySimulator:
                 if collect_final_states:
                     final_states[index] = payload.copy()
 
-        if mode == "optimized":
+        if workers:
+            from .parallel import run_parallel
+
+            outcome = run_parallel(
+                self.layered,
+                trial_list,
+                lambda: self.make_backend(backend),
+                on_finish,
+                workers=workers,
+                depth=partition_depth,
+                check=check,
+                recorder=recorder,
+            )
+        elif mode == "optimized":
             outcome = run_optimized(
                 self.layered,
                 trial_list,

@@ -33,7 +33,7 @@ the last consumer steals the state instead of copying it.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Sequence, Tuple, Union
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..circuits.layers import LayeredCircuit
 from .events import ErrorEvent, Trial
@@ -49,6 +49,7 @@ __all__ = [
     "ExecutionPlan",
     "build_plan",
     "build_plan_from_trie",
+    "emit_subtree",
     "ScheduleError",
 ]
 
@@ -121,7 +122,9 @@ class ExecutionPlan:
                 ops += 1
         return ops
 
-    def validate(self, trials=None, layered=None) -> None:
+    def validate(
+        self, trials=None, layered=None, entry_layer=0, entry_events=()
+    ) -> None:
         """Run the static plan sanitizer; raise on the first violation.
 
         Delegates to :func:`repro.lint.sanitize_plan` — the symbolic
@@ -130,15 +133,22 @@ class ExecutionPlan:
         exactness, all without a backend.  Raises :class:`ScheduleError`
         listing every error-severity diagnostic.  Cheap enough to run on
         every schedule in debug contexts; ``run_optimized(check=True)``
-        calls it before execution.
+        calls it before execution.  ``entry_layer`` / ``entry_events``
+        audit a sub-plan that resumes from a shared-prefix entry state
+        (see :mod:`repro.core.parallel`).
         """
-        audit = self.audit(trials=trials, layered=layered)
+        audit = self.audit(
+            trials=trials,
+            layered=layered,
+            entry_layer=entry_layer,
+            entry_events=entry_events,
+        )
         if not audit.ok:
             raise ScheduleError(
                 "; ".join(str(diagnostic) for diagnostic in audit.errors)
             )
 
-    def audit(self, trials=None, layered=None):
+    def audit(self, trials=None, layered=None, entry_layer=0, entry_events=()):
         """Sanitize without raising: the full :class:`repro.lint.PlanAudit`.
 
         Exposes the diagnostics *and* the static cache bounds
@@ -147,7 +157,13 @@ class ExecutionPlan:
         """
         from ..lint.plan_sanitizer import sanitize_plan
 
-        return sanitize_plan(self, trials=trials, layered=layered)
+        return sanitize_plan(
+            self,
+            trials=trials,
+            layered=layered,
+            entry_layer=entry_layer,
+            entry_events=entry_events,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -157,13 +173,16 @@ class ExecutionPlan:
 
 
 class _PlanBuilder:
-    def __init__(self, layered: LayeredCircuit, trie: TrialTrie) -> None:
+    def __init__(
+        self, layered: LayeredCircuit, trie: Optional[TrialTrie] = None
+    ) -> None:
         self.layered = layered
         self.trie = trie
         self.instructions: List[PlanInstruction] = []
         self.next_slot = 0
 
     def build(self) -> ExecutionPlan:
+        assert self.trie is not None, "build() needs a trie"
         if self.trie.num_trials == 0:
             raise ScheduleError("cannot schedule an empty trial set")
         self._check_events()
@@ -233,6 +252,29 @@ def build_plan(
     if check:
         plan.validate(trials=trials, layered=layered)
     return plan
+
+
+def emit_subtree(
+    layered: LayeredCircuit,
+    node: TrieNode,
+    entry_layer: int,
+    start_slot: int = 0,
+) -> Tuple[List[PlanInstruction], int]:
+    """DFS instruction sequence for ``node``'s subtree, entered mid-circuit.
+
+    Emits exactly the instructions :func:`build_plan` would emit for the
+    subtree rooted at ``node`` when the working state has already advanced
+    to ``entry_layer`` with the node's path events injected — the building
+    block of the plan partitioner (:mod:`repro.core.parallel`).  Snapshot
+    slots are numbered from ``start_slot``; returns ``(instructions,
+    next_free_slot)``.  ``Finish`` instructions carry the trie's original
+    (global) trial indices; callers remap them to a local index space when
+    the sub-plan runs standalone.
+    """
+    builder = _PlanBuilder(layered)
+    builder.next_slot = start_slot
+    builder._emit_node(node, entry_layer)
+    return builder.instructions, builder.next_slot
 
 
 def build_plan_from_trie(

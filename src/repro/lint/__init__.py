@@ -37,6 +37,7 @@ from .plan_sanitizer import PlanAudit, sanitize_plan
 from .circuit_rules import lint_circuit
 from .trial_rules import lint_noise_model, lint_trials
 from .trace_rules import lint_trace
+from .partition_rules import lint_partition, lint_partition_trace
 from .api import (
     lint_benchmark,
     lint_plan,
@@ -57,6 +58,8 @@ __all__ = [
     "lint_benchmark",
     "lint_circuit",
     "lint_noise_model",
+    "lint_partition",
+    "lint_partition_trace",
     "lint_plan",
     "lint_qasm_file",
     "lint_qasm_text",

@@ -1,0 +1,310 @@
+"""Partition lint: the parallel cut must be a disjoint exact cover.
+
+:func:`repro.core.parallel.partition_plan` splits the serial execution plan
+into a prefix program plus independent sub-plan tasks.  Everything the
+parallel executor guarantees — bit-identical results to the serial run —
+rests on structural invariants of that partition, and ``P018`` proves them
+statically:
+
+* **exact cover** — every trial index appears in exactly one task
+  (none lost, none duplicated);
+* **entry consistency** — replaying the prefix program symbolically (the
+  same interpreter discipline as :func:`repro.lint.sanitize_plan`), each
+  ``EmitTask`` fires with the working state at exactly the task's declared
+  ``entry_layer`` with exactly its ``entry_events`` injected, each task is
+  emitted exactly once, in task-id order (the serial finish order), and
+  the working state is consumed afterwards (next instruction is a
+  ``Restore`` or the prefix ends);
+* **sub-plan soundness** — each task's local plan passes the full plan
+  sanitizer resumed from its entry context (slot discipline, layer
+  alignment, per-trial exactness when the trial list is supplied);
+* **ops conservation** — with the circuit and trials available, the
+  partition's closed-form operation count and its finish order both equal
+  the serial plan's (the determinism pin).
+
+:func:`lint_partition_trace` is the runtime-evidence companion: it splits
+a merged multi-worker trace back into per-worker event streams and runs
+the ``P017`` plan-vs-trace cross-check on every one of them, plus the
+parent's prefix track.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.schedule import ExecutionPlan, Restore, Snapshot
+from .diagnostics import Diagnostic, LintConfig, LintResult, Severity
+from .plan_sanitizer import sanitize_plan
+from .registry import make_diagnostic, register
+from .trace_rules import lint_trace
+
+__all__ = ["lint_partition", "lint_partition_trace"]
+
+
+register(
+    "P018",
+    "partition-cover",
+    Severity.ERROR,
+    "plan",
+    "Plan partition is not a disjoint exact cover of the trial set with "
+    "consistent entry states.",
+)
+
+
+class _EventsView:
+    """Minimal recorder shim: a filtered ``events`` list for trace rules."""
+
+    def __init__(self, events) -> None:
+        self.events = events
+
+
+def lint_partition(
+    partition,
+    trials=None,
+    layered=None,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Statically audit a :class:`~repro.core.parallel.PlanPartition`."""
+    from ..core.parallel import EmitTask
+    from ..core.schedule import Advance, Inject
+
+    diagnostics: List[Diagnostic] = []
+
+    def emit(message: str, location: str = "partition", hint: str = "") -> None:
+        diagnostic = make_diagnostic(
+            "P018", message, location=location, hint=hint or None, config=config
+        )
+        if diagnostic is not None:
+            diagnostics.append(diagnostic)
+
+    # -- exact cover of the trial index space --------------------------------
+    seen = {}
+    for task in partition.tasks:
+        for global_index in task.trial_indices:
+            if not 0 <= global_index < partition.num_trials:
+                emit(
+                    f"task {task.task_id} covers trial {global_index}, "
+                    f"outside the partition's {partition.num_trials} "
+                    "trial(s)",
+                    location=f"task[{task.task_id}]",
+                )
+            elif global_index in seen:
+                emit(
+                    f"trial {global_index} covered by both task "
+                    f"{seen[global_index]} and task {task.task_id}",
+                    location=f"task[{task.task_id}]",
+                    hint="subtree tasks must partition the trial set",
+                )
+            else:
+                seen[global_index] = task.task_id
+    missing = [t for t in range(partition.num_trials) if t not in seen]
+    if missing:
+        shown = ", ".join(str(t) for t in missing[:8])
+        if len(missing) > 8:
+            shown += f", ... ({len(missing)} total)"
+        emit(f"trial(s) covered by no task: {shown}")
+
+    # -- symbolic prefix replay ----------------------------------------------
+    cursor = 0
+    history = ()
+    open_slots = {}
+    emitted: List[int] = []
+    consumed = True  # becomes False while a working state is live
+    instructions = partition.prefix
+    for index, instr in enumerate(instructions):
+        consumed = False
+        if isinstance(instr, Advance):
+            cursor = instr.end_layer
+        elif isinstance(instr, Snapshot):
+            open_slots[instr.slot] = (cursor, history)
+        elif isinstance(instr, Inject):
+            history = history + (instr.event,)
+        elif isinstance(instr, Restore):
+            entry = open_slots.pop(instr.slot, None)
+            if entry is None:
+                emit(
+                    f"prefix restores slot {instr.slot}, which is empty",
+                    location=f"prefix[{index}]",
+                )
+            else:
+                cursor, history = entry
+        elif isinstance(instr, EmitTask):
+            if not 0 <= instr.task_id < partition.num_tasks:
+                emit(
+                    f"prefix emits unknown task {instr.task_id}",
+                    location=f"prefix[{index}]",
+                )
+                continue
+            task = partition.tasks[instr.task_id]
+            if instr.task_id in emitted:
+                emit(
+                    f"task {instr.task_id} emitted more than once",
+                    location=f"prefix[{index}]",
+                )
+            emitted.append(instr.task_id)
+            if cursor != task.entry_layer:
+                emit(
+                    f"task {task.task_id} declares entry layer "
+                    f"{task.entry_layer} but is emitted at layer {cursor}",
+                    location=f"prefix[{index}]",
+                )
+            if history != tuple(task.entry_events):
+                emit(
+                    f"task {task.task_id} declares entry events "
+                    f"({', '.join(map(str, task.entry_events))}) but is "
+                    f"emitted with ({', '.join(map(str, history))})",
+                    location=f"prefix[{index}]",
+                )
+            next_instr = (
+                instructions[index + 1]
+                if index + 1 < len(instructions)
+                else None
+            )
+            if next_instr is not None and not isinstance(next_instr, Restore):
+                emit(
+                    f"task {task.task_id} emission is followed by "
+                    f"{type(next_instr).__name__}; the consumed working "
+                    "state demands a Restore or the end of the prefix",
+                    location=f"prefix[{index}]",
+                )
+            consumed = True
+        else:
+            emit(
+                f"unknown prefix instruction {instr!r}",
+                location=f"prefix[{index}]",
+            )
+    if instructions and not consumed:
+        emit(
+            "prefix program leaves the working state alive (it must end "
+            "with an EmitTask)",
+            location=f"prefix[{len(instructions) - 1}]",
+        )
+    for slot in sorted(open_slots):
+        emit(f"prefix slot {slot} is never restored")
+    never_emitted = [
+        task.task_id for task in partition.tasks if task.task_id not in emitted
+    ]
+    if never_emitted:
+        emit(
+            "task(s) never emitted by the prefix: "
+            + ", ".join(map(str, never_emitted))
+        )
+    if emitted != sorted(emitted):
+        emit(
+            f"tasks emitted out of id order ({emitted}); task ids encode "
+            "the serial finish order the parent replays",
+            hint="renumber tasks in prefix-emission order",
+        )
+
+    # -- per-task sub-plan soundness ----------------------------------------
+    for task in partition.tasks:
+        local_trials = None
+        if trials is not None:
+            local_trials = [trials[g] for g in task.trial_indices]
+        sub_audit = sanitize_plan(
+            task.plan,
+            trials=local_trials,
+            layered=layered,
+            config=config,
+            entry_layer=task.entry_layer,
+            entry_events=task.entry_events,
+        )
+        for sub in sub_audit.errors:
+            emit(
+                f"task {task.task_id} sub-plan: [{sub.code}] {sub.message}",
+                location=f"task[{task.task_id}].{sub.location}",
+            )
+
+    # -- conservation against the serial plan --------------------------------
+    planned_ops = None
+    if layered is not None:
+        planned_ops = partition.planned_operations(layered)
+        if trials is not None and not missing and len(seen) == len(trials):
+            from ..core.schedule import build_plan
+
+            serial = build_plan(layered, trials)
+            serial_ops = serial.planned_operations(layered)
+            if planned_ops != serial_ops:
+                emit(
+                    f"partition plans {planned_ops} basic operation(s) but "
+                    f"the serial plan performs {serial_ops}",
+                    hint="prefix ops plus sub-plan ops must conserve the "
+                    "serial instruction multiset",
+                )
+            partition_order = [
+                g for task in partition.tasks for g in task.trial_indices
+            ]
+            if partition_order != serial.finished_trial_indices():
+                emit(
+                    "partition finish order differs from the serial plan's "
+                    "(the parent's merged on_finish replay would diverge)",
+                    hint="tasks must be emitted in the serial DFS order",
+                )
+
+    return LintResult(
+        diagnostics,
+        info={
+            "num_tasks": partition.num_tasks,
+            "depth": partition.depth,
+            "covered_trials": len(seen),
+            "planned_operations": planned_ops,
+        },
+    )
+
+
+def lint_partition_trace(
+    partition,
+    assignment: Sequence[Sequence[int]],
+    recorder,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Cross-check a merged multi-worker trace, track by track (``P017``).
+
+    The parent track (events without a ``worker`` tag) must follow the
+    prefix program's Snapshot/Restore schedule; each worker's track must
+    follow the concatenation of its assigned sub-plans' schedules in
+    task-id order (the order :func:`~repro.core.parallel.run_parallel`
+    executes them).
+    """
+    diagnostics: List[Diagnostic] = []
+    info = {}
+
+    parent_events = [
+        event
+        for event in recorder.events
+        if not (event.args and "worker" in event.args)
+    ]
+    prefix_plan = ExecutionPlan(
+        list(partition.prefix),
+        num_trials=partition.num_trials,
+        num_layers=partition.num_layers,
+    )
+    parent_result = lint_trace(
+        prefix_plan, _EventsView(parent_events), config=config
+    )
+    diagnostics.extend(parent_result.diagnostics)
+    info["parent"] = parent_result.info
+
+    for worker_id, task_ids in enumerate(assignment):
+        if not task_ids:
+            continue
+        worker_events = [
+            event
+            for event in recorder.events
+            if event.args and event.args.get("worker") == worker_id
+        ]
+        combined = []
+        for task_id in sorted(task_ids):
+            combined.extend(partition.tasks[task_id].plan.instructions)
+        worker_plan = ExecutionPlan(
+            combined,
+            num_trials=partition.num_trials,
+            num_layers=partition.num_layers,
+        )
+        worker_result = lint_trace(
+            worker_plan, _EventsView(worker_events), config=config
+        )
+        diagnostics.extend(worker_result.diagnostics)
+        info[f"worker{worker_id}"] = worker_result.info
+
+    return LintResult(diagnostics, info=info)

@@ -200,6 +200,8 @@ def sanitize_plan(
     trials: Optional[Sequence[Trial]] = None,
     layered: Optional[LayeredCircuit] = None,
     config: Optional[LintConfig] = None,
+    entry_layer: int = 0,
+    entry_events: Sequence[ErrorEvent] = (),
 ) -> PlanAudit:
     """Symbolically interpret ``plan`` and collect every violation.
 
@@ -215,6 +217,13 @@ def sanitize_plan(
         declared ``num_layers`` is available).
     config:
         Optional filtering/severity policy.
+    entry_layer / entry_events:
+        Audit a *sub-plan* that resumes from a shared-prefix entry state:
+        the symbolic working state starts at ``entry_layer`` with
+        ``entry_events`` already in its history, exactly as the parallel
+        executor hands sub-plans to workers (:mod:`repro.core.parallel`).
+        Trial exactness is still checked against each trial's *full*
+        sampled event sequence.
 
     The interpreter never raises on a bad plan — it records diagnostics and
     keeps going with a best-effort recovery, so one structural bug does not
@@ -255,8 +264,8 @@ def sanitize_plan(
         )
 
     # Symbolic working state: current layer + injected-event history.
-    cursor = 0
-    history: Tuple[ErrorEvent, ...] = ()
+    cursor = int(entry_layer)
+    history: Tuple[ErrorEvent, ...] = tuple(entry_events)
     # slot -> (layer at snapshot, history at snapshot, instruction index)
     open_slots: Dict[int, Tuple[int, Tuple[ErrorEvent, ...], int]] = {}
     finished_at: Dict[int, int] = {}

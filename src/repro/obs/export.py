@@ -54,16 +54,45 @@ def chrome_trace(
             "tid": _TID,
             "ts": 0,
             "args": {"name": "repro noisy simulation"},
-        }
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": _TID,
+            "ts": 0,
+            "args": {"name": "main"},
+        },
     ]
+    # Events merged back from parallel workers carry a ``worker`` arg
+    # (see InMemoryRecorder.merge); fan each worker out to its own thread
+    # track so spans from different processes never interleave on one tid.
+    worker_tids: Dict[int, int] = {}
     for event in recorder.events:
+        tid = _TID
+        if event.args and "worker" in event.args:
+            worker = int(event.args["worker"])  # type: ignore[arg-type]
+            tid = worker_tids.get(worker)
+            if tid is None:
+                tid = _TID + 1 + worker
+                worker_tids[worker] = tid
+                trace_events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": _PID,
+                        "tid": tid,
+                        "ts": 0,
+                        "args": {"name": f"worker {worker}"},
+                    }
+                )
         payload: Dict[str, object] = {
             "ph": event.ph,
             "name": event.name,
             "cat": event.cat,
             "ts": (event.ts - base) * 1e6,
             "pid": _PID,
-            "tid": _TID,
+            "tid": tid,
         }
         if event.ph == "i":
             payload["s"] = "t"  # thread-scoped instant

@@ -32,6 +32,7 @@ against the timed run's outcome.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -39,14 +40,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .bench.suite import benchmark_names, build_compiled_benchmark
+from .bench.suite import all_benchmark_names, benchmark_names, resolve_benchmark
 from .circuits.layers import layerize
 from .core.executor import run_optimized
+from .core.parallel import run_parallel
 from .core.schedule import build_plan
-from .noise.devices import ibm_yorktown
 from .noise.sampling import sample_trials
 from .sim.backend import StatevectorBackend
 from .sim.compiled import CompiledCircuit, CompiledStatevectorBackend
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -88,6 +94,87 @@ def _collect_final_states(layered, trials, plan, backend):
     return outcome, indices, states
 
 
+def peak_rss_kb() -> Dict[str, Optional[int]]:
+    """Peak resident-set size so far, in KB (Linux ``ru_maxrss`` units).
+
+    ``self`` covers this process, ``children`` the high-water mark over
+    all reaped child processes (the parallel workers).  Both are monotone
+    process-lifetime maxima, so per-benchmark values in a longer session
+    are cumulative, not isolated — still the honest upper bound on what
+    the benchmark needed.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return {"self": None, "children": None}
+    return {
+        "self": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "children": int(
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        ),
+    }
+
+
+def _bench_parallel(
+    layered,
+    trials,
+    make_backend,
+    serial_best: float,
+    serial_states: List[np.ndarray],
+    serial_ops: int,
+    workers: int,
+    partition_depth: int,
+    repeats: int,
+) -> Dict[str, object]:
+    """Time ``run_parallel`` at one worker count and prove it exact.
+
+    The exactness run is separate from the timed runs (collecting every
+    final state would distort the timing): the parallel payload stream
+    must be bit-identical (``array_equal``, not ``allclose``) to the
+    serial compiled run's, with the identical total operation count.
+    """
+    best = float("inf")
+    total = 0.0
+    outcome = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        outcome = run_parallel(
+            layered, trials, make_backend,
+            workers=workers, depth=partition_depth,
+        )
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+
+    par_states: List[np.ndarray] = []
+    check_outcome = run_parallel(
+        layered,
+        trials,
+        make_backend,
+        lambda payload, _indices: par_states.append(payload.vector.copy()),
+        workers=workers,
+        depth=partition_depth,
+    )
+    bit_identical = len(par_states) == len(serial_states) and all(
+        np.array_equal(a, b) for a, b in zip(serial_states, par_states)
+    )
+    return {
+        "workers": workers,
+        "partition_depth": partition_depth,
+        "best_s": best,
+        "mean_s": total / max(1, repeats),
+        "speedup_vs_serial": serial_best / best,
+        "num_tasks": outcome.num_tasks,
+        "used_fork": outcome.used_fork,
+        "shm_bytes": outcome.shm_bytes,
+        "exact": {
+            "ops_equal": check_outcome.ops_applied == serial_ops,
+            "states_bit_identical": bool(bit_identical),
+            "ok": bool(
+                check_outcome.ops_applied == serial_ops and bit_identical
+            ),
+        },
+    }
+
+
 def bench_one(
     name: str,
     num_trials: int = 1024,
@@ -96,11 +183,19 @@ def bench_one(
     seed: int = 2020,
     check: bool = True,
     trace: bool = False,
+    workers: Sequence[int] = (),
+    partition_depth: int = 1,
 ) -> Dict[str, object]:
-    """Benchmark one Table I circuit; returns one JSON-ready record."""
-    circuit = build_compiled_benchmark(name)
+    """Benchmark one suite circuit; returns one JSON-ready record.
+
+    ``name`` may be a Table I benchmark (Yorktown-compiled, device model)
+    or a large-suite benchmark (logical circuit, artificial model — see
+    :data:`repro.bench.suite.LARGE_BENCHMARKS`).  Each entry in
+    ``workers`` adds a timed :func:`~repro.core.parallel.run_parallel`
+    section plus a bit-exactness proof against the serial compiled run.
+    """
+    circuit, model = resolve_benchmark(name)
     layered = layerize(circuit)
-    model = ibm_yorktown()
     trials = sample_trials(
         layered, model, num_trials, np.random.default_rng(seed)
     )
@@ -138,6 +233,26 @@ def bench_one(
         "speedup": interp_best / comp_best,
         "kernel_stats": compiled.stats(),
     }
+
+    if workers:
+        c_check, _, c_serial_states = _collect_final_states(
+            layered, trials, plan,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+        )
+        record["parallel"] = [
+            _bench_parallel(
+                layered,
+                trials,
+                lambda: CompiledStatevectorBackend(layered, compiled=compiled),
+                comp_best,
+                c_serial_states,
+                c_check.ops_applied,
+                w,
+                partition_depth,
+                repeats,
+            )
+            for w in workers
+        ]
 
     if trace:
         from .obs import InMemoryRecorder, summarize, verify_trace
@@ -177,6 +292,7 @@ def bench_one(
                 and states_close
             ),
         }
+    record["peak_rss_kb"] = peak_rss_kb()
     return record
 
 
@@ -188,14 +304,16 @@ def run_bench(
     seed: int = 2020,
     check: bool = True,
     trace: bool = False,
+    workers: Sequence[int] = (),
+    partition_depth: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Run the harness over ``benchmarks`` (default: the full Table I suite)."""
     names = list(benchmarks) if benchmarks else benchmark_names()
-    unknown = sorted(set(names) - set(benchmark_names()))
+    unknown = sorted(set(names) - set(all_benchmark_names()))
     if unknown:
         raise KeyError(
-            f"unknown benchmark(s) {unknown}; known: {benchmark_names()}"
+            f"unknown benchmark(s) {unknown}; known: {all_benchmark_names()}"
         )
     results = []
     for name in names:
@@ -210,6 +328,8 @@ def run_bench(
                 seed=seed,
                 check=check,
                 trace=trace,
+                workers=workers,
+                partition_depth=partition_depth,
             )
         )
     speedups = [record["speedup"] for record in results]
@@ -221,6 +341,7 @@ def run_bench(
             "numpy": np.__version__,
             "platform": platform.platform(),
             "processor": platform.processor() or platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "config": {
             "num_trials": num_trials,
@@ -229,6 +350,8 @@ def run_bench(
             "seed": seed,
             "check": check,
             "trace": trace,
+            "workers": list(workers),
+            "partition_depth": partition_depth,
         },
         "results": results,
         "summary": {
@@ -244,6 +367,15 @@ def run_bench(
                     for record in results
                 )
                 if check
+                else None
+            ),
+            "all_parallel_exact": (
+                all(
+                    section["exact"]["ok"]
+                    for record in results
+                    for section in record.get("parallel", ())
+                )
+                if workers
                 else None
             ),
         },
@@ -271,7 +403,19 @@ def bench_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
             "Mops/s": record["compiled"]["ops_per_s"] / 1e6,
             "speedup": record["speedup"],
         }
+        for section in record.get("parallel", ()):
+            w = section["workers"]
+            row[f"par{w} (ms)"] = section["best_s"] * 1e3
+            row[f"par{w} vs 1"] = section["speedup_vs_serial"]
+        rss = record.get("peak_rss_kb") or {}
+        if rss.get("self") is not None:
+            children = rss.get("children") or 0
+            row["rss (MB)"] = (rss["self"] + children) / 1024.0
         if "equivalence" in record:
-            row["exact"] = "yes" if record["equivalence"]["ok"] else "NO"
+            exact = record["equivalence"]["ok"] and all(
+                section["exact"]["ok"]
+                for section in record.get("parallel", ())
+            )
+            row["exact"] = "yes" if exact else "NO"
         rows.append(row)
     return rows

@@ -57,6 +57,15 @@ class SimulationBackend(abc.ABC):
     def copy_state(self, state: Any) -> Any:
         """An independent snapshot of ``state`` (for the prefix cache)."""
 
+    def adopt_state(self, state: Any) -> Any:
+        """Take ownership of an externally created state (live-state hook).
+
+        The parallel executor hands each worker its sub-plan's entry state
+        (deserialized from shared memory); backends that track live states
+        count it here exactly as they would a ``make_initial`` state.
+        """
+        return state
+
     def release_state(self, state: Any) -> None:
         """Hook for backends that track live states; default is a no-op."""
 
@@ -73,6 +82,20 @@ class SimulationBackend(abc.ABC):
     @abc.abstractmethod
     def finish(self, state: Any) -> Any:
         """Produce the per-trial payload from a state at the final layer."""
+
+    def finish_view(self, state: Any) -> Any:
+        """Like :meth:`finish`, but the payload may *borrow* ``state``.
+
+        The executor calls this instead of :meth:`finish` when the working
+        state is dropped immediately after the ``Finish`` instruction (the
+        next instruction is a ``Restore``, or the plan ends) — the state
+        will never be mutated again, so a defensive copy buys nothing.
+        The payload is only guaranteed stable for backends that never
+        recycle a released state's buffer; both statevector backends
+        satisfy that (release is accounting-only).  Default: fall back to
+        the copying :meth:`finish`.
+        """
+        return self.finish(state)
 
     def sample_clbits(
         self, payload: Any, measurements: Sequence[Any], rng: np.random.Generator
@@ -105,6 +128,10 @@ class StatevectorBackend(SimulationBackend):
         self._track_new_state()
         return state.copy()
 
+    def adopt_state(self, state: Statevector) -> Statevector:
+        self._track_new_state()
+        return state
+
     def release_state(self, state: Statevector) -> None:
         self.live_states -= 1
 
@@ -121,6 +148,18 @@ class StatevectorBackend(SimulationBackend):
     def finish(self, state: Statevector) -> Statevector:
         """Return the trial's final statevector (caller owns the copy)."""
         return state.copy()
+
+    def finish_view(self, state: Statevector) -> Statevector:
+        """The final state itself, uncopied.
+
+        Sound because ``release_state`` is accounting-only and the
+        compiled backend's scratch buffer is never a live state's tensor:
+        once the executor stops touching this state object, its amplitudes
+        are immutable.  Callbacks that retain the payload past the
+        ``on_finish`` call must copy it (the runner and the perf harness
+        both do).
+        """
+        return state
 
     def sample_clbits(
         self, payload: Statevector, measurements: Sequence[Any], rng: np.random.Generator

@@ -134,6 +134,29 @@ class Statevector:
         """The flat ``2**n`` amplitude vector (copy-free reshape)."""
         return self._tensor.reshape(-1)
 
+    @classmethod
+    def from_buffer(cls, buffer: np.ndarray, num_qubits: int) -> "Statevector":
+        """Wrap an existing complex128 buffer *without copying*.
+
+        ``buffer`` must hold exactly ``2**num_qubits`` amplitudes; it is
+        reshaped (a view) into the ``(2,) * n`` tensor and becomes the
+        state's storage.  Used by the parallel executor to read entry
+        snapshots and finish payloads straight out of
+        ``multiprocessing.shared_memory`` blocks — mutations write through
+        to the underlying buffer, and the state is only valid while the
+        buffer is.
+        """
+        if buffer.dtype != np.complex128:
+            raise ValueError(f"buffer dtype must be complex128, got {buffer.dtype}")
+        if buffer.size != 2**num_qubits:
+            raise ValueError(
+                f"buffer has {buffer.size} amplitudes, expected {2 ** num_qubits}"
+            )
+        state = cls.__new__(cls)
+        state.num_qubits = int(num_qubits)
+        state._tensor = buffer.reshape((2,) * num_qubits)
+        return state
+
     def copy(self) -> "Statevector":
         dup = Statevector.__new__(Statevector)
         dup.num_qubits = self.num_qubits

@@ -278,3 +278,140 @@ class TestOutcomeObject:
         assert outcome.num_trials == 5
         assert outcome.peak_msv >= 1
         assert outcome.peak_stored >= 0
+
+
+class TestCopyEliminationPeepholes:
+    """Snapshot-move and finish-borrow: fewer copies, identical accounting.
+
+    When the plan drops the working state in the same step that stores or
+    finishes it, the executor moves/borrows the buffer instead of copying.
+    The cache accounting must still mirror the plan's *nominal* demand so
+    the static peak-MSV cross-check stays exact.
+    """
+
+    def _moved_plan(self, layered):
+        from repro.core.schedule import (
+            Advance,
+            ExecutionPlan,
+            Finish,
+            Restore,
+            Snapshot,
+        )
+
+        final = layered.num_layers
+        instructions = [
+            Advance(0, final),
+            Snapshot(0),  # next is Restore -> move, no copy
+            Restore(0),
+            Finish((0, 1)),
+        ]
+        return ExecutionPlan(instructions, num_trials=2, num_layers=final)
+
+    def _copied_plan(self, layered):
+        from repro.core.schedule import (
+            Advance,
+            ExecutionPlan,
+            Finish,
+            Restore,
+            Snapshot,
+        )
+
+        final = layered.num_layers
+        instructions = [
+            Advance(0, final),
+            Snapshot(0),  # next is Finish -> genuine copy
+            Finish((0,)),
+            Restore(0),
+            Finish((1,)),
+        ]
+        return ExecutionPlan(instructions, num_trials=2, num_layers=final)
+
+    def test_snapshot_move_keeps_results_and_accounting(self, ghz3_circuit):
+        from repro.obs import InMemoryRecorder
+
+        layered = layerize(ghz3_circuit)
+        trials = [make_trial([]), make_trial([])]
+        recorder = InMemoryRecorder()
+        states = []
+        backend = StatevectorBackend(layered)
+        outcome = run_optimized(
+            layered,
+            trials,
+            backend,
+            on_finish=lambda p, idx: states.append(p.copy()),
+            plan=self._moved_plan(layered),
+            recorder=recorder,
+        )
+        baseline, _ = collect_states(layered, trials, run_baseline)
+        assert_states_close(states[0], baseline[0])
+        # nominal accounting: the stored state still counts while "both"
+        # exist in the plan's view, even though only one buffer was live
+        assert outcome.cache_stats.snapshots_taken == 1
+        assert outcome.peak_msv == 2
+        stores = recorder.events_named("cache.store")
+        assert [event.args["moved"] for event in stores] == [True]
+        assert recorder.counter_total("cache.store.moved") == 1
+
+    def test_snapshot_copies_when_working_state_lives_on(self, ghz3_circuit):
+        from repro.obs import InMemoryRecorder
+
+        layered = layerize(ghz3_circuit)
+        trials = [make_trial([]), make_trial([])]
+        recorder = InMemoryRecorder()
+        states = []
+        backend = StatevectorBackend(layered)
+        run_optimized(
+            layered,
+            trials,
+            backend,
+            on_finish=lambda p, idx: states.append(p.copy()),
+            plan=self._copied_plan(layered),
+            recorder=recorder,
+        )
+        stores = recorder.events_named("cache.store")
+        assert [event.args["moved"] for event in stores] == [False]
+        assert recorder.counter_total("cache.store.moved") == 0
+        # the copy is real: finishing trial 0 must not corrupt trial 1
+        assert_states_close(states[0], states[1])
+
+    def test_planner_plans_borrow_every_finish_payload(self, rng):
+        from repro.obs import InMemoryRecorder
+
+        circuit = random_circuit(3, 15, rng)
+        layered = layerize(circuit)
+        model = NoiseModel.uniform(0.05, two=0.2, measurement=0.0)
+        trials = sample_trials(layered, model, 64, rng)
+        recorder = InMemoryRecorder()
+        outcome = run_optimized(
+            layered,
+            trials,
+            StatevectorBackend(layered),
+            on_finish=lambda p, idx: None,
+            recorder=recorder,
+        )
+        # the planner always drops the working state right after Finish,
+        # so the borrow peephole fires on every single one
+        assert recorder.counter_total("finish.moved") == outcome.finish_calls
+        finishes = recorder.events_named("finish")
+        assert all(event.args["moved"] for event in finishes)
+
+    def test_moved_and_copied_plans_agree(self, ghz3_circuit):
+        layered = layerize(ghz3_circuit)
+        trials = [make_trial([]), make_trial([])]
+        moved_states, copied_states = [], []
+        run_optimized(
+            layered,
+            trials,
+            StatevectorBackend(layered),
+            on_finish=lambda p, idx: moved_states.append(p.copy()),
+            plan=self._moved_plan(layered),
+        )
+        run_optimized(
+            layered,
+            trials,
+            StatevectorBackend(layered),
+            on_finish=lambda p, idx: copied_states.append(p.copy()),
+            plan=self._copied_plan(layered),
+        )
+        for moved, copied in zip(moved_states, copied_states):
+            assert_states_close(moved, copied)

@@ -1,0 +1,216 @@
+"""P018 partition-cover lint: positives, targeted corruptions, trace check."""
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import build_compiled_benchmark
+from repro.circuits import layerize
+from repro.core.parallel import (
+    PlanPartition,
+    SubPlan,
+    partition_plan,
+    run_parallel,
+)
+from repro.core.schedule import ExecutionPlan, Finish
+from repro.lint import lint_partition, lint_partition_trace
+from repro.noise import ibm_yorktown, sample_trials
+from repro.obs import InMemoryRecorder
+from repro.sim.compiled import CompiledStatevectorBackend
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    layered = layerize(build_compiled_benchmark("bv4"))
+    trials = sample_trials(
+        layered, ibm_yorktown(), 256, np.random.default_rng(17)
+    )
+    partition = partition_plan(layered, trials, depth=1)
+    return layered, trials, partition
+
+
+def _clone_with_task(partition, task_id, replacement):
+    tasks = list(partition.tasks)
+    tasks[task_id] = replacement
+    return PlanPartition(
+        prefix=partition.prefix,
+        tasks=tuple(tasks),
+        num_trials=partition.num_trials,
+        num_layers=partition.num_layers,
+        depth=partition.depth,
+    )
+
+
+def _clone_task(task, **overrides):
+    fields = {
+        "task_id": task.task_id,
+        "entry_layer": task.entry_layer,
+        "entry_events": task.entry_events,
+        "plan": task.plan,
+        "trial_indices": task.trial_indices,
+        "finishes": task.finishes,
+        "est_ops": task.est_ops,
+    }
+    fields.update(overrides)
+    return SubPlan(**fields)
+
+
+class TestStaticAudit:
+    def test_clean_partition_passes(self, fixture):
+        layered, trials, partition = fixture
+        result = lint_partition(partition, trials=trials, layered=layered)
+        assert result.ok, [str(d) for d in result.errors]
+        assert result.info["num_tasks"] == partition.num_tasks
+        assert result.info["covered_trials"] == len(trials)
+        assert result.info["planned_operations"] is not None
+
+    def test_structural_audit_without_trials(self, fixture):
+        _, _, partition = fixture
+        assert lint_partition(partition).ok
+
+    def test_duplicated_trial_detected(self, fixture):
+        layered, trials, partition = fixture
+        victim = partition.tasks[0]
+        indices = list(victim.trial_indices)
+        other = partition.tasks[-1].trial_indices[0]
+        indices[0] = other  # now duplicated there, missing here
+        bad = _clone_with_task(
+            partition, 0, _clone_task(victim, trial_indices=tuple(indices))
+        )
+        result = lint_partition(bad)
+        messages = [d.message for d in result.errors]
+        assert any("covered by both task" in m for m in messages)
+        assert any("covered by no task" in m for m in messages)
+
+    def test_out_of_range_trial_detected(self, fixture):
+        _, _, partition = fixture
+        victim = partition.tasks[0]
+        indices = (partition.num_trials + 7,) + victim.trial_indices[1:]
+        bad = _clone_with_task(
+            partition, 0, _clone_task(victim, trial_indices=indices)
+        )
+        result = lint_partition(bad)
+        assert any("outside" in d.message for d in result.errors)
+
+    def test_entry_layer_mismatch_detected(self, fixture):
+        layered, trials, partition = fixture
+        victim = partition.tasks[0]
+        bad = _clone_with_task(
+            partition,
+            0,
+            _clone_task(victim, entry_layer=victim.entry_layer + 1),
+        )
+        result = lint_partition(bad, trials=trials, layered=layered)
+        assert any(
+            "entry layer" in d.message for d in result.errors
+        )
+
+    def test_entry_events_mismatch_detected(self, fixture):
+        layered, trials, partition = fixture
+        # Pick a task entered through at least one injected event and
+        # claim it saw none.
+        victim = next(t for t in partition.tasks if t.entry_events)
+        bad = _clone_with_task(
+            partition,
+            victim.task_id,
+            _clone_task(victim, entry_events=()),
+        )
+        result = lint_partition(bad, trials=trials, layered=layered)
+        assert any("entry events" in d.message for d in result.errors)
+
+    def test_truncated_prefix_detected(self, fixture):
+        _, _, partition = fixture
+        bad = PlanPartition(
+            prefix=partition.prefix[:-1],  # drop the final EmitTask
+            tasks=partition.tasks,
+            num_trials=partition.num_trials,
+            num_layers=partition.num_layers,
+            depth=partition.depth,
+        )
+        result = lint_partition(bad)
+        assert any("never emitted" in d.message for d in result.errors)
+
+    def test_corrupt_subplan_reemitted_as_p018(self, fixture):
+        layered, trials, partition = fixture
+        victim = next(t for t in partition.tasks if t.num_finishes > 1)
+        instructions = [
+            instr
+            for instr in victim.plan.instructions
+            if not isinstance(instr, Finish)
+        ]
+        broken_plan = ExecutionPlan(
+            instructions,
+            num_trials=victim.plan.num_trials,
+            num_layers=victim.plan.num_layers,
+        )
+        bad = _clone_with_task(
+            partition,
+            victim.task_id,
+            _clone_task(victim, plan=broken_plan),
+        )
+        result = lint_partition(bad, trials=trials, layered=layered)
+        assert any(
+            "sub-plan" in d.message and d.code == "P018"
+            for d in result.errors
+        )
+
+    def test_all_diagnostics_use_p018(self, fixture):
+        _, _, partition = fixture
+        bad = PlanPartition(
+            prefix=partition.prefix[:-1],
+            tasks=partition.tasks,
+            num_trials=partition.num_trials + 3,
+            num_layers=partition.num_layers,
+            depth=partition.depth,
+        )
+        result = lint_partition(bad)
+        assert result.errors
+        assert {d.code for d in result.errors} == {"P018"}
+
+
+class TestTraceAudit:
+    def _record_run(self, layered, trials, workers=2):
+        recorder = InMemoryRecorder()
+        run_parallel(
+            layered,
+            trials,
+            lambda: CompiledStatevectorBackend(layered),
+            workers=workers,
+            recorder=recorder,
+            inline=True,
+        )
+        return recorder
+
+    def test_merged_trace_passes_per_worker_p017(self, fixture):
+        layered, trials, partition = fixture
+        recorder = self._record_run(layered, trials)
+        assignment = partition.assign(2)
+        result = lint_partition_trace(partition, assignment, recorder)
+        assert result.ok, [str(d) for d in result.errors]
+        assert "parent" in result.info
+        assert any(key.startswith("worker") for key in result.info)
+
+    def test_missing_worker_events_detected(self, fixture):
+        layered, trials, partition = fixture
+        recorder = self._record_run(layered, trials)
+        assignment = partition.assign(2)
+        # Workers' sub-plans contain snapshots (the trie branches below
+        # the cut), so an empty worker track cannot satisfy its plan.
+        recorder.events = [
+            event
+            for event in recorder.events
+            if not (event.args and "worker" in event.args)
+        ]
+        result = lint_partition_trace(partition, assignment, recorder)
+        assert not result.ok
+
+    def test_cross_worker_contamination_detected(self, fixture):
+        layered, trials, partition = fixture
+        recorder = self._record_run(layered, trials)
+        assignment = partition.assign(2)
+        # Relabel every worker-1 event as worker 0: track 0 now replays
+        # foreign cache traffic and track 1 goes silent.
+        for event in recorder.events:
+            if event.args and event.args.get("worker") == 1:
+                event.args["worker"] = 0
+        result = lint_partition_trace(partition, assignment, recorder)
+        assert not result.ok

@@ -1,0 +1,189 @@
+"""Recorder composition across processes: child/merge, worker tracks, spy.
+
+Parallel workers record into fresh child recorders; the parent folds them
+back with :meth:`InMemoryRecorder.merge`, tagging every event with its
+worker id so the Chrome exporter fans the tracks out to separate tids.
+The disabled-path contract extends to the pool: a falsy parent recorder
+must keep the workers completely uninstrumented.
+"""
+
+import numpy as np
+
+from repro.bench.suite import build_compiled_benchmark
+from repro.circuits import layerize
+from repro.core.parallel import run_parallel
+from repro.noise import ibm_yorktown, sample_trials
+from repro.obs import InMemoryRecorder, NullRecorder
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.sim.compiled import CompiledStatevectorBackend
+
+
+class TestMerge:
+    def test_events_appended_with_offset_and_worker_tag(self):
+        parent = InMemoryRecorder(clock=lambda: 100.0)
+        child = InMemoryRecorder(clock=lambda: 3.0)
+        child.instant("task.emit", cat="parallel", task=4)
+        parent.merge(child, ts_offset=0.5, worker=2)
+        event = parent.events[-1]
+        assert event.name == "task.emit"
+        assert event.ts == 3.5
+        assert event.args["worker"] == 2
+        assert event.args["task"] == 4
+
+    def test_existing_worker_tag_is_kept(self):
+        parent = InMemoryRecorder()
+        child = InMemoryRecorder()
+        child.instant("x", worker=7)
+        parent.merge(child, worker=0)
+        assert parent.events[-1].args["worker"] == 7
+
+    def test_counters_summed_and_gauges_maxed(self):
+        parent = InMemoryRecorder()
+        parent.counter("ops.applied", 10)
+        parent.gauge("msv.live", 3)
+        child = InMemoryRecorder()
+        child.counter("ops.applied", 5)
+        child.counter("tasks.done", 2)
+        child.gauge("msv.live", 7)
+        parent.merge(child, worker=1)
+        assert parent.counters["ops.applied"] == 15
+        assert parent.counters["tasks.done"] == 2
+        assert parent.gauge_peaks["msv.live"] == 7
+        # a lower child peak must not lower the parent's
+        low = InMemoryRecorder()
+        low.gauge("msv.live", 1)
+        parent.merge(low, worker=2)
+        assert parent.gauge_peaks["msv.live"] == 7
+
+    def test_child_shares_the_parent_clock(self):
+        ticks = iter(range(100))
+        parent = InMemoryRecorder(clock=lambda: next(ticks))
+        child = parent.child()
+        assert child._clock is parent._clock
+        parent.instant("a")
+        child.instant("b")
+        assert child.events[0].ts > parent.events[0].ts
+
+
+class TestWorkerTracks:
+    def _merged_recorder(self):
+        layered = layerize(build_compiled_benchmark("bv4"))
+        trials = sample_trials(
+            layered, ibm_yorktown(), 128, np.random.default_rng(23)
+        )
+        recorder = InMemoryRecorder()
+        run_parallel(
+            layered,
+            trials,
+            lambda: CompiledStatevectorBackend(layered),
+            lambda payload, indices: None,
+            workers=2,
+            recorder=recorder,
+            inline=True,
+        )
+        return recorder
+
+    def test_chrome_export_fans_workers_to_tids(self):
+        recorder = self._merged_recorder()
+        document = chrome_trace(recorder)
+        events = document["traceEvents"]
+        thread_names = {
+            event["tid"]: event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names[1] == "main"
+        assert "worker 0" in thread_names.values()
+        assert "worker 1" in thread_names.values()
+        # worker events all live on their own tracks, never on main
+        for event in events:
+            if event["ph"] != "M" and "args" in event:
+                worker = event["args"].get("worker")
+                if worker is not None:
+                    assert event["tid"] == 2 + worker
+
+    def test_merged_trace_passes_the_schema_validator(self):
+        recorder = self._merged_recorder()
+        assert validate_chrome_trace(chrome_trace(recorder)) == []
+
+    def test_parent_keeps_prefix_and_merge_spans(self):
+        recorder = self._merged_recorder()
+        parent_spans = {
+            event.name
+            for event in recorder.events
+            if event.ph == "B" and not (event.args and "worker" in event.args)
+        }
+        assert "prefix" in parent_spans
+        assert "merge" in parent_spans
+
+
+class SpyRecorder(NullRecorder):
+    """Falsy like NullRecorder, but counts any method call that slips through."""
+
+    calls = 0
+
+    def begin(self, name, cat="exec", **args):
+        SpyRecorder.calls += 1
+
+    def end(self, name, cat="exec", **args):
+        SpyRecorder.calls += 1
+
+    def instant(self, name, cat="exec", **args):
+        SpyRecorder.calls += 1
+
+    def counter(self, name, value=1, cat="counter", **args):
+        SpyRecorder.calls += 1
+
+    def gauge(self, name, value, cat="gauge", **args):
+        SpyRecorder.calls += 1
+
+    def child(self):
+        SpyRecorder.calls += 1
+        return self
+
+    def merge(self, other, ts_offset=0.0, worker=None):
+        SpyRecorder.calls += 1
+
+
+class TestUninstrumentedWorkers:
+    def test_falsy_recorder_makes_zero_calls_through_the_pool(self):
+        layered = layerize(build_compiled_benchmark("bv4"))
+        trials = sample_trials(
+            layered, ibm_yorktown(), 64, np.random.default_rng(3)
+        )
+        SpyRecorder.calls = 0
+        run_parallel(
+            layered,
+            trials,
+            lambda: CompiledStatevectorBackend(layered),
+            workers=2,
+            recorder=SpyRecorder(),
+            inline=True,
+        )
+        assert SpyRecorder.calls == 0
+
+    def test_none_recorder_equivalent(self):
+        layered = layerize(build_compiled_benchmark("bv4"))
+        trials = sample_trials(
+            layered, ibm_yorktown(), 64, np.random.default_rng(3)
+        )
+        none_outcome = run_parallel(
+            layered,
+            trials,
+            lambda: CompiledStatevectorBackend(layered),
+            workers=2,
+            recorder=None,
+            inline=True,
+        )
+        SpyRecorder.calls = 0
+        spy_outcome = run_parallel(
+            layered,
+            trials,
+            lambda: CompiledStatevectorBackend(layered),
+            workers=2,
+            recorder=SpyRecorder(),
+            inline=True,
+        )
+        assert spy_outcome.ops_applied == none_outcome.ops_applied
+        assert spy_outcome.peak_msv == none_outcome.peak_msv
+        assert spy_outcome.finish_calls == none_outcome.finish_calls
