@@ -24,6 +24,7 @@ import time
 from typing import Optional, Sequence
 
 from .analysis.report import rows_to_table
+from .core.atomicio import atomic_write_json
 from .bench.suite import (
     all_benchmark_names,
     benchmark_names,
@@ -54,8 +55,7 @@ def _maybe_write_json(args: argparse.Namespace, rows) -> None:
     path = getattr(args, "json", None)
     if not path:
         return
-    with open(path, "w") as handle:
-        json.dump(rows, handle, indent=2, sort_keys=True)
+    atomic_write_json(path, rows, indent=2, sort_keys=True)
     print(f"\nwrote {len(rows)} rows to {path}")
 
 
@@ -339,6 +339,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         workers=args.workers,
         partition_depth=args.partition_depth,
+        journal=args.journal,
+        max_cache_bytes=args.max_cache_bytes,
+        cache_degrade=args.cache_degrade,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
     )
     elapsed = time.perf_counter() - start
     metrics = result.metrics
@@ -352,15 +357,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "counts": result.counts,
             "wall_s": elapsed,
         }
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        if result.journal is not None:
+            payload["journal"] = {
+                "path": result.journal.path,
+                "resumed": result.journal.resumed,
+                "replayed_trials": result.journal.replayed_trials,
+                "recorded_finishes": result.journal.recorded_finishes,
+                "truncated_tail": result.journal.truncated_tail,
+            }
+        atomic_write_json(args.json, payload, indent=2, sort_keys=True)
     print(f"benchmark         : {args.benchmark}")
     print(f"mode              : {args.mode}")
     if args.workers:
         print(
             f"workers           : {args.workers} "
             f"(partition depth {args.partition_depth})"
+        )
+    if result.journal is not None:
+        summary = result.journal
+        state = (
+            f"resumed, {summary.replayed_trials} trial(s) replayed "
+            "with zero recompute"
+            if summary.resumed
+            else "fresh"
+        )
+        print(
+            f"journal           : {summary.path} ({state}; "
+            f"{summary.recorded_finishes} finish(es) recorded)"
+        )
+        if summary.truncated_tail:
+            print(
+                "journal           : torn tail discarded (crash mid-record)"
+            )
+    if args.max_cache_bytes is not None:
+        print(
+            f"cache budget      : {args.max_cache_bytes} bytes "
+            f"({args.cache_degrade} on overflow; nominal peak MSV "
+            "reported below is unchanged by design)"
         )
     print(format_run_metrics(metrics, wall_s=elapsed))
     top = sorted(result.counts.items(), key=lambda kv: -kv[1])[:8]
@@ -490,7 +523,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         disabled=frozenset(args.disable or ()),
         warnings_as_errors=args.werror,
     )
-    if args.paths:
+    if args.journal:
+        from .core.resilience import JournalError, load_journal
+        from .lint import lint_journal
+
+        try:
+            replay = load_journal(args.journal)
+        except (JournalError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        layered = lint_trials = None
+        if args.benchmarks:
+            # Re-derive the exact run context so the fingerprint and the
+            # finish-order prefix can be proven, not just the structure.
+            from .bench.suite import resolve_benchmark
+
+            if len(args.benchmarks) != 1:
+                print(
+                    "error: --journal takes exactly one --benchmarks name",
+                    file=sys.stderr,
+                )
+                return 2
+            circuit, model = resolve_benchmark(args.benchmarks[0])
+            simulator = NoisySimulator(circuit, model, seed=args.seed)
+            layered = simulator.layered
+            lint_trials = simulator.sample(args.trials)
+        results = {
+            args.journal: lint_journal(
+                replay, layered=layered, trials=lint_trials, config=config
+            )
+        }
+    elif args.paths:
         results = {
             path: lint_qasm_file(path, config=config) for path in args.paths
         }
@@ -525,6 +588,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     f" ({result.info['num_instructions']} plan "
                     f"instructions, static peak MSV "
                     f"{result.info['peak_msv']})"
+                )
+            elif "completed_trials" in result.info:
+                torn = (
+                    ", torn tail discarded"
+                    if result.info.get("truncated")
+                    else ""
+                )
+                detail = (
+                    f" ({result.info['records']} record(s), "
+                    f"{result.info['completed_trials']} trial(s) "
+                    f"committed{torn})"
                 )
             print(f"{name}: ok{detail}")
     num_warnings = sum(len(result.warnings) for result in results.values())
@@ -615,6 +689,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--list-rules", action="store_true",
         help="print every registered diagnostic code and exit",
     )
+    plint.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="audit a run journal (rule P019) instead of the benchmark "
+        "suite; pass --benchmarks NAME (with --trials/--seed) to also "
+        "prove the fingerprint and finish-order prefix against that run",
+    )
 
     pbench = sub.add_parser(
         "bench",
@@ -671,6 +751,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     prun.add_argument(
         "--json", default=None, metavar="PATH",
         help="also dump metrics and counts as JSON",
+    )
+    prun.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="crash-safe run journal: record finish payloads as they "
+        "stream; re-running with the same path after a crash resumes "
+        "with zero recomputation of committed trials",
+    )
+    prun.add_argument(
+        "--max-cache-bytes", type=int, default=None, metavar="BYTES",
+        help="snapshot-cache byte budget; coldest snapshots degrade per "
+        "--cache-degrade when the budget is exceeded (results unchanged)",
+    )
+    prun.add_argument(
+        "--cache-degrade", choices=("spill", "drop"), default="spill",
+        help="over-budget policy: spill to disk and reload, or drop and "
+        "recompute (default: spill)",
+    )
+    prun.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline for parallel workers; a hung worker is "
+        "killed and its task re-run elsewhere",
+    )
+    prun.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="parallel task retry budget before the parent runs the "
+        "task inline (default: 2)",
     )
 
     ptrace = sub.add_parser(

@@ -1,6 +1,7 @@
 """The paper's contribution: trial reordering and prefix-state reuse."""
 
-from .cache import CacheStats, StateCache
+from .atomicio import atomic_write_json
+from .cache import CacheBudget, CacheStats, CorruptionError, StateCache
 from .events import PAULI_LABELS, ErrorEvent, Trial, make_trial
 from .executor import (
     ExecutionOutcome,
@@ -10,6 +11,16 @@ from .executor import (
 )
 from .metrics import RunMetrics, compute_metrics
 from .persistence import load_trials, save_trials
+from .resilience import (
+    JournalError,
+    JournalSummary,
+    RunJournal,
+    WorkerCrash,
+    journal_fingerprint,
+    load_journal,
+    payload_checksum,
+    run_journaled,
+)
 from .packed import (
     PackedAnalysis,
     analyze_packed_trials,
@@ -40,16 +51,21 @@ from .trie import TrialTrie, TrieNode, build_trie
 
 __all__ = [
     "Advance",
+    "CacheBudget",
     "CacheStats",
+    "CorruptionError",
     "ErrorEvent",
     "ExecutionOutcome",
     "ExecutionPlan",
     "Finish",
     "Inject",
+    "JournalError",
+    "JournalSummary",
     "NoisySimulator",
     "PackedAnalysis",
     "PAULI_LABELS",
     "Restore",
+    "RunJournal",
     "RunMetrics",
     "ScheduleError",
     "SimulationResult",
@@ -58,15 +74,21 @@ __all__ = [
     "Trial",
     "TrialTrie",
     "TrieNode",
+    "WorkerCrash",
     "adjacent_prefix_lengths",
+    "atomic_write_json",
     "baseline_operation_count",
     "build_plan",
     "build_plan_from_trie",
     "build_trie",
     "compute_metrics",
+    "journal_fingerprint",
+    "load_journal",
     "longest_common_prefix",
     "make_trial",
     "load_trials",
+    "payload_checksum",
+    "run_journaled",
     "save_trials",
     "pack_trial",
     "pack_trials",

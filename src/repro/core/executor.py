@@ -22,15 +22,42 @@ closed-form baseline ops) that :class:`ExecutionOutcome` and
 alone (see :mod:`repro.obs.summary`).  Every recorder touch sits behind a
 single ``if recorder:`` check and the default is off, so the un-traced hot
 path is unchanged.
+
+Memory-budgeted degradation
+---------------------------
+``run_optimized`` accepts a :class:`~repro.core.cache.CacheBudget`: after
+every snapshot store the executor degrades the coldest resident snapshot
+(spill to disk, or drop and recompute from its event provenance) until the
+resident footprint fits.  Results are unchanged — spilled amplitudes are
+checksum-verified on reload, and a recomputed snapshot replays exactly the
+advance/inject boundaries that produced the original, so even compiled
+kernel fusion reproduces the same float rounding.  The nominal peak-MSV
+accounting deliberately ignores degradation (it mirrors the plan's demand
+and lint's static bound); the actually-resident peaks are reported
+separately on :class:`~repro.core.cache.CacheStats`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence, Tuple
+import os
+import shutil
+import tempfile
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..circuits.layers import LayeredCircuit
 from ..sim.backend import SimulationBackend
-from .cache import CacheStats, StateCache
+from ..sim.statevector import Statevector
+from .cache import (
+    CacheBudget,
+    CacheStats,
+    CorruptionError,
+    DroppedSnapshot,
+    SpilledSnapshot,
+    StateCache,
+    payload_checksum,
+)
 from .events import Trial
 from .schedule import (
     Advance,
@@ -112,6 +139,143 @@ def _record_run_meta(
     recorder.instant("run.meta", cat="run", **args)
 
 
+class _SpillArea:
+    """Lazy scratch directory for spilled snapshot amplitudes.
+
+    Spill files are transient scratch, not durability (that is the run
+    journal's job): on a clean finish every file has been reloaded and
+    unlinked; a temp directory we created is removed even on error.
+    """
+
+    def __init__(self, budget: CacheBudget) -> None:
+        self._dir = budget.spill_dir
+        self._created = False
+        self._serial = 0
+
+    def allocate(self, slot: int, layer: int) -> str:
+        if self._dir is None:
+            self._dir = tempfile.mkdtemp(prefix="repro-spill-")
+            self._created = True
+        elif not os.path.isdir(self._dir):
+            os.makedirs(self._dir, exist_ok=True)
+        self._serial += 1
+        return os.path.join(
+            self._dir, f"snapshot-{self._serial:04d}-s{slot}-l{layer}.c128"
+        )
+
+    def cleanup(self) -> None:
+        if self._created and self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+
+def _enforce_budget(
+    cache: StateCache,
+    backend: SimulationBackend,
+    budget: CacheBudget,
+    spill_area: _SpillArea,
+    recorder,
+) -> None:
+    """Degrade coldest resident snapshots until the budget is met."""
+    while cache.over_budget:
+        slot = cache.coldest_resident_slot()
+        if slot is None:  # pragma: no cover - over_budget implies resident
+            break
+        state, layer = cache.peek(slot)
+        vector = getattr(state, "vector", None)
+        if vector is None:
+            raise ScheduleError(
+                "cache budgets require a statevector-family backend "
+                "(snapshot states must expose .vector)"
+            )
+        if budget.mode == "drop":
+            cache.mark_dropped(slot)
+            backend.release_state(state)
+            if recorder:
+                recorder.instant("cache.drop", cat="cache", slot=slot, layer=layer)
+                recorder.counter("cache.drop", 1)
+        elif budget.mode == "spill":
+            path = spill_area.allocate(slot, layer)
+            flat = np.ascontiguousarray(vector)
+            flat.tofile(path)
+            cache.mark_spilled(slot, path, payload_checksum(flat))
+            backend.release_state(state)
+            if recorder:
+                recorder.instant("cache.spill", cat="cache", slot=slot, layer=layer)
+                recorder.counter("cache.spill", 1)
+        else:
+            raise ScheduleError(
+                f"unknown cache degradation mode {budget.mode!r} "
+                "(expected 'spill' or 'drop')"
+            )
+
+
+def _recompute_snapshot(
+    backend: SimulationBackend,
+    layered: LayeredCircuit,
+    events: Sequence[Any],
+    layer: int,
+):
+    """Rebuild a dropped snapshot from its event provenance.
+
+    Replays the exact advance/inject boundary sequence the original prefix
+    walk used (advance to each event's layer, inject, final advance to the
+    snapshot layer), so segment memoization and kernel fusion see the same
+    segment boundaries and the rebuilt amplitudes are bit-identical.
+    """
+    state = backend.make_initial()
+    cursor = 0
+    for event in events:
+        target = event.layer + 1
+        if target > cursor:
+            backend.apply_layers(state, cursor, target)
+            cursor = target
+        backend.apply_operator(state, event.gate, (event.qubit,))
+    if layer > cursor:
+        backend.apply_layers(state, cursor, layer)
+    return state
+
+
+def _restore_degradable(
+    cache: StateCache,
+    backend: SimulationBackend,
+    layered: LayeredCircuit,
+    slot: int,
+    recorder,
+) -> Tuple[Any, int, Tuple[Any, ...]]:
+    """Take a slot that may hold a degraded stub; rehydrate if needed."""
+    entry, layer, provenance = cache.take_full(slot)
+    events = provenance or ()
+    if isinstance(entry, SpilledSnapshot):
+        vector = np.fromfile(entry.path, dtype=np.complex128)
+        if payload_checksum(vector) != entry.checksum:
+            raise CorruptionError(
+                f"spilled snapshot {entry.path!r} failed its checksum"
+            )
+        os.unlink(entry.path)
+        state = backend.adopt_state(
+            Statevector.from_buffer(vector, layered.num_qubits)
+        )
+        cache.note_spill_load()
+        if recorder:
+            recorder.instant("cache.spill.load", cat="cache", slot=slot, layer=layer)
+            recorder.counter("cache.spill.load", 1)
+    elif isinstance(entry, DroppedSnapshot):
+        ops_before = backend.ops_applied
+        state = _recompute_snapshot(backend, layered, entry.provenance, layer)
+        cache.note_recompute()
+        if recorder:
+            ops_delta = backend.ops_applied - ops_before
+            recorder.instant(
+                "cache.recompute", cat="cache", slot=slot, layer=layer,
+                ops=ops_delta,
+            )
+            recorder.counter("ops.applied", ops_delta)
+            recorder.counter("cache.recompute", 1)
+    else:
+        state = entry
+    return state, layer, events
+
+
 def run_optimized(
     layered: LayeredCircuit,
     trials: Sequence[Trial],
@@ -123,6 +287,7 @@ def run_optimized(
     entry_state=None,
     entry_layer: int = 0,
     entry_events: Tuple = (),
+    cache_budget: Optional[CacheBudget] = None,
 ) -> ExecutionOutcome:
     """Execute ``trials`` with prefix-state reuse.
 
@@ -158,6 +323,13 @@ def run_optimized(
         plan (:mod:`repro.core.parallel`); the plan's instructions must
         start from ``entry_layer`` and the sanitizer (``check=True``)
         verifies trial exactness against the *full* event histories.
+    cache_budget:
+        Optional :class:`~repro.core.cache.CacheBudget` capping the
+        resident statevector bytes; snapshots beyond the budget are
+        spilled to disk or dropped-and-recomputed (statevector-family
+        backends only).  Results and nominal peak-MSV accounting are
+        unchanged; ``CacheStats`` reports the degradation counters and the
+        resident peaks.
     """
     if plan is None:
         plan = build_plan(layered, trials)
@@ -175,7 +347,13 @@ def run_optimized(
 
     backend.reset_counter()
     backend.set_recorder(recorder)
-    cache = StateCache(recorder=recorder)
+    state_bytes = 16 * (1 << layered.num_qubits)
+    cache = StateCache(
+        recorder=recorder, budget=cache_budget, state_bytes=state_bytes
+    )
+    track_provenance = cache_budget is not None
+    working_events: List[Any] = list(entry_events) if track_provenance else []
+    spill_area = _SpillArea(cache_budget) if cache_budget is not None else None
     if recorder:
         _record_run_meta(
             recorder, "optimized", layered, trials, num_instructions=len(plan)
@@ -192,122 +370,155 @@ def run_optimized(
     working_moved = False  # working was moved into the cache (no copy taken)
 
     instructions = plan.instructions
-    for index, instr in enumerate(instructions):
-        if isinstance(instr, Advance):
-            if instr.start_layer != working_layer:
-                raise ScheduleError(
-                    f"advance from layer {instr.start_layer} but working "
-                    f"state is at layer {working_layer}"
+    try:
+        for index, instr in enumerate(instructions):
+            if isinstance(instr, Advance):
+                if instr.start_layer != working_layer:
+                    raise ScheduleError(
+                        f"advance from layer {instr.start_layer} but working "
+                        f"state is at layer {working_layer}"
+                    )
+                if recorder:
+                    span = f"advance[{instr.start_layer},{instr.end_layer})"
+                    gates = layered.gates_between(
+                        instr.start_layer, instr.end_layer
+                    )
+                    recorder.begin(span, cat="segment", gates=gates)
+                    backend.apply_layers(
+                        working, instr.start_layer, instr.end_layer
+                    )
+                    recorder.end(span, cat="segment")
+                    recorder.counter("ops.applied", gates)
+                else:
+                    backend.apply_layers(
+                        working, instr.start_layer, instr.end_layer
+                    )
+                working_layer = instr.end_layer
+            elif isinstance(instr, Snapshot):
+                # Move peephole: when the very next instruction is a Restore,
+                # the working state is dropped in the same plan step — the
+                # stored snapshot can steal it instead of copying.  Cache
+                # accounting is unchanged (it mirrors the plan's nominal
+                # demand, keeping the static peak-MSV cross-check exact); only
+                # the allocation and memcpy are skipped.
+                moved = index + 1 < len(instructions) and isinstance(
+                    instructions[index + 1], Restore
                 )
-            if recorder:
-                span = f"advance[{instr.start_layer},{instr.end_layer})"
-                gates = layered.gates_between(instr.start_layer, instr.end_layer)
-                recorder.begin(span, cat="segment", gates=gates)
-                backend.apply_layers(working, instr.start_layer, instr.end_layer)
-                recorder.end(span, cat="segment")
-                recorder.counter("ops.applied", gates)
-            else:
-                backend.apply_layers(working, instr.start_layer, instr.end_layer)
-            working_layer = instr.end_layer
-        elif isinstance(instr, Snapshot):
-            # Move peephole: when the very next instruction is a Restore,
-            # the working state is dropped in the same plan step — the
-            # stored snapshot can steal it instead of copying.  Cache
-            # accounting is unchanged (it mirrors the plan's nominal
-            # demand, keeping the static peak-MSV cross-check exact); only
-            # the allocation and memcpy are skipped.
-            moved = index + 1 < len(instructions) and isinstance(
-                instructions[index + 1], Restore
-            )
-            snapshot = working if moved else backend.copy_state(working)
-            try:
-                assigned = cache.store(snapshot, working_layer, slot=instr.slot)
-            except RuntimeError as exc:
-                raise ScheduleError(str(exc)) from exc
-            if assigned != instr.slot:
-                raise ScheduleError(
-                    f"cache stored snapshot in slot {assigned}, plan "
-                    f"expected slot {instr.slot}"
+                snapshot = working if moved else backend.copy_state(working)
+                try:
+                    assigned = cache.store(
+                        snapshot,
+                        working_layer,
+                        slot=instr.slot,
+                        provenance=(
+                            tuple(working_events) if track_provenance else None
+                        ),
+                    )
+                except RuntimeError as exc:
+                    raise ScheduleError(str(exc)) from exc
+                if assigned != instr.slot:
+                    raise ScheduleError(
+                        f"cache stored snapshot in slot {assigned}, plan "
+                        f"expected slot {instr.slot}"
+                    )
+                working_moved = moved
+                if recorder:
+                    recorder.instant(
+                        "cache.store",
+                        cat="cache",
+                        slot=assigned,
+                        layer=working_layer,
+                        moved=moved,
+                    )
+                    if moved:
+                        recorder.counter("cache.store.moved", 1)
+                if cache_budget is not None:
+                    _enforce_budget(
+                        cache, backend, cache_budget, spill_area, recorder
+                    )
+            elif isinstance(instr, Inject):
+                event = instr.event
+                if event.layer + 1 != working_layer:
+                    raise ScheduleError(
+                        f"inject {event} at working layer {working_layer}"
+                    )
+                backend.apply_operator(working, event.gate, (event.qubit,))
+                if track_provenance:
+                    working_events.append(event)
+                if recorder:
+                    recorder.instant(
+                        "inject",
+                        cat="exec",
+                        layer=event.layer,
+                        qubit=event.qubit,
+                        pauli=event.pauli,
+                    )
+                    recorder.counter("ops.applied", 1)
+            elif isinstance(instr, Restore):
+                if working_moved:
+                    # The working state lives on inside the cache (snapshot
+                    # move); there is nothing to release.
+                    working_moved = False
+                else:
+                    backend.release_state(working)
+                cache.working_destroyed()
+                if cache_budget is None:
+                    working, working_layer = cache.take(instr.slot)
+                else:
+                    working, working_layer, restored_events = (
+                        _restore_degradable(
+                            cache, backend, layered, instr.slot, recorder
+                        )
+                    )
+                    working_events = list(restored_events)
+                cache.working_created()
+                if recorder:
+                    recorder.instant(
+                        "cache.hit",
+                        cat="cache",
+                        slot=instr.slot,
+                        layer=working_layer,
+                        evict=True,
+                    )
+            elif isinstance(instr, Finish):
+                if working_layer != layered.num_layers:
+                    raise ScheduleError(
+                        f"finish at layer {working_layer}, circuit has "
+                        f"{layered.num_layers} layers"
+                    )
+                finish_calls += 1
+                # Borrow peephole: the planner always drops the working state
+                # right after a Finish (next instruction is a Restore, or the
+                # plan ends), so the payload can borrow it instead of copying.
+                # Guarded on the actual plan shape so hand-built plans that
+                # keep using the state still get an independent copy.
+                borrowed = index + 1 >= len(instructions) or isinstance(
+                    instructions[index + 1], Restore
                 )
-            working_moved = moved
-            if recorder:
-                recorder.instant(
-                    "cache.store",
-                    cat="cache",
-                    slot=assigned,
-                    layer=working_layer,
-                    moved=moved,
-                )
-                if moved:
-                    recorder.counter("cache.store.moved", 1)
-        elif isinstance(instr, Inject):
-            event = instr.event
-            if event.layer + 1 != working_layer:
-                raise ScheduleError(
-                    f"inject {event} at working layer {working_layer}"
-                )
-            backend.apply_operator(working, event.gate, (event.qubit,))
-            if recorder:
-                recorder.instant(
-                    "inject",
-                    cat="exec",
-                    layer=event.layer,
-                    qubit=event.qubit,
-                    pauli=event.pauli,
-                )
-                recorder.counter("ops.applied", 1)
-        elif isinstance(instr, Restore):
-            if working_moved:
-                # The working state lives on inside the cache (snapshot
-                # move); there is nothing to release.
-                working_moved = False
-            else:
-                backend.release_state(working)
-            cache.working_destroyed()
-            working, working_layer = cache.take(instr.slot)
-            cache.working_created()
-            if recorder:
-                recorder.instant(
-                    "cache.hit",
-                    cat="cache",
-                    slot=instr.slot,
-                    layer=working_layer,
-                    evict=True,
-                )
-        elif isinstance(instr, Finish):
-            if working_layer != layered.num_layers:
-                raise ScheduleError(
-                    f"finish at layer {working_layer}, circuit has "
-                    f"{layered.num_layers} layers"
-                )
-            finish_calls += 1
-            # Borrow peephole: the planner always drops the working state
-            # right after a Finish (next instruction is a Restore, or the
-            # plan ends), so the payload can borrow it instead of copying.
-            # Guarded on the actual plan shape so hand-built plans that
-            # keep using the state still get an independent copy.
-            borrowed = index + 1 >= len(instructions) or isinstance(
-                instructions[index + 1], Restore
-            )
-            if on_finish is not None:
-                payload = (
-                    backend.finish_view(working)
-                    if borrowed
-                    else backend.finish(working)
-                )
-                on_finish(payload, instr.trial_indices)
-            if recorder:
-                recorder.instant(
-                    "finish",
-                    cat="exec",
-                    trials=len(instr.trial_indices),
-                    moved=borrowed,
-                )
-                recorder.counter("trials.finished", len(instr.trial_indices))
-                if borrowed:
-                    recorder.counter("finish.moved", 1)
-        else:  # pragma: no cover - exhaustive over instruction kinds
-            raise ScheduleError(f"unknown plan instruction {instr!r}")
+                if on_finish is not None:
+                    payload = (
+                        backend.finish_view(working)
+                        if borrowed
+                        else backend.finish(working)
+                    )
+                    on_finish(payload, instr.trial_indices)
+                if recorder:
+                    recorder.instant(
+                        "finish",
+                        cat="exec",
+                        trials=len(instr.trial_indices),
+                        moved=borrowed,
+                    )
+                    recorder.counter(
+                        "trials.finished", len(instr.trial_indices)
+                    )
+                    if borrowed:
+                        recorder.counter("finish.moved", 1)
+            else:  # pragma: no cover - exhaustive over instruction kinds
+                raise ScheduleError(f"unknown plan instruction {instr!r}")
+    finally:
+        if spill_area is not None:
+            spill_area.cleanup()
 
     backend.release_state(working)
     cache.working_destroyed()

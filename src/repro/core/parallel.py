@@ -36,6 +36,25 @@ Load balancing assigns tasks to workers with the LPT (longest processing
 time first) greedy heuristic, weighted by each sub-plan's statically known
 operation count — the same closed form the P-series sanitizer uses.
 
+Fault tolerance
+---------------
+Tasks are dispatched through a dynamic queue, and every statevector that
+crosses shared memory carries a CRC32 checksum
+(:func:`~repro.core.cache.payload_checksum`): entry states are summed by
+the parent before the fork, re-verified by each worker before use; finish
+payloads are summed by the worker after the write, re-verified by the
+parent before acceptance (and once more before the merge replay).  A
+worker that crashes or blows its per-task deadline (``task_timeout``) is
+detected by the parent — exit sentinel plus liveness polling — and its
+task is requeued onto surviving workers up to ``retries`` times; when
+retries are exhausted or no workers survive, the parent executes the task
+itself (inline serial last resort, regenerating entry states from the
+prefix if they were corrupted).  Every recovery path re-derives the same
+bytes, so counts stay bit-identical to the no-fault run; only successful,
+verified task attempts contribute to ``ops_applied`` (rejected attempts
+are reported as ``wasted_ops``).  The ``faults`` hook accepts a
+deterministic chaos plan (:class:`repro.testing.ChaosPlan`) for testing.
+
 MSV accounting
 --------------
 A parallel run keeps more statevectors alive than the serial schedule: the
@@ -50,6 +69,9 @@ where finish payloads are borrowed or copied out).
 from __future__ import annotations
 
 import multiprocessing
+import os
+import queue as queue_module
+import time
 from typing import (
     Any,
     Callable,
@@ -58,6 +80,7 @@ from typing import (
     NamedTuple,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -66,9 +89,16 @@ import numpy as np
 
 from ..circuits.layers import LayeredCircuit
 from ..sim.statevector import Statevector
-from .cache import CacheStats, StateCache
+from .cache import (
+    CacheBudget,
+    CacheStats,
+    CorruptionError,
+    StateCache,
+    payload_checksum,
+)
 from .events import ErrorEvent, Trial
 from .executor import ExecutionOutcome, FinishCallback, run_optimized
+from .resilience import WorkerCrash
 from .schedule import (
     Advance,
     ExecutionPlan,
@@ -91,6 +121,9 @@ __all__ = [
     "run_parallel",
     "fork_available",
 ]
+
+#: Exit code a worker uses for an injected (simulated) crash.
+_CRASH_EXIT = 73
 
 
 class EmitTask(NamedTuple):
@@ -392,6 +425,11 @@ class ParallelOutcome(ExecutionOutcome):
         worker_ops: Tuple[int, ...],
         shm_bytes: int,
         used_fork: bool,
+        parent_ops: int = 0,
+        wasted_ops: int = 0,
+        tasks_retried: int = 0,
+        workers_lost: int = 0,
+        parent_tasks: Tuple[int, ...] = (),
     ) -> None:
         super().__init__(ops_applied, num_trials, cache_stats, finish_calls)
         self.num_workers = num_workers
@@ -404,6 +442,18 @@ class ParallelOutcome(ExecutionOutcome):
         self.shm_bytes = shm_bytes
         #: False when the pool ran inline (no ``fork`` support, or forced).
         self.used_fork = used_fork
+        #: Ops the parent spent on last-resort inline task execution.
+        self.parent_ops = parent_ops
+        #: Ops of completed-but-rejected attempts (checksum failures) and
+        #: of prefix re-runs to regenerate corrupted entry states — work
+        #: that was done but does not contribute to ``ops_applied``.
+        self.wasted_ops = wasted_ops
+        #: Task attempts requeued after a failure, crash or timeout.
+        self.tasks_retried = tasks_retried
+        #: Workers that crashed or were killed for blowing the deadline.
+        self.workers_lost = workers_lost
+        #: Task ids the parent ultimately executed itself.
+        self.parent_tasks = parent_tasks
 
     def __repr__(self) -> str:
         return (
@@ -548,74 +598,92 @@ def _run_prefix(
     }
 
 
-def _execute_tasks(
-    worker_id: int,
-    task_ids: Sequence[int],
-    partition: PlanPartition,
+# -- task execution + integrity primitives --------------------------------------
+
+
+def _flip_row_byte(array: np.ndarray, row: int) -> None:
+    """Deterministically corrupt one byte of a shared-memory row (chaos)."""
+    array[row].view(np.uint8)[0] ^= 0xFF
+
+
+def _verify_entry(
+    task_id: int, entries: np.ndarray, entry_checksums: Sequence[int]
+) -> None:
+    """Raise :class:`CorruptionError` unless the entry row checks out."""
+    actual = payload_checksum(entries[task_id])
+    if actual != entry_checksums[task_id]:
+        raise CorruptionError(
+            f"task {task_id} entry state failed its checksum "
+            f"(expected {entry_checksums[task_id]:#010x}, got {actual:#010x})"
+        )
+
+
+def _verify_payloads(
+    task: SubPlan,
+    results: np.ndarray,
+    result_offsets: Sequence[int],
+    checksums: Sequence[int],
+) -> bool:
+    """Re-sum a task's finish rows against the worker's reported CRCs."""
+    if len(checksums) != task.num_finishes:
+        return False
+    base = result_offsets[task.task_id]
+    return all(
+        payload_checksum(results[base + position]) == checksum
+        for position, checksum in enumerate(checksums)
+    )
+
+
+def _run_one_task(
+    task: SubPlan,
     layered: LayeredCircuit,
     trials: Sequence[Trial],
-    backend_factory: Callable[[], Any],
+    backend,
     entries: np.ndarray,
     results: np.ndarray,
     result_offsets: Sequence[int],
     recorder,
+    cache_budget: Optional[CacheBudget],
 ) -> Dict[str, Any]:
-    """Run one worker's assigned sub-plans (in a child process or inline).
-
-    ``recorder`` is the *parent's* recorder, used only for its falsiness
-    and its clock: a truthy recorder yields a fresh per-worker child
-    recorder (merged by the parent afterwards); a falsy one keeps the
-    workers completely uninstrumented — zero recorder calls.
-    """
-    backend = backend_factory()
-    worker_recorder = recorder.child() if recorder else None
+    """Run one sub-plan; write its finish payloads and their checksums."""
     num_qubits = layered.num_qubits
-    total_ops = 0
-    total_finish_calls = 0
-    snapshots_taken = 0
-    max_task_peak = 0
-    max_task_stored = 0
-    for task_id in task_ids:
-        task = partition.tasks[task_id]
-        # Each worker copies the entry snapshot into its own buffer; the
-        # shared region stays pristine (other tasks never alias it).
-        entry = Statevector(num_qubits, tensor=entries[task_id])
-        local_trials = [trials[g] for g in task.trial_indices]
-        cursor = [result_offsets[task_id]]
+    # Each execution copies the entry snapshot into its own buffer; the
+    # shared region stays pristine (retries re-read the same bytes).
+    entry = Statevector(num_qubits, tensor=entries[task.task_id])
+    local_trials = [trials[g] for g in task.trial_indices]
+    cursor = [result_offsets[task.task_id]]
+    checksums: List[int] = []
 
-        def write_finish(payload, _local_indices, _cursor=cursor):
-            np.copyto(results[_cursor[0]], payload.vector)
-            _cursor[0] += 1
+    def write_finish(payload, _local_indices, _cursor=cursor, _sums=checksums):
+        row = results[_cursor[0]]
+        np.copyto(row, payload.vector)
+        _sums.append(payload_checksum(row))
+        _cursor[0] += 1
 
-        outcome = run_optimized(
-            layered,
-            local_trials,
-            backend,
-            write_finish,
-            plan=task.plan,
-            recorder=worker_recorder,
-            entry_state=entry,
-            entry_layer=task.entry_layer,
-        )
-        total_ops += outcome.ops_applied
-        total_finish_calls += outcome.finish_calls
-        snapshots_taken += outcome.cache_stats.snapshots_taken
-        max_task_peak = max(max_task_peak, outcome.peak_msv)
-        max_task_stored = max(max_task_stored, outcome.peak_stored)
+    outcome = run_optimized(
+        layered,
+        local_trials,
+        backend,
+        write_finish,
+        plan=task.plan,
+        recorder=recorder,
+        entry_state=entry,
+        entry_layer=task.entry_layer,
+        entry_events=task.entry_events,
+        cache_budget=cache_budget,
+    )
     return {
-        "worker": worker_id,
-        "ops": total_ops,
-        "finish_calls": total_finish_calls,
-        "snapshots_taken": snapshots_taken,
-        "max_task_peak": max_task_peak,
-        "max_task_stored": max_task_stored,
-        "recorder": worker_recorder,
+        "ops": outcome.ops_applied,
+        "finish_calls": outcome.finish_calls,
+        "snapshots_taken": outcome.cache_stats.snapshots_taken,
+        "peak": outcome.peak_msv,
+        "stored": outcome.peak_stored,
+        "checksums": checksums,
     }
 
 
-def _worker_entry(
+def _worker_main(
     worker_id: int,
-    task_ids: Sequence[int],
     partition: PlanPartition,
     layered: LayeredCircuit,
     trials: Sequence[Trial],
@@ -623,19 +691,415 @@ def _worker_entry(
     entries: np.ndarray,
     results: np.ndarray,
     result_offsets: Sequence[int],
+    entry_checksums: Sequence[int],
     recorder,
-    queue,
+    cache_budget: Optional[CacheBudget],
+    faults,
+    task_queue,
+    report_queue,
 ) -> None:
-    """Forked child main: run the tasks, report through the queue."""
-    try:
-        report = _execute_tasks(
-            worker_id, task_ids, partition, layered, trials,
-            backend_factory, entries, results, result_offsets, recorder,
+    """Forked child main: pull tasks until the ``None`` sentinel.
+
+    Every claimed task produces exactly one ``task`` or ``task_error``
+    report (bracketed by a ``start`` report so the parent can track
+    in-flight deadlines); a clean exit ends with a ``done`` report
+    carrying the worker's trace recorder.
+    """
+    backend = backend_factory()
+    worker_recorder = recorder.child() if recorder else None
+    tasks_done = 0
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        task_id, attempt = item
+        report_queue.put(
+            {"type": "start", "worker": worker_id, "task": task_id,
+             "attempt": attempt}
         )
-    except BaseException as exc:  # pragma: no cover - exercised via fork
-        queue.put({"worker": worker_id, "error": repr(exc)})
-        raise
-    queue.put(report)
+        try:
+            if faults is not None:
+                faults.before_task(
+                    worker_id, task_id, attempt, tasks_done, inline=False
+                )
+            _verify_entry(task_id, entries, entry_checksums)
+            report = _run_one_task(
+                partition.tasks[task_id], layered, trials, backend,
+                entries, results, result_offsets, worker_recorder,
+                cache_budget,
+            )
+            if faults is not None and faults.corrupt_payload(task_id, attempt):
+                _flip_row_byte(results, result_offsets[task_id])
+            report.update(
+                type="task", worker=worker_id, task=task_id, attempt=attempt
+            )
+            report_queue.put(report)
+        except WorkerCrash:  # pragma: no cover - exercised via fork tests
+            # Flush buffered reports before dying: exiting while our
+            # feeder thread holds the queue's shared write lock would
+            # block every *other* worker's reports (a real crash there is
+            # only recoverable via the task_timeout deadline).
+            report_queue.close()
+            report_queue.join_thread()
+            os._exit(_CRASH_EXIT)
+        except BaseException as exc:
+            report_queue.put(
+                {"type": "task_error", "worker": worker_id, "task": task_id,
+                 "attempt": attempt, "error": repr(exc)}
+            )
+        tasks_done += 1
+    report_queue.put(
+        {"type": "done", "worker": worker_id, "recorder": worker_recorder}
+    )
+
+
+class _PoolResult(NamedTuple):
+    """What a driver hands back to the merge phase."""
+
+    completed: Dict[int, Dict[str, Any]]
+    needs_parent: Set[int]
+    recorders: List[Tuple[int, Any]]
+    wasted_ops: int
+    tasks_retried: int
+    workers_lost: int
+
+
+def _drive_fork_pool(
+    partition: PlanPartition,
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    backend_factory: Callable[[], Any],
+    entries: np.ndarray,
+    results: np.ndarray,
+    result_offsets: Sequence[int],
+    entry_checksums: Sequence[int],
+    order: Sequence[int],
+    workers: int,
+    recorder,
+    cache_budget: Optional[CacheBudget],
+    faults,
+    retries: int,
+    task_timeout: Optional[float],
+) -> _PoolResult:
+    """Dispatch tasks to forked workers with crash/hang recovery."""
+    ctx = multiprocessing.get_context("fork")
+    task_queue = ctx.Queue()
+    report_queue = ctx.Queue()
+    num_tasks = partition.num_tasks
+    for task_id in order:
+        task_queue.put((task_id, 0))
+    processes: Dict[int, Any] = {}
+    for worker_id in range(min(workers, num_tasks)):
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id, partition, layered, trials, backend_factory,
+                entries, results, result_offsets, entry_checksums,
+                recorder, cache_budget, faults, task_queue, report_queue,
+            ),
+        )
+        process.start()
+        processes[worker_id] = process
+
+    pending: Set[int] = set(range(num_tasks))
+    needs_parent: Set[int] = set()
+    attempts = {task_id: 0 for task_id in range(num_tasks)}
+    inflight: Dict[int, Tuple[int, float]] = {}
+    completed: Dict[int, Dict[str, Any]] = {}
+    done_workers: Set[int] = set()
+    dead_workers: Set[int] = set()
+    recorders: List[Tuple[int, Any]] = []
+    wasted_ops = 0
+    tasks_retried = 0
+
+    def alive() -> List[int]:
+        return [
+            w for w in processes
+            if w not in dead_workers and w not in done_workers
+        ]
+
+    def requeue(task_id: int, reason: str) -> None:
+        nonlocal tasks_retried
+        attempts[task_id] += 1
+        if attempts[task_id] > retries or not alive():
+            needs_parent.add(task_id)
+            if recorder:
+                recorder.instant(
+                    "task.fallback", cat="parallel", task=task_id,
+                    reason=reason,
+                )
+        else:
+            tasks_retried += 1
+            task_queue.put((task_id, attempts[task_id]))
+            if recorder:
+                recorder.instant(
+                    "task.retry", cat="parallel", task=task_id,
+                    attempt=attempts[task_id], reason=reason,
+                )
+
+    def kill_worker(worker_id: int) -> None:
+        process = processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():  # pragma: no cover - terminate refused
+                process.kill()
+                process.join(1.0)
+        dead_workers.add(worker_id)
+
+    poll = 0.05 if task_timeout is None else min(0.05, task_timeout / 4)
+    try:
+        while pending - needs_parent:
+            try:
+                message = report_queue.get(timeout=poll)
+            except queue_module.Empty:
+                message = None
+            if message is None:
+                now = time.monotonic()
+                if task_timeout is not None:
+                    for worker_id in list(inflight):
+                        task_id, started = inflight[worker_id]
+                        if now - started > task_timeout:
+                            kill_worker(worker_id)
+                            inflight.pop(worker_id, None)
+                            if recorder:
+                                recorder.instant(
+                                    "worker.timeout", cat="parallel",
+                                    worker=worker_id, task=task_id,
+                                )
+                            if task_id in pending:
+                                requeue(task_id, "timeout")
+                for worker_id, process in processes.items():
+                    if (
+                        worker_id in dead_workers
+                        or worker_id in done_workers
+                        or process.is_alive()
+                    ):
+                        continue
+                    dead_workers.add(worker_id)
+                    hung = inflight.pop(worker_id, None)
+                    if recorder:
+                        recorder.instant(
+                            "worker.crash", cat="parallel", worker=worker_id,
+                            exitcode=process.exitcode,
+                        )
+                    if hung is not None and hung[0] in pending:
+                        requeue(hung[0], "crash")
+                if not alive():
+                    needs_parent.update(pending)
+                continue
+            kind = message["type"]
+            worker_id = message["worker"]
+            if kind == "start":
+                inflight[worker_id] = (message["task"], time.monotonic())
+            elif kind == "task":
+                inflight.pop(worker_id, None)
+                task_id = message["task"]
+                if task_id not in pending:
+                    continue  # stale duplicate of an already-settled task
+                task = partition.tasks[task_id]
+                if _verify_payloads(
+                    task, results, result_offsets, message["checksums"]
+                ):
+                    completed[task_id] = message
+                    pending.discard(task_id)
+                    needs_parent.discard(task_id)
+                else:
+                    wasted_ops += message["ops"]
+                    if recorder:
+                        recorder.instant(
+                            "payload.corrupt", cat="parallel", task=task_id,
+                            worker=worker_id,
+                        )
+                    requeue(task_id, "checksum")
+            elif kind == "task_error":
+                inflight.pop(worker_id, None)
+                task_id = message["task"]
+                if task_id in pending:
+                    requeue(task_id, message["error"])
+            elif kind == "done":
+                done_workers.add(worker_id)
+                inflight.pop(worker_id, None)
+                if message.get("recorder") is not None:
+                    recorders.append((worker_id, message["recorder"]))
+
+        # Shutdown: one sentinel per surviving worker, then drain their
+        # remaining reports (late successes for given-up tasks included).
+        for _ in alive():
+            task_queue.put(None)
+        deadline = time.monotonic() + 10.0
+        while alive() and time.monotonic() < deadline:
+            try:
+                message = report_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                for worker_id, process in processes.items():
+                    if (
+                        worker_id not in dead_workers
+                        and worker_id not in done_workers
+                        and not process.is_alive()
+                    ):
+                        dead_workers.add(worker_id)
+                continue
+            if message["type"] == "done":
+                done_workers.add(message["worker"])
+                if message.get("recorder") is not None:
+                    recorders.append((message["worker"], message["recorder"]))
+            elif message["type"] == "task" and message["task"] in pending:
+                task = partition.tasks[message["task"]]
+                if _verify_payloads(
+                    task, results, result_offsets, message["checksums"]
+                ):
+                    completed[message["task"]] = message
+                    pending.discard(message["task"])
+                    needs_parent.discard(message["task"])
+        for worker_id, process in processes.items():
+            process.join(0.1 if worker_id in dead_workers else 5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(1.0)
+                dead_workers.add(worker_id)
+    finally:
+        # Leftover queue items must not block interpreter shutdown.
+        for q in (task_queue, report_queue):
+            q.close()
+            q.cancel_join_thread()
+    return _PoolResult(
+        completed=completed,
+        needs_parent=needs_parent,
+        recorders=recorders,
+        wasted_ops=wasted_ops,
+        tasks_retried=tasks_retried,
+        workers_lost=len(dead_workers),
+    )
+
+
+def _drive_inline(
+    partition: PlanPartition,
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    backend_factory: Callable[[], Any],
+    entries: np.ndarray,
+    results: np.ndarray,
+    result_offsets: Sequence[int],
+    entry_checksums: Sequence[int],
+    assignment: Sequence[Sequence[int]],
+    recorder,
+    cache_budget: Optional[CacheBudget],
+    faults,
+    retries: int,
+) -> _PoolResult:
+    """In-process pool: virtual workers, same recovery state machine.
+
+    Each task runs on its planned LPT worker (own backend + recorder, as a
+    real pool would).  A :class:`WorkerCrash` fault marks the virtual
+    worker dead; its remaining tasks migrate to the lowest-id survivor.  A
+    simulated hang is treated as a crash — there is no process to kill.
+    """
+    from collections import deque
+
+    owner = {
+        task_id: worker_id
+        for worker_id, bucket in enumerate(assignment)
+        for task_id in bucket
+    }
+    work = deque(
+        (task_id, 0) for bucket in assignment for task_id in bucket
+    )
+    backends: Dict[int, Any] = {}
+    recorders: Dict[int, Any] = {}
+    tasks_done: Dict[int, int] = {}
+    dead: Set[int] = set()
+    completed: Dict[int, Dict[str, Any]] = {}
+    needs_parent: Set[int] = set()
+    attempts = {task_id: 0 for task_id in owner}
+    wasted_ops = 0
+    tasks_retried = 0
+
+    while work:
+        task_id, attempt = work.popleft()
+        if task_id in completed:
+            continue
+        worker_id = owner[task_id]
+        if worker_id in dead:
+            survivors = [
+                w for w, bucket in enumerate(assignment)
+                if bucket and w not in dead
+            ]
+            if not survivors:
+                needs_parent.add(task_id)
+                continue
+            worker_id = survivors[0]
+        if worker_id not in backends:
+            backends[worker_id] = backend_factory()
+            recorders[worker_id] = recorder.child() if recorder else None
+            tasks_done[worker_id] = 0
+        try:
+            if faults is not None:
+                faults.before_task(
+                    worker_id, task_id, attempt, tasks_done[worker_id],
+                    inline=True,
+                )
+            _verify_entry(task_id, entries, entry_checksums)
+            report = _run_one_task(
+                partition.tasks[task_id], layered, trials,
+                backends[worker_id], entries, results, result_offsets,
+                recorders[worker_id], cache_budget,
+            )
+            if faults is not None and faults.corrupt_payload(task_id, attempt):
+                _flip_row_byte(results, result_offsets[task_id])
+            tasks_done[worker_id] += 1
+            if not _verify_payloads(
+                partition.tasks[task_id], results, result_offsets,
+                report["checksums"],
+            ):
+                wasted_ops += report["ops"]
+                if recorder:
+                    recorder.instant(
+                        "payload.corrupt", cat="parallel", task=task_id,
+                        worker=worker_id,
+                    )
+                raise CorruptionError(
+                    f"task {task_id} finish payloads failed their checksums"
+                )
+            report.update(worker=worker_id, task=task_id)
+            completed[task_id] = report
+        except WorkerCrash:
+            dead.add(worker_id)
+            if recorder:
+                recorder.instant(
+                    "worker.crash", cat="parallel", worker=worker_id
+                )
+            work.appendleft((task_id, attempt))
+        except BaseException as exc:
+            tasks_done[worker_id] = tasks_done.get(worker_id, 0) + 1
+            attempts[task_id] += 1
+            if attempts[task_id] > retries:
+                needs_parent.add(task_id)
+                if recorder:
+                    recorder.instant(
+                        "task.fallback", cat="parallel", task=task_id,
+                        reason=repr(exc),
+                    )
+            else:
+                tasks_retried += 1
+                work.append((task_id, attempts[task_id]))
+                if recorder:
+                    recorder.instant(
+                        "task.retry", cat="parallel", task=task_id,
+                        attempt=attempts[task_id], reason=repr(exc),
+                    )
+
+    return _PoolResult(
+        completed=completed,
+        needs_parent=needs_parent,
+        recorders=sorted(
+            ((w, r) for w, r in recorders.items() if r is not None),
+            key=lambda pair: pair[0],
+        ),
+        wasted_ops=wasted_ops,
+        tasks_retried=tasks_retried,
+        workers_lost=len(dead),
+    )
 
 
 def run_parallel(
@@ -648,6 +1112,10 @@ def run_parallel(
     check: bool = False,
     recorder=None,
     inline: Optional[bool] = None,
+    cache_budget: Optional[CacheBudget] = None,
+    retries: int = 2,
+    task_timeout: Optional[float] = None,
+    faults=None,
 ) -> ParallelOutcome:
     """Execute ``trials`` with prefix reuse across ``workers`` processes.
 
@@ -655,7 +1123,8 @@ def run_parallel(
     :func:`~repro.core.executor.run_optimized` for the same trial set:
     the same ``on_finish`` payload/index sequence in the same order (so a
     seeded RNG in the callback sees the identical stream), and the same
-    total ``ops_applied``.
+    total ``ops_applied`` — in every recovery path (worker crash, hang,
+    corruption) as well as the no-fault run.
 
     Parameters
     ----------
@@ -676,7 +1145,9 @@ def run_parallel(
         Trie cut depth passed to :func:`partition_plan`.
     check:
         Audit the partition with lint rule ``P018`` before executing and
-        verify the merged operation count against the closed form after.
+        verify the merged operation count against the closed form after
+        (the strict equality is relaxed to ``>=`` under a drop-mode cache
+        budget, whose recomputes legitimately add operations).
     recorder:
         Optional trace recorder.  The parent records the prefix phase and
         the merge; each worker records into a fresh child recorder whose
@@ -688,9 +1159,26 @@ def run_parallel(
         back to in-process execution otherwise; ``True`` forces the
         in-process path (deterministic tests, spy instrumentation);
         ``False`` demands real processes and raises without ``fork``.
+    cache_budget:
+        Optional :class:`~repro.core.cache.CacheBudget` forwarded to every
+        sub-plan execution (workers and parent fallback alike).
+    retries:
+        How many times a failed task attempt (crash, timeout, checksum
+        mismatch, exception) is requeued before the parent executes it
+        inline as the last resort.
+    task_timeout:
+        Per-task deadline in seconds (fork mode only).  A worker whose
+        in-flight task exceeds it is killed and the task requeued; without
+        a deadline, hung workers are indistinguishable from slow ones.
+    faults:
+        Deterministic fault injector (:class:`repro.testing.ChaosPlan`)
+        exposing ``before_task`` / ``corrupt_payload`` / ``corrupt_entry``
+        hooks; production runs leave it ``None``.
     """
     if workers < 1:
         raise ValueError(f"need at least one worker, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     partition = partition_plan(layered, trials, depth=depth, check=check)
     assignment = partition.assign(workers)
     use_fork = fork_available() if inline is None else not inline
@@ -734,64 +1222,103 @@ def run_parallel(
             recorder.instant(
                 "parallel.meta", cat="parallel", workers=workers,
                 depth=depth, tasks=num_tasks, shm_bytes=shm_bytes,
-                fork=use_fork,
+                fork=use_fork, retries=retries, task_timeout=task_timeout,
             )
 
         backend = backend_factory()
         phase1 = _run_prefix(partition, layered, backend, entries, recorder)
+        wasted_ops = 0
 
-        reports: List[Dict[str, Any]] = []
-        active = [
-            (worker_id, task_ids)
-            for worker_id, task_ids in enumerate(assignment)
-            if task_ids
+        # Checksum every entry state before it crosses the process
+        # boundary; workers re-verify before use.
+        entry_checksums = [
+            payload_checksum(entries[task_id]) for task_id in range(num_tasks)
         ]
-        if use_fork and active:
-            ctx = multiprocessing.get_context("fork")
-            queue = ctx.SimpleQueue()
-            processes = [
-                ctx.Process(
-                    target=_worker_entry,
-                    args=(
-                        worker_id, task_ids, partition, layered, trials,
-                        backend_factory, entries, results, result_offsets,
-                        recorder, queue,
-                    ),
+        if faults is not None:
+            for task_id in range(num_tasks):
+                if faults.corrupt_entry(task_id):
+                    _flip_row_byte(entries, task_id)
+
+        def regenerate_entries() -> None:
+            """Re-run the prefix to rebuild corrupted entry states."""
+            nonlocal wasted_ops
+            regen = _run_prefix(
+                partition, layered, backend_factory(), entries, None
+            )
+            wasted_ops += regen["ops"]
+            if recorder:
+                recorder.instant(
+                    "prefix.regenerated", cat="parallel", ops=regen["ops"]
                 )
-                for worker_id, task_ids in active
-            ]
-            for process in processes:
-                process.start()
-            # Drain before joining: a child blocked on a full pipe would
-            # otherwise deadlock against our join.
-            for _ in processes:
-                reports.append(queue.get())
-            for process in processes:
-                process.join()
-            failed = [r for r in reports if "error" in r]
-            if failed:
-                raise RuntimeError(
-                    "parallel worker(s) failed: "
-                    + "; ".join(
-                        f"worker {r['worker']}: {r['error']}" for r in failed
-                    )
-                )
+
+        # LPT dispatch order: heaviest first keeps the dynamic queue's
+        # makespan near the static assignment's.
+        order = sorted(
+            range(num_tasks),
+            key=lambda t: (-partition.tasks[t].est_ops, t),
+        )
+        if use_fork and num_tasks:
+            pool = _drive_fork_pool(
+                partition, layered, trials, backend_factory, entries,
+                results, result_offsets, entry_checksums, order, workers,
+                recorder, cache_budget, faults, retries, task_timeout,
+            )
         else:
-            for worker_id, task_ids in active:
-                reports.append(
-                    _execute_tasks(
-                        worker_id, task_ids, partition, layered, trials,
-                        backend_factory, entries, results, result_offsets,
-                        recorder,
-                    )
+            pool = _drive_inline(
+                partition, layered, trials, backend_factory, entries,
+                results, result_offsets, entry_checksums, assignment,
+                recorder, cache_budget, faults, retries,
+            )
+        completed = dict(pool.completed)
+        needs_parent = set(pool.needs_parent)
+        wasted_ops += pool.wasted_ops
+
+        # Final integrity sweep: accepted payloads must still verify (a
+        # stale duplicate attempt could have scribbled after acceptance).
+        for task_id, report in list(completed.items()):
+            task = partition.tasks[task_id]
+            if not _verify_payloads(
+                task, results, result_offsets, report["checksums"]
+            ):
+                wasted_ops += report["ops"]
+                del completed[task_id]
+                needs_parent.add(task_id)
+
+        # Last resort: the parent executes leftover tasks inline, serially,
+        # regenerating entry states if the shared block was corrupted.
+        parent_reports: Dict[int, Dict[str, Any]] = {}
+        if needs_parent:
+            parent_backend = backend_factory()
+            for task_id in sorted(needs_parent):
+                try:
+                    _verify_entry(task_id, entries, entry_checksums)
+                except CorruptionError:
+                    regenerate_entries()
+                    _verify_entry(task_id, entries, entry_checksums)
+                report = _run_one_task(
+                    partition.tasks[task_id], layered, trials,
+                    parent_backend, entries, results, result_offsets,
+                    None, cache_budget,
                 )
-        reports.sort(key=lambda r: r["worker"])
+                report.update(worker=None, task=task_id)
+                parent_reports[task_id] = report
+                if recorder:
+                    recorder.instant(
+                        "task.inline", cat="parallel", task=task_id
+                    )
+
+        missing = [
+            t for t in range(num_tasks)
+            if t not in completed and t not in parent_reports
+        ]
+        if missing:  # pragma: no cover - the fallback covers every task
+            raise RuntimeError(
+                f"parallel tasks never completed: {sorted(missing)}"
+            )
 
         if recorder:
-            for report in reports:
-                worker_recorder = report.get("recorder")
-                if worker_recorder is not None:
-                    recorder.merge(worker_recorder, worker=report["worker"])
+            for worker_id, worker_recorder in pool.recorders:
+                recorder.merge(worker_recorder, worker=worker_id)
 
         # Replay finishes in task-id order == serial finish order, so a
         # stateful on_finish (measurement RNG!) sees the serial stream.
@@ -811,24 +1338,54 @@ def run_parallel(
                     "merge", cat="parallel", finish_calls=total_finishes
                 )
 
-        worker_ops = tuple(report["ops"] for report in reports)
-        ops_applied = phase1["ops"] + sum(worker_ops)
+        per_worker_ops: Dict[int, int] = {}
+        worker_peaks: Dict[int, int] = {}
+        worker_stored: Dict[int, int] = {}
+        snapshots_taken = phase1["snapshots_taken"]
+        finish_calls = 0
+        for report in completed.values():
+            worker_id = report["worker"]
+            per_worker_ops[worker_id] = (
+                per_worker_ops.get(worker_id, 0) + report["ops"]
+            )
+            worker_peaks[worker_id] = max(
+                worker_peaks.get(worker_id, 0), report["peak"]
+            )
+            worker_stored[worker_id] = max(
+                worker_stored.get(worker_id, 0), report["stored"]
+            )
+            snapshots_taken += report["snapshots_taken"]
+            finish_calls += report["finish_calls"]
+        parent_ops = 0
+        parent_peak = 0
+        parent_stored = 0
+        for report in parent_reports.values():
+            parent_ops += report["ops"]
+            parent_peak = max(parent_peak, report["peak"])
+            parent_stored = max(parent_stored, report["stored"])
+            snapshots_taken += report["snapshots_taken"]
+            finish_calls += report["finish_calls"]
+
+        worker_ops = tuple(
+            per_worker_ops[w] for w in sorted(per_worker_ops)
+        )
+        ops_applied = phase1["ops"] + sum(worker_ops) + parent_ops
         if check:
             planned = partition.planned_operations(layered)
-            if ops_applied != planned:
+            degraded = cache_budget is not None and cache_budget.mode == "drop"
+            if (not degraded and ops_applied != planned) or (
+                degraded and ops_applied < planned
+            ):
                 raise ScheduleError(
                     f"merged ops {ops_applied} != planned {planned}"
                 )
         peak_msv = max(
             phase1["peak_live"],
-            num_tasks + sum(r["max_task_peak"] for r in reports),
+            num_tasks + sum(worker_peaks.values()) + parent_peak,
         )
         peak_stored = max(
             phase1["peak_stored"],
-            num_tasks + sum(r["max_task_stored"] for r in reports),
-        )
-        snapshots_taken = phase1["snapshots_taken"] + sum(
-            r["snapshots_taken"] for r in reports
+            num_tasks + sum(worker_stored.values()) + parent_stored,
         )
         cache_stats = CacheStats(
             peak_msv=peak_msv,
@@ -840,7 +1397,7 @@ def run_parallel(
             ops_applied=ops_applied,
             num_trials=len(trials),
             cache_stats=cache_stats,
-            finish_calls=sum(r["finish_calls"] for r in reports),
+            finish_calls=finish_calls,
             num_workers=workers,
             partition_depth=depth,
             num_tasks=num_tasks,
@@ -848,7 +1405,12 @@ def run_parallel(
             prefix_ops=phase1["ops"],
             worker_ops=worker_ops,
             shm_bytes=shm_bytes,
-            used_fork=use_fork and bool(active),
+            used_fork=use_fork and num_tasks > 0,
+            parent_ops=parent_ops,
+            wasted_ops=wasted_ops,
+            tasks_retried=pool.tasks_retried,
+            workers_lost=pool.workers_lost,
+            parent_tasks=tuple(sorted(parent_reports)),
         )
     finally:
         # Views must be gone before close() — numpy keeps buffer exports.

@@ -16,10 +16,12 @@ safe to load.
 
 from __future__ import annotations
 
+import os
 from typing import List, Sequence
 
 import numpy as np
 
+from .atomicio import atomic_write_via
 from .events import ErrorEvent, Trial, make_trial
 from .packed import EVENT_BYTES, pack_trial, unpack_trial_events
 
@@ -30,7 +32,11 @@ FORMAT_VERSION = 1
 
 
 def save_trials(path, trials: Sequence[Trial]) -> None:
-    """Write ``trials`` to ``path`` as a flat-array ``.npz`` archive."""
+    """Write ``trials`` to ``path`` as a flat-array ``.npz`` archive.
+
+    The archive is written atomically (temp file + ``os.replace``), so an
+    interrupted save never leaves a truncated ``.npz`` under ``path``.
+    """
     packed = [pack_trial(trial) for trial in trials]
     event_counts = np.array(
         [len(blob) // EVENT_BYTES for blob in packed], dtype=np.int64
@@ -43,24 +49,59 @@ def save_trials(path, trials: Sequence[Trial]) -> None:
         [clbit for trial in trials for clbit in trial.meas_flips],
         dtype=np.int64,
     )
-    np.savez_compressed(
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        # np.savez appends ".npz" to plain paths; pin the final name so the
+        # atomic replace installs exactly what the caller asked for.
+        path += ".npz"
+    atomic_write_via(
         path,
-        version=np.array([FORMAT_VERSION], dtype=np.int64),
-        event_counts=event_counts,
-        event_bytes=event_bytes,
-        flip_counts=flip_counts,
-        flips=flips,
+        lambda handle: np.savez_compressed(
+            handle,
+            version=np.array([FORMAT_VERSION], dtype=np.int64),
+            event_counts=event_counts,
+            event_bytes=event_bytes,
+            flip_counts=flip_counts,
+            flips=flips,
+        ),
+        mode="wb",
     )
 
 
 def load_trials(path) -> List[Trial]:
-    """Read a trial set written by :func:`save_trials`."""
+    """Read a trial set written by :func:`save_trials`.
+
+    Raises a clear :class:`ValueError` when the archive is not a trial
+    archive (missing fields), was written by an unsupported
+    ``FORMAT_VERSION``, or is internally inconsistent — rather than
+    misparsing a future or foreign layout into garbage trials.
+    """
     with np.load(path) as archive:
-        version = int(archive["version"][0])
+        if "version" not in archive.files:
+            raise ValueError(
+                f"{path!r} is not a trial archive: no 'version' field "
+                f"(fields: {sorted(archive.files)})"
+            )
+        version_field = archive["version"]
+        if version_field.size != 1:
+            raise ValueError(
+                f"corrupt trial archive: malformed version field "
+                f"(shape {version_field.shape})"
+            )
+        version = int(version_field[0])
         if version != FORMAT_VERSION:
             raise ValueError(
                 f"trial archive version {version} unsupported "
                 f"(expected {FORMAT_VERSION})"
+            )
+        missing = [
+            field
+            for field in ("event_counts", "event_bytes", "flip_counts", "flips")
+            if field not in archive.files
+        ]
+        if missing:
+            raise ValueError(
+                f"corrupt trial archive: missing field(s) {missing}"
             )
         event_counts = archive["event_counts"]
         blob = archive["event_bytes"].tobytes()

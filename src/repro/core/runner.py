@@ -65,6 +65,7 @@ class SimulationResult:
         backend: str,
         trial_clbits: Optional[List[Dict[int, int]]] = None,
         final_states: Optional[List[Optional[Statevector]]] = None,
+        journal=None,
     ) -> None:
         #: Aggregated measurement histogram (bitstring -> occurrences).
         self.counts = counts
@@ -76,6 +77,8 @@ class SimulationResult:
         self.trial_clbits = trial_clbits
         #: Per-trial final statevectors, when collected (tests/analysis only).
         self.final_states = final_states
+        #: :class:`~repro.core.resilience.JournalSummary` of a journaled run.
+        self.journal = journal
 
     @property
     def num_trials(self) -> int:
@@ -174,6 +177,11 @@ class NoisySimulator:
         recorder=None,
         workers: int = 0,
         partition_depth: int = 1,
+        journal=None,
+        max_cache_bytes: Optional[int] = None,
+        cache_degrade: str = "spill",
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -208,20 +216,68 @@ class NoisySimulator:
             count.
         partition_depth:
             Trie cut depth for the parallel partition (ignored serially).
+        journal:
+            Path to a crash-safe run journal.  A fresh run records every
+            finish payload (fsync-on-commit) as it streams; re-running
+            with the same path after a crash replays the committed
+            finishes and recomputes only the unfinished trials — counts
+            are bit-identical to an uninterrupted run.  Requires the
+            optimized mode on a statevector-family backend.  The result's
+            ``journal`` attribute carries the
+            :class:`~repro.core.resilience.JournalSummary`.
+        max_cache_bytes:
+            Byte budget for the snapshot cache.  When the resident
+            snapshots would exceed it, the coldest are degraded per
+            ``cache_degrade`` — results stay bit-identical; only
+            time/memory trade off.  Statevector-family backends only.
+        cache_degrade:
+            ``"spill"`` (default) writes evicted snapshots to disk and
+            reloads them on restore; ``"drop"`` discards them and
+            recomputes from the initial state when needed.
+        task_timeout:
+            Per-task deadline in seconds for parallel workers (see
+            :func:`~repro.core.parallel.run_parallel`).
+        retries:
+            Parallel task retry budget before the parent falls back to
+            inline execution.
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+        statevector_family = backend in ("statevector", "statevector-interpreted")
         if workers:
             if mode != "optimized":
                 raise ValueError(
                     "workers requires mode='optimized' (the baseline has "
                     "no plan to partition)"
                 )
-            if backend not in ("statevector", "statevector-interpreted"):
+            if not statevector_family:
                 raise ValueError(
                     f"workers requires a statevector-family backend, "
                     f"got {backend!r}"
                 )
+        if journal is not None:
+            if mode != "optimized":
+                raise ValueError(
+                    "journal requires mode='optimized' (the baseline "
+                    "streams no resumable finish payloads)"
+                )
+            if not statevector_family:
+                raise ValueError(
+                    f"journal requires a statevector-family backend "
+                    f"(payload amplitudes are recorded), got {backend!r}"
+                )
+        if max_cache_bytes is not None and not statevector_family:
+            raise ValueError(
+                f"max_cache_bytes requires a statevector-family backend, "
+                f"got {backend!r}"
+            )
+        cache_budget = None
+        if max_cache_bytes is not None:
+            from .cache import CacheBudget
+
+            cache_budget = CacheBudget(
+                max_bytes=max_cache_bytes, mode=cache_degrade
+            )
         trial_list = list(trials) if trials is not None else self.sample(num_trials)
 
         engine = self.make_backend(backend)
@@ -246,7 +302,25 @@ class NoisySimulator:
                 if collect_final_states:
                     final_states[index] = payload.copy()
 
-        if workers:
+        journal_summary = None
+        if journal is not None:
+            from .resilience import run_journaled
+
+            outcome, journal_summary = run_journaled(
+                self.layered,
+                trial_list,
+                lambda: self.make_backend(backend),
+                on_finish,
+                journal,
+                workers=workers,
+                depth=partition_depth,
+                check=check,
+                recorder=recorder,
+                cache_budget=cache_budget,
+                retries=retries,
+                task_timeout=task_timeout,
+            )
+        elif workers:
             from .parallel import run_parallel
 
             outcome = run_parallel(
@@ -258,6 +332,9 @@ class NoisySimulator:
                 depth=partition_depth,
                 check=check,
                 recorder=recorder,
+                cache_budget=cache_budget,
+                retries=retries,
+                task_timeout=task_timeout,
             )
         elif mode == "optimized":
             outcome = run_optimized(
@@ -267,6 +344,7 @@ class NoisySimulator:
                 on_finish,
                 check=check,
                 recorder=recorder,
+                cache_budget=cache_budget,
             )
         else:
             outcome = run_baseline(
@@ -281,6 +359,7 @@ class NoisySimulator:
             backend=backend,
             trial_clbits=trial_clbits if has_readout else None,
             final_states=final_states if collect_final_states else None,
+            journal=journal_summary,
         )
 
     def expectation(

@@ -38,6 +38,7 @@ from .circuit_rules import lint_circuit
 from .trial_rules import lint_noise_model, lint_trials
 from .trace_rules import lint_trace
 from .partition_rules import lint_partition, lint_partition_trace
+from .journal_rules import lint_journal
 from .api import (
     lint_benchmark,
     lint_plan,
@@ -57,6 +58,7 @@ __all__ = [
     "get_rule",
     "lint_benchmark",
     "lint_circuit",
+    "lint_journal",
     "lint_noise_model",
     "lint_partition",
     "lint_partition_trace",

@@ -21,9 +21,9 @@ the CI trace-smoke step: required keys, monotonically non-decreasing
 
 from __future__ import annotations
 
-import json
 from typing import Dict, List, Optional
 
+from ..core.atomicio import atomic_write_json
 from .recorder import InMemoryRecorder
 
 __all__ = [
@@ -205,9 +205,7 @@ def write_chrome_trace(
         raise ValueError(
             "refusing to write invalid Chrome trace: " + "; ".join(problems)
         )
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, document, indent=1, sort_keys=True)
     return document
 
 
@@ -218,7 +216,5 @@ def write_trace_json(
 ) -> Dict[str, object]:
     """Write the structured trace document; returns it."""
     document = trace_json(recorder, metadata=metadata)
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, document, indent=2, sort_keys=True)
     return document

@@ -31,7 +31,6 @@ against the timed run's outcome.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -384,10 +383,11 @@ def run_bench(
 
 
 def write_bench_json(payload: Dict[str, object], path: str) -> None:
-    """Write a harness payload as stable, reviewable JSON."""
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a harness payload as stable, reviewable JSON (atomically —
+    an interrupted bench run never leaves a truncated artifact)."""
+    from .core.atomicio import atomic_write_json
+
+    atomic_write_json(path, payload, indent=2, sort_keys=True)
 
 
 def bench_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:

@@ -1,0 +1,201 @@
+"""Chaos property tests: every fault schedule yields bit-identical results.
+
+The fault-tolerance contract is absolute: worker crashes, hangs, payload
+corruption, entry-state corruption and allocation failures may cost time,
+but never change a single bit of the ``on_finish`` stream or the total
+``ops_applied`` relative to the fault-free serial run.  :class:`ChaosPlan`
+scripts the faults deterministically, so every case here is replayable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import build_compiled_benchmark
+from repro.circuits import layerize
+from repro.core import run_optimized
+from repro.core.parallel import fork_available, partition_plan, run_parallel
+from repro.noise import ibm_yorktown, sample_trials
+from repro.sim.compiled import CompiledStatevectorBackend
+from repro.testing import ChaosPlan
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+def _setup(name="bv4", num_trials=160, seed=13):
+    layered = layerize(build_compiled_benchmark(name))
+    trials = sample_trials(
+        layered, ibm_yorktown(), num_trials, np.random.default_rng(seed)
+    )
+    return layered, trials
+
+
+def _serial_stream(layered, trials):
+    stream = []
+
+    def on_finish(payload, indices):
+        stream.append((np.array(payload.vector, copy=True), indices))
+
+    outcome = run_optimized(
+        layered, trials, CompiledStatevectorBackend(layered), on_finish
+    )
+    return stream, outcome
+
+
+def _chaos_stream(layered, trials, workers, faults, **kwargs):
+    stream = []
+
+    def on_finish(payload, indices):
+        stream.append((np.array(payload.vector, copy=True), indices))
+
+    outcome = run_parallel(
+        layered,
+        trials,
+        lambda: CompiledStatevectorBackend(layered),
+        on_finish,
+        workers=workers,
+        faults=faults,
+        **kwargs,
+    )
+    return stream, outcome
+
+
+def _assert_streams_identical(serial, chaotic):
+    assert len(serial) == len(chaotic)
+    for (s_state, s_indices), (c_state, c_indices) in zip(serial, chaotic):
+        assert s_indices == c_indices
+        assert np.array_equal(s_state, c_state)  # bit-identical, not close
+
+
+#: Named fault schedules; factories because kill/hang triggers are
+#: consumed when they fire (one plan instance drives one run).
+FAULT_PLANS = {
+    "kill-first": lambda: ChaosPlan(kill={0: 0}),
+    "kill-mid": lambda: ChaosPlan(kill={0: 2, 1: 1}),
+    "kill-all": lambda: ChaosPlan(kill={0: 0, 1: 0, 2: 0, 3: 0}),
+    "corrupt-payload": lambda: ChaosPlan(corrupt={0: 1, 2: 1}),
+    "corrupt-exhausted": lambda: ChaosPlan(corrupt={1: 5}),
+    "corrupt-entry": lambda: ChaosPlan(corrupt_entries=(0, 3)),
+    "alloc-fail": lambda: ChaosPlan(alloc_fail={1: 2}),
+    "mixed": lambda: ChaosPlan(
+        kill={0: 1}, corrupt={1: 1}, alloc_fail={2: 1}, corrupt_entries=(4,)
+    ),
+}
+
+
+class TestInlineChaos:
+    """Every fault schedule, every worker count, in-process pool."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+    def test_stream_bit_identical_under_faults(self, workers, plan_name):
+        layered, trials = _setup()
+        serial, s_outcome = _serial_stream(layered, trials)
+        chaotic, c_outcome = _chaos_stream(
+            layered, trials, workers, FAULT_PLANS[plan_name](),
+            inline=True, check=True, retries=2,
+        )
+        _assert_streams_identical(serial, chaotic)
+        assert c_outcome.ops_applied == s_outcome.ops_applied
+        assert c_outcome.finish_calls == s_outcome.finish_calls
+
+    def test_ops_breakdown_includes_parent(self):
+        """prefix + workers + parent == total, even when recovery ran."""
+        layered, trials = _setup()
+        _, c_outcome = _chaos_stream(
+            layered, trials, 2,
+            ChaosPlan(kill={0: 0, 1: 0}), inline=True,
+        )
+        assert c_outcome.workers_lost == 2
+        assert c_outcome.parent_ops > 0
+        assert c_outcome.parent_tasks  # parent ran the leftovers
+        assert (
+            c_outcome.prefix_ops
+            + sum(c_outcome.worker_ops)
+            + c_outcome.parent_ops
+            == c_outcome.ops_applied
+        )
+
+    def test_retry_counters_surface(self):
+        layered, trials = _setup()
+        _, c_outcome = _chaos_stream(
+            layered, trials, 2, ChaosPlan(corrupt={0: 1}), inline=True
+        )
+        assert c_outcome.tasks_retried >= 1
+        assert c_outcome.wasted_ops > 0
+
+    def test_exhausted_retries_fall_back_to_parent(self):
+        """A task whose payload corrupts on every attempt ends up inline."""
+        layered, trials = _setup()
+        serial, _ = _serial_stream(layered, trials)
+        chaotic, c_outcome = _chaos_stream(
+            layered, trials, 2, ChaosPlan(corrupt={1: 99}),
+            inline=True, retries=1,
+        )
+        _assert_streams_identical(serial, chaotic)
+        assert 1 in c_outcome.parent_tasks
+
+    def test_entry_corruption_forces_prefix_regeneration(self):
+        layered, trials = _setup()
+        serial, s_outcome = _serial_stream(layered, trials)
+        chaotic, c_outcome = _chaos_stream(
+            layered, trials, 2, ChaosPlan(corrupt_entries=(0,)),
+            inline=True, retries=1,
+        )
+        _assert_streams_identical(serial, chaotic)
+        # The regenerated prefix's ops are wasted work, not result ops.
+        assert c_outcome.ops_applied == s_outcome.ops_applied
+        assert c_outcome.wasted_ops >= c_outcome.prefix_ops
+
+
+@needs_fork
+class TestForkedChaos:
+    """Real processes: injected kills exit the child, hangs sleep."""
+
+    @pytest.mark.parametrize(
+        "plan_name", ["kill-first", "kill-all", "corrupt-payload", "mixed"]
+    )
+    def test_stream_bit_identical_under_faults(self, plan_name):
+        layered, trials = _setup()
+        serial, s_outcome = _serial_stream(layered, trials)
+        chaotic, c_outcome = _chaos_stream(
+            layered, trials, 2, FAULT_PLANS[plan_name](),
+            inline=False, retries=2,
+        )
+        _assert_streams_identical(serial, chaotic)
+        assert c_outcome.ops_applied == s_outcome.ops_applied
+        assert c_outcome.used_fork
+
+    def test_worker_crash_is_detected_and_recovered(self):
+        layered, trials = _setup()
+        serial, _ = _serial_stream(layered, trials)
+        chaotic, c_outcome = _chaos_stream(
+            layered, trials, 2, ChaosPlan(kill={0: 0}), inline=False
+        )
+        _assert_streams_identical(serial, chaotic)
+        assert c_outcome.workers_lost == 1
+
+    def test_hung_worker_killed_by_deadline(self):
+        layered, trials = _setup()
+        serial, _ = _serial_stream(layered, trials)
+        chaotic, c_outcome = _chaos_stream(
+            layered, trials, 2, ChaosPlan(hang={0: (0, 30.0)}),
+            inline=False, task_timeout=0.5,
+        )
+        _assert_streams_identical(serial, chaotic)
+        assert c_outcome.workers_lost == 1
+
+    def test_all_workers_killed_parent_finishes(self):
+        layered, trials = _setup(num_trials=64)
+        serial, _ = _serial_stream(layered, trials)
+        partition = partition_plan(layered, trials)
+        chaotic, c_outcome = _chaos_stream(
+            layered, trials, 2, ChaosPlan(kill={0: 0, 1: 0}), inline=False
+        )
+        _assert_streams_identical(serial, chaotic)
+        assert c_outcome.workers_lost == 2
+        # Every task either retried onto a worker before it died or ran
+        # in the parent; together they cover the partition.
+        covered = set(c_outcome.parent_tasks)
+        assert covered.issubset(set(range(partition.num_tasks)))

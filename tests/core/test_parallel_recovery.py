@@ -1,0 +1,165 @@
+"""Worker-death edge cases of the parallel pool (satellite coverage).
+
+These pin behaviors the chaos suite exercises only incidentally: shared
+memory is torn down when execution fails outright, the inline fallback
+works on platforms without ``fork``, and the outcome accounting holds when
+the LPT assignment leaves a worker without tasks.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import build_compiled_benchmark
+from repro.circuits import layerize
+from repro.core import run_optimized
+from repro.core.parallel import ParallelOutcome, partition_plan, run_parallel
+from repro.noise import ibm_yorktown, sample_trials
+from repro.sim.compiled import CompiledStatevectorBackend
+from repro.testing import ChaosPlan
+
+
+def _setup(name="bv4", num_trials=96, seed=17):
+    layered = layerize(build_compiled_benchmark(name))
+    trials = sample_trials(
+        layered, ibm_yorktown(), num_trials, np.random.default_rng(seed)
+    )
+    return layered, trials
+
+
+class TestTeardown:
+    def test_shared_memory_released_on_failure(self, monkeypatch):
+        """A backend factory that explodes must not leak the shm blocks."""
+        layered, trials = _setup(num_trials=32)
+        created = []
+        real = multiprocessing.shared_memory.SharedMemory
+
+        class Spy(real):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(
+            multiprocessing.shared_memory, "SharedMemory", Spy
+        )
+
+        calls = {"n": 0}
+
+        def exploding_factory():
+            calls["n"] += 1
+            raise RuntimeError("backend construction failed")
+
+        with pytest.raises(RuntimeError):
+            run_parallel(
+                layered, trials, exploding_factory, workers=2, inline=True
+            )
+        assert calls["n"] == 1
+        # Both blocks were created and both were unlinked: re-attaching
+        # by name must fail.
+        assert len(created) == 2
+        for block in created:
+            with pytest.raises(FileNotFoundError):
+                real(name=block.name)
+
+    def test_task_error_without_retries_falls_to_parent(self):
+        """retries=0 sends a failed task straight to the parent."""
+        layered, trials = _setup()
+        serial = []
+        run_optimized(
+            layered, trials, CompiledStatevectorBackend(layered),
+            lambda p, i: serial.append((np.array(p.vector, copy=True), i)),
+        )
+        stream = []
+        outcome = run_parallel(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: stream.append((np.array(p.vector, copy=True), i)),
+            workers=2, inline=True, retries=0,
+            faults=ChaosPlan(alloc_fail={0: 1}),
+        )
+        assert outcome.tasks_retried == 0
+        assert 0 in outcome.parent_tasks
+        assert len(stream) == len(serial)
+        for (s_state, s_indices), (p_state, p_indices) in zip(serial, stream):
+            assert s_indices == p_indices
+            assert np.array_equal(s_state, p_state)
+
+    def test_negative_retries_rejected(self):
+        layered, trials = _setup(num_trials=16)
+        with pytest.raises(ValueError):
+            run_parallel(
+                layered, trials,
+                lambda: CompiledStatevectorBackend(layered),
+                workers=2, retries=-1,
+            )
+
+
+class TestInlineFallback:
+    def test_inline_used_when_fork_unavailable(self, monkeypatch):
+        """Platforms without fork degrade to the in-process pool."""
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "fork_available", lambda: False)
+        layered, trials = _setup(num_trials=48)
+        outcome = run_parallel(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            workers=2,
+        )
+        assert not outcome.used_fork
+        assert outcome.finish_calls > 0
+
+    def test_forcing_fork_without_support_raises(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "fork_available", lambda: False)
+        layered, trials = _setup(num_trials=16)
+        with pytest.raises(RuntimeError):
+            run_parallel(
+                layered, trials,
+                lambda: CompiledStatevectorBackend(layered),
+                workers=2, inline=False,
+            )
+
+
+class TestEmptyBuckets:
+    def test_more_workers_than_tasks_accounting(self):
+        """Workers beyond the task count get empty buckets; the outcome
+        must stay consistent (no phantom worker ops, equality intact)."""
+        layered, trials = _setup(num_trials=12)
+        partition = partition_plan(layered, trials)
+        workers = partition.num_tasks + 3
+        outcome = run_parallel(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            workers=workers, inline=True,
+        )
+        assert isinstance(outcome, ParallelOutcome)
+        assert outcome.num_workers == workers
+        assert len(outcome.assignment) == workers
+        empty = [bucket for bucket in outcome.assignment if not bucket]
+        assert len(empty) >= 3
+        assert len(outcome.worker_ops) <= partition.num_tasks
+        assert (
+            outcome.prefix_ops + sum(outcome.worker_ops) + outcome.parent_ops
+            == outcome.ops_applied
+        )
+
+    def test_equality_of_outcomes_with_empty_bucket(self):
+        """Two identical runs with empty buckets produce equal streams."""
+        layered, trials = _setup(num_trials=12)
+        streams = []
+        for _ in range(2):
+            stream = []
+            run_parallel(
+                layered, trials,
+                lambda: CompiledStatevectorBackend(layered),
+                lambda p, i: stream.append(
+                    (np.array(p.vector, copy=True), i)
+                ),
+                workers=64, inline=True,
+            )
+            streams.append(stream)
+        first, second = streams
+        assert len(first) == len(second)
+        for (a_state, a_indices), (b_state, b_indices) in zip(first, second):
+            assert a_indices == b_indices
+            assert np.array_equal(a_state, b_state)

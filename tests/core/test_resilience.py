@@ -1,0 +1,324 @@
+"""Crash-safe journaling: kill a run mid-plan, resume with zero recompute.
+
+The journal records finish payloads at trial granularity in the serial
+finish order, fsync-on-commit; resuming replays the committed prefix and
+recomputes only the remaining trials, producing the identical ``on_finish``
+stream (and therefore identical counts for a seeded measurement RNG).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import build_compiled_benchmark
+from repro.circuits import layerize
+from repro.core import run_optimized
+from repro.core.resilience import (
+    JournalError,
+    RunJournal,
+    journal_fingerprint,
+    load_journal,
+    run_journaled,
+)
+from repro.core.runner import NoisySimulator
+from repro.core.schedule import build_plan
+from repro.lint import lint_journal
+from repro.noise import ibm_yorktown, sample_trials
+from repro.sim.compiled import CompiledStatevectorBackend
+from repro.sim.counting import CountingBackend
+
+
+def _setup(name="bv4", num_trials=96, seed=5):
+    layered = layerize(build_compiled_benchmark(name))
+    trials = sample_trials(
+        layered, ibm_yorktown(), num_trials, np.random.default_rng(seed)
+    )
+    return layered, trials
+
+
+def _serial_stream(layered, trials):
+    stream = []
+    run_optimized(
+        layered, trials, CompiledStatevectorBackend(layered),
+        lambda p, i: stream.append((np.array(p.vector, copy=True), i)),
+    )
+    return stream
+
+
+class _CrashAfter(Exception):
+    pass
+
+
+def _run_until(layered, trials, path, crash_after):
+    """Journal a run, aborting after ``crash_after`` finishes."""
+    seen = []
+
+    def on_finish(payload, indices):
+        seen.append(indices)
+        if len(seen) == crash_after:
+            raise _CrashAfter
+
+    with pytest.raises(_CrashAfter):
+        run_journaled(
+            layered, trials,
+            lambda: CompiledStatevectorBackend(layered), on_finish, path,
+        )
+    return seen
+
+
+class TestJournalFormat:
+    def test_roundtrip(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        stream = []
+        outcome, summary = run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: stream.append((np.array(p.vector, copy=True), i)),
+            path,
+        )
+        assert not summary.resumed
+        replay = load_journal(path)
+        assert not replay.truncated
+        assert len(replay.finishes) == len(stream)
+        assert replay.completed_trials == frozenset(range(len(trials)))
+        for (vector, indices), (state, expected) in zip(
+            replay.finishes, stream
+        ):
+            assert tuple(indices) == tuple(expected)
+            assert np.array_equal(vector, state)
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        intact = load_journal(path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)  # tear the last commit marker
+        torn = load_journal(path)
+        assert torn.truncated
+        assert len(torn.finishes) == len(intact.finishes) - 1
+
+    def test_corrupt_payload_truncates_from_there(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        intact = load_journal(path)
+        # Flip a byte in the middle of the file's record region.
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) // 2)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        damaged = load_journal(path)
+        assert damaged.truncated
+        assert len(damaged.finishes) < len(intact.finishes)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "bogus.journal")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 64)
+        with pytest.raises(JournalError):
+            load_journal(path)
+
+    def test_counting_backend_cannot_journal(self, tmp_path):
+        layered, trials = _setup()
+        journal = RunJournal.create(
+            str(tmp_path / "run.journal"), layered, trials
+        )
+        backend = CountingBackend(layered)
+        state = backend.make_initial()
+        payload = backend.finish(state)
+        with pytest.raises(JournalError):
+            journal.record(payload, (0,))
+        journal.close()
+
+    def test_fingerprint_depends_on_inputs(self):
+        layered, trials = _setup()
+        other_layered, other_trials = _setup(num_trials=97)
+        assert journal_fingerprint(layered, trials) != journal_fingerprint(
+            other_layered, other_trials
+        )
+
+
+class TestResume:
+    def test_resume_replays_prefix_and_recomputes_nothing_done(self, tmp_path):
+        layered, trials = _setup()
+        serial = _serial_stream(layered, trials)
+        path = str(tmp_path / "run.journal")
+        _run_until(layered, trials, path, crash_after=4)
+        committed = load_journal(path)
+
+        resumed = []
+        outcome, summary = run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: resumed.append((np.array(p.vector, copy=True), i)),
+            path,
+        )
+        assert summary.resumed
+        assert summary.replayed_finishes == len(committed.finishes)
+        assert len(resumed) == len(serial)
+        for (s_state, s_indices), (r_state, r_indices) in zip(serial, resumed):
+            assert tuple(s_indices) == tuple(r_indices)
+            assert np.array_equal(s_state, r_state)
+        # Zero recompute: the resumed run's ops equal the closed-form
+        # plan cost of exactly the not-yet-committed trials.
+        remaining = [
+            trial for index, trial in enumerate(trials)
+            if index not in committed.completed_trials
+        ]
+        planned = build_plan(layered, remaining).planned_operations(layered)
+        assert outcome.ops_applied == planned
+
+    def test_fully_committed_journal_resumes_with_zero_ops(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        outcome, summary = run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        assert outcome.ops_applied == 0
+        assert summary.replayed_trials == len(trials)
+
+    def test_resume_after_torn_tail(self, tmp_path):
+        layered, trials = _setup()
+        serial = _serial_stream(layered, trials)
+        path = str(tmp_path / "run.journal")
+        _run_until(layered, trials, path, crash_after=6)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 3)
+        resumed = []
+        _, summary = run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: resumed.append((np.array(p.vector, copy=True), i)),
+            path,
+        )
+        assert summary.truncated_tail
+        for (s_state, s_indices), (r_state, r_indices) in zip(serial, resumed):
+            assert tuple(s_indices) == tuple(r_indices)
+            assert np.array_equal(s_state, r_state)
+        # The journal is now complete; a further resume replays everything.
+        final = load_journal(path)
+        assert not final.truncated
+        assert final.completed_trials == frozenset(range(len(trials)))
+
+    def test_foreign_journal_refused(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        _, other_trials = _setup(seed=6)
+        with pytest.raises(JournalError):
+            run_journaled(
+                layered, other_trials,
+                lambda: CompiledStatevectorBackend(layered),
+                lambda p, i: None, path,
+            )
+
+    def test_parallel_journaled_run_matches_serial(self, tmp_path):
+        layered, trials = _setup()
+        serial = _serial_stream(layered, trials)
+        path = str(tmp_path / "par.journal")
+        stream = []
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: stream.append((np.array(p.vector, copy=True), i)),
+            path, workers=2,
+        )
+        assert len(stream) == len(serial)
+        for (s_state, s_indices), (p_state, p_indices) in zip(serial, stream):
+            assert tuple(s_indices) == tuple(p_indices)
+            assert np.array_equal(s_state, p_state)
+
+
+class TestRunnerIntegration:
+    def _simulator(self, seed=7):
+        circuit = build_compiled_benchmark("bv4")
+        return NoisySimulator(circuit, ibm_yorktown(), seed=seed)
+
+    def test_journaled_counts_identical_after_crash(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        trials = self._simulator().sample(128)
+
+        reference = self._simulator().run(trials=trials)
+
+        # Crash partway: abort the journaled run by poisoning the RNG
+        # stream is not possible from outside, so crash via a journal
+        # written against an aborted manual run instead.
+        layered = self._simulator().layered
+        _run_until(layered, trials, path, crash_after=3)
+
+        resumed = self._simulator().run(trials=trials, journal=path)
+        assert resumed.journal is not None
+        assert resumed.journal.resumed
+        assert resumed.journal.replayed_trials > 0
+        assert resumed.counts == reference.counts
+
+    def test_journal_requires_optimized_statevector(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        simulator = self._simulator()
+        with pytest.raises(ValueError):
+            simulator.run(num_trials=16, mode="baseline", journal=path)
+        with pytest.raises(ValueError):
+            simulator.run(num_trials=16, backend="counting", journal=path)
+
+
+class TestJournalLint:
+    def test_clean_journal_passes(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        result = lint_journal(path, layered=layered, trials=trials)
+        assert result.ok
+        assert result.info["completed_trials"] == len(trials)
+        assert not result.info["truncated"]
+
+    def test_structural_only_without_context(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        assert lint_journal(path).ok
+
+    def test_fingerprint_mismatch_fires_p019(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        _, other_trials = _setup(seed=8)
+        result = lint_journal(path, layered=layered, trials=other_trials)
+        assert not result.ok
+        assert any(d.code == "P019" for d in result.errors)
+
+    def test_torn_tail_is_info_not_error(self, tmp_path):
+        layered, trials = _setup()
+        path = str(tmp_path / "run.journal")
+        run_journaled(
+            layered, trials, lambda: CompiledStatevectorBackend(layered),
+            lambda p, i: None, path,
+        )
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 2)
+        result = lint_journal(path, layered=layered, trials=trials)
+        assert result.ok
+        assert result.info["truncated"]
