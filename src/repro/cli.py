@@ -275,6 +275,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             trace=args.trace,
             workers=args.workers or (),
             partition_depth=args.partition_depth,
+            auto=args.auto,
             progress=lambda name: print(f"benching {name} ...", file=sys.stderr),
         )
     except KeyError as exc:
@@ -304,6 +305,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"parallel exactness (bit-identical states, equal ops) at "
             f"workers {args.workers}: {status}"
         )
+    if args.auto:
+        for record in payload["results"]:
+            advice = record["advise"]["advice"]
+            picked = (
+                f"workers={advice['workers']} depth={advice['depth']}"
+                if advice["workers"]
+                else "serial"
+            )
+            advised = record.get("advised")
+            timing = (
+                f", measured {advised['best_s']:.3f}s "
+                f"({advised['speedup_vs_serial']:.2f}x vs serial)"
+                if advised
+                else ""
+            )
+            print(f"advise {record['benchmark']}: {picked}{timing}")
+        if summary["all_advised_exact"] is False:
+            print("advised schedule exactness: FAILED")
     trace_failures = []
     if args.trace:
         trace_failures = [
@@ -322,6 +341,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if args.workers and not summary["all_parallel_exact"]:
         return 1
+    if args.auto and summary["all_advised_exact"] is False:
+        return 1
     if trace_failures:
         return 1
     return 0
@@ -333,17 +354,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     circuit, model = resolve_benchmark(args.benchmark)
     simulator = NoisySimulator(circuit, model, seed=args.seed)
+
+    certificate = None
+    recorder = None
+    auto_trials = None
+    settings = {
+        "workers": args.workers,
+        "partition_depth": args.partition_depth,
+        "max_cache_bytes": args.max_cache_bytes,
+        "cache_degrade": args.cache_degrade,
+        "task_weights": None,
+    }
+    if args.auto:
+        if args.mode != "optimized":
+            print(
+                "error: --auto requires --mode optimized (the certificate "
+                "describes the optimized plan)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.journal is not None:
+            print(
+                "error: --auto and --journal are mutually exclusive (a "
+                "resumed run no longer matches the certificate)",
+                file=sys.stderr,
+            )
+            return 2
+        from .lint import build_certificate
+        from .obs import InMemoryRecorder
+
+        budget = None
+        if args.max_cache_bytes is not None:
+            from .core.cache import CacheBudget
+
+            budget = CacheBudget(
+                max_bytes=args.max_cache_bytes, mode=args.cache_degrade
+            )
+        auto_trials = simulator.sample(args.trials)
+        certificate = build_certificate(
+            simulator.layered,
+            auto_trials,
+            benchmark=args.benchmark,
+            seed=args.seed,
+            budget=budget,
+            compiled=simulator.compiled_circuit(),
+        )
+        settings = _advised_settings(certificate)
+        recorder = InMemoryRecorder()
+
     start = time.perf_counter()
     result = simulator.run(
         num_trials=args.trials,
+        trials=auto_trials,
         mode=args.mode,
-        workers=args.workers,
-        partition_depth=args.partition_depth,
+        workers=settings["workers"],
+        partition_depth=settings["partition_depth"],
         journal=args.journal,
-        max_cache_bytes=args.max_cache_bytes,
-        cache_degrade=args.cache_degrade,
+        max_cache_bytes=settings["max_cache_bytes"],
+        cache_degrade=settings["cache_degrade"],
         task_timeout=args.task_timeout,
         retries=args.retries,
+        task_weights=settings["task_weights"],
+        recorder=recorder,
     )
     elapsed = time.perf_counter() - start
     metrics = result.metrics
@@ -352,11 +424,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "benchmark": args.benchmark,
             "mode": args.mode,
             "seed": args.seed,
-            "workers": args.workers,
+            "workers": settings["workers"],
             "metrics": metrics.as_dict(),
             "counts": result.counts,
             "wall_s": elapsed,
         }
+        if args.auto:
+            payload["advice"] = certificate["advice"]
         if result.journal is not None:
             payload["journal"] = {
                 "path": result.journal.path,
@@ -368,10 +442,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         atomic_write_json(args.json, payload, indent=2, sort_keys=True)
     print(f"benchmark         : {args.benchmark}")
     print(f"mode              : {args.mode}")
-    if args.workers:
+    if args.auto:
+        advice = certificate["advice"]
+        chosen = (
+            f"workers {advice['workers']}, depth {advice['depth']}"
+            if advice["workers"]
+            else "serial"
+        )
         print(
-            f"workers           : {args.workers} "
-            f"(partition depth {args.partition_depth})"
+            f"auto-tuned        : {chosen} (certified makespan "
+            f"{advice['makespan_flops'] / 1e6:.2f} Mflop, "
+            f"memory {advice['memory_states']} states)"
+        )
+    if settings["workers"]:
+        print(
+            f"workers           : {settings['workers']} "
+            f"(partition depth {settings['partition_depth']})"
         )
     if result.journal is not None:
         summary = result.journal
@@ -389,10 +475,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(
                 "journal           : torn tail discarded (crash mid-record)"
             )
-    if args.max_cache_bytes is not None:
+    if settings["max_cache_bytes"] is not None:
         print(
-            f"cache budget      : {args.max_cache_bytes} bytes "
-            f"({args.cache_degrade} on overflow; nominal peak MSV "
+            f"cache budget      : {settings['max_cache_bytes']} bytes "
+            f"({settings['cache_degrade']} on overflow; nominal peak MSV "
             "reported below is unchanged by design)"
         )
     print(format_run_metrics(metrics, wall_s=elapsed))
@@ -402,6 +488,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  {bits}  {count:6d}  ({count / metrics.num_trials:.3f})")
     if args.json:
         print(f"\nwrote {args.json}")
+
+    if args.auto:
+        # Close the loop: the run just taken must match its certificate.
+        from .lint import lint_certificate_trace, lint_memory_timeline
+
+        exact = (
+            settings["workers"] == 0
+            and settings["max_cache_bytes"] is None
+        )
+        r20 = lint_certificate_trace(certificate, recorder)
+        r21 = lint_memory_timeline(certificate, recorder, exact=exact)
+        problems = [d.render() for d in r20.errors + r21.errors]
+        if problems:
+            print("certificate cross-check : FAILED", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(
+            "certificate cross-check : ok (P020 op counts exact, "
+            "P021 memory timeline sound)"
+        )
     return 0
 
 
@@ -509,7 +616,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static analysis: plan sanitizer + circuit/QASM/noise lint rules."""
-    from .lint import LintConfig, all_rules, lint_qasm_file, lint_suite
+    from .lint import LintConfig, all_rules, get_rule, lint_qasm_file, lint_suite
 
     if args.list_rules:
         for rule in all_rules():
@@ -517,6 +624,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 f"{rule.code}  {rule.severity.label:<7}  "
                 f"{rule.name:<26}  {rule.description}"
             )
+        return 0
+
+    if args.explain:
+        code = args.explain.upper()
+        try:
+            rule = get_rule(code)
+        except KeyError:
+            from .lint import registered_codes
+
+            print(
+                f"error: unknown diagnostic code {code!r}; known: "
+                f"{', '.join(registered_codes())}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{rule.code} ({rule.name}) — {rule.severity.label}, "
+              f"scope: {rule.scope}")
+        print(f"\n{rule.description}\n")
+        print(rule.explanation)
         return 0
 
     config = LintConfig(
@@ -571,12 +697,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
 
     num_errors = sum(len(result.errors) for result in results.values())
+    # Rule checkers that crashed are analyzer bugs, not clean audits: the
+    # exit status must not report success just because no diagnostic
+    # fired.  (Previously the JSON path swallowed them entirely.)
+    num_internal = sum(
+        len(result.internal_errors) for result in results.values()
+    )
     if args.format == "json":
         payload = {name: result.to_dict() for name, result in results.items()}
         print(json.dumps(payload, indent=2, sort_keys=True))
+        if num_internal:
+            for name, result in results.items():
+                for failure in result.internal_errors:
+                    print(
+                        f"internal error: {name}: {failure}", file=sys.stderr
+                    )
+            return 2
         return 1 if num_errors else 0
 
     for name, result in results.items():
+        for failure in result.internal_errors:
+            print(f"{name}: INTERNAL ERROR {failure}", file=sys.stderr)
         if result.diagnostics:
             print(f"{name}: {result.summary()}")
             for diagnostic in result:
@@ -602,11 +743,156 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 )
             print(f"{name}: ok{detail}")
     num_warnings = sum(len(result.warnings) for result in results.values())
+    internal_note = (
+        f", {num_internal} internal error(s)" if num_internal else ""
+    )
     print(
         f"\nchecked {len(results)} target(s): {num_errors} error(s), "
-        f"{num_warnings} warning(s)"
+        f"{num_warnings} warning(s){internal_note}"
     )
+    if num_internal:
+        return 2
     return 1 if num_errors else 0
+
+
+def _advise_certificate(args: argparse.Namespace):
+    """Build the resource certificate ``repro advise``/``--auto`` share.
+
+    Returns ``(certificate, layered, trials, compiled, budget)`` for the
+    benchmark named by ``args`` — sampled with the same seeded RNG a
+    :class:`NoisySimulator` run would use, so the certificate describes
+    exactly the run that ``--auto`` will launch.
+    """
+    import numpy as np
+
+    from .bench.suite import resolve_benchmark
+    from .circuits import layerize
+    from .lint import build_certificate
+    from .noise.sampling import sample_trials
+    from .sim.compiled import CompiledCircuit
+
+    circuit, model = resolve_benchmark(args.benchmark)
+    layered = layerize(circuit)
+    trials = sample_trials(
+        layered, model, args.trials, np.random.default_rng(args.seed)
+    )
+    budget = None
+    if getattr(args, "max_cache_bytes", None) is not None:
+        from .core.cache import CacheBudget
+
+        budget = CacheBudget(
+            max_bytes=args.max_cache_bytes, mode=args.cache_degrade
+        )
+    compiled = CompiledCircuit(layered)
+    certificate = build_certificate(
+        layered,
+        trials,
+        benchmark=args.benchmark,
+        seed=args.seed,
+        depths=getattr(args, "depths", None) or (1, 2),
+        workers=getattr(args, "candidate_workers", None) or (1, 2, 4),
+        budget=budget,
+        compiled=compiled,
+    )
+    return certificate, layered, trials, compiled, budget
+
+
+def _advised_settings(certificate) -> dict:
+    """Translate a certificate's ``advice`` into ``NoisySimulator.run``
+    keyword arguments plus the matching certificate task weights."""
+    advice = certificate["advice"]
+    settings = {
+        "workers": advice["workers"],
+        "partition_depth": advice["depth"] or 1,
+        "max_cache_bytes": advice["max_cache_bytes"],
+        "cache_degrade": advice["cache_degrade"] or "spill",
+        "task_weights": None,
+    }
+    if advice["workers"]:
+        for schedule in certificate["schedules"]:
+            if schedule["depth"] == advice["depth"]:
+                settings["task_weights"] = list(schedule["task_flops"])
+                break
+    return settings
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    """Static auto-tuner: rank (depth, workers, budget) candidates."""
+    from .lint import (
+        lint_certificate_schedule,
+        validate_certificate,
+        write_certificate,
+    )
+
+    try:
+        certificate, layered, trials, _, budget = _advise_certificate(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    problems = validate_certificate(certificate)
+    schedule_audit = lint_certificate_schedule(certificate)
+
+    print(f"benchmark         : {args.benchmark}")
+    print(
+        f"plan              : {certificate['plan']['ops']} ops, "
+        f"{certificate['plan']['flops']} flops, "
+        f"peak MSV {certificate['plan']['memory']['peak_msv']} "
+        f"({certificate['num_trials']} trials)"
+    )
+    if budget is not None:
+        predicted = certificate["budget"]["predicted"]
+        print(
+            f"cache budget      : {budget.max_bytes} bytes ({budget.mode}); "
+            f"predicted {predicted['spills']} spill(s), "
+            f"{predicted['drops']} drop(s), "
+            f"{predicted['recompute_ops']} recompute op(s)"
+        )
+    rows = [
+        {
+            "depth": c["depth"] or "-",
+            "workers": c["workers"] or "serial",
+            "Mflop makespan": c["makespan_flops"] / 1e6,
+            "mem states": c["memory_states"],
+            "budget": "yes" if c["budget"] else "-",
+            "score": c["score"],
+        }
+        for c in certificate["candidates"][: args.top]
+    ]
+    print(
+        rows_to_table(
+            rows,
+            title="certified candidates (score = makespan x memory, "
+            "lower is better)",
+        )
+    )
+    advice = certificate["advice"]
+    suggestion = [f"repro run {args.benchmark}", f"--trials {args.trials}"]
+    if advice["workers"]:
+        suggestion += [
+            f"--workers {advice['workers']}",
+            f"--partition-depth {advice['depth']}",
+        ]
+    if advice["max_cache_bytes"] is not None:
+        suggestion += [
+            f"--max-cache-bytes {advice['max_cache_bytes']}",
+            f"--cache-degrade {advice['cache_degrade']}",
+        ]
+    print(f"\nadvice            : {' '.join(suggestion)}")
+    print("                    (or: repro run "
+          f"{args.benchmark} --trials {args.trials} --auto)")
+
+    status = "ok" if schedule_audit.ok and not problems else "FAILED"
+    print(f"certificate check : {status} (schema + P022)")
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    for diagnostic in schedule_audit.errors:
+        print(f"  {diagnostic.render()}", file=sys.stderr)
+
+    if args.json:
+        write_certificate(args.json, certificate)
+        print(f"\nwrote {args.json}")
+    return 0 if status == "ok" else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -695,6 +981,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite; pass --benchmarks NAME (with --trials/--seed) to also "
         "prove the fingerprint and finish-order prefix against that run",
     )
+    plint.add_argument(
+        "--explain", default=None, metavar="CODE",
+        help="print the registered rationale for one diagnostic code "
+        "(why the rule exists, what a finding means) and exit",
+    )
+
+    padvise = sub.add_parser(
+        "advise",
+        help="static auto-tuner: certified (depth, workers, budget) ranking",
+        description=(
+            "Build a machine-checkable resource certificate for one "
+            "benchmark — per-segment flop/byte costs from the kernel "
+            "taxonomy, the full resident-memory timeline (with predicted "
+            "spill/drop events under --max-cache-bytes), and LPT makespans "
+            "for every candidate partition depth and worker count — then "
+            "rank the candidates by certified makespan x memory and print "
+            "the recommended settings.  No statevector is ever allocated.  "
+            "Feed the pick into a real run with 'repro run <benchmark> "
+            "--auto'.  Exit status 1 if the certificate fails its own "
+            "consistency proof (P022)."
+        ),
+    )
+    padvise.add_argument("benchmark", choices=all_benchmark_names())
+    padvise.add_argument("--trials", type=int, default=1024)
+    padvise.add_argument(
+        "--depths", nargs="*", type=int, default=None, metavar="D",
+        help="candidate partition depths (default: 1 2)",
+    )
+    padvise.add_argument(
+        "--candidate-workers", nargs="*", type=int, default=None,
+        metavar="N", help="candidate worker counts (default: 1 2 4)",
+    )
+    padvise.add_argument(
+        "--max-cache-bytes", type=int, default=None, metavar="BYTES",
+        help="also certify degradation under this snapshot-cache budget",
+    )
+    padvise.add_argument(
+        "--cache-degrade", choices=("spill", "drop"), default="spill",
+    )
+    padvise.add_argument(
+        "--top", type=int, default=8,
+        help="how many ranked candidates to print (default: 8)",
+    )
+    padvise.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full ResourceCertificate JSON (atomic)",
+    )
 
     pbench = sub.add_parser(
         "bench",
@@ -731,6 +1064,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     pbench.add_argument(
         "--partition-depth", type=int, default=1,
         help="trie cut depth for the parallel partition (default 1)",
+    )
+    pbench.add_argument(
+        "--auto", action="store_true",
+        help="attach a ResourceCertificate advice per benchmark and, when "
+        "it picks a parallel schedule, time one extra section with the "
+        "certificate's task weights driving the scheduler",
     )
 
     prun = sub.add_parser("run", help="run one benchmark end to end")
@@ -778,6 +1117,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="parallel task retry budget before the parent runs the "
         "task inline (default: 2)",
     )
+    prun.add_argument(
+        "--auto", action="store_true",
+        help="build a resource certificate first and run with its advised "
+        "workers/depth/schedule weights, then cross-check the recorded "
+        "run against the certificate (rules P020/P021; exit 1 on "
+        "divergence)",
+    )
 
     ptrace = sub.add_parser(
         "trace",
@@ -824,6 +1170,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {
+        "advise": _cmd_advise,
         "table1": _cmd_table1,
         "device": _cmd_device,
         "fig5": _cmd_fig5,

@@ -221,26 +221,41 @@ class PlanPartition:
             task.est_ops for task in self.tasks
         )
 
-    def assign(self, num_workers: int) -> List[List[int]]:
+    def assign(
+        self, num_workers: int, weights: Optional[Sequence[int]] = None
+    ) -> List[List[int]]:
         """LPT-balance task ids over ``num_workers`` buckets.
 
         Heaviest task first, each to the least-loaded worker; fully
         deterministic (ties broken by task id, then worker index).  Each
         bucket is returned sorted by task id — execution order within a
         worker does not affect results, only determinism of the trace.
+
+        ``weights`` overrides the default per-task operation counts —
+        e.g. the flop weights of a resource certificate
+        (:func:`repro.lint.costmodel.build_certificate`), which account
+        for kernel kind and fusion, not just gate count.  Must list one
+        weight per task.
         """
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
+        if weights is None:
+            weights = [task.est_ops for task in self.tasks]
+        elif len(weights) != len(self.tasks):
+            raise ValueError(
+                f"got {len(weights)} task weight(s) for "
+                f"{len(self.tasks)} task(s)"
+            )
         loads = [0] * num_workers
         buckets: List[List[int]] = [[] for _ in range(num_workers)]
         order = sorted(
             range(len(self.tasks)),
-            key=lambda t: (-self.tasks[t].est_ops, t),
+            key=lambda t: (-weights[t], t),
         )
         for task_id in order:
             worker = min(range(num_workers), key=lambda w: (loads[w], w))
             buckets[worker].append(task_id)
-            loads[worker] += max(1, self.tasks[task_id].est_ops)
+            loads[worker] += max(1, weights[task_id])
         for bucket in buckets:
             bucket.sort()
         return buckets
@@ -1116,6 +1131,7 @@ def run_parallel(
     retries: int = 2,
     task_timeout: Optional[float] = None,
     faults=None,
+    task_weights: Optional[Sequence[int]] = None,
 ) -> ParallelOutcome:
     """Execute ``trials`` with prefix reuse across ``workers`` processes.
 
@@ -1174,13 +1190,25 @@ def run_parallel(
         Deterministic fault injector (:class:`repro.testing.ChaosPlan`)
         exposing ``before_task`` / ``corrupt_payload`` / ``corrupt_entry``
         hooks; production runs leave it ``None``.
+    task_weights:
+        Optional per-task schedule weights (one per partition task)
+        replacing the built-in operation-count heuristic in both the
+        static LPT assignment and the dynamic dispatch order — the hook
+        a resource certificate's flop weights feed
+        (:func:`repro.lint.costmodel.build_certificate`).  Scheduling
+        only: results are bit-identical for any weighting.
     """
     if workers < 1:
         raise ValueError(f"need at least one worker, got {workers}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     partition = partition_plan(layered, trials, depth=depth, check=check)
-    assignment = partition.assign(workers)
+    if task_weights is not None and len(task_weights) != partition.num_tasks:
+        raise ValueError(
+            f"got {len(task_weights)} task weight(s) for "
+            f"{partition.num_tasks} task(s) at depth {depth}"
+        )
+    assignment = partition.assign(workers, weights=task_weights)
     use_fork = fork_available() if inline is None else not inline
     if inline is False and not fork_available():
         raise RuntimeError(
@@ -1253,9 +1281,14 @@ def run_parallel(
 
         # LPT dispatch order: heaviest first keeps the dynamic queue's
         # makespan near the static assignment's.
+        dispatch_weights = (
+            task_weights
+            if task_weights is not None
+            else [task.est_ops for task in partition.tasks]
+        )
         order = sorted(
             range(num_tasks),
-            key=lambda t: (-partition.tasks[t].est_ops, t),
+            key=lambda t: (-dispatch_weights[t], t),
         )
         if use_fork and num_tasks:
             pool = _drive_fork_pool(

@@ -182,6 +182,7 @@ class NoisySimulator:
         cache_degrade: str = "spill",
         task_timeout: Optional[float] = None,
         retries: int = 2,
+        task_weights: Optional[Sequence[int]] = None,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -240,6 +241,13 @@ class NoisySimulator:
         retries:
             Parallel task retry budget before the parent falls back to
             inline execution.
+        task_weights:
+            Optional per-task schedule weights for the parallel path —
+            typically a resource certificate's flop weights
+            (``certificate["schedules"][...]["task_flops"]``), replacing
+            the operation-count heuristic.  Scheduling only; results are
+            bit-identical for any weighting.  Requires ``workers`` and is
+            ignored by journaled runs (their task queue is resume-driven).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
@@ -335,6 +343,7 @@ class NoisySimulator:
                 cache_budget=cache_budget,
                 retries=retries,
                 task_timeout=task_timeout,
+                task_weights=task_weights,
             )
         elif mode == "optimized":
             outcome = run_optimized(

@@ -39,12 +39,27 @@ from .trial_rules import lint_noise_model, lint_trials
 from .trace_rules import lint_trace
 from .partition_rules import lint_partition, lint_partition_trace
 from .journal_rules import lint_journal
+from .costmodel import (
+    PlanCostAnalysis,
+    analyze_partition,
+    analyze_plan,
+    build_certificate,
+    validate_certificate,
+    write_certificate,
+)
+from .schedule_rules import (
+    lint_budget_prediction,
+    lint_certificate_schedule,
+    lint_certificate_trace,
+    lint_memory_timeline,
+)
 from .api import (
     lint_benchmark,
     lint_plan,
     lint_qasm_file,
     lint_qasm_text,
     lint_suite,
+    sort_diagnostics,
 )
 
 __all__ = [
@@ -52,11 +67,19 @@ __all__ = [
     "LintConfig",
     "LintResult",
     "PlanAudit",
+    "PlanCostAnalysis",
     "Rule",
     "Severity",
     "all_rules",
+    "analyze_partition",
+    "analyze_plan",
+    "build_certificate",
     "get_rule",
     "lint_benchmark",
+    "lint_budget_prediction",
+    "lint_certificate_schedule",
+    "lint_certificate_trace",
+    "lint_memory_timeline",
     "lint_circuit",
     "lint_journal",
     "lint_noise_model",
@@ -72,4 +95,7 @@ __all__ = [
     "render_json",
     "render_text",
     "sanitize_plan",
+    "sort_diagnostics",
+    "validate_certificate",
+    "write_certificate",
 ]

@@ -10,6 +10,7 @@ bodies so ``import repro.lint`` stays cheap.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Sequence
 
 from ..circuits.layers import LayeredCircuit
@@ -28,6 +29,7 @@ __all__ = [
     "lint_plan",
     "lint_benchmark",
     "lint_suite",
+    "sort_diagnostics",
 ]
 
 register(
@@ -36,7 +38,34 @@ register(
     Severity.ERROR,
     "qasm",
     "The OpenQASM source could not be parsed.",
+    explanation="A QASM file that fails to parse yields no circuit to "
+    "lint; reporting the parse failure as a diagnostic (rather than an "
+    "exception) lets a multi-file lint run report every broken file in one "
+    "pass instead of aborting at the first.",
 )
+
+
+def sort_diagnostics(result: LintResult) -> LintResult:
+    """Sort a result's diagnostics by (code, location, message), in place.
+
+    Checker iteration order and dict/set traversal inside individual rules
+    are not guaranteed stable across runs or Python versions; every public
+    entry point sorts before returning so ``repro lint`` text and JSON
+    renderings are byte-identical for identical inputs.  Numeric suffixes
+    in locations sort numerically (``plan[2]`` before ``plan[10]``).
+    """
+
+    def location_key(location: Optional[str]):
+        text = location or ""
+        return [
+            (0, int(piece)) if piece.isdigit() else (1, piece)
+            for piece in re.split(r"(\d+)", text)
+        ]
+
+    result.diagnostics.sort(
+        key=lambda d: (d.code, location_key(d.location), d.message)
+    )
+    return result
 
 
 def lint_qasm_text(
@@ -57,7 +86,7 @@ def lint_qasm_text(
         if diagnostic is not None:
             result.add(diagnostic)
         return result
-    return lint_circuit(circuit, config=config)
+    return sort_diagnostics(lint_circuit(circuit, config=config))
 
 
 def lint_qasm_file(path: str, config: Optional[LintConfig] = None) -> LintResult:
@@ -121,7 +150,7 @@ def lint_plan(
             )
             if diagnostic is not None:
                 result.add(diagnostic)
-    return result
+    return sort_diagnostics(result)
 
 
 def lint_benchmark(
@@ -167,7 +196,7 @@ def lint_benchmark(
     )
     result.info["benchmark"] = name
     result.info["num_trials"] = num_trials
-    return result
+    return sort_diagnostics(result)
 
 
 def lint_suite(

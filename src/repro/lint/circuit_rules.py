@@ -35,6 +35,13 @@ _UNITARY_ATOL = 1e-8
     "An instruction references a qubit index outside the circuit.",
 )
 def _check_qubit_ranges(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """Gates and measurements must address qubits the circuit declares.
+
+    Circuit builders validate indices at construction, but circuits also
+    arrive from QASM text and serialized payloads where nothing has been
+    checked; an out-of-range index would crash layerization or, worse,
+    index the state tensor's wrong axis.
+    """
     for index, instr in enumerate(circuit):
         for qubit in instr.qubits:
             if not 0 <= qubit < circuit.num_qubits:
@@ -54,6 +61,12 @@ def _check_qubit_ranges(circuit: QuantumCircuit) -> Iterator[_Finding]:
     "A measurement writes a classical bit outside the register.",
 )
 def _check_clbit_ranges(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """Measurements must write classical bits inside the declared register.
+
+    A clbit index past the register would make bitstring assembly index
+    out of range at readout time — long after the expensive simulation
+    has already run — so it is rejected statically instead.
+    """
     for index, instr in enumerate(circuit):
         if isinstance(instr, Measurement):
             if not 0 <= instr.clbit < circuit.num_clbits:
@@ -73,6 +86,12 @@ def _check_clbit_ranges(circuit: QuantumCircuit) -> Iterator[_Finding]:
     "A declared qubit is never touched by any gate or measurement.",
 )
 def _check_unused_qubits(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """A declared-but-untouched qubit doubles the statevector for nothing.
+
+    Every unused qubit doubles ``2**n`` memory and the cost of every
+    dense kernel application without affecting any outcome; usually a
+    leftover from editing a circuit's width.
+    """
     touched = set()
     for instr in circuit:
         if not isinstance(instr, Barrier):
@@ -94,6 +113,13 @@ def _check_unused_qubits(circuit: QuantumCircuit) -> Iterator[_Finding]:
     "A gate's matrix is not numerically unitary.",
 )
 def _check_unitarity(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """Every gate matrix must be numerically unitary.
+
+    A non-unitary matrix silently un-normalizes the statevector, so
+    sampled outcome probabilities stop summing to one; this arises from
+    hand-built custom gates or corrupted serialized matrices that
+    bypassed the Gate constructor's check.
+    """
     verdicts: Dict[Gate, bool] = {}
     for index, instr in enumerate(circuit):
         if not isinstance(instr, GateOp):
@@ -136,6 +162,12 @@ def _is_self_inverse(gate: Gate) -> bool:
     "Two adjacent identical self-inverse gates cancel to the identity.",
 )
 def _check_redundant_pairs(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """Adjacent identical self-inverse gates multiply to the identity.
+
+    Such pairs cost two full kernel applications per trial and change
+    nothing; they typically survive manual circuit edits.  Dropping both
+    gates shrinks every Advance segment that contains them.
+    """
     # last_op[q] == (instruction index, op) of the latest instruction
     # touching qubit q; a pair is adjacent when no intervening instruction
     # touched any of its qubits.
@@ -183,6 +215,13 @@ def _check_redundant_pairs(circuit: QuantumCircuit) -> Iterator[_Finding]:
     "A gate follows a measurement on the same qubit (executor contract).",
 )
 def _check_terminal_measurements(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """Gates after a measurement on the same qubit break the executor.
+
+    The trial-reordering executor samples all measurements from the final
+    statevector, which is only valid when measurements are terminal; a
+    gate after a measurement would require mid-circuit collapse the
+    backends deliberately do not model.
+    """
     measured: Dict[int, int] = {}
     for index, instr in enumerate(circuit):
         if isinstance(instr, Measurement):
@@ -209,6 +248,12 @@ def _check_terminal_measurements(circuit: QuantumCircuit) -> Iterator[_Finding]:
     "Two measurements write the same classical bit.",
 )
 def _check_clbit_collisions(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """Two measurements writing one classical bit lose the first readout.
+
+    Only the last write survives in the readout bitstring, so the earlier
+    measurement's outcome is silently discarded — almost always an
+    off-by-one in clbit assignment rather than an intended overwrite.
+    """
     writers: Dict[int, int] = {}
     for index, instr in enumerate(circuit):
         if not isinstance(instr, Measurement):
@@ -232,6 +277,12 @@ def _check_clbit_collisions(circuit: QuantumCircuit) -> Iterator[_Finding]:
     "The circuit contains no gates and no measurements.",
 )
 def _check_nonempty(circuit: QuantumCircuit) -> Iterator[_Finding]:
+    """An empty circuit is almost certainly a loading mistake.
+
+    A circuit with no gates and no measurements runs successfully and
+    reports a trivial all-zeros distribution — a confusing non-result
+    that usually means a QASM file failed to parse the interesting part.
+    """
     if not circuit.gate_ops() and not circuit.measurements():
         yield (
             f"circuit {circuit.name!r} has no gates and no measurements",
@@ -250,7 +301,17 @@ def lint_circuit(
             continue
         if config is not None and not config.is_enabled(entry.code):
             continue
-        for message, location, hint in entry.checker(circuit):
+        try:
+            findings = list(entry.checker(circuit))
+        except Exception as exc:
+            # A crashing rule is an analyzer bug, not a circuit finding:
+            # record it so the verdict is marked incomplete (and the CLI
+            # exits non-zero) while the remaining rules still run.
+            result.add_internal_error(
+                entry.code, f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        for message, location, hint in findings:
             diagnostic = make_diagnostic(
                 entry.code,
                 message,

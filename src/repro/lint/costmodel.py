@@ -1,0 +1,743 @@
+"""Static cost & schedule analyzer: symbolic plan interpretation to a
+machine-checkable **ResourceCertificate**.
+
+The paper's redundancy elimination makes run cost a function of trie
+*structure*: every ``Advance`` applies a statically known layer range,
+every ``Inject`` one operator, every ``Snapshot``/``Restore`` moves one
+statevector — so operations, flops, the resident-memory timeline and the
+parallel makespan are all decidable from the :class:`ExecutionPlan` alone,
+before a single amplitude is touched.  This module computes them:
+
+:func:`analyze_plan`
+    A symbolic abstract interpreter over plan programs (the same
+    discipline as :func:`repro.lint.plan_sanitizer.sanitize_plan`, which
+    proves *validity*; this pass computes *cost*).  Per-instruction
+    flop/byte costs come from the kernel taxonomy
+    (:func:`repro.sim.kernels.kernel_cost` folded over each compiled
+    segment, fused single-qubit runs included); the memory timeline
+    mirrors :class:`~repro.core.cache.StateCache` accounting exactly,
+    including predicted spill/drop/recompute events under any
+    :class:`~repro.core.cache.CacheBudget` (the mirror replays the
+    executor's enforce-after-store / coldest-slot-first policy).
+
+:func:`build_certificate`
+    Bundles the plan analysis with, per candidate partition depth, the
+    statically weighted sub-plan set and its LPT makespan over k workers,
+    a sound parallel memory bound, and a ranked candidate list — the
+    JSON document behind ``repro advise``.  Written atomically via
+    :func:`repro.core.atomicio.atomic_write_json`.
+
+The certificate is *checkable*: rules P020-P023
+(:mod:`repro.lint.schedule_rules`) prove its numbers against real traces
+and runtime counters, the same prove-it-then-run idiom as P013/P017/P018.
+
+A note on makespan monotonicity: the raw LPT makespan at exactly ``k``
+workers is **not** monotone in partition depth (deeper cuts move shared
+segment work into the serial prefix), and greedy LPT itself is not even
+guaranteed monotone in ``k`` for adversarial weights.  The *certified*
+makespan is therefore ``min`` over ``j <= k`` of the raw LPT value —
+monotone in workers by construction and sound, since extra workers can
+always idle.  Depth monotonicity is deliberately not asserted; instead
+P022 verifies operation conservation across depths (prefix + tasks ==
+serial, every depth).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.layers import LayeredCircuit
+from ..core.cache import CacheBudget
+from ..core.events import ErrorEvent, Trial
+from ..core.schedule import (
+    Advance,
+    ExecutionPlan,
+    Finish,
+    Inject,
+    Restore,
+    ScheduleError,
+    Snapshot,
+    build_plan,
+)
+
+__all__ = [
+    "CERT_SCHEMA",
+    "PlanCostAnalysis",
+    "analyze_plan",
+    "lpt_assign",
+    "lpt_makespan",
+    "analyze_partition",
+    "build_certificate",
+    "write_certificate",
+    "validate_certificate",
+]
+
+#: Certificate document schema tag.
+CERT_SCHEMA = "repro-cert/1"
+
+
+def _segment_name(start_layer: int, end_layer: int) -> str:
+    """The span name the executor records for this Advance range."""
+    return f"advance[{start_layer},{end_layer})"
+
+
+class PlanCostAnalysis:
+    """Everything statically decidable about one plan execution.
+
+    ``segments`` maps the executor's span name (``advance[s,e)``) to the
+    per-range aggregate ``{count, gates, ops, flops, bytes_moved}``;
+    ``timeline`` is the resident-memory change-point list
+    ``[instruction_index, live, stored, resident]`` (index ``-1`` is the
+    initial working state).  The nominal peaks mirror
+    :func:`~repro.lint.plan_sanitizer.sanitize_plan` (and therefore the
+    runtime ``CacheStats``); the ``predicted_*`` counters mirror the
+    executor's budget degradation and are all zero without a budget.
+    """
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.flops = 0
+        self.bytes_moved = 0
+        self.num_instructions = 0
+        self.segments: Dict[str, Dict[str, int]] = {}
+        self.injects = 0
+        self.inject_flops = 0
+        self.inject_bytes = 0
+        self.finishes = 0
+        self.finished_trials = 0
+        self.snapshots_taken = 0
+        self.peak_msv = 1
+        self.peak_stored = 0
+        self.peak_resident_msv = 1
+        self.peak_resident_stored = 0
+        self.timeline: List[Tuple[int, int, int, int]] = []
+        self.predicted_spills = 0
+        self.predicted_spill_loads = 0
+        self.predicted_drops = 0
+        self.predicted_recomputes = 0
+        self.predicted_recompute_ops = 0
+        self.predicted_recompute_flops = 0
+
+    @property
+    def total_ops(self) -> int:
+        """Ops a run actually applies: plan ops plus predicted recomputes."""
+        return self.ops + self.predicted_recompute_ops
+
+    @property
+    def total_flops(self) -> int:
+        return self.flops + self.predicted_recompute_flops
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ops": self.ops,
+            "flops": self.flops,
+            "bytes_moved": self.bytes_moved,
+            "num_instructions": self.num_instructions,
+            "segments": self.segments,
+            "injects": {
+                "count": self.injects,
+                "flops": self.inject_flops,
+                "bytes_moved": self.inject_bytes,
+            },
+            "finishes": self.finishes,
+            "finished_trials": self.finished_trials,
+            "snapshots_taken": self.snapshots_taken,
+            "memory": {
+                "peak_msv": self.peak_msv,
+                "peak_stored": self.peak_stored,
+                "peak_resident_msv": self.peak_resident_msv,
+                "peak_resident_stored": self.peak_resident_stored,
+                "timeline": [list(point) for point in self.timeline],
+            },
+            "predicted": {
+                "spills": self.predicted_spills,
+                "spill_loads": self.predicted_spill_loads,
+                "drops": self.predicted_drops,
+                "recomputes": self.predicted_recomputes,
+                "recompute_ops": self.predicted_recompute_ops,
+                "recompute_flops": self.predicted_recompute_flops,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCostAnalysis(ops={self.ops}, flops={self.flops}, "
+            f"peak_msv={self.peak_msv})"
+        )
+
+
+def _inject_cost(compiled, event: ErrorEvent) -> Tuple[int, int]:
+    """(flops, bytes) of one injected error operator."""
+    from ..sim.kernels import kernel_cost
+
+    kernel = compiled.operator_kernel(event.gate, (event.qubit,))
+    cost = kernel_cost(kernel, compiled.num_qubits)
+    return cost.flops, cost.bytes_moved
+
+
+def _recompute_cost(
+    compiled,
+    layered: LayeredCircuit,
+    provenance: Sequence[ErrorEvent],
+    layer: int,
+) -> Tuple[int, int]:
+    """Closed-form (ops, flops) of rebuilding one dropped snapshot.
+
+    Mirrors :func:`repro.core.executor._recompute_snapshot` exactly —
+    same advance/inject boundary sequence, so the same segment costs.
+    """
+    ops = 0
+    flops = 0
+    cursor = 0
+    for event in provenance:
+        target = event.layer + 1
+        if target > cursor:
+            ops += layered.gates_between(cursor, target)
+            flops += int(compiled.segment_cost(cursor, target)["flops"])
+            cursor = target
+        event_flops, _ = _inject_cost(compiled, event)
+        ops += 1
+        flops += event_flops
+    if layer > cursor:
+        ops += layered.gates_between(cursor, layer)
+        flops += int(compiled.segment_cost(cursor, layer)["flops"])
+    return ops, flops
+
+
+def analyze_plan(
+    plan: ExecutionPlan,
+    layered: LayeredCircuit,
+    compiled=None,
+    budget: Optional[CacheBudget] = None,
+    entry_layer: int = 0,
+    entry_events: Sequence[ErrorEvent] = (),
+) -> PlanCostAnalysis:
+    """Symbolically interpret ``plan`` and compute its static costs.
+
+    The plan must be structurally valid (run the sanitizer first;
+    :func:`build_certificate` does).  ``compiled`` is a
+    :class:`~repro.sim.compiled.CompiledCircuit` supplying per-segment
+    kernel costs — built on demand when omitted; pass the one the run
+    will use to share segment compilations.  ``budget`` predicts the
+    executor's spill/drop degradation under the same
+    :class:`~repro.core.cache.CacheBudget`, mirroring its
+    enforce-after-store, coldest-slot-first policy (statevector states
+    assumed: ``state_bytes = 16 * 2**n``).
+    """
+    if compiled is None:
+        from ..sim.compiled import CompiledCircuit
+
+        compiled = CompiledCircuit(layered)
+
+    analysis = PlanCostAnalysis()
+    analysis.num_instructions = len(plan.instructions)
+    state_bytes = 16 * (1 << layered.num_qubits)
+
+    cursor = int(entry_layer)
+    history: Tuple[ErrorEvent, ...] = tuple(entry_events)
+    # slot -> {"layer", "history", "state": "resident"|"spilled"|"dropped"}
+    open_slots: Dict[int, Dict[str, Any]] = {}
+    stored = 0  # all stored snapshots (resident or degraded)
+    resident_stored = 0  # non-degraded snapshots only
+
+    def resident_peaks() -> None:
+        analysis.peak_resident_msv = max(
+            analysis.peak_resident_msv, resident_stored + 1
+        )
+        analysis.peak_resident_stored = max(
+            analysis.peak_resident_stored, resident_stored
+        )
+
+    def sample(index: int) -> None:
+        point = (index, stored + 1, stored, resident_stored + 1)
+        if not analysis.timeline or analysis.timeline[-1][1:] != point[1:]:
+            analysis.timeline.append(point)
+
+    sample(-1)  # the initial working state
+
+    for index, instr in enumerate(plan.instructions):
+        if isinstance(instr, Advance):
+            gates = layered.gates_between(instr.start_layer, instr.end_layer)
+            cost = compiled.segment_cost(instr.start_layer, instr.end_layer)
+            name = _segment_name(instr.start_layer, instr.end_layer)
+            entry = analysis.segments.setdefault(
+                name,
+                {
+                    "count": 0,
+                    "gates": gates,
+                    "ops": 0,
+                    "flops": 0,
+                    "bytes_moved": 0,
+                },
+            )
+            entry["count"] += 1
+            entry["ops"] += gates
+            entry["flops"] += int(cost["flops"])
+            entry["bytes_moved"] += int(cost["bytes_moved"])
+            analysis.ops += gates
+            analysis.flops += int(cost["flops"])
+            analysis.bytes_moved += int(cost["bytes_moved"])
+            cursor = instr.end_layer
+        elif isinstance(instr, Snapshot):
+            if instr.slot in open_slots:
+                raise ScheduleError(
+                    f"cost analysis of an invalid plan: slot {instr.slot} "
+                    "snapshotted while occupied (run sanitize_plan first)"
+                )
+            open_slots[instr.slot] = {
+                "layer": cursor,
+                "history": history,
+                "state": "resident",
+            }
+            stored += 1
+            resident_stored += 1
+            analysis.snapshots_taken += 1
+            analysis.peak_msv = max(analysis.peak_msv, stored + 1)
+            analysis.peak_stored = max(analysis.peak_stored, stored)
+            resident_peaks()
+            sample(index)
+            if budget is not None:
+                # Mirror _enforce_budget: degrade the coldest (lowest id)
+                # resident slot while the resident footprint exceeds the
+                # budget.  The working state is live throughout (+1).
+                while (
+                    resident_stored > 0
+                    and (resident_stored + 1) * state_bytes > budget.max_bytes
+                ):
+                    coldest = min(
+                        slot
+                        for slot, info in open_slots.items()
+                        if info["state"] == "resident"
+                    )
+                    info = open_slots[coldest]
+                    if budget.mode == "drop":
+                        info["state"] = "dropped"
+                        analysis.predicted_drops += 1
+                    elif budget.mode == "spill":
+                        info["state"] = "spilled"
+                        analysis.predicted_spills += 1
+                    else:
+                        raise ScheduleError(
+                            f"unknown cache degradation mode {budget.mode!r}"
+                        )
+                    resident_stored -= 1
+                    sample(index)
+        elif isinstance(instr, Inject):
+            flops, bytes_moved = _inject_cost(compiled, instr.event)
+            analysis.injects += 1
+            analysis.inject_flops += flops
+            analysis.inject_bytes += bytes_moved
+            analysis.ops += 1
+            analysis.flops += flops
+            analysis.bytes_moved += bytes_moved
+            history = history + (instr.event,)
+        elif isinstance(instr, Restore):
+            info = open_slots.pop(instr.slot, None)
+            if info is None:
+                raise ScheduleError(
+                    f"cost analysis of an invalid plan: restore of empty "
+                    f"slot {instr.slot} (run sanitize_plan first)"
+                )
+            stored -= 1
+            if info["state"] == "resident":
+                resident_stored -= 1
+            elif info["state"] == "spilled":
+                analysis.predicted_spill_loads += 1
+            elif info["state"] == "dropped":
+                ops, flops = _recompute_cost(
+                    compiled, layered, info["history"], info["layer"]
+                )
+                analysis.predicted_recomputes += 1
+                analysis.predicted_recompute_ops += ops
+                analysis.predicted_recompute_flops += flops
+            cursor = info["layer"]
+            history = info["history"]
+            resident_peaks()
+            sample(index)
+        elif isinstance(instr, Finish):
+            analysis.finishes += 1
+            analysis.finished_trials += len(instr.trial_indices)
+        else:
+            raise ScheduleError(f"unknown plan instruction {instr!r}")
+
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Parallel schedules: LPT makespan + sound memory bounds, per depth
+# ---------------------------------------------------------------------------
+
+
+def lpt_assign(
+    weights: Sequence[int], num_workers: int
+) -> Tuple[List[List[int]], List[int]]:
+    """LPT-balance weighted task ids; returns ``(buckets, loads)``.
+
+    Exactly mirrors :meth:`repro.core.parallel.PlanPartition.assign` —
+    heaviest first (ties by task id), each to the least-loaded worker
+    (ties by worker index), every task contributing at least load 1 — so
+    a certificate's schedule can be reproduced from its own weights.
+    """
+    if num_workers < 1:
+        raise ValueError(f"need at least one worker, got {num_workers}")
+    loads = [0] * num_workers
+    buckets: List[List[int]] = [[] for _ in range(num_workers)]
+    order = sorted(range(len(weights)), key=lambda t: (-weights[t], t))
+    for task_id in order:
+        worker = min(range(num_workers), key=lambda w: (loads[w], w))
+        buckets[worker].append(task_id)
+        loads[worker] += max(1, weights[task_id])
+    for bucket in buckets:
+        bucket.sort()
+    return buckets, loads
+
+
+def lpt_makespan(weights: Sequence[int], num_workers: int) -> int:
+    """Max worker load of the deterministic LPT assignment."""
+    _, loads = lpt_assign(weights, num_workers)
+    return max(loads) if loads else 0
+
+
+def _prefix_static_peaks(partition, layered: LayeredCircuit) -> Dict[str, int]:
+    """Static mirror of ``_run_prefix`` peak accounting.
+
+    After every prefix instruction the parent's live count is
+    ``cached + working + emitted entry snapshots`` — the same formula
+    ``_run_prefix`` maximizes at runtime.
+    """
+    from ..core.parallel import EmitTask
+
+    stored = 0
+    working = 1
+    emitted = 0
+    peak_live = 1
+    peak_stored = 0
+    instructions = partition.prefix
+    for index, instr in enumerate(instructions):
+        if isinstance(instr, Snapshot):
+            stored += 1
+        elif isinstance(instr, Restore):
+            stored -= 1
+            working = 1
+        elif isinstance(instr, EmitTask):
+            emitted += 1
+            next_instr = (
+                instructions[index + 1]
+                if index + 1 < len(instructions)
+                else None
+            )
+            if not isinstance(next_instr, Restore):
+                working = 0
+        peak_live = max(peak_live, stored + working + emitted)
+        peak_stored = max(peak_stored, stored + emitted)
+    return {"peak_live": peak_live, "peak_stored": peak_stored}
+
+
+def analyze_partition(
+    partition,
+    layered: LayeredCircuit,
+    compiled=None,
+    workers: Sequence[int] = (1, 2, 4),
+) -> Dict[str, Any]:
+    """Static schedule analysis of one partition depth.
+
+    Weighs every sub-plan with the cost model (ops for conservation
+    proofs, flops as the LPT load weight), statically bounds the parent's
+    prefix memory, and computes per-worker-count LPT makespans plus a
+    memory bound that is sound for *any* distribution of the tasks over
+    at most ``k`` workers: ``max(prefix peak, num_tasks + sum of the k
+    largest task peaks)`` — an upper bound on the runtime
+    ``ParallelOutcome.peak_msv`` even under the dynamic work queue, where
+    actual per-worker task sets can differ from the static assignment.
+    """
+    if compiled is None:
+        from ..sim.compiled import CompiledCircuit
+
+        compiled = CompiledCircuit(layered)
+
+    task_ops: List[int] = []
+    task_flops: List[int] = []
+    task_peaks: List[int] = []
+    for task in partition.tasks:
+        sub = analyze_plan(
+            task.plan,
+            layered,
+            compiled=compiled,
+            entry_layer=task.entry_layer,
+            entry_events=task.entry_events,
+        )
+        task_ops.append(sub.ops)
+        task_flops.append(sub.flops)
+        task_peaks.append(sub.peak_msv)
+
+    prefix_ops = partition.prefix_operations(layered)
+    prefix_flops = 0
+    for instr in partition.prefix:
+        if isinstance(instr, Advance):
+            prefix_flops += int(
+                compiled.segment_cost(instr.start_layer, instr.end_layer)[
+                    "flops"
+                ]
+            )
+        elif isinstance(instr, Inject):
+            flops, _ = _inject_cost(compiled, instr.event)
+            prefix_flops += flops
+    prefix_peaks = _prefix_static_peaks(partition, layered)
+
+    num_tasks = partition.num_tasks
+    peaks_desc = sorted(task_peaks, reverse=True)
+    by_workers: Dict[str, Dict[str, int]] = {}
+    best = None
+    for k in sorted(set(int(w) for w in workers if int(w) >= 1)):
+        raw = lpt_makespan(task_flops, k)
+        # Certified makespan: monotone in workers by construction (extra
+        # workers can idle), which raw greedy LPT does not guarantee.
+        best = raw if best is None else min(best, raw)
+        memory_states = max(
+            prefix_peaks["peak_live"],
+            num_tasks + sum(peaks_desc[: min(k, num_tasks)]),
+        )
+        by_workers[str(k)] = {
+            "lpt_makespan": raw,
+            "makespan": best,
+            "memory_states": memory_states,
+        }
+    return {
+        "depth": partition.depth,
+        "num_tasks": num_tasks,
+        "prefix_ops": prefix_ops,
+        "prefix_flops": prefix_flops,
+        "prefix_peak_live": prefix_peaks["peak_live"],
+        "prefix_peak_stored": prefix_peaks["peak_stored"],
+        "task_ops": task_ops,
+        "task_flops": task_flops,
+        "task_peaks": task_peaks,
+        "workers": by_workers,
+    }
+
+
+# ---------------------------------------------------------------------------
+# ResourceCertificate
+# ---------------------------------------------------------------------------
+
+
+def build_certificate(
+    layered: LayeredCircuit,
+    trials: Sequence[Trial],
+    benchmark: Optional[str] = None,
+    seed: Optional[int] = None,
+    depths: Sequence[int] = (1, 2),
+    workers: Sequence[int] = (1, 2, 4),
+    budget: Optional[CacheBudget] = None,
+    compiled=None,
+) -> Dict[str, Any]:
+    """Build the ResourceCertificate for one circuit + trial set.
+
+    The certificate carries (a) the serial plan's exact per-segment op
+    counts and kernel-model flop/byte costs, (b) the full resident-memory
+    timeline with predicted degradation under ``budget``, (c) per
+    partition ``depth`` the statically weighted sub-plan set, certified
+    LPT makespans over every candidate worker count and a sound parallel
+    memory bound, and (d) the ranked (depth, workers, budget) candidate
+    list with the top pick as ``advice``.  Candidate scores are
+    ``makespan_flops * memory_bytes`` (lower is better; ties broken
+    serial-first, then fewer workers, then shallower depth).  Budget
+    degradation is certified for the serial schedule (P023 checks it
+    against ``run_optimized``); parallel candidates are enumerated
+    without a budget.
+    """
+    from ..core.parallel import partition_plan
+    from ..core.schedule import build_plan as _build_plan
+
+    if compiled is None:
+        from ..sim.compiled import CompiledCircuit
+
+        compiled = CompiledCircuit(layered)
+
+    plan = _build_plan(layered, trials)
+    audit = plan.audit(trials=trials, layered=layered)
+    if not audit.ok:
+        raise ScheduleError(
+            "cannot certify an invalid plan: "
+            + "; ".join(str(d) for d in audit.errors)
+        )
+    serial = analyze_plan(plan, layered, compiled=compiled)
+    degraded = (
+        analyze_plan(plan, layered, compiled=compiled, budget=budget)
+        if budget is not None
+        else None
+    )
+
+    state_bytes = 16 * (1 << layered.num_qubits)
+    schedules: List[Dict[str, Any]] = []
+    for depth in sorted(set(int(d) for d in depths if int(d) >= 1)):
+        partition = partition_plan(layered, trials, depth=depth)
+        schedules.append(
+            analyze_partition(
+                partition, layered, compiled=compiled, workers=workers
+            )
+        )
+
+    candidates: List[Dict[str, Any]] = []
+
+    def add_candidate(
+        depth: int,
+        num_workers: int,
+        makespan: int,
+        memory_states: int,
+        with_budget: bool,
+    ) -> None:
+        memory_bytes = memory_states * state_bytes
+        candidates.append(
+            {
+                "depth": depth,
+                "workers": num_workers,
+                "makespan_flops": makespan,
+                "memory_states": memory_states,
+                "memory_bytes": memory_bytes,
+                "budget": with_budget,
+                "score": makespan * memory_bytes,
+            }
+        )
+
+    # Serial candidates (workers=0 encodes "no parallel pool").
+    add_candidate(0, 0, serial.flops, serial.peak_msv, False)
+    if degraded is not None:
+        add_candidate(
+            0, 0, degraded.total_flops, degraded.peak_resident_msv, True
+        )
+    for schedule in schedules:
+        for k, entry in schedule["workers"].items():
+            add_candidate(
+                schedule["depth"],
+                int(k),
+                schedule["prefix_flops"] + entry["makespan"],
+                entry["memory_states"],
+                False,
+            )
+    candidates.sort(
+        key=lambda c: (c["score"], c["workers"] > 0, c["workers"], c["depth"])
+    )
+
+    top = candidates[0]
+    advice = {
+        "workers": top["workers"],
+        "depth": top["depth"] if top["workers"] else None,
+        "max_cache_bytes": budget.max_bytes if top["budget"] else None,
+        "cache_degrade": budget.mode if top["budget"] else None,
+        "makespan_flops": top["makespan_flops"],
+        "memory_states": top["memory_states"],
+        "memory_bytes": top["memory_bytes"],
+        "score": top["score"],
+    }
+
+    certificate: Dict[str, Any] = {
+        "schema": CERT_SCHEMA,
+        "benchmark": benchmark,
+        "seed": seed,
+        "num_trials": len(trials),
+        "num_qubits": layered.num_qubits,
+        "num_layers": layered.num_layers,
+        "num_gates": layered.num_gates,
+        "state_bytes": state_bytes,
+        "plan": serial.to_dict(),
+        "budget": (
+            None
+            if budget is None
+            else {
+                "max_bytes": budget.max_bytes,
+                "mode": budget.mode,
+                "predicted": degraded.to_dict()["predicted"],
+                "peak_resident_msv": degraded.peak_resident_msv,
+                "peak_resident_stored": degraded.peak_resident_stored,
+                "timeline": [
+                    list(point) for point in degraded.timeline
+                ],
+            }
+        ),
+        "schedules": schedules,
+        "candidates": candidates,
+        "advice": advice,
+    }
+    return certificate
+
+
+def write_certificate(path: str, certificate: Dict[str, Any]) -> None:
+    """Atomically write a certificate document (via ``core.atomicio``)."""
+    from ..core.atomicio import atomic_write_json
+
+    atomic_write_json(path, certificate)
+
+
+def validate_certificate(certificate: Dict[str, Any]) -> List[str]:
+    """Structural validation of a certificate document.
+
+    Returns a list of problems (empty = valid).  Checks the schema tag,
+    required sections, schedule shape consistency and candidate ordering
+    — the cheap checks a CI step runs before trusting the numbers; the
+    deep semantic proofs live in rules P020-P023.
+    """
+    problems: List[str] = []
+    if not isinstance(certificate, dict):
+        return ["certificate is not a JSON object"]
+    if certificate.get("schema") != CERT_SCHEMA:
+        problems.append(
+            f"schema is {certificate.get('schema')!r}, expected "
+            f"{CERT_SCHEMA!r}"
+        )
+    for key in (
+        "num_trials",
+        "num_qubits",
+        "num_layers",
+        "num_gates",
+        "state_bytes",
+        "plan",
+        "schedules",
+        "candidates",
+        "advice",
+    ):
+        if key not in certificate:
+            problems.append(f"missing key {key!r}")
+    plan = certificate.get("plan")
+    if isinstance(plan, dict):
+        for key in ("ops", "flops", "segments", "injects", "memory"):
+            if key not in plan:
+                problems.append(f"plan missing key {key!r}")
+        segments = plan.get("segments")
+        if isinstance(segments, dict):
+            total = sum(
+                entry.get("ops", 0) for entry in segments.values()
+            ) + plan.get("injects", {}).get("count", 0)
+            if total != plan.get("ops"):
+                problems.append(
+                    f"segment ops + injects = {total} but plan.ops = "
+                    f"{plan.get('ops')}"
+                )
+    schedules = certificate.get("schedules")
+    if isinstance(schedules, list):
+        for schedule in schedules:
+            depth = schedule.get("depth")
+            num_tasks = schedule.get("num_tasks")
+            for key in ("task_ops", "task_flops", "task_peaks"):
+                values = schedule.get(key)
+                if not isinstance(values, list) or len(values) != num_tasks:
+                    problems.append(
+                        f"schedule depth={depth}: {key} does not list "
+                        f"{num_tasks} task(s)"
+                    )
+            if not schedule.get("workers"):
+                problems.append(
+                    f"schedule depth={depth}: no worker candidates"
+                )
+    candidates = certificate.get("candidates")
+    if isinstance(candidates, list) and candidates:
+        scores = [c.get("score") for c in candidates]
+        if scores != sorted(scores):
+            problems.append("candidates are not sorted by score")
+        advice = certificate.get("advice")
+        if isinstance(advice, dict):
+            if advice.get("score") != candidates[0].get("score"):
+                problems.append("advice does not match the top candidate")
+    elif isinstance(candidates, list):
+        problems.append("certificate lists no candidates")
+    return problems

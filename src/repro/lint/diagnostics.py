@@ -151,14 +151,24 @@ class LintResult:
     ) -> None:
         self.diagnostics: List[Diagnostic] = list(diagnostics or ())
         self.info: Dict[str, object] = dict(info or {})
+        #: Analyzer *internal* failures (a rule checker raised), as
+        #: ``"CODE: message"`` strings.  Distinct from diagnostics: these
+        #: mean the verdict is incomplete, not that the subject is bad, and
+        #: they force a non-zero CLI exit even when ``ok`` is True.
+        self.internal_errors: List[str] = []
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
+
+    def add_internal_error(self, code: str, message: str) -> None:
+        """Record that a rule crashed instead of producing a verdict."""
+        self.internal_errors.append(f"{code}: {message}")
 
     def extend(self, other: "LintResult") -> "LintResult":
         """Merge another result into this one (diagnostics and info)."""
         self.diagnostics.extend(other.diagnostics)
         self.info.update(other.info)
+        self.internal_errors.extend(other.internal_errors)
         return self
 
     def __iter__(self) -> Iterator[Diagnostic]:
@@ -195,6 +205,7 @@ class LintResult:
             "errors": len(self.errors),
             "warnings": len(self.warnings),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "internal_errors": list(self.internal_errors),
             "info": self.info,
         }
 

@@ -39,6 +39,11 @@ register(
     "plan",
     "Run journal does not match the circuit/trial set or is not an exact "
     "prefix of the serial finish order.",
+    explanation="Crash-safe resume replays journaled finish payloads "
+    "instead of recomputing their trials, so a journal from a different "
+    "circuit, trial set or finish order would silently poison the resumed "
+    "counts.  P019 verifies the journal's identity fingerprint, payload "
+    "shapes and exact-prefix property before any payload is trusted.",
 )
 
 

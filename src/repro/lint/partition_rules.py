@@ -48,6 +48,12 @@ register(
     "plan",
     "Plan partition is not a disjoint exact cover of the trial set with "
     "consistent entry states.",
+    explanation="The parallel executor's bit-exactness rests on the "
+    "partition's structure: every trial in exactly one task, every task "
+    "emitted once at exactly its declared entry layer and event history, "
+    "every sub-plan sound when resumed from that entry, and the total "
+    "operation count and finish order conserved against the serial plan.  "
+    "P018 proves all of it symbolically before a worker is forked.",
 )
 
 

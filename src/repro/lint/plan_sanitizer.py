@@ -50,6 +50,11 @@ register(
     Severity.ERROR,
     "plan",
     "Advance layer range is malformed or outside the circuit depth.",
+    explanation="An Advance instruction applies the gates of layers "
+    "[start, end); a range that is inverted or extends past the circuit's "
+    "depth would make the executor index nonexistent layers.  The sanitizer "
+    "bounds-checks every range statically so a malformed plan is rejected "
+    "before any statevector is allocated.",
 )
 register(
     "P002",
@@ -57,6 +62,11 @@ register(
     Severity.ERROR,
     "plan",
     "Advance does not begin at the working state's current layer.",
+    explanation="The working state moves monotonically through the circuit; "
+    "an Advance whose start layer disagrees with the symbolically tracked "
+    "cursor would silently skip or repeat gates, breaking the paper's "
+    "exactness guarantee.  Usually caused by a Restore resuming at a "
+    "different layer than the following instructions assume.",
 )
 register(
     "P003",
@@ -64,6 +74,10 @@ register(
     Severity.ERROR,
     "plan",
     "Snapshot writes a slot that is still occupied.",
+    explanation="Each cache slot holds exactly one snapshot between its "
+    "Snapshot and Restore.  Overwriting an occupied slot would leak the "
+    "previous state (its consumers restore the wrong amplitudes) and "
+    "corrupt the peak-MSV accounting the memory certificates rely on.",
 )
 register(
     "P004",
@@ -72,6 +86,10 @@ register(
     "plan",
     "Restore consumes a slot that is empty or already consumed "
     "(use-after-free / double restore).",
+    explanation="Restore consumes its slot (drop-on-last-use); restoring an "
+    "empty or already-consumed slot is the plan-level analogue of a "
+    "use-after-free and would crash the executor mid-run.  The sanitizer "
+    "tracks slot liveness symbolically to catch this before execution.",
 )
 register(
     "P005",
@@ -79,6 +97,10 @@ register(
     Severity.ERROR,
     "plan",
     "Snapshot slot is never restored (leaked cached state).",
+    explanation="A snapshot that is never restored keeps a full 2**n "
+    "statevector alive until the end of the run, inflating peak memory "
+    "beyond the static bound and indicating the plan builder lost track of "
+    "a pending consumer.",
 )
 register(
     "P006",
@@ -86,6 +108,10 @@ register(
     Severity.ERROR,
     "plan",
     "Inject fires at a working layer other than its event's layer boundary.",
+    explanation="An error sampled after layer L must be injected exactly "
+    "when the working state has advanced to layer L+1 — injecting earlier "
+    "or later would commute the error past gates it should not cross, "
+    "producing a final state different from the unreordered baseline.",
 )
 register(
     "P007",
@@ -93,6 +119,10 @@ register(
     Severity.ERROR,
     "plan",
     "Finish reached before the working state advanced to the final layer.",
+    explanation="Finish declares the working state to be a trial's final "
+    "state; if the cursor has not reached the last layer the trial would "
+    "be measured from a partially evolved state.  Statically comparing the "
+    "cursor against the declared depth catches truncated plans.",
 )
 register(
     "P008",
@@ -100,6 +130,10 @@ register(
     Severity.ERROR,
     "plan",
     "A trial index is finished by more than one Finish instruction.",
+    explanation="Every sampled trial must contribute exactly one final "
+    "state.  A doubly finished trial would be counted twice in the outcome "
+    "histogram, biasing the sampled distribution even when every amplitude "
+    "is computed correctly.",
 )
 register(
     "P009",
@@ -107,6 +141,10 @@ register(
     Severity.ERROR,
     "plan",
     "A trial index is never finished by the plan (lost trial).",
+    explanation="A trial the plan never finishes is silently dropped from "
+    "the outcome distribution — the run would report fewer effective "
+    "shots than requested.  Coverage is checked by marking every index "
+    "finished exactly once.",
 )
 register(
     "P010",
@@ -114,6 +152,10 @@ register(
     Severity.ERROR,
     "plan",
     "Finish lists a trial index outside the plan's trial range.",
+    explanation="Finish instructions carry the indices of the trials they "
+    "complete; an index outside [0, num_trials) means the plan and the "
+    "trial set it was built from have drifted apart (e.g. a stale plan "
+    "replayed against a resampled trial list).",
 )
 register(
     "P011",
@@ -122,6 +164,12 @@ register(
     "plan",
     "A finished trial's symbolic error history differs from its sampled "
     "event sequence (exactness violation).",
+    explanation="This is the paper's central exactness claim checked "
+    "statically: the symbolic working state carries the sequence of "
+    "injected errors, and at each Finish that history must equal the "
+    "listed trial's sampled events.  Any mismatch means the reordering "
+    "changed which errors a trial receives — the one thing it must never "
+    "do.",
 )
 register(
     "P012",
@@ -129,6 +177,9 @@ register(
     Severity.ERROR,
     "plan",
     "Injected event lies beyond the circuit's depth or qubit count.",
+    explanation="An event beyond the circuit's depth or qubit count cannot "
+    "correspond to any physical error position; it indicates corrupted "
+    "trial data or a plan built against a different circuit.",
 )
 register(
     "P013",
@@ -136,6 +187,11 @@ register(
     Severity.ERROR,
     "plan",
     "Static peak-MSV bound disagrees with the runtime cache statistics.",
+    explanation="The sanitizer mirrors StateCache accounting instruction by "
+    "instruction, so its static peak-MSV must equal the runtime "
+    "CacheStats.peak_msv of an optimized run of the same plan.  A "
+    "disagreement means either the symbolic model or the cache accounting "
+    "has drifted — both are load-bearing for the paper's memory claims.",
 )
 register(
     "P014",
@@ -143,6 +199,10 @@ register(
     Severity.ERROR,
     "plan",
     "Plan's declared trial count differs from the supplied trial list.",
+    explanation="The plan embeds the number of trials it was built for; "
+    "auditing it against a list of a different length means the caller is "
+    "checking the wrong trial set, so every per-trial exactness verdict "
+    "would be meaningless.",
 )
 register(
     "P015",
@@ -150,6 +210,10 @@ register(
     Severity.ERROR,
     "plan",
     "Plan contains an object that is not a known instruction kind.",
+    explanation="The executor dispatches on exactly five instruction "
+    "kinds; any other object in the instruction list (from manual plan "
+    "surgery or a deserialization bug) would raise mid-run.  The sanitizer "
+    "reports it with its index instead.",
 )
 register(
     "P016",
@@ -157,6 +221,10 @@ register(
     Severity.ERROR,
     "plan",
     "Injected event carries an operator outside the Pauli alphabet.",
+    explanation="Error injection resolves operators through the Pauli "
+    "label table; an unknown label would raise at injection time deep "
+    "inside the run.  Checking the alphabet statically keeps operator "
+    "typos a lint error rather than a runtime crash.",
 )
 
 

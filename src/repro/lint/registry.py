@@ -13,6 +13,7 @@ and for the code table in ``docs/architecture.md``.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List, NamedTuple, Optional
 
 from .diagnostics import Diagnostic, LintConfig, Severity
@@ -20,6 +21,7 @@ from .diagnostics import Diagnostic, LintConfig, Severity
 __all__ = [
     "Rule",
     "register",
+    "unregister",
     "rule_checker",
     "get_rule",
     "all_rules",
@@ -37,6 +39,7 @@ class Rule(NamedTuple):
     scope: str
     description: str
     checker: Optional[Callable] = None
+    explanation: str = ""
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -49,13 +52,33 @@ def register(
     scope: str,
     description: str,
     checker: Optional[Callable] = None,
+    explanation: Optional[str] = None,
 ) -> Rule:
-    """Register a diagnostic code; codes must be unique."""
+    """Register a diagnostic code; codes must be unique.
+
+    Every rule must carry a one-paragraph *rationale* — either an explicit
+    ``explanation`` or (for checker rules) the checker's docstring — which
+    ``repro lint --explain <CODE>`` prints verbatim.  Registration fails
+    without one, so an undocumented rule can never ship.
+    """
     if code in _REGISTRY:
         raise ValueError(f"diagnostic code {code!r} registered twice")
-    entry = Rule(code, name, severity, scope, description, checker)
+    rationale = inspect.cleandoc(explanation) if explanation else ""
+    if not rationale and checker is not None and checker.__doc__:
+        rationale = inspect.cleandoc(checker.__doc__)
+    if not rationale:
+        raise ValueError(
+            f"diagnostic code {code!r} registered without a rationale: pass "
+            "explanation= or give the checker a docstring"
+        )
+    entry = Rule(code, name, severity, scope, description, checker, rationale)
     _REGISTRY[code] = entry
     return entry
+
+
+def unregister(code: str) -> None:
+    """Drop a registered code (test scaffolding for synthetic rules)."""
+    _REGISTRY.pop(code, None)
 
 
 def rule_checker(
@@ -66,7 +89,8 @@ def rule_checker(
     The decorated checker receives the scope's subject (a circuit, a trial
     list, ...) and yields ``(message, location, hint)`` tuples; the caller
     wraps them into :class:`Diagnostic` objects with the rule's code and
-    severity.
+    severity.  The checker's docstring doubles as the rule's rationale
+    (``--explain``), so a docstring is mandatory.
     """
 
     def decorate(func: Callable) -> Callable:

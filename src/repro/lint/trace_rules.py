@@ -32,6 +32,12 @@ register(
     "plan",
     "Recorded cache store/evict events diverge from the plan's slot "
     "schedule.",
+    explanation="The sanitizer proves the plan's slot schedule statically; "
+    "this rule closes the loop with runtime evidence: the ordered "
+    "cache.store/cache.hit events of a recorded run must equal the plan's "
+    "Snapshot/Restore sequence slot for slot.  Any divergence means the "
+    "executor did not run the plan it was given — the one assumption every "
+    "other static proof rests on.",
 )
 
 #: One cache event: ``("store" | "hit", slot)``.

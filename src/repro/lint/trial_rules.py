@@ -25,6 +25,10 @@ register(
     Severity.ERROR,
     "trials",
     "A trial event fires after a layer beyond the circuit depth.",
+    explanation="Sampled error events are positioned after a circuit "
+    "layer; an event past the circuit's depth can never be injected and "
+    "signals a trial set sampled against a different (deeper) circuit or "
+    "corrupted in transit.",
 )
 register(
     "N002",
@@ -32,6 +36,10 @@ register(
     Severity.ERROR,
     "trials",
     "A trial event targets a qubit outside the circuit.",
+    explanation="An error operator on a qubit the circuit does not have "
+    "cannot be applied to the statevector; the scheduler would crash when "
+    "the plan injects it.  Checked here circuit-relative, which the Trial "
+    "constructor alone cannot do.",
 )
 register(
     "N003",
@@ -39,6 +47,10 @@ register(
     Severity.ERROR,
     "trials",
     "Two events of one trial collide on the same (layer, qubit) position.",
+    explanation="The noise model samples at most one error operator per "
+    "(layer, qubit) position per trial; two events colliding on a "
+    "position means the trial was assembled by hand or merged "
+    "incorrectly, and the trie's canonical ordering would be ambiguous.",
 )
 register(
     "N004",
@@ -46,6 +58,10 @@ register(
     Severity.ERROR,
     "trials",
     "A trial event carries an operator outside the {x, y, z} alphabet.",
+    explanation="Injection resolves operators by Pauli label; anything "
+    "outside the alphabet would raise mid-run.  Trials built through "
+    "make_trial() are validated at construction — this rule catches "
+    "deserialized or hand-built trials that bypassed it.",
 )
 register(
     "N005",
@@ -53,6 +69,10 @@ register(
     Severity.WARNING,
     "trials",
     "A trial's events are not in sorted (layer, qubit, pauli) order.",
+    explanation="Reordering and deduplication key on the sorted event "
+    "tuple; a non-canonical trial still executes correctly but defeats "
+    "prefix sharing (identical trials stop deduplicating), silently "
+    "costing the speedup the paper's trie exists to provide.",
 )
 register(
     "N006",
@@ -60,6 +80,10 @@ register(
     Severity.ERROR,
     "trials",
     "A readout flip targets a classical bit outside the register.",
+    explanation="Readout errors flip classical bits after measurement; a "
+    "flip on a bit outside the register would either crash bitstring "
+    "assembly or silently do nothing, depending on the backend — both "
+    "wrong, so it is rejected statically.",
 )
 register(
     "N007",
@@ -67,6 +91,11 @@ register(
     Severity.ERROR,
     "noise",
     "An error or readout probability lies outside [0, 1].",
+    explanation="Calibration maps are mutable and arrive from device "
+    "payloads; a probability outside [0, 1] makes the sampler's "
+    "Bernoulli draws meaningless (negative rates never fire, rates above "
+    "one silently saturate).  Re-validated here because constructors "
+    "cannot see post-construction mutation.",
 )
 register(
     "N008",
@@ -74,6 +103,10 @@ register(
     Severity.ERROR,
     "noise",
     "A channel's error-label probabilities sum to more than 1.",
+    explanation="Each error channel distributes its firing probability "
+    "over Pauli labels; if the labels sum past 1 the 'no error' outcome "
+    "has negative probability and sampled trial statistics are no longer "
+    "a probability distribution.",
 )
 
 

@@ -45,6 +45,7 @@ from .summary import (
     format_trace_summary,
     metrics_from_trace,
     outcome_from_trace,
+    segment_profile,
     summarize,
     verify_trace,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "format_trace_summary",
     "metrics_from_trace",
     "outcome_from_trace",
+    "segment_profile",
     "summarize",
     "trace_json",
     "validate_chrome_trace",

@@ -50,6 +50,7 @@ from .recorder import InMemoryRecorder
 __all__ = [
     "TraceSummary",
     "summarize",
+    "segment_profile",
     "outcome_from_trace",
     "metrics_from_trace",
     "verify_trace",
@@ -237,6 +238,38 @@ def summarize(recorder: InMemoryRecorder) -> TraceSummary:
         wall_s=run_total if run_count else 0.0,
         num_events=len(recorder.events),
     )
+
+
+def segment_profile(recorder: InMemoryRecorder) -> Dict[str, object]:
+    """Extract the trace's per-segment cost evidence.
+
+    The shape lint rule ``P020`` compares against a resource
+    certificate's ``plan`` section: per advance-span name the replay
+    count and per-replay gate weight, the inject count, the finished
+    trial total, and any recompute operations a drop-mode cache budget
+    added (which the certificate accounts separately from plan ops).
+    Works on merged multi-worker traces — span counts sum over all
+    tracks, exactly like the instruction multiset they record.
+    """
+    segments: Dict[str, Dict[str, int]] = {}
+    recompute_ops = 0
+    injects = 0
+    for event in recorder.events:
+        if event.ph == "B" and event.cat == "segment":
+            entry = segments.setdefault(event.name, {"count": 0, "gates": 0})
+            entry["count"] += 1
+            entry["gates"] = int((event.args or {}).get("gates", 0))
+        elif event.ph == "i" and event.name == "inject":
+            injects += 1
+        elif event.ph == "i" and event.name == "cache.recompute":
+            recompute_ops += int((event.args or {}).get("ops", 0))
+    return {
+        "segments": segments,
+        "injects": injects,
+        "recompute_ops": recompute_ops,
+        "ops_applied": int(recorder.counter_total("ops.applied")),
+        "trials_finished": int(recorder.counter_total("trials.finished")),
+    }
 
 
 def outcome_from_trace(recorder: InMemoryRecorder) -> ExecutionOutcome:

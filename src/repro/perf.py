@@ -122,6 +122,7 @@ def _bench_parallel(
     workers: int,
     partition_depth: int,
     repeats: int,
+    task_weights: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
     """Time ``run_parallel`` at one worker count and prove it exact.
 
@@ -129,6 +130,8 @@ def _bench_parallel(
     final state would distort the timing): the parallel payload stream
     must be bit-identical (``array_equal``, not ``allclose``) to the
     serial compiled run's, with the identical total operation count.
+    ``task_weights`` switches the scheduler to certificate-provided
+    weights (``repro bench --auto``) — results must stay bit-identical.
     """
     best = float("inf")
     total = 0.0
@@ -138,6 +141,7 @@ def _bench_parallel(
         outcome = run_parallel(
             layered, trials, make_backend,
             workers=workers, depth=partition_depth,
+            task_weights=task_weights,
         )
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
@@ -151,6 +155,7 @@ def _bench_parallel(
         lambda payload, _indices: par_states.append(payload.vector.copy()),
         workers=workers,
         depth=partition_depth,
+        task_weights=task_weights,
     )
     bit_identical = len(par_states) == len(serial_states) and all(
         np.array_equal(a, b) for a, b in zip(serial_states, par_states)
@@ -184,6 +189,7 @@ def bench_one(
     trace: bool = False,
     workers: Sequence[int] = (),
     partition_depth: int = 1,
+    auto: bool = False,
 ) -> Dict[str, object]:
     """Benchmark one suite circuit; returns one JSON-ready record.
 
@@ -192,6 +198,12 @@ def bench_one(
     :data:`repro.bench.suite.LARGE_BENCHMARKS`).  Each entry in
     ``workers`` adds a timed :func:`~repro.core.parallel.run_parallel`
     section plus a bit-exactness proof against the serial compiled run.
+
+    With ``auto=True`` a :func:`~repro.lint.costmodel.build_certificate`
+    pass ranks (depth, workers) candidates statically; the winning
+    advice is attached as ``advise`` and, when it picks a parallel
+    schedule, one extra timed section runs with the certificate's
+    ``task_flops`` as scheduler weights (``advised`` in the record).
     """
     circuit, model = resolve_benchmark(name)
     layered = layerize(circuit)
@@ -233,25 +245,67 @@ def bench_one(
         "kernel_stats": compiled.stats(),
     }
 
-    if workers:
+    advice: Optional[Dict[str, object]] = None
+    if auto:
+        from .lint.costmodel import build_certificate
+
+        certificate = build_certificate(
+            layered,
+            trials,
+            benchmark=name,
+            seed=seed,
+            workers=tuple(workers) if workers else (1, 2, 4),
+            compiled=compiled,
+        )
+        advice = dict(certificate["advice"])
+        record["advise"] = {
+            "advice": advice,
+            "candidates": certificate["candidates"][:5],
+        }
+        advised_weights = None
+        if advice["workers"]:
+            advised_weights = next(
+                list(s["task_flops"])
+                for s in certificate["schedules"]
+                if s["depth"] == advice["depth"]
+            )
+
+    advised_workers = int(advice["workers"]) if advice else 0
+    if workers or advised_workers:
         c_check, _, c_serial_states = _collect_final_states(
             layered, trials, plan,
             CompiledStatevectorBackend(layered, compiled=compiled),
         )
-        record["parallel"] = [
-            _bench_parallel(
+        if workers:
+            record["parallel"] = [
+                _bench_parallel(
+                    layered,
+                    trials,
+                    lambda: CompiledStatevectorBackend(
+                        layered, compiled=compiled
+                    ),
+                    comp_best,
+                    c_serial_states,
+                    c_check.ops_applied,
+                    w,
+                    partition_depth,
+                    repeats,
+                )
+                for w in workers
+            ]
+        if advised_workers:
+            record["advised"] = _bench_parallel(
                 layered,
                 trials,
                 lambda: CompiledStatevectorBackend(layered, compiled=compiled),
                 comp_best,
                 c_serial_states,
                 c_check.ops_applied,
-                w,
-                partition_depth,
+                advised_workers,
+                int(advice["depth"] or 1),
                 repeats,
+                task_weights=advised_weights,
             )
-            for w in workers
-        ]
 
     if trace:
         from .obs import InMemoryRecorder, summarize, verify_trace
@@ -305,6 +359,7 @@ def run_bench(
     trace: bool = False,
     workers: Sequence[int] = (),
     partition_depth: int = 1,
+    auto: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Run the harness over ``benchmarks`` (default: the full Table I suite)."""
@@ -329,6 +384,7 @@ def run_bench(
                 trace=trace,
                 workers=workers,
                 partition_depth=partition_depth,
+                auto=auto,
             )
         )
     speedups = [record["speedup"] for record in results]
@@ -351,6 +407,7 @@ def run_bench(
             "trace": trace,
             "workers": list(workers),
             "partition_depth": partition_depth,
+            "auto": auto,
         },
         "results": results,
         "summary": {
@@ -375,6 +432,15 @@ def run_bench(
                     for section in record.get("parallel", ())
                 )
                 if workers
+                else None
+            ),
+            "all_advised_exact": (
+                all(
+                    record["advised"]["exact"]["ok"]
+                    for record in results
+                    if "advised" in record
+                )
+                if auto
                 else None
             ),
         },

@@ -37,7 +37,7 @@ import numpy as np
 from ..circuits.gates import Gate
 from ..circuits.layers import LayeredCircuit
 from .backend import StatevectorBackend
-from .kernels import Kernel, compile_matrix, kernel_for_gate
+from .kernels import Kernel, compile_matrix, kernel_cost, kernel_for_gate
 from .statevector import Statevector
 
 __all__ = ["CompiledCircuit", "CompiledStatevectorBackend"]
@@ -107,6 +107,7 @@ class CompiledCircuit:
         self._segments: Dict[Tuple[int, int], Tuple[Kernel, ...]] = {}
         # key -> (fused_runs, fused_gates), parallel to _segments.
         self._segment_fusion: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._segment_costs: Dict[Tuple[int, int], Dict[str, object]] = {}
         self.recorder = None
 
     def segment(self, start_layer: int, end_layer: int) -> Tuple[Kernel, ...]:
@@ -152,6 +153,46 @@ class CompiledCircuit:
             if recorder:
                 recorder.counter("segment.hit", 1)
         return program
+
+    def segment_cost(self, start_layer: int, end_layer: int) -> Dict[str, object]:
+        """Static cost summary of one layer range — analysis only.
+
+        Compiles the segment through the same memoized :meth:`segment`
+        path (with the recorder detached, so static analysis never leaves
+        ``compile``/``segment.hit`` events in a trace) and folds each
+        kernel through :func:`~repro.sim.kernels.kernel_cost`.  The result
+        is memoized and safe to share with execution: runtime replays of
+        the same range reuse the compiled program.
+        """
+        key = (start_layer, end_layer)
+        cost = self._segment_costs.get(key)
+        if cost is None:
+            recorder = self.recorder
+            self.recorder = None
+            try:
+                program = self.segment(start_layer, end_layer)
+            finally:
+                self.recorder = recorder
+            fused_runs, fused_gates = self._segment_fusion[key]
+            flops = 0
+            bytes_moved = 0
+            kinds: Dict[str, int] = {}
+            for kernel in program:
+                each = kernel_cost(kernel, self.num_qubits)
+                flops += each.flops
+                bytes_moved += each.bytes_moved
+                kinds[kernel.kind] = kinds.get(kernel.kind, 0) + 1
+            cost = {
+                "gates": self.layered.gates_between(start_layer, end_layer),
+                "kernels": len(program),
+                "fused_runs": fused_runs,
+                "fused_gates": fused_gates,
+                "flops": flops,
+                "bytes_moved": bytes_moved,
+                "kinds": kinds,
+            }
+            self._segment_costs[key] = cost
+        return cost
 
     def operator_kernel(self, gate: Gate, qubits: Sequence[int]) -> Kernel:
         """Kernel for an injected error operator (same ``Gate._key`` cache)."""

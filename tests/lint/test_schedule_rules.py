@@ -1,0 +1,215 @@
+"""Tests for P020-P023: certificates checked against real execution traces.
+
+Faithful runs — serial, parallel at 1/2/4 workers, budget-degraded in
+both spill and drop mode — must pass every rule; tampered certificates
+and mismatched runtime counters must fire the matching diagnostic.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import resolve_benchmark
+from repro.circuits.layers import layerize
+from repro.core.cache import CacheBudget
+from repro.core.executor import run_optimized
+from repro.core.parallel import run_parallel
+from repro.core.schedule import build_plan
+from repro.lint import build_certificate
+from repro.lint.schedule_rules import (
+    lint_budget_prediction,
+    lint_certificate_schedule,
+    lint_certificate_trace,
+    lint_memory_timeline,
+)
+from repro.noise.sampling import sample_trials
+from repro.obs import InMemoryRecorder
+from repro.sim.compiled import CompiledCircuit, CompiledStatevectorBackend
+from repro.sim.counting import CountingBackend
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circuit, model = resolve_benchmark("bv5")
+    layered = layerize(circuit)
+    trials = sample_trials(layered, model, 96, np.random.default_rng(7))
+    compiled = CompiledCircuit(layered)
+    certificate = build_certificate(
+        layered, trials, benchmark="bv5", seed=7, compiled=compiled
+    )
+    return layered, trials, compiled, certificate
+
+
+def _tampered(certificate, mutate):
+    clone = json.loads(json.dumps(certificate))
+    mutate(clone)
+    return clone
+
+
+class TestP020TraceConsistency:
+    def test_serial_trace_passes(self, setup):
+        layered, trials, compiled, certificate = setup
+        recorder = InMemoryRecorder()
+        run_optimized(
+            layered,
+            trials,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+            recorder=recorder,
+        )
+        result = lint_certificate_trace(certificate, recorder)
+        assert result.ok, result.summary()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_trace_passes(self, setup, workers):
+        layered, trials, compiled, certificate = setup
+        recorder = InMemoryRecorder()
+        run_parallel(
+            layered,
+            trials,
+            lambda: CompiledStatevectorBackend(layered, compiled=compiled),
+            workers=workers,
+            depth=1,
+            recorder=recorder,
+            inline=True,
+        )
+        result = lint_certificate_trace(certificate, recorder)
+        assert result.ok, result.summary()
+
+    def test_drop_budget_trace_accounts_recomputes(self, setup):
+        layered, trials, compiled, _ = setup
+        state_bytes = 16 * (1 << layered.num_qubits)
+        budget = CacheBudget(max_bytes=2 * state_bytes, mode="drop")
+        certificate = build_certificate(
+            layered, trials, benchmark="bv5", seed=7,
+            budget=budget, compiled=compiled,
+        )
+        recorder = InMemoryRecorder()
+        outcome = run_optimized(
+            layered,
+            trials,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+            recorder=recorder,
+            cache_budget=budget,
+        )
+        assert outcome.cache_stats.recomputes > 0
+        result = lint_certificate_trace(certificate, recorder)
+        assert result.ok, result.summary()
+
+    def test_tampered_ops_fires_p020(self, setup):
+        layered, trials, compiled, certificate = setup
+        recorder = InMemoryRecorder()
+        run_optimized(
+            layered, trials, CountingBackend(layered), recorder=recorder
+        )
+
+        def bump_ops(cert):
+            cert["plan"]["ops"] += 1
+
+        result = lint_certificate_trace(
+            _tampered(certificate, bump_ops), recorder
+        )
+        assert not result.ok
+        assert any(d.code == "P020" for d in result.errors)
+
+
+class TestP021MemoryTimeline:
+    @pytest.fixture(scope="class")
+    def recorder(self, setup):
+        layered, trials, compiled, _ = setup
+        recorder = InMemoryRecorder()
+        run_optimized(
+            layered,
+            trials,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+            recorder=recorder,
+        )
+        return recorder
+
+    def test_exact_serial_timeline_passes(self, setup, recorder):
+        _, _, _, certificate = setup
+        result = lint_memory_timeline(certificate, recorder, exact=True)
+        assert result.ok, result.summary()
+
+    def test_understated_peak_fires_p021(self, setup, recorder):
+        _, _, _, certificate = setup
+
+        def understate(cert):
+            cert["plan"]["memory"]["peak_msv"] = 1
+
+        result = lint_memory_timeline(
+            _tampered(certificate, understate), recorder
+        )
+        assert not result.ok
+        assert any(d.code == "P021" for d in result.errors)
+
+
+class TestP022Schedule:
+    def test_certificate_self_check_passes(self, setup):
+        _, _, _, certificate = setup
+        result = lint_certificate_schedule(certificate)
+        assert result.ok, result.summary()
+
+    def test_tampered_task_ops_fires_p022(self, setup):
+        _, _, _, certificate = setup
+
+        def bump_task(cert):
+            cert["schedules"][0]["task_ops"][0] += 1
+
+        result = lint_certificate_schedule(_tampered(certificate, bump_task))
+        assert not result.ok
+        assert any(d.code == "P022" for d in result.errors)
+
+    def test_tampered_makespan_fires_p022(self, setup):
+        _, _, _, certificate = setup
+
+        def bump_makespan(cert):
+            first = next(iter(cert["schedules"][0]["workers"].values()))
+            first["lpt_makespan"] += 1
+
+        result = lint_certificate_schedule(
+            _tampered(certificate, bump_makespan)
+        )
+        assert not result.ok
+        assert any(d.code == "P022" for d in result.errors)
+
+
+class TestP023BudgetPrediction:
+    @pytest.mark.parametrize("mode", ["spill", "drop"])
+    def test_degradation_predicted_exactly(self, setup, mode, tmp_path):
+        layered, trials, compiled, _ = setup
+        state_bytes = 16 * (1 << layered.num_qubits)
+        budget = CacheBudget(
+            max_bytes=2 * state_bytes, mode=mode,
+            spill_dir=str(tmp_path) if mode == "spill" else None,
+        )
+        certificate = build_certificate(
+            layered, trials, benchmark="bv5", seed=7,
+            budget=budget, compiled=compiled,
+        )
+        outcome = run_optimized(
+            layered,
+            trials,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+            cache_budget=budget,
+        )
+        stats = outcome.cache_stats
+        assert stats.spills + stats.drops > 0
+        result = lint_budget_prediction(certificate, stats)
+        assert result.ok, result.summary()
+
+    def test_counter_mismatch_fires_p023(self, setup):
+        layered, trials, compiled, _ = setup
+        state_bytes = 16 * (1 << layered.num_qubits)
+        budget = CacheBudget(max_bytes=2 * state_bytes, mode="drop")
+        certificate = build_certificate(
+            layered, trials, benchmark="bv5", seed=7,
+            budget=budget, compiled=compiled,
+        )
+        outcome = run_optimized(
+            layered, trials,
+            CompiledStatevectorBackend(layered, compiled=compiled),
+        )  # no budget at runtime: zero degradations, certificate predicts >0
+        result = lint_budget_prediction(certificate, outcome.cache_stats)
+        assert not result.ok
+        assert any(d.code == "P023" for d in result.errors)
