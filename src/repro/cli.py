@@ -276,6 +276,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             workers=args.workers or (),
             partition_depth=args.partition_depth,
             auto=args.auto,
+            batches=args.batch or (),
             progress=lambda name: print(f"benching {name} ...", file=sys.stderr),
         )
     except KeyError as exc:
@@ -304,6 +305,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"parallel exactness (bit-identical states, equal ops) at "
             f"workers {args.workers}: {status}"
+        )
+    if args.batch:
+        status = "ok" if summary["all_batch_exact"] else "FAILED"
+        print(
+            f"batch exactness (bit-identical payload stream, equal ops) "
+            f"at widths {args.batch}: {status}"
+        )
+        for record in payload["results"]:
+            sections = ", ".join(
+                f"b{s['batch']} {s['speedup_vs_serial']:.2f}x"
+                for s in record.get("batch", ())
+            )
+            print(f"batch {record['benchmark']}: {sections}")
+        print(
+            f"geomean best-batch speedup vs serial compiled: "
+            f"{summary['geomean_batch_speedup']:.2f}x"
+        )
+        micro = payload["microbench"]
+        print(
+            f"dense microbench ({micro['num_qubits']}q x{micro['width']}): "
+            f"batched/serial throughput ratio {micro['ratio']:.2f}"
         )
     if args.auto:
         for record in payload["results"]:
@@ -341,6 +363,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if args.workers and not summary["all_parallel_exact"]:
         return 1
+    if args.batch and not summary["all_batch_exact"]:
+        return 1
     if args.auto and summary["all_advised_exact"] is False:
         return 1
     if trace_failures:
@@ -365,6 +389,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "cache_degrade": args.cache_degrade,
         "task_weights": None,
     }
+    if args.batch:
+        if args.mode != "optimized":
+            print(
+                "error: --batch requires --mode optimized (the baseline "
+                "has no plan to batch over)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.journal is not None:
+            print(
+                "error: --batch and --journal are mutually exclusive "
+                "(journaled resume replays the serial schedule)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.auto:
+            print(
+                "error: --batch and --auto are mutually exclusive (the "
+                "certificate's memory timeline describes the serial "
+                "schedule; see `repro advise` for the certified batch "
+                "advisory)",
+                file=sys.stderr,
+            )
+            return 2
     if args.auto:
         if args.mode != "optimized":
             print(
@@ -416,6 +464,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         task_weights=settings["task_weights"],
         recorder=recorder,
+        batch_size=args.batch,
     )
     elapsed = time.perf_counter() - start
     metrics = result.metrics
@@ -425,6 +474,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "mode": args.mode,
             "seed": args.seed,
             "workers": settings["workers"],
+            "batch": args.batch,
             "metrics": metrics.as_dict(),
             "counts": result.counts,
             "wall_s": elapsed,
@@ -458,6 +508,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"workers           : {settings['workers']} "
             f"(partition depth {settings['partition_depth']})"
+        )
+    if args.batch:
+        print(
+            f"batch             : wavefront execution, up to {args.batch} "
+            "trial column(s) per kernel call (bit-identical to serial)"
         )
     if result.journal is not None:
         summary = result.journal
@@ -793,6 +848,7 @@ def _advise_certificate(args: argparse.Namespace):
         workers=getattr(args, "candidate_workers", None) or (1, 2, 4),
         budget=budget,
         compiled=compiled,
+        batches=getattr(args, "candidate_batches", None) or (1, 8, 16, 32, 64),
     )
     return certificate, layered, trials, compiled, budget
 
@@ -852,6 +908,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         {
             "depth": c["depth"] or "-",
             "workers": c["workers"] or "serial",
+            "batch": c.get("batch") or "-",
             "Mflop makespan": c["makespan_flops"] / 1e6,
             "mem states": c["memory_states"],
             "budget": "yes" if c["budget"] else "-",
@@ -878,6 +935,20 @@ def _cmd_advise(args: argparse.Namespace) -> int:
             f"--max-cache-bytes {advice['max_cache_bytes']}",
             f"--cache-degrade {advice['cache_degrade']}",
         ]
+    if advice.get("batch_size") and not advice["workers"]:
+        suggestion.append(f"--batch {advice['batch_size']}")
+    best_wave = max(
+        certificate["wavefront"],
+        key=lambda e: e["modeled_speedup"],
+        default=None,
+    )
+    if best_wave is not None:
+        print(
+            f"wavefront         : best modeled width "
+            f"{best_wave['batch']} ({best_wave['modeled_speedup']:.2f}x "
+            f"fewer-dispatch model, {best_wave['memory_states']} states "
+            "working set; ops conserved exactly)"
+        )
     print(f"\nadvice            : {' '.join(suggestion)}")
     print("                    (or: repro run "
           f"{args.benchmark} --trials {args.trials} --auto)")
@@ -1014,6 +1085,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N", help="candidate worker counts (default: 1 2 4)",
     )
     padvise.add_argument(
+        "--candidate-batches", nargs="*", type=int, default=None,
+        metavar="W",
+        help="candidate wavefront batch widths (default: 1 8 16 32 64)",
+    )
+    padvise.add_argument(
         "--max-cache-bytes", type=int, default=None, metavar="BYTES",
         help="also certify degradation under this snapshot-cache budget",
     )
@@ -1071,6 +1147,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "it picks a parallel schedule, time one extra section with the "
         "certificate's task weights driving the scheduler",
     )
+    pbench.add_argument(
+        "--batch", nargs="*", type=int, default=None, metavar="W",
+        help="also time the trial-batched wavefront executor at these "
+        "widths and prove its payload stream bit-identical to the serial "
+        "compiled run (plus a dense-kernel microbench in the payload)",
+    )
 
     prun = sub.add_parser("run", help="run one benchmark end to end")
     prun.add_argument("benchmark", choices=all_benchmark_names())
@@ -1086,6 +1168,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     prun.add_argument(
         "--partition-depth", type=int, default=1,
         help="trie cut depth for the parallel partition (default 1)",
+    )
+    prun.add_argument(
+        "--batch", type=int, default=0, metavar="W",
+        help="trial-batched wavefront execution: vectorize kernels over "
+        "up to W trials at once (optimized mode, compiled backend; "
+        "results stay bit-identical to serial; 0 = off)",
     )
     prun.add_argument(
         "--json", default=None, metavar="PATH",

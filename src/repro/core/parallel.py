@@ -659,6 +659,7 @@ def _run_one_task(
     result_offsets: Sequence[int],
     recorder,
     cache_budget: Optional[CacheBudget],
+    batch_size: int = 0,
 ) -> Dict[str, Any]:
     """Run one sub-plan; write its finish payloads and their checksums."""
     num_qubits = layered.num_qubits
@@ -675,18 +676,35 @@ def _run_one_task(
         _sums.append(payload_checksum(row))
         _cursor[0] += 1
 
-    outcome = run_optimized(
-        layered,
-        local_trials,
-        backend,
-        write_finish,
-        plan=task.plan,
-        recorder=recorder,
-        entry_state=entry,
-        entry_layer=task.entry_layer,
-        entry_events=task.entry_events,
-        cache_budget=cache_budget,
-    )
+    if batch_size:
+        from .wavefront import run_wavefront
+
+        outcome = run_wavefront(
+            layered,
+            local_trials,
+            backend,
+            write_finish,
+            plan=task.plan,
+            batch_size=batch_size,
+            recorder=recorder,
+            entry_state=entry,
+            entry_layer=task.entry_layer,
+            entry_events=task.entry_events,
+            cache_budget=cache_budget,
+        )
+    else:
+        outcome = run_optimized(
+            layered,
+            local_trials,
+            backend,
+            write_finish,
+            plan=task.plan,
+            recorder=recorder,
+            entry_state=entry,
+            entry_layer=task.entry_layer,
+            entry_events=task.entry_events,
+            cache_budget=cache_budget,
+        )
     return {
         "ops": outcome.ops_applied,
         "finish_calls": outcome.finish_calls,
@@ -709,6 +727,7 @@ def _worker_main(
     entry_checksums: Sequence[int],
     recorder,
     cache_budget: Optional[CacheBudget],
+    batch_size: int,
     faults,
     task_queue,
     report_queue,
@@ -741,7 +760,7 @@ def _worker_main(
             report = _run_one_task(
                 partition.tasks[task_id], layered, trials, backend,
                 entries, results, result_offsets, worker_recorder,
-                cache_budget,
+                cache_budget, batch_size,
             )
             if faults is not None and faults.corrupt_payload(task_id, attempt):
                 _flip_row_byte(results, result_offsets[task_id])
@@ -792,6 +811,7 @@ def _drive_fork_pool(
     workers: int,
     recorder,
     cache_budget: Optional[CacheBudget],
+    batch_size: int,
     faults,
     retries: int,
     task_timeout: Optional[float],
@@ -810,7 +830,8 @@ def _drive_fork_pool(
             args=(
                 worker_id, partition, layered, trials, backend_factory,
                 entries, results, result_offsets, entry_checksums,
-                recorder, cache_budget, faults, task_queue, report_queue,
+                recorder, cache_budget, batch_size, faults, task_queue,
+                report_queue,
             ),
         )
         process.start()
@@ -1000,6 +1021,7 @@ def _drive_inline(
     assignment: Sequence[Sequence[int]],
     recorder,
     cache_budget: Optional[CacheBudget],
+    batch_size: int,
     faults,
     retries: int,
 ) -> _PoolResult:
@@ -1058,7 +1080,7 @@ def _drive_inline(
             report = _run_one_task(
                 partition.tasks[task_id], layered, trials,
                 backends[worker_id], entries, results, result_offsets,
-                recorders[worker_id], cache_budget,
+                recorders[worker_id], cache_budget, batch_size,
             )
             if faults is not None and faults.corrupt_payload(task_id, attempt):
                 _flip_row_byte(results, result_offsets[task_id])
@@ -1132,6 +1154,7 @@ def run_parallel(
     task_timeout: Optional[float] = None,
     faults=None,
     task_weights: Optional[Sequence[int]] = None,
+    batch_size: int = 0,
 ) -> ParallelOutcome:
     """Execute ``trials`` with prefix reuse across ``workers`` processes.
 
@@ -1197,6 +1220,13 @@ def run_parallel(
         a resource certificate's flop weights feed
         (:func:`repro.lint.costmodel.build_certificate`).  Scheduling
         only: results are bit-identical for any weighting.
+    batch_size:
+        ``0`` (default) runs each sub-plan through the serial DFS
+        executor.  Any value >= 1 runs each sub-plan through the
+        trial-batched wavefront
+        (:func:`~repro.core.wavefront.run_wavefront`) instead — workers,
+        recovery paths and the parent fallback alike.  Results and
+        operation counts stay bit-identical at every width.
     """
     if workers < 1:
         raise ValueError(f"need at least one worker, got {workers}")
@@ -1251,6 +1281,7 @@ def run_parallel(
                 "parallel.meta", cat="parallel", workers=workers,
                 depth=depth, tasks=num_tasks, shm_bytes=shm_bytes,
                 fork=use_fork, retries=retries, task_timeout=task_timeout,
+                batch=batch_size,
             )
 
         backend = backend_factory()
@@ -1294,13 +1325,14 @@ def run_parallel(
             pool = _drive_fork_pool(
                 partition, layered, trials, backend_factory, entries,
                 results, result_offsets, entry_checksums, order, workers,
-                recorder, cache_budget, faults, retries, task_timeout,
+                recorder, cache_budget, batch_size, faults, retries,
+                task_timeout,
             )
         else:
             pool = _drive_inline(
                 partition, layered, trials, backend_factory, entries,
                 results, result_offsets, entry_checksums, assignment,
-                recorder, cache_budget, faults, retries,
+                recorder, cache_budget, batch_size, faults, retries,
             )
         completed = dict(pool.completed)
         needs_parent = set(pool.needs_parent)
@@ -1331,7 +1363,7 @@ def run_parallel(
                 report = _run_one_task(
                     partition.tasks[task_id], layered, trials,
                     parent_backend, entries, results, result_offsets,
-                    None, cache_budget,
+                    None, cache_budget, batch_size,
                 )
                 report.update(worker=None, task=task_id)
                 parent_reports[task_id] = report

@@ -183,6 +183,7 @@ class NoisySimulator:
         task_timeout: Optional[float] = None,
         retries: int = 2,
         task_weights: Optional[Sequence[int]] = None,
+        batch_size: int = 0,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -248,6 +249,18 @@ class NoisySimulator:
             the operation-count heuristic.  Scheduling only; results are
             bit-identical for any weighting.  Requires ``workers`` and is
             ignored by journaled runs (their task queue is resume-driven).
+        batch_size:
+            ``0`` (default) keeps the per-trial DFS executor.  Any value
+            >= 1 switches to breadth-wise wavefront execution
+            (:func:`~repro.core.wavefront.run_wavefront`): sibling
+            subtrees facing the same layer segment advance together in
+            one ``(2,)*n + (batch,)`` ndarray, capped at ``batch_size``
+            columns.  Results, operation counts and cache accounting are
+            bit-identical to the serial executor at every width.
+            Requires the optimized mode on the compiled ``"statevector"``
+            backend; incompatible with ``journal`` (the wavefront
+            interleaves trials, so a trial-ordered resume log cannot be
+            replayed against it).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
@@ -279,6 +292,27 @@ class NoisySimulator:
                 f"max_cache_bytes requires a statevector-family backend, "
                 f"got {backend!r}"
             )
+        if batch_size:
+            if batch_size < 1:
+                raise ValueError(
+                    f"batch_size must be >= 1, got {batch_size}"
+                )
+            if mode != "optimized":
+                raise ValueError(
+                    "batch_size requires mode='optimized' (the baseline "
+                    "has no plan to batch over)"
+                )
+            if backend != "statevector":
+                raise ValueError(
+                    "batch_size requires the compiled 'statevector' "
+                    f"backend (batched kernel surface), got {backend!r}"
+                )
+            if journal is not None:
+                raise ValueError(
+                    "batch_size is incompatible with journal: the "
+                    "wavefront interleaves trials, so the trial-ordered "
+                    "resume log cannot be replayed against it"
+                )
         cache_budget = None
         if max_cache_bytes is not None:
             from .cache import CacheBudget
@@ -344,6 +378,20 @@ class NoisySimulator:
                 retries=retries,
                 task_timeout=task_timeout,
                 task_weights=task_weights,
+                batch_size=batch_size,
+            )
+        elif mode == "optimized" and batch_size:
+            from .wavefront import run_wavefront
+
+            outcome = run_wavefront(
+                self.layered,
+                trial_list,
+                engine,
+                on_finish,
+                batch_size=batch_size,
+                check=check,
+                recorder=recorder,
+                cache_budget=cache_budget,
             )
         elif mode == "optimized":
             outcome = run_optimized(

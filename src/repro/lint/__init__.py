@@ -53,6 +53,7 @@ from .schedule_rules import (
     lint_certificate_trace,
     lint_memory_timeline,
 )
+from .wavefront_rules import lint_wavefront
 from .api import (
     lint_benchmark,
     lint_plan,
@@ -91,6 +92,7 @@ __all__ = [
     "lint_suite",
     "lint_trace",
     "lint_trials",
+    "lint_wavefront",
     "registered_codes",
     "render_json",
     "render_text",

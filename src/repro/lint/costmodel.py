@@ -75,6 +75,14 @@ __all__ = [
 #: Certificate document schema tag.
 CERT_SCHEMA = "repro-cert/1"
 
+#: Modeled fixed cost of one kernel dispatch, in flop units.  Batching
+#: folds ``width`` serial gate applications into one vectorized call, so
+#: its win is dispatch-count reduction; a few microseconds of Python and
+#: ufunc-setup overhead per call is worth roughly this many flops at the
+#: dense kernel's streaming throughput.  Used only to *rank* batch widths
+#: relative to each other — never compared against measured time.
+DISPATCH_OVERHEAD_FLOPS = 16384
+
 
 def _segment_name(start_layer: int, end_layer: int) -> str:
     """The span name the executor records for this Advance range."""
@@ -530,6 +538,7 @@ def build_certificate(
     workers: Sequence[int] = (1, 2, 4),
     budget: Optional[CacheBudget] = None,
     compiled=None,
+    batches: Sequence[int] = (1, 8, 16, 32, 64),
 ) -> Dict[str, Any]:
     """Build the ResourceCertificate for one circuit + trial set.
 
@@ -538,16 +547,24 @@ def build_certificate(
     timeline with predicted degradation under ``budget``, (c) per
     partition ``depth`` the statically weighted sub-plan set, certified
     LPT makespans over every candidate worker count and a sound parallel
-    memory bound, and (d) the ranked (depth, workers, budget) candidate
-    list with the top pick as ``advice``.  Candidate scores are
-    ``makespan_flops * memory_bytes`` (lower is better; ties broken
-    serial-first, then fewer workers, then shallower depth).  Budget
+    memory bound, (d) per candidate batch width the wavefront schedule's
+    static shape (batched dispatch count, peak rows, working set) with
+    its operation count proven equal to the serial plan's, and (e) the
+    ranked (depth, workers, budget, batch) candidate list with the top
+    pick as ``advice``.  Candidate scores are ``makespan_flops *
+    memory_bytes`` (lower is better; ties broken serial-first, then
+    fewer workers, then shallower depth, then narrower batch).  Budget
     degradation is certified for the serial schedule (P023 checks it
     against ``run_optimized``); parallel candidates are enumerated
-    without a budget.
+    without a budget.  ``advice['batch_size']`` is chosen
+    makespan-first among the batch widths whose working set fits
+    ``budget`` (all of them when no budget is given) — batching trades
+    memory for fewer dispatches, so the constraint is the budget, not
+    the score product.
     """
     from ..core.parallel import partition_plan
     from ..core.schedule import build_plan as _build_plan
+    from ..core.wavefront import plan_wavefronts
 
     if compiled is None:
         from ..sim.compiled import CompiledCircuit
@@ -578,6 +595,48 @@ def build_certificate(
             )
         )
 
+    # Wavefront (trial-batched) schedules: same ops, fewer dispatches,
+    # wider working set.  All numbers are static — no execution.
+    serial_dispatches = serial.total_ops
+    serial_cost = serial.flops + DISPATCH_OVERHEAD_FLOPS * serial_dispatches
+    wavefronts: List[Dict[str, Any]] = []
+    for batch in sorted(set(int(b) for b in batches if int(b) >= 1)):
+        wavefront = plan_wavefronts(plan, batch)
+        profile = wavefront.profile()
+        dispatches = wavefront.num_injects + sum(
+            layered.gates_between(step.start, step.end)
+            for step in wavefront.steps
+            if step.end > step.start
+        )
+        # Normalized so batch=1 keeps exactly serial.flops: the modeled
+        # speedup is the dispatch-inclusive cost ratio, applied to the
+        # flop makespan the rest of the tuner ranks in.
+        batched_cost = serial.flops + DISPATCH_OVERHEAD_FLOPS * dispatches
+        makespan = (
+            round(serial.flops * batched_cost / serial_cost)
+            if serial_cost
+            else serial.flops
+        )
+        # Parked/live rows plus the in-flight double buffer.
+        memory_states = profile["peak_rows"] + profile["max_width"]
+        wavefronts.append(
+            {
+                "batch": batch,
+                "ops": wavefront.planned_operations(layered),
+                "dispatches": dispatches,
+                "batched_calls": profile["batched_calls"],
+                "max_width": profile["max_width"],
+                "mean_width": profile["mean_width"],
+                "peak_rows": profile["peak_rows"],
+                "memory_states": memory_states,
+                "memory_bytes": memory_states * state_bytes,
+                "makespan_flops": makespan,
+                "modeled_speedup": (
+                    serial_cost / batched_cost if batched_cost else 1.0
+                ),
+            }
+        )
+
     candidates: List[Dict[str, Any]] = []
 
     def add_candidate(
@@ -586,12 +645,14 @@ def build_certificate(
         makespan: int,
         memory_states: int,
         with_budget: bool,
+        batch: int = 0,
     ) -> None:
         memory_bytes = memory_states * state_bytes
         candidates.append(
             {
                 "depth": depth,
                 "workers": num_workers,
+                "batch": batch,
                 "makespan_flops": makespan,
                 "memory_states": memory_states,
                 "memory_bytes": memory_bytes,
@@ -615,8 +676,37 @@ def build_certificate(
                 entry["memory_states"],
                 False,
             )
+    for entry in wavefronts:
+        if entry["batch"] > 1:
+            add_candidate(
+                0,
+                0,
+                entry["makespan_flops"],
+                entry["memory_states"],
+                False,
+                batch=entry["batch"],
+            )
     candidates.sort(
-        key=lambda c: (c["score"], c["workers"] > 0, c["workers"], c["depth"])
+        key=lambda c: (
+            c["score"],
+            c["workers"] > 0,
+            c["workers"],
+            c["depth"],
+            c["batch"],
+        )
+    )
+
+    # Batch advisory: fastest modeled width whose working set fits the
+    # budget (no budget -> all fit).  Width 1 means "don't batch".
+    fitting = [
+        entry
+        for entry in wavefronts
+        if budget is None or entry["memory_bytes"] <= budget.max_bytes
+    ]
+    best_batch = (
+        min(fitting, key=lambda e: (e["makespan_flops"], e["batch"]))
+        if fitting
+        else None
     )
 
     top = candidates[0]
@@ -625,6 +715,11 @@ def build_certificate(
         "depth": top["depth"] if top["workers"] else None,
         "max_cache_bytes": budget.max_bytes if top["budget"] else None,
         "cache_degrade": budget.mode if top["budget"] else None,
+        "batch_size": (
+            best_batch["batch"]
+            if best_batch is not None and best_batch["batch"] > 1
+            else None
+        ),
         "makespan_flops": top["makespan_flops"],
         "memory_states": top["memory_states"],
         "memory_bytes": top["memory_bytes"],
@@ -656,6 +751,7 @@ def build_certificate(
             }
         ),
         "schedules": schedules,
+        "wavefront": wavefronts,
         "candidates": candidates,
         "advice": advice,
     }
@@ -728,6 +824,43 @@ def validate_certificate(certificate: Dict[str, Any]) -> List[str]:
             if not schedule.get("workers"):
                 problems.append(
                     f"schedule depth={depth}: no worker candidates"
+                )
+    wavefronts = certificate.get("wavefront")
+    if isinstance(wavefronts, list):
+        plan_ops = plan.get("ops") if isinstance(plan, dict) else None
+        for entry in wavefronts:
+            batch = entry.get("batch")
+            if not isinstance(batch, int) or batch < 1:
+                problems.append(f"wavefront entry has bad batch {batch!r}")
+                continue
+            if plan_ops is not None and entry.get("ops") != plan_ops:
+                problems.append(
+                    f"wavefront batch={batch}: ops {entry.get('ops')} != "
+                    f"plan.ops {plan_ops} (batching must conserve "
+                    "operations)"
+                )
+            states = entry.get("memory_states")
+            state_bytes = certificate.get("state_bytes")
+            if (
+                isinstance(states, int)
+                and isinstance(state_bytes, int)
+                and entry.get("memory_bytes") != states * state_bytes
+            ):
+                problems.append(
+                    f"wavefront batch={batch}: memory_bytes inconsistent "
+                    "with memory_states"
+                )
+        advice = certificate.get("advice")
+        if isinstance(advice, dict) and advice.get("batch_size") is not None:
+            listed = {
+                entry.get("batch")
+                for entry in wavefronts
+                if isinstance(entry, dict)
+            }
+            if advice["batch_size"] not in listed:
+                problems.append(
+                    f"advice.batch_size {advice['batch_size']} is not a "
+                    "certified wavefront width"
                 )
     candidates = certificate.get("candidates")
     if isinstance(candidates, list) and candidates:

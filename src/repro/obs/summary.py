@@ -249,7 +249,10 @@ def segment_profile(recorder: InMemoryRecorder) -> Dict[str, object]:
     trial total, and any recompute operations a drop-mode cache budget
     added (which the certificate accounts separately from plan ops).
     Works on merged multi-worker traces — span counts sum over all
-    tracks, exactly like the instruction multiset they record.
+    tracks, exactly like the instruction multiset they record.  Wavefront
+    traces batch ``batch`` serial advances into one span; the span's
+    ``batch`` argument restores the serial count, so certificates built
+    from the serial plan validate unchanged against batched runs.
     """
     segments: Dict[str, Dict[str, int]] = {}
     recompute_ops = 0
@@ -257,7 +260,7 @@ def segment_profile(recorder: InMemoryRecorder) -> Dict[str, object]:
     for event in recorder.events:
         if event.ph == "B" and event.cat == "segment":
             entry = segments.setdefault(event.name, {"count": 0, "gates": 0})
-            entry["count"] += 1
+            entry["count"] += int((event.args or {}).get("batch", 1))
             entry["gates"] = int((event.args or {}).get("gates", 0))
         elif event.ph == "i" and event.name == "inject":
             injects += 1

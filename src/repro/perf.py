@@ -57,6 +57,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "bench_one",
     "bench_rows",
+    "dense_microbench",
     "run_bench",
     "write_bench_json",
 ]
@@ -179,6 +180,149 @@ def _bench_parallel(
     }
 
 
+def _bench_batch(
+    layered,
+    trials,
+    plan,
+    make_backend,
+    serial_best: float,
+    serial_indices: List[tuple],
+    serial_states: List[np.ndarray],
+    serial_ops: int,
+    batch: int,
+    repeats: int,
+) -> Dict[str, object]:
+    """Time the trial-batched wavefront executor at one width.
+
+    Exactness is the tentpole contract, proven at full strength: the
+    batched payload stream must be **bit-identical** (``array_equal``,
+    not ``allclose``) to the serial compiled run's, delivered for the
+    same trial groups in the same serial order, with the identical
+    operation count (batching is a pure regrouping of the plan).
+    """
+    from .core.wavefront import run_wavefront
+
+    best = float("inf")
+    total = 0.0
+    for _ in range(max(1, repeats)):
+        backend = make_backend()
+        start = time.perf_counter()
+        run_wavefront(
+            layered, trials, backend, plan=plan, batch_size=batch
+        )
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+
+    batch_indices: List[tuple] = []
+    batch_states: List[np.ndarray] = []
+
+    def on_finish(payload, trial_indices):
+        batch_indices.append(tuple(trial_indices))
+        batch_states.append(payload.vector.copy())
+
+    check_outcome = run_wavefront(
+        layered, trials, make_backend(), on_finish,
+        plan=plan, batch_size=batch,
+    )
+    bit_identical = (
+        batch_indices == serial_indices
+        and len(batch_states) == len(serial_states)
+        and all(
+            np.array_equal(a, b)
+            for a, b in zip(serial_states, batch_states)
+        )
+    )
+    ops_equal = check_outcome.ops_applied == serial_ops
+    return {
+        "batch": batch,
+        "best_s": best,
+        "mean_s": total / max(1, repeats),
+        "speedup_vs_serial": serial_best / best,
+        "ops_applied": check_outcome.ops_applied,
+        "exact": {
+            "ops_equal": bool(ops_equal),
+            "states_bit_identical": bool(bit_identical),
+            "ok": bool(ops_equal and bit_identical),
+        },
+    }
+
+
+def dense_microbench(
+    num_qubits: int = 12,
+    width: int = 16,
+    gates: int = 32,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Dense-kernel throughput: batched columns vs one-at-a-time.
+
+    Applies ``gates`` alternating 1q/2q dense unitaries to a
+    ``num_qubits``-qubit state, serially per column versus one batched
+    ``(2,)*n + (width,)`` call, and reports amplitudes processed per
+    second for each.  ``ratio`` (batched / serial per-column throughput)
+    is the CI regression gate: vectorizing across trials must never make
+    the dense kernel slower per column (gate at 0.9 to absorb machine
+    noise).
+    """
+    from .sim.kernels import DenseKernel
+
+    rng = np.random.default_rng(7)
+
+    def unitary(k: int) -> np.ndarray:
+        raw = rng.standard_normal((2**k, 2**k)) + 1j * rng.standard_normal(
+            (2**k, 2**k)
+        )
+        q, _ = np.linalg.qr(raw)
+        return q
+
+    kernels = []
+    for g in range(gates):
+        if g % 2:
+            qubits = (g % num_qubits, (g + 1) % num_qubits)
+            kernels.append(DenseKernel(unitary(2), qubits, num_qubits))
+        else:
+            kernels.append(DenseKernel(unitary(1), (g % num_qubits,), num_qubits))
+
+    shape = (2,) * num_qubits
+    base = rng.standard_normal(shape + (width,)) + 1j * rng.standard_normal(
+        shape + (width,)
+    )
+    base /= np.linalg.norm(base.reshape(-1, width), axis=0)
+
+    serial_best = float("inf")
+    for _ in range(max(1, repeats)):
+        cols = [np.ascontiguousarray(base[..., w]) for w in range(width)]
+        scratch = np.empty(shape, dtype=np.complex128)
+        start = time.perf_counter()
+        for w in range(width):
+            work, spare = cols[w], scratch
+            for kernel in kernels:
+                work, spare = kernel.apply(work, spare)
+            scratch = spare
+        serial_best = min(serial_best, time.perf_counter() - start)
+
+    batch_best = float("inf")
+    for _ in range(max(1, repeats)):
+        work = np.ascontiguousarray(base)
+        spare = np.empty_like(work)
+        start = time.perf_counter()
+        for kernel in kernels:
+            work, spare = kernel.apply_batch(work, spare)
+        batch_best = min(batch_best, time.perf_counter() - start)
+
+    amplitudes = float((2**num_qubits) * width * gates)
+    serial_rate = amplitudes / serial_best
+    batch_rate = amplitudes / batch_best
+    return {
+        "num_qubits": num_qubits,
+        "width": width,
+        "gates": gates,
+        "serial_amps_per_s": serial_rate,
+        "batched_amps_per_s": batch_rate,
+        "ratio": batch_rate / serial_rate,
+    }
+
+
 def bench_one(
     name: str,
     num_trials: int = 1024,
@@ -190,6 +334,7 @@ def bench_one(
     workers: Sequence[int] = (),
     partition_depth: int = 1,
     auto: bool = False,
+    batches: Sequence[int] = (),
 ) -> Dict[str, object]:
     """Benchmark one suite circuit; returns one JSON-ready record.
 
@@ -271,8 +416,8 @@ def bench_one(
             )
 
     advised_workers = int(advice["workers"]) if advice else 0
-    if workers or advised_workers:
-        c_check, _, c_serial_states = _collect_final_states(
+    if workers or advised_workers or batches:
+        c_check, c_serial_indices, c_serial_states = _collect_final_states(
             layered, trials, plan,
             CompiledStatevectorBackend(layered, compiled=compiled),
         )
@@ -306,6 +451,31 @@ def bench_one(
                 repeats,
                 task_weights=advised_weights,
             )
+        if batches:
+            record["batch"] = [
+                _bench_batch(
+                    layered,
+                    trials,
+                    plan,
+                    lambda: CompiledStatevectorBackend(
+                        layered, compiled=compiled
+                    ),
+                    comp_best,
+                    c_serial_indices,
+                    c_serial_states,
+                    c_check.ops_applied,
+                    b,
+                    repeats,
+                )
+                for b in batches
+            ]
+            best_section = max(
+                record["batch"], key=lambda s: s["speedup_vs_serial"]
+            )
+            record["batch_best"] = {
+                "batch": best_section["batch"],
+                "speedup_vs_serial": best_section["speedup_vs_serial"],
+            }
 
     if trace:
         from .obs import InMemoryRecorder, summarize, verify_trace
@@ -360,9 +530,16 @@ def run_bench(
     workers: Sequence[int] = (),
     partition_depth: int = 1,
     auto: bool = False,
+    batches: Sequence[int] = (),
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
-    """Run the harness over ``benchmarks`` (default: the full Table I suite)."""
+    """Run the harness over ``benchmarks`` (default: the full Table I suite).
+
+    Each entry in ``batches`` adds a timed trial-batched wavefront
+    section per benchmark (plus a bit-exactness proof against the serial
+    compiled payload stream) and a dense-kernel microbench to the
+    payload — the per-column throughput ratio CI gates on.
+    """
     names = list(benchmarks) if benchmarks else benchmark_names()
     unknown = sorted(set(names) - set(all_benchmark_names()))
     if unknown:
@@ -385,9 +562,15 @@ def run_bench(
                 workers=workers,
                 partition_depth=partition_depth,
                 auto=auto,
+                batches=batches,
             )
         )
     speedups = [record["speedup"] for record in results]
+    batch_speedups = [
+        record["batch_best"]["speedup_vs_serial"]
+        for record in results
+        if "batch_best" in record
+    ]
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -408,6 +591,7 @@ def run_bench(
             "workers": list(workers),
             "partition_depth": partition_depth,
             "auto": auto,
+            "batches": list(batches),
         },
         "results": results,
         "summary": {
@@ -443,8 +627,24 @@ def run_bench(
                 if auto
                 else None
             ),
+            "all_batch_exact": (
+                all(
+                    section["exact"]["ok"]
+                    for record in results
+                    for section in record.get("batch", ())
+                )
+                if batches
+                else None
+            ),
+            "geomean_batch_speedup": (
+                float(np.exp(np.mean(np.log(batch_speedups))))
+                if batch_speedups
+                else None
+            ),
         },
     }
+    if batches:
+        payload["microbench"] = dense_microbench()
     return payload
 
 

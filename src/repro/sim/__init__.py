@@ -27,7 +27,13 @@ from .stabilizer import (
     StabilizerState,
     is_clifford_circuit,
 )
-from .statevector import Statevector, apply_gate_matrix, run_circuit
+from .statevector import (
+    StateLayoutError,
+    Statevector,
+    apply_gate_matrix,
+    require_state_layout,
+    run_circuit,
+)
 
 __all__ = [
     "CompiledCircuit",
@@ -50,9 +56,11 @@ __all__ = [
     "StabilizerError",
     "StabilizerState",
     "is_clifford_circuit",
+    "StateLayoutError",
     "Statevector",
     "StatevectorBackend",
     "apply_gate_matrix",
+    "require_state_layout",
     "apply_readout_flips",
     "counts_from_samples",
     "merge_counts",

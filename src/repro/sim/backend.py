@@ -24,7 +24,7 @@ import numpy as np
 
 from ..circuits.gates import Gate
 from ..circuits.layers import LayeredCircuit
-from .statevector import Statevector
+from .statevector import Statevector, require_state_layout
 
 __all__ = ["SimulationBackend", "StatevectorBackend"]
 
@@ -129,6 +129,10 @@ class StatevectorBackend(SimulationBackend):
         return state.copy()
 
     def adopt_state(self, state: Statevector) -> Statevector:
+        # Externally built states (shared-memory entry snapshots, spill
+        # reloads) are the one place a badly laid-out buffer could reach
+        # the kernels; fail loudly instead of degrading to copy semantics.
+        require_state_layout(state._tensor, "adopt_state")
         self._track_new_state()
         return state
 

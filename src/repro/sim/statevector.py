@@ -24,9 +24,44 @@ import numpy as np
 from ..circuits.circuit import GateOp, Measurement, QuantumCircuit
 from ..circuits.gates import Gate
 
-__all__ = ["Statevector", "apply_gate_matrix", "run_circuit"]
+__all__ = [
+    "StateLayoutError",
+    "Statevector",
+    "apply_gate_matrix",
+    "require_state_layout",
+    "run_circuit",
+]
 
 _ATOL = 1e-9
+
+
+class StateLayoutError(TypeError):
+    """An amplitude buffer violates the kernel memory-layout contract.
+
+    Every compiled kernel (and the no-copy ``from_buffer`` /
+    shared-memory paths) requires **C-contiguous complex128** storage.  A
+    Fortran-ordered, strided or narrower-dtype array would not fail — it
+    would silently degrade: ``reshape`` falls back to a copy, severing
+    write-through to the underlying buffer, and kernels would run against
+    an implicit converted temporary.  This error names the offending
+    dtype and strides instead.
+    """
+
+
+def require_state_layout(array: np.ndarray, context: str) -> None:
+    """Raise :class:`StateLayoutError` unless ``array`` is C-contiguous complex128."""
+    if array.dtype != np.complex128:
+        raise StateLayoutError(
+            f"{context}: amplitude buffer must be complex128, got dtype "
+            f"{array.dtype} (shape {array.shape}, strides {array.strides})"
+        )
+    if not array.flags.c_contiguous:
+        raise StateLayoutError(
+            f"{context}: amplitude buffer must be C-contiguous, got strides "
+            f"{array.strides} for shape {array.shape} (itemsize "
+            f"{array.itemsize}); a reshape of this buffer would silently "
+            f"copy instead of aliasing it"
+        )
 
 
 def _is_diagonal(matrix: np.ndarray) -> bool:
@@ -145,9 +180,12 @@ class Statevector:
         ``multiprocessing.shared_memory`` blocks — mutations write through
         to the underlying buffer, and the state is only valid while the
         buffer is.
+
+        Raises :class:`StateLayoutError` for non-complex128 or
+        non-C-contiguous buffers — the reshape below would silently copy
+        such a buffer, breaking the write-through contract.
         """
-        if buffer.dtype != np.complex128:
-            raise ValueError(f"buffer dtype must be complex128, got {buffer.dtype}")
+        require_state_layout(buffer, "Statevector.from_buffer")
         if buffer.size != 2**num_qubits:
             raise ValueError(
                 f"buffer has {buffer.size} amplitudes, expected {2 ** num_qubits}"
