@@ -359,6 +359,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         write_bench_json(payload, args.json)
         print(f"wrote {args.json}")
+    comparison_ok = True
+    if args.compare:
+        from .perf import compare_bench
+
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        comparison = compare_bench(
+            payload,
+            baseline,
+            tolerance=args.compare_tolerance,
+            min_seconds=args.compare_noise_floor,
+        )
+        rows = [
+            {
+                "benchmark": row["benchmark"],
+                "section": row["section"],
+                "baseline": f"{row['baseline_speedup']:.2f}x",
+                "current": f"{row['current_speedup']:.2f}x",
+                "ratio": f"{row['ratio']:.2f}",
+                "status": (
+                    "REGRESSED"
+                    if row["regressed"]
+                    else "noise-floor"
+                    if row["below_noise_floor"]
+                    else "ok"
+                ),
+            }
+            for row in comparison["rows"]
+        ]
+        if rows:
+            print(
+                rows_to_table(
+                    rows,
+                    title=(
+                        f"regression gate vs {args.compare} "
+                        f"(tolerance {args.compare_tolerance:.0%}, noise "
+                        f"floor {args.compare_noise_floor * 1e3:.0f}ms)"
+                    ),
+                )
+            )
+        else:
+            print(
+                f"regression gate vs {args.compare}: no common "
+                "benchmark sections to compare"
+            )
+        for note in comparison["config_mismatches"]:
+            print(f"config mismatch: {note}")
+        for note in comparison["sections_skipped"]:
+            print(f"skipped: {note}")
+        comparison_ok = comparison["ok"]
+        if comparison_ok:
+            print("regression gate: ok")
+        else:
+            print(
+                "regression gate: FAILED "
+                f"({', '.join(comparison['regressions'])})",
+                file=sys.stderr,
+            )
     if not args.no_check and not summary["all_equivalent"]:
         return 1
     if args.workers and not summary["all_parallel_exact"]:
@@ -368,6 +430,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.auto and summary["all_advised_exact"] is False:
         return 1
     if trace_failures:
+        return 1
+    if not comparison_ok:
         return 1
     return 0
 
@@ -580,6 +644,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_chrome_trace,
     )
 
+    if args.batch:
+        if args.workers:
+            print(
+                "error: --batch and --workers are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        if args.mode != "optimized" or args.backend != "statevector":
+            print(
+                "error: --batch requires --mode optimized and "
+                "--backend statevector",
+                file=sys.stderr,
+            )
+            return 2
+
     circuit, model = resolve_benchmark(args.benchmark)
     simulator = NoisySimulator(circuit, model, seed=args.seed)
     trials = simulator.sample(args.trials)
@@ -591,6 +670,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         recorder=recorder,
         workers=args.workers,
         partition_depth=args.partition_depth,
+        batch_size=args.batch,
     )
 
     out = args.out or f"{args.benchmark}.trace.json"
@@ -604,6 +684,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "num_trials": args.trials,
             "workers": args.workers,
+            "batch": args.batch,
         },
     )
 
@@ -650,6 +731,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 "trials; every worker track matches its sub-plans; "
                 "merged counters equal RunMetrics)"
             )
+    elif args.batch:
+        # Wavefront traces carry fork instants instead of cache
+        # store/hit events, so P017 doesn't apply; instead prove the
+        # batched spans against the serial plan's cost analysis (P020:
+        # each span's ``batch`` arg restores the serial segment count).
+        from .lint import analyze_plan, lint_certificate_trace
+
+        problems = verify_trace(recorder, metrics=result.metrics)
+        plan = build_plan(simulator.layered, trials)
+        analysis = analyze_plan(
+            plan, simulator.layered, compiled=simulator.compiled_circuit()
+        )
+        certificate = {"plan": analysis.to_dict(), "num_trials": len(trials)}
+        audit = lint_certificate_trace(certificate, recorder)
+        problems.extend(str(diagnostic) for diagnostic in audit.errors)
+        if not problems:
+            print(
+                "trace cross-check : ok (replayed counters equal "
+                "RunMetrics; batched spans match the serial plan's "
+                "certified segment counts)"
+            )
     else:
         problems = verify_trace(recorder, metrics=result.metrics)
         if args.mode == "optimized":
@@ -665,6 +767,130 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("trace cross-check : FAILED", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Roofline profiler: attribute wall time to certified flops/bytes."""
+    from .bench.suite import resolve_benchmark
+    from .core.schedule import build_plan
+    from .lint import analyze_plan, lint_certificate_trace, lint_metrics_trace
+    from .obs import (
+        InMemoryRecorder,
+        build_profile_report,
+        fold_spans,
+        format_profile_report,
+        measure_peaks,
+        registry_from_recorder,
+        write_flamegraph,
+        write_openmetrics,
+    )
+
+    circuit, model = resolve_benchmark(args.benchmark)
+    simulator = NoisySimulator(circuit, model, seed=args.seed)
+    trials = simulator.sample(args.trials)
+    compiled = simulator.compiled_circuit()
+    plan = build_plan(simulator.layered, trials)
+    analysis = analyze_plan(plan, simulator.layered, compiled=compiled)
+    certificate = {
+        "plan": analysis.to_dict(),
+        "num_trials": len(trials),
+    }
+
+    recorder = InMemoryRecorder()
+    simulator.run(
+        trials=trials,
+        mode="optimized",
+        backend="statevector",
+        recorder=recorder,
+        batch_size=args.batch,
+    )
+
+    failures = []
+
+    # P020 parity: the roofline numerators below are exactly the
+    # certificate's per-segment flop counts, so prove the certificate
+    # against the recorded spans first — an unproven numerator is noise.
+    parity = lint_certificate_trace(certificate, recorder)
+    parity_problems = [str(diagnostic) for diagnostic in parity.diagnostics]
+    if parity_problems:
+        failures.append(
+            "certificate/trace parity (P020) failed: "
+            + "; ".join(parity_problems)
+        )
+
+    profile = fold_spans(recorder)
+    if abs(profile.coverage - 1.0) > 0.05:
+        failures.append(
+            f"attributed exclusive time covers {profile.coverage:.1%} of "
+            "the run span (must be within 5%)"
+        )
+
+    peaks = measure_peaks(repeats=args.calibration_repeats)
+    report = build_profile_report(
+        recorder,
+        certificate["plan"]["segments"],
+        compiled,
+        simulator.layered.num_qubits,
+        peaks=peaks,
+        top=args.top,
+        meta={
+            "benchmark": args.benchmark,
+            "mode": "optimized",
+            "seed": args.seed,
+            "num_trials": args.trials,
+            "batch": args.batch,
+        },
+    )
+    report["parity"] = {"ok": not parity_problems, "problems": parity_problems}
+
+    # Metrics bridge + P025: the OpenMetrics snapshot must be provably
+    # the same data as the trace it was bridged from.
+    registry = registry_from_recorder(recorder)
+    metrics_audit = lint_metrics_trace(registry, recorder)
+    metrics_problems = [
+        str(diagnostic) for diagnostic in metrics_audit.diagnostics
+    ]
+    if metrics_problems:
+        failures.append(
+            "metrics/trace consistency (P025) failed: "
+            + "; ".join(metrics_problems)
+        )
+    metrics_path = args.metrics or f"{args.benchmark}.metrics.txt"
+    write_openmetrics(registry, metrics_path)
+    report["metrics"] = {
+        "path": metrics_path,
+        "p025_ok": not metrics_problems,
+        "problems": metrics_problems,
+    }
+
+    flamegraph_path = args.flamegraph or f"{args.benchmark}.folded"
+    write_flamegraph(profile, flamegraph_path)
+
+    print(
+        f"benchmark         : {args.benchmark} "
+        f"({args.trials} trials, "
+        f"{'batch ' + str(args.batch) if args.batch else 'serial'})"
+    )
+    print(format_profile_report(report, top=args.top))
+    print(f"\nwrote {flamegraph_path} ({len(profile.stacks)} stacks)")
+    print(f"wrote {metrics_path}")
+    print(
+        "certificate parity (P020): "
+        + ("ok" if not parity_problems else "FAILED")
+    )
+    print(
+        "metrics consistency (P025): "
+        + ("ok" if not metrics_problems else "FAILED")
+    )
+    if args.json:
+        atomic_write_json(args.json, report, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if failures:
+        print("profile cross-check : FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
         return 1
     return 0
 
@@ -1153,6 +1379,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "widths and prove its payload stream bit-identical to the serial "
         "compiled run (plus a dense-kernel microbench in the payload)",
     )
+    pbench.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="regression gate: compare per-section speedups against a "
+        "baseline BENCH_<nnnn>.json payload; exit 1 when any section "
+        "common to both runs regresses beyond --compare-tolerance",
+    )
+    pbench.add_argument(
+        "--compare-tolerance", type=float, default=0.35, metavar="FRAC",
+        help="allowed fractional speedup loss vs the baseline before a "
+        "section counts as regressed (default 0.35)",
+    )
+    pbench.add_argument(
+        "--compare-noise-floor", type=float, default=0.005, metavar="SECONDS",
+        help="sections whose best time is below this on either side are "
+        "reported but never failed — timer jitter, not signal "
+        "(default 0.005)",
+    )
 
     prun = sub.add_parser("run", help="run one benchmark end to end")
     prun.add_argument("benchmark", choices=all_benchmark_names())
@@ -1248,12 +1491,67 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="trie cut depth for the parallel partition (default 1)",
     )
     ptrace.add_argument(
+        "--batch", type=int, default=0, metavar="W",
+        help="record a trial-batched wavefront run (optimized mode, "
+        "statevector backend; exclusive with --workers); the profile "
+        "surfaces per-kind kernel.batched.* dispatch counters and the "
+        "cross-check proves the batched spans against the serial plan "
+        "(P020)",
+    )
+    ptrace.add_argument(
         "--out", default=None, metavar="PATH",
         help="trace file path (default: <benchmark>.trace.json)",
     )
     ptrace.add_argument(
         "--top", type=int, default=10,
         help="how many hottest segments to show",
+    )
+
+    pprofile = sub.add_parser(
+        "profile",
+        help="roofline profiler: attributed wall time vs certified costs",
+        description=(
+            "Run one benchmark with the trace recorder attached, fold the "
+            "span stream into exclusive per-span wall time, and divide "
+            "each advance segment's measured seconds into the flops and "
+            "bytes its resource certificate certifies — achieved vs peak "
+            "GFLOP/s and GB/s, arithmetic intensity, memory- or "
+            "compute-bound verdict, and the cache-residency band the "
+            "paper's working-set argument predicts.  Also emits a "
+            "collapsed-stack flamegraph and an OpenMetrics snapshot, and "
+            "proves both views against the trace: certificate parity "
+            "(P020), metrics consistency (P025) and 95% attribution "
+            "coverage are hard failures (exit 1)."
+        ),
+    )
+    pprofile.add_argument("benchmark", choices=all_benchmark_names())
+    pprofile.add_argument("--trials", type=int, default=256)
+    pprofile.add_argument("--seed", type=int, default=2020)
+    pprofile.add_argument(
+        "--batch", type=int, default=0, metavar="W",
+        help="profile the trial-batched wavefront executor at width W "
+        "instead of the serial compiled path (0 = serial)",
+    )
+    pprofile.add_argument(
+        "--top", type=int, default=12,
+        help="how many hotspot rows to show",
+    )
+    pprofile.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full repro-profile/1 report as JSON",
+    )
+    pprofile.add_argument(
+        "--flamegraph", default=None, metavar="PATH",
+        help="collapsed-stack output path (default: <benchmark>.folded)",
+    )
+    pprofile.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="OpenMetrics snapshot path (default: <benchmark>.metrics.txt)",
+    )
+    pprofile.add_argument(
+        "--calibration-repeats", type=int, default=3, metavar="N",
+        help="best-of-N repeats for the peak GFLOP/s and GB/s "
+        "microbenchmarks (default 3)",
     )
 
     args = parser.parse_args(argv)
@@ -1272,6 +1570,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "draw": _cmd_draw,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -782,6 +782,14 @@ def _worker_main(
                  "attempt": attempt, "error": repr(exc)}
             )
         tasks_done += 1
+    if worker_recorder:
+        from .hostinfo import peak_rss_kb
+
+        rss = peak_rss_kb()
+        worker_recorder.instant(
+            "worker.host", cat="parallel", worker_id=worker_id,
+            tasks_done=tasks_done, peak_rss_self_kb=rss["self"],
+        )
     report_queue.put(
         {"type": "done", "worker": worker_id, "recorder": worker_recorder}
     )

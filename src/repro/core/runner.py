@@ -408,6 +408,18 @@ class NoisySimulator:
                 self.layered, trial_list, engine, on_finish, recorder=recorder
             )
 
+        if recorder:
+            from .hostinfo import cpu_count, peak_rss_kb
+
+            rss = peak_rss_kb()
+            recorder.instant(
+                "run.host",
+                cat="run",
+                cpu_count=cpu_count(),
+                peak_rss_self_kb=rss["self"],
+                peak_rss_children_kb=rss["children"],
+            )
+
         metrics = compute_metrics(self.layered, trial_list, outcome)
         return SimulationResult(
             counts=counts,

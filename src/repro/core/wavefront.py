@@ -978,6 +978,7 @@ def run_wavefront(
                 if recorder:
                     span = f"advance[{step.start},{step.end})"
                     gates = layered.gates_between(step.start, step.end)
+                    recorder.gauge("wavefront.width", width)
                     recorder.begin(
                         span, cat="segment", gates=gates, batch=width
                     )

@@ -53,6 +53,7 @@ from .schedule_rules import (
     lint_certificate_trace,
     lint_memory_timeline,
 )
+from .metrics_rules import lint_metrics_trace
 from .wavefront_rules import lint_wavefront
 from .api import (
     lint_benchmark,
@@ -81,6 +82,7 @@ __all__ = [
     "lint_certificate_schedule",
     "lint_certificate_trace",
     "lint_memory_timeline",
+    "lint_metrics_trace",
     "lint_circuit",
     "lint_journal",
     "lint_noise_model",

@@ -39,6 +39,29 @@ from .export import (
     write_chrome_trace,
     write_trace_json,
 )
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    registry_from_recorder,
+    render_openmetrics,
+    validate_openmetrics,
+    write_openmetrics,
+)
+from .profile import (
+    PROFILE_SCHEMA,
+    SpanProfile,
+    build_profile_report,
+    flamegraph_lines,
+    fold_spans,
+    format_profile_report,
+    kernel_class_attribution,
+    measure_peaks,
+    roofline_segments,
+    write_flamegraph,
+)
 from .summary import (
     TraceSummary,
     format_run_metrics,
@@ -51,22 +74,41 @@ from .summary import (
 )
 
 __all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
     "InMemoryRecorder",
+    "MetricRegistry",
     "NullRecorder",
+    "PROFILE_SCHEMA",
+    "SpanProfile",
     "TRACE_SCHEMA",
     "TraceEvent",
     "TraceRecorder",
     "TraceSummary",
+    "build_profile_report",
     "chrome_trace",
+    "flamegraph_lines",
+    "fold_spans",
+    "format_profile_report",
     "format_run_metrics",
     "format_trace_summary",
+    "kernel_class_attribution",
+    "measure_peaks",
     "metrics_from_trace",
     "outcome_from_trace",
+    "registry_from_recorder",
+    "render_openmetrics",
+    "roofline_segments",
     "segment_profile",
     "summarize",
     "trace_json",
     "validate_chrome_trace",
+    "validate_openmetrics",
     "verify_trace",
     "write_chrome_trace",
+    "write_flamegraph",
+    "write_openmetrics",
     "write_trace_json",
 ]

@@ -41,10 +41,46 @@ _PID = 1
 _TID = 1
 
 
+def _orphan_end_positions(recorder: InMemoryRecorder) -> frozenset:
+    """Positions of ``E`` events whose ``B`` fell off the ring buffer.
+
+    Ring eviction drops the *oldest* events, and a span's begin always
+    precedes its end, so truncation can only orphan end events — never
+    leave a begin without its end.  Matching is LIFO per (name, worker)
+    track, mirroring the validator's nesting rule.
+    """
+    orphans = set()
+    stacks: Dict[object, list] = {}
+    for position, event in enumerate(recorder.events):
+        worker = (event.args or {}).get("worker")
+        if event.ph == "B":
+            stacks.setdefault((event.name, worker), []).append(position)
+        elif event.ph == "E":
+            stack = stacks.get((event.name, worker))
+            if stack:
+                stack.pop()
+            else:
+                orphans.add(position)
+    return frozenset(orphans)
+
+
 def chrome_trace(
     recorder: InMemoryRecorder, metadata: Optional[Dict[str, object]] = None
 ) -> Dict[str, object]:
-    """Convert a recorder's events into a Chrome trace-event document."""
+    """Convert a recorder's events into a Chrome trace-event document.
+
+    Truncation contract: when the recorder's ring buffer has evicted
+    events (``dropped_events > 0``), end events whose begin was evicted
+    are skipped — the exported document stays balanced and valid — and
+    ``otherData`` records ``dropped_events`` plus how many orphan ends
+    were skipped.  Untruncated recorders are exported verbatim, so a
+    genuinely unbalanced stream still fails validation (an
+    instrumentation bug must not be repaired silently).
+    """
+    skip: frozenset = frozenset()
+    dropped = getattr(recorder, "dropped_events", 0)
+    if dropped:
+        skip = _orphan_end_positions(recorder)
     base = recorder.events[0].ts if recorder.events else 0.0
     trace_events: List[Dict[str, object]] = [
         {
@@ -68,7 +104,9 @@ def chrome_trace(
     # (see InMemoryRecorder.merge); fan each worker out to its own thread
     # track so spans from different processes never interleave on one tid.
     worker_tids: Dict[int, int] = {}
-    for event in recorder.events:
+    for position, event in enumerate(recorder.events):
+        if position in skip:
+            continue
         tid = _TID
         if event.args and "worker" in event.args:
             worker = int(event.args["worker"])  # type: ignore[arg-type]
@@ -99,10 +137,15 @@ def chrome_trace(
         if event.args:
             payload["args"] = dict(event.args)
         trace_events.append(payload)
+    other_data: Dict[str, object] = {"schema": TRACE_SCHEMA, **(metadata or {})}
+    if dropped:
+        other_data["truncated"] = True
+        other_data["dropped_events"] = int(dropped)
+        other_data["orphan_ends_skipped"] = len(skip)
     document: Dict[str, object] = {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"schema": TRACE_SCHEMA, **(metadata or {})},
+        "otherData": other_data,
     }
     return document
 
@@ -119,6 +162,7 @@ def trace_json(
         "metadata": dict(metadata or {}),
         "summary": summarize(recorder).as_dict(),
         "counters": dict(recorder.counters),
+        "dropped_events": int(getattr(recorder, "dropped_events", 0)),
         "events": [
             {
                 "ph": event.ph,
@@ -139,6 +183,18 @@ def validate_chrome_trace(document: Dict[str, object]) -> List[str]:
     non-decreasing ``ts`` and balanced ``B``/``E`` span nesting per
     ``(pid, tid)`` (every end matches the innermost open begin of the
     same name; nothing left open at the end).  An empty list means valid.
+
+    Truncation contract: a ring-buffered recorder
+    (``InMemoryRecorder(max_events=N)``) evicts its *oldest* events, so
+    the only imbalance truncation can create is an end event whose begin
+    was evicted.  :func:`chrome_trace` skips those orphan ends when the
+    recorder reports ``dropped_events > 0`` and stamps
+    ``otherData.truncated`` / ``dropped_events`` /
+    ``orphan_ends_skipped``, so a truncated export still passes this
+    validator; counter/gauge aggregates are recorded out-of-band and
+    remain exact.  An imbalance in an *untruncated* stream is an
+    instrumentation bug and fails validation here — only genuine ring
+    eviction is repaired, never silently.
     """
     problems: List[str] = []
     events = document.get("traceEvents")

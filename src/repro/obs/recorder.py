@@ -23,6 +23,17 @@ four primitive event kinds:
 All four accept arbitrary keyword arguments, stored as the event's
 ``args`` payload.
 
+Bounded recording
+-----------------
+:class:`InMemoryRecorder` accepts ``max_events=N`` for long or served
+runs: the event timeline becomes a ring buffer that keeps the *newest*
+``N`` events and counts every evicted one in :attr:`dropped_events`.
+Aggregates — :attr:`counters` running totals and :attr:`gauge_peaks`
+maxima — are maintained out-of-band and stay **exact** under truncation;
+only event-replay derivations (span pairing, instant counts) describe
+the retained window.  See :func:`repro.obs.export.validate_chrome_trace`
+for the exporter's side of the truncation contract.
+
 Disabled-path contract
 ----------------------
 Instrumented hot paths guard every recorder touch with a single truthiness
@@ -36,8 +47,9 @@ asserts both (zero method calls, identical outcomes).
 from __future__ import annotations
 
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+from typing import Deque, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 __all__ = ["TraceEvent", "TraceRecorder", "NullRecorder", "InMemoryRecorder"]
 
@@ -136,15 +148,48 @@ class InMemoryRecorder(TraceRecorder):
     aggregate into :attr:`counters` (name -> running total) and gauges
     track their maxima in :attr:`gauge_peaks` so summary derivation never
     rescans the event list for totals.
+
+    With ``max_events=N`` the event list is a bounded ring: once full,
+    each append evicts the oldest event and bumps :attr:`dropped_events`.
+    The aggregates above are exempt — they are updated before the event
+    is enqueued, so ``counter_total`` / ``gauge_peak`` stay exact however
+    long the run, which is what makes a bounded recorder suitable for
+    served runs feeding the metric registry (:mod:`repro.obs.metrics`).
     """
 
-    __slots__ = ("events", "counters", "gauge_peaks", "_clock")
+    __slots__ = (
+        "events",
+        "counters",
+        "gauge_peaks",
+        "max_events",
+        "dropped_events",
+        "_clock",
+    )
 
-    def __init__(self, clock=time.perf_counter) -> None:
-        self.events: List[TraceEvent] = []
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
         self.counters: Dict[str, float] = {}
         self.gauge_peaks: Dict[str, float] = {}
+        self.max_events = max_events
+        self.dropped_events = 0
         self._clock = clock
+
+    @property
+    def truncated(self) -> bool:
+        """True once the ring buffer has evicted at least one event."""
+        return self.dropped_events > 0
+
+    def _record(self, event: TraceEvent) -> None:
+        events = self.events
+        if self.max_events is not None and len(events) == self.max_events:
+            self.dropped_events += 1
+        events.append(event)
 
     def __bool__(self) -> bool:
         # Truthy even when empty: ``__len__`` would otherwise make a fresh
@@ -155,17 +200,17 @@ class InMemoryRecorder(TraceRecorder):
         return len(self.events)
 
     def begin(self, name: str, cat: str = "exec", **args: object) -> None:
-        self.events.append(
+        self._record(
             TraceEvent("B", name, cat, self._clock(), args or None)
         )
 
     def end(self, name: str, cat: str = "exec", **args: object) -> None:
-        self.events.append(
+        self._record(
             TraceEvent("E", name, cat, self._clock(), args or None)
         )
 
     def instant(self, name: str, cat: str = "exec", **args: object) -> None:
-        self.events.append(
+        self._record(
             TraceEvent("i", name, cat, self._clock(), args or None)
         )
 
@@ -177,7 +222,7 @@ class InMemoryRecorder(TraceRecorder):
         payload: Dict[str, object] = {"value": total, "delta": value}
         if args:
             payload.update(args)
-        self.events.append(TraceEvent("C", name, cat, self._clock(), payload))
+        self._record(TraceEvent("C", name, cat, self._clock(), payload))
 
     def gauge(
         self, name: str, value: float, cat: str = "gauge", **args: object
@@ -188,7 +233,7 @@ class InMemoryRecorder(TraceRecorder):
         payload: Dict[str, object] = {"value": value}
         if args:
             payload.update(args)
-        self.events.append(TraceEvent("C", name, cat, self._clock(), payload))
+        self._record(TraceEvent("C", name, cat, self._clock(), payload))
 
     # -- multi-process composition -------------------------------------------
 
@@ -199,8 +244,10 @@ class InMemoryRecorder(TraceRecorder):
         ``perf_counter``'s CLOCK_MONOTONIC origin, so child timestamps
         compose with the parent's without rebasing) and the parent folds
         the children back in with :meth:`merge` after the pool drains.
+        A bounded parent hands its ``max_events`` down, so workers of a
+        served run are ring-buffered too.
         """
-        return InMemoryRecorder(clock=self._clock)
+        return InMemoryRecorder(clock=self._clock, max_events=self.max_events)
 
     def merge(
         self,
@@ -217,13 +264,16 @@ class InMemoryRecorder(TraceRecorder):
         Chrome exporter fans the events out to a per-worker thread track.
         Counter totals are summed and gauge peaks maxed — counter *events*
         keep their source-local running ``value``; only the aggregate
-        :attr:`counters` view is global after a merge.
+        :attr:`counters` view is global after a merge.  Merged events pass
+        through this recorder's ring bound, and the other recorder's
+        :attr:`dropped_events` carry over — an event dropped upstream is
+        dropped from the merged view too.
         """
         for event in other.events:
             args = dict(event.args) if event.args else {}
             if worker is not None:
                 args.setdefault("worker", worker)
-            self.events.append(
+            self._record(
                 TraceEvent(
                     event.ph,
                     event.name,
@@ -232,6 +282,7 @@ class InMemoryRecorder(TraceRecorder):
                     args or None,
                 )
             )
+        self.dropped_events += other.dropped_events
         for name, total in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + total
         for name, peak in other.gauge_peaks.items():
@@ -300,9 +351,13 @@ class InMemoryRecorder(TraceRecorder):
         self.events.clear()
         self.counters.clear()
         self.gauge_peaks.clear()
+        self.dropped_events = 0
 
     def __repr__(self) -> str:
+        dropped = (
+            f", dropped={self.dropped_events}" if self.dropped_events else ""
+        )
         return (
             f"InMemoryRecorder(events={len(self.events)}, "
-            f"counters={len(self.counters)})"
+            f"counters={len(self.counters)}{dropped})"
         )

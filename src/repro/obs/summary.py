@@ -30,11 +30,14 @@ name                   ph    cat       emitted by
 ``segment.hit``        C     counter   compiled circuit, memoized program reuse
 ``segment.compile``    C     counter   compiled circuit, first-use compilation
 ``kernel.<kind>``      C     counter   compiled circuit, per compiled kernel
+``kernel.batched.<kind>``  C  counter  compiled backend, per batched dispatch
 ``fusion.runs``        C     counter   compiled circuit, fused 1q-run count
 ``fusion.gates``       C     counter   compiled circuit, gates absorbed by fusion
 ``scratch.swaps``      C     counter   compiled backend, ping-pong buffer swaps
+``scratch.batched.swaps``  C  counter  compiled backend, batched ping-pong swaps
 ``msv.live``           C     gauge     state cache, sampled at every cache event
 ``msv.stored``         C     gauge     state cache, stored snapshots only
+``run.host``           i     run       runner, once after the run (cpu, rss)
 =====================  ====  ========  ==========================================
 """
 
@@ -87,6 +90,8 @@ class TraceSummary:
         msv_high_water: List[Tuple[float, int]],
         wall_s: float,
         num_events: int,
+        batched_kernel_histogram: Optional[Dict[str, int]] = None,
+        dropped_events: int = 0,
     ) -> None:
         self.mode = mode
         self.num_trials = num_trials
@@ -113,6 +118,14 @@ class TraceSummary:
         self.msv_high_water = msv_high_water
         self.wall_s = wall_s
         self.num_events = num_events
+        #: Batched wavefront dispatches per kernel kind (``kernel.batched.*``).
+        self.batched_kernel_histogram = batched_kernel_histogram or {}
+        #: Events evicted by a bounded recorder; 0 for unbounded recording.
+        self.dropped_events = dropped_events
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped_events > 0
 
     @property
     def ops_skipped(self) -> int:
@@ -165,6 +178,9 @@ class TraceSummary:
             "fusion_gates": self.fusion_gates,
             "scratch_swaps": self.scratch_swaps,
             "kernel_histogram": dict(self.kernel_histogram),
+            "batched_kernel_histogram": dict(self.batched_kernel_histogram),
+            "dropped_events": self.dropped_events,
+            "truncated": self.truncated,
             "hot_segments": [
                 {"name": name, "count": count, "total_s": total}
                 for name, count, total in self.hot_segments
@@ -211,6 +227,12 @@ def summarize(recorder: InMemoryRecorder) -> TraceSummary:
         name[len("kernel."):]: int(total)
         for name, total in recorder.counters.items()
         if name.startswith("kernel.")
+        and not name.startswith("kernel.batched.")
+    }
+    batched_kernel_histogram = {
+        name[len("kernel.batched."):]: int(total)
+        for name, total in recorder.counters.items()
+        if name.startswith("kernel.batched.")
     }
 
     return TraceSummary(
@@ -237,6 +259,8 @@ def summarize(recorder: InMemoryRecorder) -> TraceSummary:
         msv_high_water=high_water,
         wall_s=run_total if run_count else 0.0,
         num_events=len(recorder.events),
+        batched_kernel_histogram=batched_kernel_histogram,
+        dropped_events=int(getattr(recorder, "dropped_events", 0)),
     )
 
 
@@ -253,6 +277,8 @@ def segment_profile(recorder: InMemoryRecorder) -> Dict[str, object]:
     traces batch ``batch`` serial advances into one span; the span's
     ``batch`` argument restores the serial count, so certificates built
     from the serial plan validate unchanged against batched runs.
+    Requires an untruncated recorder — ring eviction loses span events,
+    so P020 evidence must be recorded unbounded.
     """
     segments: Dict[str, Dict[str, int]] = {}
     recompute_ops = 0
@@ -319,8 +345,17 @@ def verify_trace(
     """Cross-check trace-derived counters against executor counters.
 
     Returns human-readable mismatch descriptions; empty means the trace
-    replays exactly.
+    replays exactly.  A ring-truncated recorder cannot replay — instant
+    counts describe the retained window only — so truncation is reported
+    as a single problem instead of a cascade of spurious mismatches.
     """
+    dropped = int(getattr(recorder, "dropped_events", 0))
+    if dropped:
+        return [
+            f"recorder truncated ({dropped} event(s) evicted by the ring "
+            "buffer); event replay is unavailable — use the aggregate "
+            "counters, which remain exact"
+        ]
     problems: List[str] = []
 
     def check(field: str, derived: object, live: object) -> None:
@@ -399,6 +434,19 @@ def format_trace_summary(summary: TraceSummary, top: int = 10) -> str:
             for kind, count in sorted(summary.kernel_histogram.items())
         )
         lines.append(f"kernel classes    : {histogram}")
+    if summary.batched_kernel_histogram:
+        histogram = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(
+                summary.batched_kernel_histogram.items()
+            )
+        )
+        lines.append(f"batched kernels   : {histogram} (dispatches)")
+    if summary.truncated:
+        lines.append(
+            f"ring truncation   : {summary.dropped_events} event(s) "
+            "evicted (aggregate counters remain exact)"
+        )
     if summary.fusion_runs:
         lines.append(
             f"fusion            : {summary.fusion_runs} run(s) fused, "

@@ -31,9 +31,6 @@ against the timed run's outcome.
 
 from __future__ import annotations
 
-import os
-import platform
-import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -42,22 +39,20 @@ import numpy as np
 from .bench.suite import all_benchmark_names, benchmark_names, resolve_benchmark
 from .circuits.layers import layerize
 from .core.executor import run_optimized
+from .core.hostinfo import machine_info, peak_rss_kb
 from .core.parallel import run_parallel
 from .core.schedule import build_plan
 from .noise.sampling import sample_trials
 from .sim.backend import StatevectorBackend
 from .sim.compiled import CompiledCircuit, CompiledStatevectorBackend
 
-try:
-    import resource
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    resource = None  # type: ignore[assignment]
-
 __all__ = [
     "BENCH_SCHEMA",
     "bench_one",
     "bench_rows",
+    "compare_bench",
     "dense_microbench",
+    "peak_rss_kb",
     "run_bench",
     "write_bench_json",
 ]
@@ -94,23 +89,8 @@ def _collect_final_states(layered, trials, plan, backend):
     return outcome, indices, states
 
 
-def peak_rss_kb() -> Dict[str, Optional[int]]:
-    """Peak resident-set size so far, in KB (Linux ``ru_maxrss`` units).
-
-    ``self`` covers this process, ``children`` the high-water mark over
-    all reaped child processes (the parallel workers).  Both are monotone
-    process-lifetime maxima, so per-benchmark values in a longer session
-    are cumulative, not isolated — still the honest upper bound on what
-    the benchmark needed.
-    """
-    if resource is None:  # pragma: no cover - non-POSIX platforms
-        return {"self": None, "children": None}
-    return {
-        "self": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
-        "children": int(
-            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
-        ),
-    }
+# peak_rss_kb / machine_info moved to repro.core.hostinfo so the runner
+# and profiler share them; re-exported here for compatibility.
 
 
 def _bench_parallel(
@@ -177,6 +157,7 @@ def _bench_parallel(
                 check_outcome.ops_applied == serial_ops and bit_identical
             ),
         },
+        "peak_rss_kb": peak_rss_kb(),
     }
 
 
@@ -245,6 +226,7 @@ def _bench_batch(
             "states_bit_identical": bool(bit_identical),
             "ok": bool(ops_equal and bit_identical),
         },
+        "peak_rss_kb": peak_rss_kb(),
     }
 
 
@@ -380,11 +362,13 @@ def bench_one(
             "best_s": interp_best,
             "mean_s": interp_mean,
             "ops_per_s": interp_outcome.ops_applied / interp_best,
+            "peak_rss_kb": peak_rss_kb(),
         },
         "compiled": {
             "best_s": comp_best,
             "mean_s": comp_mean,
             "ops_per_s": comp_outcome.ops_applied / comp_best,
+            "peak_rss_kb": peak_rss_kb(),
         },
         "speedup": interp_best / comp_best,
         "kernel_stats": compiled.stats(),
@@ -574,13 +558,7 @@ def run_bench(
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "machine": {
-            "python": sys.version.split()[0],
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "processor": platform.processor() or platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": machine_info(),
         "config": {
             "num_trials": num_trials,
             "repeats": repeats,
@@ -685,3 +663,133 @@ def bench_rows(payload: Dict[str, object]) -> List[Dict[str, object]]:
             row["exact"] = "yes" if exact else "NO"
         rows.append(row)
     return rows
+
+
+def _comparable_sections(
+    record: Dict[str, object]
+) -> Dict[str, Dict[str, float]]:
+    """Named speedup sections of one benchmark record.
+
+    Every section is normalized to ``{"speedup", "best_s"}`` — the
+    speedup is what the gate compares (a dimensionless ratio, robust to
+    the absolute machine speed differing between baseline and current
+    runs) and ``best_s`` is the noise floor: sections faster than
+    ``min_seconds`` are dominated by timer jitter and are skipped.
+    """
+    sections: Dict[str, Dict[str, float]] = {
+        "compiled": {
+            "speedup": float(record["speedup"]),  # type: ignore[arg-type]
+            "best_s": float(record["compiled"]["best_s"]),  # type: ignore[index]
+        }
+    }
+    for section in record.get("parallel", ()):  # type: ignore[attr-defined]
+        sections[f"parallel[w{section['workers']}]"] = {
+            "speedup": float(section["speedup_vs_serial"]),
+            "best_s": float(section["best_s"]),
+        }
+    if "advised" in record:
+        advised = record["advised"]  # type: ignore[index]
+        sections["advised"] = {
+            "speedup": float(advised["speedup_vs_serial"]),  # type: ignore[index]
+            "best_s": float(advised["best_s"]),  # type: ignore[index]
+        }
+    for section in record.get("batch", ()):  # type: ignore[attr-defined]
+        sections[f"batch[{section['batch']}]"] = {
+            "speedup": float(section["speedup_vs_serial"]),
+            "best_s": float(section["best_s"]),
+        }
+    return sections
+
+
+def compare_bench(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.35,
+    min_seconds: float = 0.005,
+) -> Dict[str, object]:
+    """Compare two harness payloads; the CI regression gate.
+
+    For every benchmark present in *both* payloads, each named speedup
+    section (``compiled``, ``parallel[wN]``, ``advised``, ``batch[W]``)
+    is compared as ``current_speedup / baseline_speedup``.  A section
+    regresses when that ratio falls below ``1 - tolerance`` **and** both
+    measurements clear the ``min_seconds`` noise floor (best-of-N times
+    below it carry more timer jitter than signal).  Benchmarks or
+    sections present on only one side are reported informationally, never
+    failed — a baseline from a wider run must not fail a narrower smoke.
+
+    Config divergence (trials, repeats, seed) is reported in
+    ``config_mismatches`` so a reader can judge how comparable the runs
+    were; speedups are within-run ratios, so they stay meaningful across
+    configs in a way absolute times would not.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    current_by_name = {
+        record["benchmark"]: record
+        for record in current.get("results", ())  # type: ignore[attr-defined]
+    }
+    baseline_by_name = {
+        record["benchmark"]: record
+        for record in baseline.get("results", ())  # type: ignore[attr-defined]
+    }
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    skipped: List[str] = []
+    for name in sorted(set(current_by_name) & set(baseline_by_name)):
+        cur_sections = _comparable_sections(current_by_name[name])
+        base_sections = _comparable_sections(baseline_by_name[name])
+        for section in sorted(set(cur_sections) & set(base_sections)):
+            cur = cur_sections[section]
+            base = base_sections[section]
+            ratio = (
+                cur["speedup"] / base["speedup"] if base["speedup"] else 0.0
+            )
+            below_floor = (
+                cur["best_s"] < min_seconds or base["best_s"] < min_seconds
+            )
+            regressed = bool(ratio < 1.0 - tolerance and not below_floor)
+            label = f"{name}:{section}"
+            if ratio < 1.0 - tolerance and below_floor:
+                skipped.append(label)
+            if regressed:
+                regressions.append(label)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "section": section,
+                    "baseline_speedup": base["speedup"],
+                    "current_speedup": cur["speedup"],
+                    "ratio": ratio,
+                    "baseline_best_s": base["best_s"],
+                    "current_best_s": cur["best_s"],
+                    "below_noise_floor": below_floor,
+                    "regressed": regressed,
+                }
+            )
+        only = sorted(set(base_sections) - set(cur_sections))
+        if only:
+            skipped.extend(f"{name}:{section} (not in current)" for section in only)
+    config_mismatches = []
+    for key in ("num_trials", "repeats", "warmup", "seed", "batches", "workers"):
+        cur_value = current.get("config", {}).get(key)  # type: ignore[union-attr]
+        base_value = baseline.get("config", {}).get(key)  # type: ignore[union-attr]
+        if cur_value != base_value:
+            config_mismatches.append(
+                f"{key}: baseline {base_value!r} vs current {cur_value!r}"
+            )
+    return {
+        "tolerance": tolerance,
+        "min_seconds": min_seconds,
+        "benchmarks_compared": sorted(
+            set(current_by_name) & set(baseline_by_name)
+        ),
+        "benchmarks_skipped": sorted(
+            set(current_by_name) ^ set(baseline_by_name)
+        ),
+        "rows": rows,
+        "sections_skipped": skipped,
+        "config_mismatches": config_mismatches,
+        "regressions": regressions,
+        "ok": not regressions,
+    }

@@ -117,6 +117,9 @@ class CompiledCircuit:
         # key -> (fused_runs, fused_gates), parallel to _segments.
         self._segment_fusion: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._segment_costs: Dict[Tuple[int, int], Dict[str, object]] = {}
+        self._segment_kind_costs: Dict[
+            Tuple[int, int], Dict[str, Dict[str, int]]
+        ] = {}
         self.recorder = None
 
     def segment(self, start_layer: int, end_layer: int) -> Tuple[Kernel, ...]:
@@ -202,6 +205,40 @@ class CompiledCircuit:
             }
             self._segment_costs[key] = cost
         return cost
+
+    def segment_kind_costs(
+        self, start_layer: int, end_layer: int
+    ) -> Dict[str, Dict[str, int]]:
+        """Per-kernel-kind cost split of one layer range — analysis only.
+
+        Maps each kernel kind in the segment's compiled program to its
+        ``{"count", "flops", "bytes_moved"}`` share, priced by the same
+        :func:`~repro.sim.kernels.kernel_cost` model as
+        :meth:`segment_cost` (the kind totals sum exactly to the
+        segment's ``flops`` / ``bytes_moved``).  The profiler uses this
+        split to attribute a segment's measured wall time across kernel
+        classes by flop share.  Memoized, recorder-detached.
+        """
+        key = (start_layer, end_layer)
+        split = self._segment_kind_costs.get(key)
+        if split is None:
+            recorder = self.recorder
+            self.recorder = None
+            try:
+                program = self.segment(start_layer, end_layer)
+            finally:
+                self.recorder = recorder
+            split = {}
+            for kernel in program:
+                each = kernel_cost(kernel, self.num_qubits)
+                entry = split.setdefault(
+                    kernel.kind, {"count": 0, "flops": 0, "bytes_moved": 0}
+                )
+                entry["count"] += 1
+                entry["flops"] += int(each.flops)
+                entry["bytes_moved"] += int(each.bytes_moved)
+            self._segment_kind_costs[key] = split
+        return split
 
     def operator_kernel(self, gate: Gate, qubits: Sequence[int]) -> Kernel:
         """Kernel for an injected error operator (same ``Gate._key`` cache)."""

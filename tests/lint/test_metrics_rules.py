@@ -1,0 +1,164 @@
+"""P025: the served metrics snapshot must equal an independent trace replay."""
+
+import pytest
+
+from repro.lint import LintConfig, get_rule, lint_metrics_trace
+from repro.obs import InMemoryRecorder
+from repro.obs.metrics import (
+    COUNTER_FAMILY,
+    GAUGE_FAMILY,
+    SPAN_FAMILY,
+    registry_from_recorder,
+)
+
+
+def make_clock():
+    state = {"now": 0.0}
+
+    def tick():
+        state["now"] += 1.0
+        return state["now"]
+
+    return tick
+
+
+def recorded_run(max_events=None):
+    recorder = InMemoryRecorder(clock=make_clock(), max_events=max_events)
+    recorder.begin("run", cat="run")
+    recorder.begin("advance[0,2)", cat="segment")
+    recorder.counter("ops.applied", 7)
+    recorder.counter("ops.applied", 3)
+    recorder.end("advance[0,2)", cat="segment")
+    recorder.gauge("msv.live", 2)
+    recorder.gauge("msv.live", 5)
+    recorder.gauge("msv.live", 1)
+    recorder.end("run", cat="run")
+    return recorder
+
+
+class TestP025Passes:
+    def test_bridged_registry_is_consistent(self):
+        recorder = recorded_run()
+        registry = registry_from_recorder(recorder)
+        result = lint_metrics_trace(registry, recorder)
+        assert result.ok, [str(d) for d in result.diagnostics]
+        assert result.info["truncated"] is False
+        assert result.info["counters_checked"] == 1
+        assert result.info["gauges_checked"] == 1
+        assert result.info["spans_checked"] == 2
+
+    def test_accepts_snapshot_mapping_too(self):
+        recorder = recorded_run()
+        snapshot = registry_from_recorder(recorder).snapshot()
+        assert lint_metrics_trace(snapshot, recorder).ok
+
+    def test_empty_recorder_is_consistent(self):
+        recorder = InMemoryRecorder()
+        registry = registry_from_recorder(recorder)
+        assert lint_metrics_trace(registry, recorder).ok
+
+
+class TestP025Fires:
+    def _tamper(self, snapshot, family, value):
+        snapshot[family]["series"][0]["value"] = value
+        return snapshot
+
+    def test_counter_mismatch_fires(self):
+        recorder = recorded_run()
+        snapshot = registry_from_recorder(recorder).snapshot()
+        self._tamper(snapshot, COUNTER_FAMILY, 999)
+        result = lint_metrics_trace(snapshot, recorder)
+        assert not result.ok
+        assert result.codes() == ["P025"]
+        assert "event replay" in str(result.diagnostics[0])
+
+    def test_gauge_mismatch_fires(self):
+        recorder = recorded_run()
+        snapshot = registry_from_recorder(recorder).snapshot()
+        self._tamper(snapshot, GAUGE_FAMILY, 999)
+        result = lint_metrics_trace(snapshot, recorder)
+        assert not result.ok
+        assert "replayed maximum" in str(result.diagnostics[0])
+
+    def test_span_histogram_mismatch_fires(self):
+        recorder = recorded_run()
+        snapshot = registry_from_recorder(recorder).snapshot()
+        snapshot[SPAN_FAMILY]["series"][0]["count"] = 99
+        result = lint_metrics_trace(snapshot, recorder)
+        assert not result.ok
+        assert any("matched pair" in str(d) for d in result.diagnostics)
+
+    def test_missing_series_fires(self):
+        recorder = recorded_run()
+        snapshot = registry_from_recorder(recorder).snapshot()
+        snapshot[COUNTER_FAMILY]["series"] = []
+        result = lint_metrics_trace(snapshot, recorder)
+        assert not result.ok
+        assert any("no repro_counter series" in str(d) for d in result.diagnostics)
+
+    def test_foreign_recorder_fires(self):
+        # a registry bridged from one run proved against another trace
+        snapshot = registry_from_recorder(recorded_run()).snapshot()
+        other = InMemoryRecorder(clock=make_clock())
+        other.counter("different.counter", 1)
+        result = lint_metrics_trace(snapshot, other)
+        assert not result.ok
+
+    def test_disable_suppresses(self):
+        recorder = recorded_run()
+        snapshot = registry_from_recorder(recorder).snapshot()
+        self._tamper(snapshot, COUNTER_FAMILY, 999)
+        config = LintConfig(disabled=frozenset(("P025",)))
+        assert lint_metrics_trace(snapshot, recorder, config=config).ok
+
+
+class TestP025UnderTruncation:
+    def test_truncated_bridge_still_passes(self):
+        recorder = recorded_run(max_events=3)
+        assert recorder.truncated
+        registry = registry_from_recorder(recorder)
+        result = lint_metrics_trace(registry, recorder)
+        assert result.ok, [str(d) for d in result.diagnostics]
+        assert result.info["truncated"] is True
+
+    def test_truncated_check_uses_aggregates_not_replay(self):
+        recorder = recorded_run(max_events=3)
+        snapshot = registry_from_recorder(recorder).snapshot()
+        snapshot[COUNTER_FAMILY]["series"][0]["value"] = 999
+        result = lint_metrics_trace(snapshot, recorder)
+        assert not result.ok
+        assert "aggregate" in str(result.diagnostics[0])
+
+
+class TestRegistration:
+    def test_p025_registered_with_explanation(self):
+        rule = get_rule("P025")
+        assert rule.name == "metrics-trace-mismatch"
+        assert rule.severity.label == "error"
+        assert rule.explanation
+
+    def test_cli_explain_p025(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--explain", "P025"]) == 0
+        out = capsys.readouterr().out
+        assert "P025" in out and "metrics-trace-mismatch" in out
+
+
+def test_info_counts_are_ints():
+    recorder = recorded_run()
+    info = lint_metrics_trace(registry_from_recorder(recorder), recorder).info
+    assert all(isinstance(info[k], int) for k in
+               ("counters_checked", "gauges_checked", "spans_checked"))
+
+
+@pytest.mark.parametrize("family", [COUNTER_FAMILY, GAUGE_FAMILY])
+def test_extra_series_fires(family):
+    recorder = recorded_run()
+    snapshot = registry_from_recorder(recorder).snapshot()
+    snapshot[family]["series"].append(
+        {"labels": {"name": "phantom"}, "value": 1.0}
+    )
+    result = lint_metrics_trace(snapshot, recorder)
+    assert not result.ok
+    assert any("phantom" in str(d) for d in result.diagnostics)

@@ -1,0 +1,223 @@
+"""The metric registry: typed instruments, atomic snapshots, OpenMetrics.
+
+The registry is the observatory's served surface, so its semantics are
+contract-tested directly: label validation, counter monotonicity, gauge
+peaks, cumulative histogram buckets, idempotent re-registration, deep-
+copied consistent snapshots, and an exposition that round-trips through
+its own validator.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import InMemoryRecorder
+from repro.obs.metrics import (
+    COUNTER_FAMILY,
+    DEFAULT_BUCKETS,
+    DROPPED_FAMILY,
+    EVENTS_FAMILY,
+    GAUGE_FAMILY,
+    SPAN_FAMILY,
+    MetricRegistry,
+    registry_from_recorder,
+    render_openmetrics,
+    validate_openmetrics,
+    write_openmetrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_labelset(self):
+        registry = MetricRegistry()
+        counter = registry.counter("jobs", "jobs seen", labels=("kind",))
+        counter.inc(kind="a")
+        counter.inc(2, kind="a")
+        counter.inc(5, kind="b")
+        assert counter.value(kind="a") == 3
+        assert counter.value(kind="b") == 5
+
+    def test_counter_rejects_negative_increment(self):
+        counter = MetricRegistry().counter("jobs")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_rejects_wrong_label_set(self):
+        counter = MetricRegistry().counter("jobs", labels=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(1, wrong="x")
+        with pytest.raises(ValueError):
+            counter.inc(1)
+
+    def test_gauge_tracks_value_and_peak(self):
+        gauge = MetricRegistry().gauge("depth")
+        gauge.set(3.0)
+        gauge.set(7.0)
+        gauge.set(2.0)
+        assert gauge.value() == 2.0
+        assert gauge.peak() == 7.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.005)
+        histogram.observe(0.05)
+        histogram.observe(5.0)  # above every finite bound
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.055)
+        series = registry.snapshot()["lat"]["series"][0]
+        assert series["buckets"] == {"0.01": 1, "0.1": 2, "1": 2}
+        assert series["count"] == 3
+
+    def test_invalid_names_rejected(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok", labels=("bad-label",))
+
+    def test_reregistration_idempotent_only_when_identical(self):
+        registry = MetricRegistry()
+        first = registry.counter("jobs", labels=("kind",))
+        again = registry.counter("jobs", labels=("kind",))
+        assert first is again
+        with pytest.raises(ValueError):
+            registry.gauge("jobs")
+        with pytest.raises(ValueError):
+            registry.counter("jobs", labels=("other",))
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep_copied(self):
+        registry = MetricRegistry()
+        registry.counter("jobs", labels=("kind",)).inc(3, kind="a")
+        snapshot = registry.snapshot()
+        snapshot["jobs"]["series"][0]["value"] = 999
+        assert registry.snapshot()["jobs"]["series"][0]["value"] == 3
+
+    def test_snapshot_under_concurrent_increments_is_consistent(self):
+        registry = MetricRegistry()
+        counter = registry.counter("n")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                counter.inc()
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(50):
+                value = registry.snapshot()["n"]["series"][0]["value"]
+                assert value == int(value)  # never half-applied
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+
+
+class TestOpenMetrics:
+    def test_render_validates_clean(self):
+        registry = MetricRegistry()
+        registry.counter("jobs", "jobs", labels=("kind",)).inc(2, kind="a")
+        registry.gauge("depth", "depth").set(3.5)
+        histogram = registry.histogram("lat", "latency")
+        histogram.observe(0.02)
+        text = render_openmetrics(registry.snapshot())
+        assert validate_openmetrics(text) == []
+        assert text.endswith("# EOF\n")
+        assert 'jobs_total{kind="a"} 2' in text
+        assert "depth 3.5" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+
+    def test_validator_catches_missing_eof_and_bad_counter(self):
+        assert validate_openmetrics("") != []
+        text = "# TYPE jobs counter\njobs 3\n# EOF\n"
+        problems = validate_openmetrics(text)
+        assert any("_total" in problem for problem in problems)
+
+    def test_validator_catches_inf_bucket_mismatch(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 1\n'
+            'lat_bucket{le="+Inf"} 1\n'
+            "lat_sum 0.5\n"
+            "lat_count 2\n"
+            "# EOF\n"
+        )
+        problems = validate_openmetrics(text)
+        assert any("+Inf" in problem for problem in problems)
+
+    def test_label_values_escaped(self):
+        registry = MetricRegistry()
+        registry.counter("jobs", labels=("name",)).inc(
+            1, name='we"ird\\name'
+        )
+        text = render_openmetrics(registry.snapshot())
+        assert validate_openmetrics(text) == []
+        assert '\\"' in text and "\\\\" in text
+
+    def test_write_openmetrics_refuses_invalid(self, tmp_path):
+        # a hand-built snapshot with a family name the exposition format
+        # cannot express renders unparseable and must be refused
+        snapshot = {
+            "bad name": {
+                "type": "counter",
+                "help": "",
+                "label_names": [],
+                "series": [{"labels": {}, "value": 1}],
+            }
+        }
+        path = tmp_path / "bad.txt"
+        with pytest.raises(ValueError):
+            write_openmetrics(snapshot, str(path))
+        assert not path.exists()
+
+
+class TestRecorderBridge:
+    def _recorder(self):
+        recorder = InMemoryRecorder(clock=iter(range(100)).__next__)
+        recorder.begin("run", cat="run")
+        recorder.begin("advance[0,2)", cat="segment")
+        recorder.counter("ops.applied", 5)
+        recorder.end("advance[0,2)", cat="segment")
+        recorder.gauge("msv.live", 2)
+        recorder.gauge("msv.live", 4)
+        recorder.gauge("msv.live", 3)
+        recorder.end("run", cat="run")
+        return recorder
+
+    def test_bridge_families_match_recorder_aggregates(self):
+        recorder = self._recorder()
+        snapshot = registry_from_recorder(recorder).snapshot()
+        counters = {
+            series["labels"]["name"]: series["value"]
+            for series in snapshot[COUNTER_FAMILY]["series"]
+        }
+        assert counters == {"ops.applied": 5}
+        gauges = {
+            series["labels"]["name"]: series["value"]
+            for series in snapshot[GAUGE_FAMILY]["series"]
+        }
+        assert gauges == {"msv.live": 4}  # the running peak
+        spans = {
+            series["labels"]["span"]: series["count"]
+            for series in snapshot[SPAN_FAMILY]["series"]
+        }
+        assert spans == {"run": 1, "advance[0,2)": 1}
+        assert snapshot[EVENTS_FAMILY]["series"][0]["value"] == len(
+            recorder.events
+        )
+        assert snapshot[DROPPED_FAMILY]["series"][0]["value"] == 0
+
+    def test_bridge_renders_valid_openmetrics(self, tmp_path):
+        recorder = self._recorder()
+        registry = registry_from_recorder(recorder)
+        path = tmp_path / "run.metrics.txt"
+        text = write_openmetrics(registry, str(path))
+        assert path.read_text() == text
+        assert validate_openmetrics(text) == []
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -107,3 +107,53 @@ class TestDisabledPathIsFree:
         ]
         assert per_op_events == []
         assert len(recorder.events) < 20 * outcome.ops_applied
+
+
+class TestDisabledPathThroughSimulator:
+    """The zero-call contract holds through the public NoisySimulator API,
+    including the new run.host wiring and the batched wavefront path."""
+
+    def _simulator(self, name="bv4", seed=3):
+        from repro.bench.suite import resolve_benchmark
+        from repro.core.runner import NoisySimulator
+
+        circuit, model = resolve_benchmark(name)
+        return NoisySimulator(circuit, model, seed=seed)
+
+    def test_serial_run_makes_zero_recorder_calls(self):
+        simulator = self._simulator()
+        SpyRecorder.calls = 0
+        simulator.run(
+            num_trials=64,
+            mode="optimized",
+            backend="statevector",
+            recorder=SpyRecorder(),
+        )
+        assert SpyRecorder.calls == 0
+
+    def test_batched_run_makes_zero_recorder_calls(self):
+        simulator = self._simulator()
+        SpyRecorder.calls = 0
+        simulator.run(
+            num_trials=64,
+            mode="optimized",
+            backend="statevector",
+            recorder=SpyRecorder(),
+            batch_size=8,
+        )
+        assert SpyRecorder.calls == 0
+
+    def test_enabled_run_emits_host_facts(self):
+        simulator = self._simulator()
+        recorder = InMemoryRecorder()
+        simulator.run(
+            num_trials=32,
+            mode="optimized",
+            backend="statevector",
+            recorder=recorder,
+        )
+        host = recorder.first_instant_args("run.host")
+        assert host is not None
+        assert host["cpu_count"] == __import__("os").cpu_count()
+        # POSIX CI: peak RSS must be a positive KB figure
+        assert host["peak_rss_self_kb"] is None or host["peak_rss_self_kb"] > 0
