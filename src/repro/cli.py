@@ -277,6 +277,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             partition_depth=args.partition_depth,
             auto=args.auto,
             batches=args.batch or (),
+            hybrid=args.hybrid,
             progress=lambda name: print(f"benching {name} ...", file=sys.stderr),
         )
     except KeyError as exc:
@@ -326,6 +327,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"dense microbench ({micro['num_qubits']}q x{micro['width']}): "
             f"batched/serial throughput ratio {micro['ratio']:.2f}"
+        )
+    if args.hybrid:
+        status = "ok" if summary["all_hybrid_exact"] else "FAILED"
+        print(
+            "hybrid exactness (bit-identical payloads, equal nominal "
+            f"ops) at fragment widths 0/64: {status}"
+        )
+        for record in payload["results"]:
+            sections = ", ".join(
+                f"{'b' + str(s['batch']) if s['batch'] else 'dfs'} "
+                f"{s['speedup_vs_serial']:.2f}x"
+                f"{'' if s['active'] else ' (inactive)'}"
+                for s in record.get("hybrid", ())
+            )
+            print(f"hybrid {record['benchmark']}: {sections}")
+        print(
+            f"geomean best-hybrid speedup vs serial compiled: "
+            f"{summary['geomean_hybrid_speedup']:.2f}x"
+        )
+        micro = payload["hybrid_microbench"]
+        print(
+            f"hybrid microbench ({micro['num_qubits']}q "
+            f"x{micro['gates']} Clifford gates): dense/symbolic time "
+            f"ratio {micro['ratio']:.1f}"
         )
     if args.auto:
         for record in payload["results"]:
@@ -427,6 +452,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if args.batch and not summary["all_batch_exact"]:
         return 1
+    if args.hybrid and not summary["all_hybrid_exact"]:
+        return 1
     if args.auto and summary["all_advised_exact"] is False:
         return 1
     if trace_failures:
@@ -452,7 +479,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "max_cache_bytes": args.max_cache_bytes,
         "cache_degrade": args.cache_degrade,
         "task_weights": None,
+        "hybrid": args.hybrid,
     }
+    if args.hybrid:
+        if args.mode != "optimized":
+            print(
+                "error: --hybrid requires --mode optimized (the fast "
+                "path rewrites the optimized plan's trie spans)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.journal is not None:
+            print(
+                "error: --hybrid and --journal are mutually exclusive "
+                "(symbolic spans produce no journalable finish stream)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.max_cache_bytes is not None:
+            print(
+                "error: --hybrid and --max-cache-bytes are mutually "
+                "exclusive (symbolic snapshots are O(n) Pauli frames, "
+                "not budgetable statevectors)",
+                file=sys.stderr,
+            )
+            return 2
     if args.batch:
         if args.mode != "optimized":
             print(
@@ -529,6 +580,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         task_weights=settings["task_weights"],
         recorder=recorder,
         batch_size=args.batch,
+        hybrid=settings["hybrid"],
     )
     elapsed = time.perf_counter() - start
     metrics = result.metrics
@@ -539,6 +591,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "workers": settings["workers"],
             "batch": args.batch,
+            "hybrid": settings["hybrid"],
             "metrics": metrics.as_dict(),
             "counts": result.counts,
             "wall_s": elapsed,
@@ -563,6 +616,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if advice["workers"]
             else "serial"
         )
+        if advice.get("hybrid"):
+            chosen += ", hybrid fast path"
         print(
             f"auto-tuned        : {chosen} (certified makespan "
             f"{advice['makespan_flops'] / 1e6:.2f} Mflop, "
@@ -577,6 +632,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"batch             : wavefront execution, up to {args.batch} "
             "trial column(s) per kernel call (bit-identical to serial)"
+        )
+    if settings["hybrid"]:
+        print(
+            "hybrid            : Clifford spans run as Pauli-frame "
+            "deltas over shared anchors (bit-identical to serial dense)"
         )
     if result.journal is not None:
         summary = result.journal
@@ -1089,6 +1149,7 @@ def _advised_settings(certificate) -> dict:
         "max_cache_bytes": advice["max_cache_bytes"],
         "cache_degrade": advice["cache_degrade"] or "spill",
         "task_weights": None,
+        "hybrid": bool(advice.get("hybrid")),
     }
     if advice["workers"]:
         for schedule in certificate["schedules"]:
@@ -1135,6 +1196,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
             "depth": c["depth"] or "-",
             "workers": c["workers"] or "serial",
             "batch": c.get("batch") or "-",
+            "hybrid": "yes" if c.get("hybrid") else "-",
             "Mflop makespan": c["makespan_flops"] / 1e6,
             "mem states": c["memory_states"],
             "budget": "yes" if c["budget"] else "-",
@@ -1163,6 +1225,20 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         ]
     if advice.get("batch_size") and not advice["workers"]:
         suggestion.append(f"--batch {advice['batch_size']}")
+    if advice.get("hybrid"):
+        suggestion.append("--hybrid")
+    hybrid_section = certificate.get("hybrid")
+    if hybrid_section is not None:
+        memory = hybrid_section["memory"]
+        stats = hybrid_section["stats"]
+        print(
+            f"hybrid            : "
+            f"{'active' if hybrid_section['active'] else 'inactive'} "
+            f"({stats['symbolic_gates']}/{stats['planned_ops']} gates "
+            f"symbolic, {hybrid_section['modeled_speedup']:.2f}x flop "
+            f"model); snapshot cache {memory['cache_resident_bytes']} B "
+            f"vs dense {memory['dense_cache_resident_bytes']} B"
+        )
     best_wave = max(
         certificate["wavefront"],
         key=lambda e: e["modeled_speedup"],
@@ -1380,6 +1456,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compiled run (plus a dense-kernel microbench in the payload)",
     )
     pbench.add_argument(
+        "--hybrid", action="store_true",
+        help="also time the Clifford/Pauli-frame fast path (per-trial "
+        "and with width-64 wavefront fragments) and prove every payload "
+        "bit-identical to the serial compiled run (plus a frame-vs-"
+        "dense microbench in the payload)",
+    )
+    pbench.add_argument(
         "--compare", default=None, metavar="BASELINE.json",
         help="regression gate: compare per-section speedups against a "
         "baseline BENCH_<nnnn>.json payload; exit 1 when any section "
@@ -1417,6 +1500,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="trial-batched wavefront execution: vectorize kernels over "
         "up to W trials at once (optimized mode, compiled backend; "
         "results stay bit-identical to serial; 0 = off)",
+    )
+    prun.add_argument(
+        "--hybrid", action="store_true",
+        help="Clifford/Pauli-frame fast path: run pure-Clifford trie "
+        "spans symbolically over shared dense anchors and materialize "
+        "amplitudes only at non-Clifford gates or Finish (optimized "
+        "mode, compiled backend; bit-identical to serial dense; "
+        "composes with --workers and --batch)",
     )
     prun.add_argument(
         "--json", default=None, metavar="PATH",

@@ -9,6 +9,13 @@ from .executor import (
     run_baseline,
     run_optimized,
 )
+from .hybrid import (
+    HybridOutcome,
+    HybridSchedule,
+    classify_plan,
+    run_hybrid,
+    run_hybrid_prefix,
+)
 from .metrics import RunMetrics, compute_metrics
 from .persistence import load_trials, save_trials
 from .resilience import (
@@ -58,6 +65,8 @@ __all__ = [
     "ExecutionOutcome",
     "ExecutionPlan",
     "Finish",
+    "HybridOutcome",
+    "HybridSchedule",
     "Inject",
     "JournalError",
     "JournalSummary",
@@ -81,6 +90,7 @@ __all__ = [
     "build_plan",
     "build_plan_from_trie",
     "build_trie",
+    "classify_plan",
     "compute_metrics",
     "journal_fingerprint",
     "load_journal",
@@ -98,5 +108,7 @@ __all__ = [
     "reorder_trials",
     "reorder_trials_recursive",
     "run_baseline",
+    "run_hybrid",
+    "run_hybrid_prefix",
     "run_optimized",
 ]

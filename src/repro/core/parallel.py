@@ -1163,6 +1163,7 @@ def run_parallel(
     faults=None,
     task_weights: Optional[Sequence[int]] = None,
     batch_size: int = 0,
+    hybrid: bool = False,
 ) -> ParallelOutcome:
     """Execute ``trials`` with prefix reuse across ``workers`` processes.
 
@@ -1235,6 +1236,12 @@ def run_parallel(
         (:func:`~repro.core.wavefront.run_wavefront`) instead — workers,
         recovery paths and the parent fallback alike.  Results and
         operation counts stay bit-identical at every width.
+    hybrid:
+        Run the shared prefix through the Clifford/Pauli-frame fast path
+        (:func:`~repro.core.hybrid.run_hybrid_prefix`) — entry states are
+        materialized from shared anchors instead of walked densely, and
+        stay bitwise identical, so workers (always dense) produce the
+        same results.  Requires a compiled statevector backend.
     """
     if workers < 1:
         raise ValueError(f"need at least one worker, got {workers}")
@@ -1293,7 +1300,16 @@ def run_parallel(
             )
 
         backend = backend_factory()
-        phase1 = _run_prefix(partition, layered, backend, entries, recorder)
+        if hybrid:
+            from .hybrid import run_hybrid_prefix
+
+            phase1 = run_hybrid_prefix(
+                partition, layered, backend, entries, recorder
+            )
+        else:
+            phase1 = _run_prefix(
+                partition, layered, backend, entries, recorder
+            )
         wasted_ops = 0
 
         # Checksum every entry state before it crosses the process
@@ -1309,9 +1325,16 @@ def run_parallel(
         def regenerate_entries() -> None:
             """Re-run the prefix to rebuild corrupted entry states."""
             nonlocal wasted_ops
-            regen = _run_prefix(
-                partition, layered, backend_factory(), entries, None
-            )
+            if hybrid:
+                from .hybrid import run_hybrid_prefix
+
+                regen = run_hybrid_prefix(
+                    partition, layered, backend_factory(), entries, None
+                )
+            else:
+                regen = _run_prefix(
+                    partition, layered, backend_factory(), entries, None
+                )
             wasted_ops += regen["ops"]
             if recorder:
                 recorder.instant(

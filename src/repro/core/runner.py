@@ -184,6 +184,7 @@ class NoisySimulator:
         retries: int = 2,
         task_weights: Optional[Sequence[int]] = None,
         batch_size: int = 0,
+        hybrid: bool = False,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -261,6 +262,19 @@ class NoisySimulator:
             backend; incompatible with ``journal`` (the wavefront
             interleaves trials, so a trial-ordered resume log cannot be
             replayed against it).
+        hybrid:
+            Route execution through the Clifford/Pauli-frame fast path
+            (:func:`~repro.core.hybrid.run_hybrid`): pure-Clifford trie
+            spans run symbolically as Pauli-frame deltas over shared
+            dense anchors, amplitudes materialize only at the first
+            non-Clifford gate or at Finish.  Bit-identical payloads and
+            nominal accounting at every configuration.  Requires the
+            optimized mode on the compiled ``"statevector"`` backend;
+            incompatible with ``journal`` and ``max_cache_bytes`` (the
+            symbolic snapshot cache holds O(n) frames, not spillable
+            statevectors).  Composes with ``workers`` (hybrid prefix)
+            and ``batch_size`` (materialized fragments run through the
+            wavefront executor).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
@@ -312,6 +326,28 @@ class NoisySimulator:
                     "batch_size is incompatible with journal: the "
                     "wavefront interleaves trials, so the trial-ordered "
                     "resume log cannot be replayed against it"
+                )
+        if hybrid:
+            if mode != "optimized":
+                raise ValueError(
+                    "hybrid requires mode='optimized' (the fast path "
+                    "rewrites the optimized plan's trie spans)"
+                )
+            if backend != "statevector":
+                raise ValueError(
+                    "hybrid requires the compiled 'statevector' backend "
+                    f"(anchor derivation and dense handoff), got {backend!r}"
+                )
+            if journal is not None:
+                raise ValueError(
+                    "hybrid is incompatible with journal: symbolic spans "
+                    "produce no trial-ordered finish stream to journal"
+                )
+            if max_cache_bytes is not None:
+                raise ValueError(
+                    "hybrid is incompatible with max_cache_bytes: "
+                    "symbolic snapshots are O(n) Pauli frames, not "
+                    "budgetable statevectors"
                 )
         cache_budget = None
         if max_cache_bytes is not None:
@@ -378,6 +414,19 @@ class NoisySimulator:
                 retries=retries,
                 task_timeout=task_timeout,
                 task_weights=task_weights,
+                batch_size=batch_size,
+                hybrid=hybrid,
+            )
+        elif mode == "optimized" and hybrid:
+            from .hybrid import run_hybrid
+
+            outcome = run_hybrid(
+                self.layered,
+                trial_list,
+                engine,
+                on_finish,
+                check=check,
+                recorder=recorder,
                 batch_size=batch_size,
             )
         elif mode == "optimized" and batch_size:

@@ -41,6 +41,7 @@ from .partition_rules import lint_partition, lint_partition_trace
 from .journal_rules import lint_journal
 from .costmodel import (
     PlanCostAnalysis,
+    analyze_hybrid,
     analyze_partition,
     analyze_plan,
     build_certificate,
@@ -55,6 +56,7 @@ from .schedule_rules import (
 )
 from .metrics_rules import lint_metrics_trace
 from .wavefront_rules import lint_wavefront
+from .hybrid_rules import lint_hybrid
 from .api import (
     lint_benchmark,
     lint_plan,
@@ -73,6 +75,7 @@ __all__ = [
     "Rule",
     "Severity",
     "all_rules",
+    "analyze_hybrid",
     "analyze_partition",
     "analyze_plan",
     "build_certificate",
@@ -84,6 +87,7 @@ __all__ = [
     "lint_memory_timeline",
     "lint_metrics_trace",
     "lint_circuit",
+    "lint_hybrid",
     "lint_journal",
     "lint_noise_model",
     "lint_partition",

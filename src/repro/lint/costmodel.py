@@ -62,8 +62,11 @@ from ..core.schedule import (
 
 __all__ = [
     "CERT_SCHEMA",
+    "FRAME_OP_FLOPS",
     "PlanCostAnalysis",
+    "analyze_hybrid",
     "analyze_plan",
+    "frame_bytes",
     "lpt_assign",
     "lpt_makespan",
     "analyze_partition",
@@ -82,6 +85,23 @@ CERT_SCHEMA = "repro-cert/1"
 #: dense kernel's streaming throughput.  Used only to *rank* batch widths
 #: relative to each other — never compared against measured time.
 DISPATCH_OVERHEAD_FLOPS = 16384
+
+#: Modeled flop cost of conjugating one Pauli frame through one fused
+#: gate matrix (``PauliFrame.try_conjugate_matrix`` on a <= 4x4 unitary):
+#: a handful of small matrix products and phase comparisons, independent
+#: of qubit count.  This is the price the hybrid pays per gate on a
+#: symbolic span instead of the dense kernel's ``O(2**n)``.
+FRAME_OP_FLOPS = 64
+
+#: Modeled per-amplitude flop cost of materializing a Pauli frame onto an
+#: anchor statevector (X part: index permutation copy; Z/phase part: one
+#: complex multiply per amplitude).
+MATERIALIZE_FLOPS_PER_AMP = 8
+
+
+def frame_bytes(num_qubits: int) -> int:
+    """Resident bytes of one Pauli-frame delta (x/z rows plus phase)."""
+    return 2 * num_qubits + 16
 
 
 def _segment_name(start_layer: int, end_layer: int) -> str:
@@ -524,6 +544,114 @@ def analyze_partition(
     }
 
 
+def analyze_hybrid(
+    layered: LayeredCircuit,
+    plan: ExecutionPlan,
+    compiled=None,
+    serial: Optional[PlanCostAnalysis] = None,
+) -> Dict[str, Any]:
+    """Statically price the Clifford/Pauli-frame fast path for ``plan``.
+
+    Runs the hybrid classifier (:func:`repro.core.hybrid.classify_plan`)
+    and converts its gate-count schedule into the certificate's flop
+    currency: symbolic spans at :data:`FRAME_OP_FLOPS` per gate (tableau
+    cost, *not* ``2**n``), anchor derivations and dense spans at the
+    compiled segment kernel cost, materializations at
+    :data:`MATERIALIZE_FLOPS_PER_AMP` per amplitude.
+
+    The memory section certifies two quantities with different roles:
+
+    ``peak_full_states``
+        Every co-resident full statevector — anchors, dense working
+        states and the materialization transient.  This is the honest
+        total-residency number; on shallow tries it can tie (or, on
+        deep shared tries, beat) the dense plan's ``peak_msv``.
+
+    ``cache_resident_bytes``
+        The snapshot cache's resident bytes.  Symbolic snapshots are
+        O(n) Pauli-frame deltas instead of full ``2**n`` states, so
+        this shrinks *strictly* below the dense-only plan's
+        ``peak_stored * state_bytes`` whenever any snapshot is
+        symbolic — the static peak-MSV reduction the hybrid exists for.
+    """
+    from ..core.hybrid import classify_plan
+
+    if compiled is None:
+        from ..sim.compiled import CompiledCircuit
+
+        compiled = CompiledCircuit(layered)
+    if serial is None:
+        serial = analyze_plan(plan, layered, compiled=compiled)
+
+    schedule = classify_plan(layered, plan)
+    stats = dict(schedule.stats)
+    num_qubits = layered.num_qubits
+    state_bytes = 16 * (1 << num_qubits)
+
+    anchor_flops = 0
+    for path in schedule.derive_gates:
+        if len(path) >= 2:
+            anchor_flops += int(
+                compiled.segment_cost(path[-2], path[-1])["flops"]
+            )
+
+    dense_flops = 0
+    frame_flops = 0
+    for instr, action in zip(plan.instructions, schedule.actions):
+        kind = action[0]
+        if kind in ("advance-dense", "advance-mat"):
+            dense_flops += int(
+                compiled.segment_cost(instr.start_layer, instr.end_layer)[
+                    "flops"
+                ]
+            )
+        elif kind == "advance-sym":
+            frame_flops += FRAME_OP_FLOPS * layered.gates_between(
+                instr.start_layer, instr.end_layer
+            )
+        elif kind == "inject-dense":
+            event_flops, _ = _inject_cost(compiled, instr.event)
+            dense_flops += event_flops
+        elif kind == "inject-sym":
+            frame_flops += FRAME_OP_FLOPS
+    materialize_flops = (
+        stats["materializations"] * MATERIALIZE_FLOPS_PER_AMP * (1 << num_qubits)
+    )
+    total_flops = anchor_flops + dense_flops + materialize_flops + frame_flops
+
+    per_frame = frame_bytes(num_qubits)
+    cache_bytes = (
+        stats["peak_dense_stored"] * state_bytes
+        + stats["peak_sym_stored"] * per_frame
+    )
+    dense_cache_bytes = serial.peak_stored * state_bytes
+    return {
+        "active": stats["savings"] > 0,
+        "stats": stats,
+        "flops": {
+            "anchor": anchor_flops,
+            "dense": dense_flops,
+            "materialize": materialize_flops,
+            "frame": frame_flops,
+            "total": total_flops,
+        },
+        "memory": {
+            "frame_bytes": per_frame,
+            "peak_full_states": stats["peak_real_states"],
+            "peak_full_bytes": stats["peak_real_states"] * state_bytes,
+            "dense_peak_msv": serial.peak_msv,
+            "cache_dense_snapshots": stats["peak_dense_stored"],
+            "cache_frame_snapshots": stats["peak_sym_stored"],
+            "cache_resident_bytes": cache_bytes,
+            "dense_cache_resident_bytes": dense_cache_bytes,
+            "cache_shrink": bool(cache_bytes < dense_cache_bytes),
+        },
+        "modeled_speedup": (
+            serial.flops / total_flops if total_flops else 1.0
+        ),
+    }
+
+
 # ---------------------------------------------------------------------------
 # ResourceCertificate
 # ---------------------------------------------------------------------------
@@ -646,6 +774,7 @@ def build_certificate(
         memory_states: int,
         with_budget: bool,
         batch: int = 0,
+        hybrid_mode: bool = False,
     ) -> None:
         memory_bytes = memory_states * state_bytes
         candidates.append(
@@ -653,6 +782,7 @@ def build_certificate(
                 "depth": depth,
                 "workers": num_workers,
                 "batch": batch,
+                "hybrid": hybrid_mode,
                 "makespan_flops": makespan,
                 "memory_states": memory_states,
                 "memory_bytes": memory_bytes,
@@ -686,6 +816,43 @@ def build_certificate(
                 False,
                 batch=entry["batch"],
             )
+
+    # Hybrid candidates: the Clifford/Pauli-frame fast path, alone and
+    # combined with wavefront batching.  Only schedules with positive
+    # static savings are offered (the runtime falls back wholesale
+    # otherwise, so an inactive candidate would duplicate the dense row).
+    hybrid = analyze_hybrid(layered, plan, compiled=compiled, serial=serial)
+    if hybrid["active"]:
+        hybrid_dense = (
+            hybrid["flops"]["dense"] + hybrid["flops"]["materialize"]
+        )
+        hybrid_shared = (
+            hybrid["flops"]["anchor"] + hybrid["flops"]["frame"]
+        )
+        add_candidate(
+            0,
+            0,
+            hybrid_dense + hybrid_shared,
+            hybrid["memory"]["peak_full_states"],
+            False,
+            hybrid_mode=True,
+        )
+        for entry in wavefronts:
+            if entry["batch"] > 1:
+                # Batching accelerates only the dense remainder (the
+                # materialized fragments run through the wavefront
+                # executor); anchors and frame algebra stay serial.
+                scaled = round(hybrid_dense / entry["modeled_speedup"])
+                add_candidate(
+                    0,
+                    0,
+                    scaled + hybrid_shared,
+                    hybrid["memory"]["peak_full_states"]
+                    + entry["max_width"],
+                    False,
+                    batch=entry["batch"],
+                    hybrid_mode=True,
+                )
     candidates.sort(
         key=lambda c: (
             c["score"],
@@ -693,6 +860,7 @@ def build_certificate(
             c["workers"],
             c["depth"],
             c["batch"],
+            c["hybrid"],
         )
     )
 
@@ -715,6 +883,7 @@ def build_certificate(
         "depth": top["depth"] if top["workers"] else None,
         "max_cache_bytes": budget.max_bytes if top["budget"] else None,
         "cache_degrade": budget.mode if top["budget"] else None,
+        "hybrid": top["hybrid"],
         "batch_size": (
             best_batch["batch"]
             if best_batch is not None and best_batch["batch"] > 1
@@ -752,6 +921,7 @@ def build_certificate(
         ),
         "schedules": schedules,
         "wavefront": wavefronts,
+        "hybrid": hybrid,
         "candidates": candidates,
         "advice": advice,
     }
@@ -861,6 +1031,59 @@ def validate_certificate(certificate: Dict[str, Any]) -> List[str]:
                 problems.append(
                     f"advice.batch_size {advice['batch_size']} is not a "
                     "certified wavefront width"
+                )
+    hybrid = certificate.get("hybrid")
+    if isinstance(hybrid, dict):
+        stats = hybrid.get("stats", {})
+        flops = hybrid.get("flops", {})
+        memory = hybrid.get("memory", {})
+        plan_ops = plan.get("ops") if isinstance(plan, dict) else None
+        if plan_ops is not None and stats.get("planned_ops") != plan_ops:
+            problems.append(
+                f"hybrid planned_ops {stats.get('planned_ops')} != "
+                f"plan.ops {plan_ops} (hybrid must conserve operations)"
+            )
+        split = (
+            stats.get("symbolic_gates", 0)
+            + stats.get("dense_gates", 0)
+            + stats.get("symbolic_injects", 0)
+            + stats.get("dense_injects", 0)
+        )
+        if stats and split != stats.get("planned_ops"):
+            problems.append(
+                f"hybrid symbolic/dense split sums to {split}, not "
+                f"planned_ops {stats.get('planned_ops')}"
+            )
+        parts = (
+            flops.get("anchor", 0)
+            + flops.get("dense", 0)
+            + flops.get("materialize", 0)
+            + flops.get("frame", 0)
+        )
+        if flops and parts != flops.get("total"):
+            problems.append(
+                f"hybrid flop components sum to {parts}, not total "
+                f"{flops.get('total')}"
+            )
+        state_bytes = certificate.get("state_bytes")
+        if isinstance(state_bytes, int) and memory:
+            expected_cache = memory.get(
+                "cache_dense_snapshots", 0
+            ) * state_bytes + memory.get(
+                "cache_frame_snapshots", 0
+            ) * memory.get("frame_bytes", 0)
+            if expected_cache != memory.get("cache_resident_bytes"):
+                problems.append(
+                    "hybrid cache_resident_bytes inconsistent with its "
+                    "snapshot composition"
+                )
+            shrink = memory.get("cache_resident_bytes", 0) < memory.get(
+                "dense_cache_resident_bytes", 0
+            )
+            if bool(memory.get("cache_shrink")) != shrink:
+                problems.append(
+                    "hybrid cache_shrink flag contradicts the certified "
+                    "cache byte counts"
                 )
     candidates = certificate.get("candidates")
     if isinstance(candidates, list) and candidates:

@@ -52,6 +52,7 @@ __all__ = [
     "bench_rows",
     "compare_bench",
     "dense_microbench",
+    "hybrid_microbench",
     "peak_rss_kb",
     "run_bench",
     "write_bench_json",
@@ -230,6 +231,78 @@ def _bench_batch(
     }
 
 
+def _bench_hybrid(
+    layered,
+    trials,
+    plan,
+    make_backend,
+    serial_best: float,
+    serial_indices: List[tuple],
+    serial_states: List[np.ndarray],
+    serial_ops: int,
+    batch: int,
+    repeats: int,
+) -> Dict[str, object]:
+    """Time the Clifford/Pauli-frame fast path at one fragment width.
+
+    ``batch=0`` runs materialized fragments through the per-trial DFS
+    executor; ``batch>=1`` hands them to the wavefront executor at that
+    width.  Exactness is the tentpole contract at full strength: every
+    trial's payload must be **bit-identical** (``array_equal``, not
+    ``allclose``) to the serial compiled run's, with the identical
+    nominal operation count (the hybrid mirrors the plan's accounting).
+    """
+    from .core.hybrid import run_hybrid
+
+    best = float("inf")
+    total = 0.0
+    for _ in range(max(1, repeats)):
+        backend = make_backend()
+        start = time.perf_counter()
+        run_hybrid(layered, trials, backend, plan=plan, batch_size=batch)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+
+    by_trial: List[Optional[np.ndarray]] = [None] * len(trials)
+
+    def on_finish(payload, trial_indices):
+        vector = payload.vector.copy()
+        for index in trial_indices:
+            by_trial[index] = vector
+
+    check_outcome = run_hybrid(
+        layered, trials, make_backend(), on_finish,
+        plan=plan, batch_size=batch,
+    )
+    serial_by_trial: List[Optional[np.ndarray]] = [None] * len(trials)
+    for state, group in zip(serial_states, serial_indices):
+        for index in group:
+            serial_by_trial[index] = state
+    bit_identical = all(
+        a is not None
+        and b is not None
+        and np.array_equal(a, b)
+        for a, b in zip(serial_by_trial, by_trial)
+    )
+    ops_equal = check_outcome.ops_applied == serial_ops
+    return {
+        "batch": batch,
+        "best_s": best,
+        "mean_s": total / max(1, repeats),
+        "speedup_vs_serial": serial_best / best,
+        "ops_applied": check_outcome.ops_applied,
+        "active": check_outcome.active,
+        "stats": dict(check_outcome.hybrid),
+        "exact": {
+            "ops_equal": bool(ops_equal),
+            "states_bit_identical": bool(bit_identical),
+            "ok": bool(ops_equal and bit_identical),
+        },
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
 def dense_microbench(
     num_qubits: int = 12,
     width: int = 16,
@@ -305,6 +378,89 @@ def dense_microbench(
     }
 
 
+def hybrid_microbench(
+    num_qubits: int = 12,
+    gates: int = 64,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Pauli-frame symbolic span cost vs the dense kernel equivalent.
+
+    Conjugates a Pauli frame through ``gates`` Clifford unitaries (the
+    hybrid's symbolic span) plus one final materialization
+    (``apply_to_tensor``), versus applying the same unitaries densely to
+    a ``num_qubits``-qubit state.  ``ratio`` (dense time / symbolic+
+    materialize time) is the CI regression gate: the symbolic path must
+    stay decisively cheaper than re-executing the span densely, or the
+    hybrid's whole premise is void (gated well below the measured value
+    to absorb machine noise).
+    """
+    from .sim.kernels import DenseKernel
+    from .sim.stabilizer import PauliFrame
+    from .sim.statevector import Statevector
+
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    h_matrix = np.array(
+        [[inv_sqrt2, inv_sqrt2], [inv_sqrt2, -inv_sqrt2]],
+        dtype=np.complex128,
+    )
+    s_matrix = np.array([[1.0, 0.0], [0.0, 1.0j]], dtype=np.complex128)
+    cx_matrix = np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+        ],
+        dtype=np.complex128,
+    )
+    program: List[tuple] = []
+    for g in range(gates):
+        kind = g % 3
+        if kind == 0:
+            program.append((h_matrix, (g % num_qubits,)))
+        elif kind == 1:
+            program.append((s_matrix, (g % num_qubits,)))
+        else:
+            program.append(
+                (cx_matrix, (g % num_qubits, (g + 1) % num_qubits))
+            )
+
+    state = Statevector(num_qubits)
+    dense_best = float("inf")
+    kernels = [
+        DenseKernel(matrix, qubits, num_qubits)
+        for matrix, qubits in program
+    ]
+    for _ in range(max(1, repeats)):
+        work = state.tensor.copy()
+        spare = np.empty_like(work)
+        start = time.perf_counter()
+        for kernel in kernels:
+            work, spare = kernel.apply(work, spare)
+        dense_best = min(dense_best, time.perf_counter() - start)
+
+    symbolic_best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        frame = PauliFrame(num_qubits)
+        frame.inject("x", 0)
+        for matrix, qubits in program:
+            if not frame.try_conjugate_matrix(matrix, qubits):
+                raise AssertionError(
+                    "hybrid_microbench program must be Clifford"
+                )
+        frame.apply_to_tensor(state.tensor)
+        symbolic_best = min(symbolic_best, time.perf_counter() - start)
+
+    return {
+        "num_qubits": num_qubits,
+        "gates": gates,
+        "dense_s": dense_best,
+        "symbolic_s": symbolic_best,
+        "ratio": dense_best / symbolic_best if symbolic_best else 0.0,
+    }
+
+
 def bench_one(
     name: str,
     num_trials: int = 1024,
@@ -317,6 +473,7 @@ def bench_one(
     partition_depth: int = 1,
     auto: bool = False,
     batches: Sequence[int] = (),
+    hybrid: bool = False,
 ) -> Dict[str, object]:
     """Benchmark one suite circuit; returns one JSON-ready record.
 
@@ -400,7 +557,7 @@ def bench_one(
             )
 
     advised_workers = int(advice["workers"]) if advice else 0
-    if workers or advised_workers or batches:
+    if workers or advised_workers or batches or hybrid:
         c_check, c_serial_indices, c_serial_states = _collect_final_states(
             layered, trials, plan,
             CompiledStatevectorBackend(layered, compiled=compiled),
@@ -460,6 +617,31 @@ def bench_one(
                 "batch": best_section["batch"],
                 "speedup_vs_serial": best_section["speedup_vs_serial"],
             }
+        if hybrid:
+            record["hybrid"] = [
+                _bench_hybrid(
+                    layered,
+                    trials,
+                    plan,
+                    lambda: CompiledStatevectorBackend(
+                        layered, compiled=compiled
+                    ),
+                    comp_best,
+                    c_serial_indices,
+                    c_serial_states,
+                    c_check.ops_applied,
+                    b,
+                    repeats,
+                )
+                for b in (0, 64)
+            ]
+            best_section = max(
+                record["hybrid"], key=lambda s: s["speedup_vs_serial"]
+            )
+            record["hybrid_best"] = {
+                "batch": best_section["batch"],
+                "speedup_vs_serial": best_section["speedup_vs_serial"],
+            }
 
     if trace:
         from .obs import InMemoryRecorder, summarize, verify_trace
@@ -515,6 +697,7 @@ def run_bench(
     partition_depth: int = 1,
     auto: bool = False,
     batches: Sequence[int] = (),
+    hybrid: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Run the harness over ``benchmarks`` (default: the full Table I suite).
@@ -547,6 +730,7 @@ def run_bench(
                 partition_depth=partition_depth,
                 auto=auto,
                 batches=batches,
+                hybrid=hybrid,
             )
         )
     speedups = [record["speedup"] for record in results]
@@ -554,6 +738,11 @@ def run_bench(
         record["batch_best"]["speedup_vs_serial"]
         for record in results
         if "batch_best" in record
+    ]
+    hybrid_speedups = [
+        record["hybrid_best"]["speedup_vs_serial"]
+        for record in results
+        if "hybrid_best" in record
     ]
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
@@ -570,6 +759,7 @@ def run_bench(
             "partition_depth": partition_depth,
             "auto": auto,
             "batches": list(batches),
+            "hybrid": hybrid,
         },
         "results": results,
         "summary": {
@@ -619,10 +809,26 @@ def run_bench(
                 if batch_speedups
                 else None
             ),
+            "all_hybrid_exact": (
+                all(
+                    section["exact"]["ok"]
+                    for record in results
+                    for section in record.get("hybrid", ())
+                )
+                if hybrid
+                else None
+            ),
+            "geomean_hybrid_speedup": (
+                float(np.exp(np.mean(np.log(hybrid_speedups))))
+                if hybrid_speedups
+                else None
+            ),
         },
     }
     if batches:
         payload["microbench"] = dense_microbench()
+    if hybrid:
+        payload["hybrid_microbench"] = hybrid_microbench()
     return payload
 
 
@@ -695,6 +901,16 @@ def _comparable_sections(
         }
     for section in record.get("batch", ()):  # type: ignore[attr-defined]
         sections[f"batch[{section['batch']}]"] = {
+            "speedup": float(section["speedup_vs_serial"]),
+            "best_s": float(section["best_s"]),
+        }
+    for section in record.get("hybrid", ()):  # type: ignore[attr-defined]
+        label = (
+            f"hybrid+batch[{section['batch']}]"
+            if section["batch"]
+            else "hybrid"
+        )
+        sections[label] = {
             "speedup": float(section["speedup_vs_serial"]),
             "best_s": float(section["best_s"]),
         }

@@ -18,7 +18,8 @@ updates are numpy-vectorized.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from itertools import product as _iter_product
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,12 +27,16 @@ from ..circuits.circuit import GateOp, Measurement, QuantumCircuit
 from ..circuits.gates import Gate
 from ..circuits.layers import LayeredCircuit
 from .backend import SimulationBackend
+from .kernels import is_permutation_matrix
 
 __all__ = [
     "CLIFFORD_GATES",
+    "PauliFrame",
     "StabilizerError",
     "StabilizerState",
     "StabilizerBackend",
+    "frame_safe_gate",
+    "frame_safe_matrix",
     "is_clifford_circuit",
 ]
 
@@ -50,6 +55,418 @@ def is_clifford_circuit(circuit: QuantumCircuit) -> bool:
     return all(
         op.gate.name in CLIFFORD_GATES for op in circuit.gate_ops()
     )
+
+
+# ---------------------------------------------------------------------------
+# Pauli frames: deferred error deltas for the hybrid Clifford fast path
+# ---------------------------------------------------------------------------
+
+#: The four exact quarter-turn units ``i**k`` as complex128 scalars.  Every
+#: frame phase is one of these; multiplying an amplitude by them is exact
+#: in IEEE arithmetic (component swap / sign flip, no rounding).
+_UNITS = (
+    np.complex128(1.0),
+    np.complex128(1.0j),
+    np.complex128(-1.0),
+    np.complex128(-1.0j),
+)
+
+#: Placeholder generator for forced replays; every branch that could draw
+#: from it is handed an explicit ``forced_outcome``, so it is never consulted.
+_REPLAY_RNG = np.random.default_rng(0)
+
+_PAULI_X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+_PAULI_Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+_IDENTITY2 = np.eye(2, dtype=np.complex128)
+
+
+def _local_pauli_matrix(x_bits: Tuple[int, ...], z_bits: Tuple[int, ...]) -> np.ndarray:
+    """The exact matrix of ``prod_j X_j^{x_j} Z_j^{z_j}`` on ``len(x_bits)`` qubits.
+
+    Entries are drawn from ``{0, +-1, +-i}`` with no rounding: products of
+    the exact generator matrices stay exact.
+    """
+    result = None
+    for x_bit, z_bit in zip(x_bits, z_bits):
+        factor = _IDENTITY2
+        if x_bit:
+            factor = _PAULI_X
+        if z_bit:
+            factor = factor @ _PAULI_Z if x_bit else _PAULI_Z
+        result = factor if result is None else np.kron(result, factor)
+    return result
+
+
+def _search_images(matrix: np.ndarray, num_qubits: int) -> Dict:
+    """Conjugation images ``M P M^dagger = i^k P'`` for each Pauli generator.
+
+    For every generator ``P`` in ``{X_j, Z_j}`` on the matrix's qubit
+    positions, searches the canonical Pauli candidates for ``(x', z', k)``
+    such that ``M @ P == _UNITS[k] * (P' @ M)`` holds **bitwise**
+    (``np.array_equal``).  Both sides are exact rearrangements of the
+    float entries of ``M`` (``P``/``P'`` have one exact-unit entry per
+    column/row), so the check itself introduces no rounding: a hit proves
+    the commutation identity holds for the stored float matrix exactly.
+    Returns a possibly **partial** dict — generators without an image are
+    simply absent (e.g. ``t`` maps ``Z`` to ``Z`` but has no ``X`` image),
+    which lets frames whose support only touches the safe generators
+    still cross the matrix.
+    """
+    if num_qubits > 2:
+        return {}
+    bit_space = list(_iter_product((0, 1), repeat=num_qubits))
+    images: Dict = {}
+    for position in range(num_qubits):
+        for kind in ("x", "z"):
+            bits = tuple(1 if j == position else 0 for j in range(num_qubits))
+            zeros = (0,) * num_qubits
+            x_bits, z_bits = (bits, zeros) if kind == "x" else (zeros, bits)
+            pauli = _local_pauli_matrix(x_bits, z_bits)
+            lhs = matrix @ pauli
+            found = None
+            for cand_x in bit_space:
+                for cand_z in bit_space:
+                    rhs = _local_pauli_matrix(cand_x, cand_z) @ matrix
+                    for k in range(4):
+                        if np.array_equal(lhs, _UNITS[k] * rhs):
+                            found = (cand_x, cand_z, k)
+                            break
+                    if found:
+                        break
+                if found:
+                    break
+            if found is not None:
+                images[(position, kind)] = found
+    return images
+
+
+def _exact_entries(matrix: np.ndarray) -> bool:
+    """True when every entry of ``matrix`` is exactly in ``{0, +-1, +-i}``."""
+    flat = np.asarray(matrix, dtype=np.complex128).reshape(-1)
+    allowed = np.zeros(flat.shape, dtype=bool)
+    for value in (0.0,) + tuple(_UNITS):
+        allowed |= flat == value
+    return bool(allowed.all())
+
+
+_PHASE_TRANSPARENT_CACHE: Dict[bytes, bool] = {}
+
+
+def _phase_transparent(matrix: np.ndarray) -> bool:
+    """True when a global ``i^{+-1}`` factor commutes bitwise through it.
+
+    An odd frame phase swaps the real and imaginary component of *every*
+    amplitude.  NumPy's vectorized complex multiply fuses one of the two
+    cross products per component (FMA), and the swap exchanges which
+    product lands in the fused slot — so ``c * (i*v)`` and ``i * (c*v)``
+    can differ by one ulp whenever ``c`` has both a nonzero real and a
+    nonzero imaginary part.  Purely real and purely imaginary entries
+    keep each fused product on the same operand pair under the swap, so
+    a matrix whose entries all satisfy ``re == 0 or im == 0`` is
+    transparent to odd phases; anything else (e.g. the ``e^{-i pi/4}``
+    diagonal of a device-basis QFT) is not, even on disjoint qubits.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.complex128)
+    key = matrix.tobytes()
+    cached = _PHASE_TRANSPARENT_CACHE.get(key)
+    if cached is None:
+        flat = matrix.reshape(-1)
+        cached = bool(((flat.real == 0.0) | (flat.imag == 0.0)).all())
+        _PHASE_TRANSPARENT_CACHE[key] = cached
+    return cached
+
+
+#: matrix bytes -> (arith_safe, partial images dict); the safety verdict of
+#: one float matrix is a pure function of its bytes, so fused kernel
+#: products and gate matrices share one cache.
+_MATRIX_SAFETY_CACHE: Dict[bytes, Tuple[bool, Dict]] = {}
+_GENERATOR_CACHE: Dict = {}
+_CONJUGATION_CACHE: Dict = {}
+
+
+def _matrix_safety(matrix: np.ndarray) -> Tuple[bool, Dict]:
+    """(arithmetic-transfer ok, partial generator images) for a matrix.
+
+    ``arith_safe`` answers: does a bitwise matrix-level commutation
+    identity transfer to the kernel-application level?  True when
+
+    * the matrix acts on one qubit — every 1q kernel computes each output
+      amplitude from at most a two-term sum, and two-term IEEE sums
+      commute with the operand reorder a Pauli induces, or
+    * every entry is an exact unit (``{0, +-1, +-i}``) — an exact-entry
+      unitary is monomial, so its kernels only copy and unit-scale, or
+    * the matrix is a phase permutation (diagonals included) — each
+      output amplitude is a single product, and pulling an exact unit
+      through a single complex multiply is rounding-free.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.complex128)
+    key = matrix.tobytes()
+    cached = _MATRIX_SAFETY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    num_qubits = int(matrix.shape[0]).bit_length() - 1
+    arith_safe = (
+        num_qubits == 1
+        or _exact_entries(matrix)
+        or is_permutation_matrix(matrix)
+    )
+    images = _search_images(matrix, num_qubits) if arith_safe else {}
+    result = (arith_safe, images)
+    _MATRIX_SAFETY_CACHE[key] = result
+    return result
+
+
+def _gate_generator_images(gate: Gate) -> Dict:
+    key = gate._key
+    if key not in _GENERATOR_CACHE:
+        matrix = np.asarray(gate.matrix, dtype=np.complex128)
+        _GENERATOR_CACHE[key] = _search_images(matrix, gate.num_qubits)
+    return _GENERATOR_CACHE[key]
+
+
+def frame_safe_gate(gate: Gate) -> bool:
+    """Whether *any* Pauli frame may cross ``gate`` bit-exactly.
+
+    Three conditions, all decided from the gate's float matrix:
+
+    * every Pauli generator on the gate's qubits has an exact conjugation
+      image (``_search_images``),
+    * the commutation identity transfers from the matrix level to the
+      kernel-application level (``_matrix_safety``), and
+    * an odd global frame phase commutes through the kernel
+      (:func:`_phase_transparent`) — "any frame" includes ``i^{+-1}``
+      frames, which re/im-swap every amplitude.
+
+    Frames whose support only touches a gate's *safe* generators may
+    still cross a gate that fails this full check — e.g. a ``Z`` frame
+    commutes exactly with the non-Clifford ``t`` — which
+    :meth:`PauliFrame.try_conjugate_matrix` decides per frame.
+    """
+    matrix = np.asarray(gate.matrix)
+    arith_safe, images = _matrix_safety(matrix)
+    return (
+        arith_safe
+        and len(images) == 2 * gate.num_qubits
+        and _phase_transparent(matrix)
+    )
+
+
+def _compose_images(
+    images: Dict,
+    num_qubits: int,
+    x_bits: Tuple[int, ...],
+    z_bits: Tuple[int, ...],
+) -> Optional[Tuple[int, Tuple[int, ...], Tuple[int, ...]]]:
+    """Image ``(k, x', z')`` of a local Pauli under ``M . M^dagger``.
+
+    Composes the generator images in the canonical factor order
+    ``X_0^{x_0} Z_0^{z_0} X_1^{x_1} Z_1^{z_1}``; the Pauli-product phase
+    bookkeeping is exact integer arithmetic mod 4.  Returns ``None`` when
+    a needed generator has no image.
+    """
+    acc_phase = 0
+    acc_x = [0] * num_qubits
+    acc_z = [0] * num_qubits
+    for position in range(num_qubits):
+        for kind, present in (("x", x_bits[position]), ("z", z_bits[position])):
+            if not present:
+                continue
+            image = images.get((position, kind))
+            if image is None:
+                return None
+            img_x, img_z, img_k = image
+            # acc := acc * image  (i^a X^ax Z^az)(i^b X^bx Z^bz)
+            acc_phase += img_k + 2 * sum(
+                acc_z[j] & img_x[j] for j in range(num_qubits)
+            )
+            for j in range(num_qubits):
+                acc_x[j] ^= img_x[j]
+                acc_z[j] ^= img_z[j]
+    return (acc_phase % 4, tuple(acc_x), tuple(acc_z))
+
+
+def _conjugate_bits(
+    gate: Gate, x_bits: Tuple[int, ...], z_bits: Tuple[int, ...]
+) -> Optional[Tuple[int, Tuple[int, ...], Tuple[int, ...]]]:
+    """Memoized per-gate wrapper around :func:`_compose_images`."""
+    key = (gate._key, x_bits, z_bits)
+    cached = _CONJUGATION_CACHE.get(key)
+    if cached is not None or key in _CONJUGATION_CACHE:
+        return cached
+    arith_safe, images = _matrix_safety(np.asarray(gate.matrix))
+    if not arith_safe:
+        result = None
+    else:
+        result = _compose_images(images, gate.num_qubits, x_bits, z_bits)
+    _CONJUGATION_CACHE[key] = result
+    return result
+
+
+def frame_safe_matrix(matrix: np.ndarray) -> bool:
+    """:func:`frame_safe_gate` for a raw unitary matrix (fused kernels)."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    num_qubits = int(matrix.shape[0]).bit_length() - 1
+    arith_safe, images = _matrix_safety(matrix)
+    return (
+        arith_safe
+        and len(images) == 2 * num_qubits
+        and _phase_transparent(matrix)
+    )
+
+
+class PauliFrame:
+    """A deferred Pauli error: ``i^phase * prod_q X_q^{x_q} Z_q^{z_q}``.
+
+    The hybrid executor carries one frame per trie node instead of a full
+    materialized statevector: injected Pauli errors left-multiply the
+    frame, Clifford layer advances conjugate it, and materialization
+    applies it to the shared anchor state with exact arithmetic only
+    (axis flips, sign flips, quarter-turn units) — so the materialized
+    amplitudes are bit-identical to the serial dense execution.
+    """
+
+    __slots__ = ("num_qubits", "x", "z", "phase")
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = int(num_qubits)
+        self.x = np.zeros(self.num_qubits, dtype=bool)
+        self.z = np.zeros(self.num_qubits, dtype=bool)
+        self.phase = 0  # exponent of i, mod 4
+
+    def copy(self) -> "PauliFrame":
+        dup = PauliFrame.__new__(PauliFrame)
+        dup.num_qubits = self.num_qubits
+        dup.x = self.x.copy()
+        dup.z = self.z.copy()
+        dup.phase = self.phase
+        return dup
+
+    @property
+    def is_identity(self) -> bool:
+        return self.phase == 0 and not self.x.any() and not self.z.any()
+
+    def key(self) -> Tuple:
+        """Hashable identity (for materialization memo keys)."""
+        return (self.phase, self.x.tobytes(), self.z.tobytes())
+
+    # -- composition ---------------------------------------------------------
+
+    def inject(self, pauli: str, qubit: int) -> None:
+        """Left-multiply by an injected Pauli error operator on ``qubit``."""
+        if pauli == "x":
+            self.x[qubit] ^= True
+        elif pauli == "z":
+            self.phase = (self.phase + 2 * int(self.x[qubit])) % 4
+            self.z[qubit] ^= True
+        elif pauli == "y":
+            # Y = i X Z: right factor first, then X, then the i.
+            self.phase = (self.phase + 2 * int(self.x[qubit]) + 1) % 4
+            self.z[qubit] ^= True
+            self.x[qubit] ^= True
+        else:
+            raise StabilizerError(f"not a Pauli error: {pauli!r}")
+
+    def conjugate(self, gate: Gate, qubits: Sequence[int]) -> None:
+        """Push the frame through ``gate``: ``F <- G F G^dagger``.
+
+        Only the bits on the gate's qubits change; gates on qubits where
+        the frame is the identity are free.  Raises for gates without an
+        exact conjugation image (the hybrid classifier excludes them).
+        """
+        x_bits = tuple(int(self.x[q]) for q in qubits)
+        z_bits = tuple(int(self.z[q]) for q in qubits)
+        if not any(x_bits) and not any(z_bits):
+            return
+        image = _conjugate_bits(gate, x_bits, z_bits)
+        if image is None:
+            raise StabilizerError(
+                f"gate {gate.name!r} has no exact Pauli conjugation image"
+            )
+        delta, new_x, new_z = image
+        self.phase = (self.phase + delta) % 4
+        for position, qubit in enumerate(qubits):
+            self.x[qubit] = bool(new_x[position])
+            self.z[qubit] = bool(new_z[position])
+
+    def conjugate_layers(
+        self, layered: LayeredCircuit, start_layer: int, end_layer: int
+    ) -> None:
+        """Conjugate through all gates of layers ``start .. end - 1``."""
+        for layer_index in range(start_layer, end_layer):
+            for op in layered.layers[layer_index]:
+                self.conjugate(op.gate, op.qubits)
+
+    def try_conjugate_matrix(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> bool:
+        """Push the frame through a raw kernel matrix, if bit-exactly safe.
+
+        This is the fused-kernel analogue of :meth:`conjugate`: the hybrid
+        executor crosses frames through the *same* matrices the compiled
+        segment programs apply (single-qubit fusion included), so the
+        commutation identity it relies on is checked against exactly the
+        floats the serial path multiplies with.  Returns ``True`` and
+        mutates the frame on success; returns ``False`` with the frame
+        unchanged when the matrix is arithmetically unsafe or a generator
+        in the frame's support has no exact image.
+
+        A frame with an odd global phase (``i^{+-1}``) additionally
+        requires the matrix to be :func:`_phase_transparent` — even on
+        disjoint qubits — because the serial reference bakes the ``i``
+        into every amplitude *before* the kernel multiplies, and NumPy's
+        fused complex multiply rounds re/im-swapped operands differently
+        for entries with both components nonzero.
+        """
+        if self.phase & 1 and not _phase_transparent(matrix):
+            return False
+        x_bits = tuple(int(self.x[q]) for q in qubits)
+        z_bits = tuple(int(self.z[q]) for q in qubits)
+        if not any(x_bits) and not any(z_bits):
+            return True
+        arith_safe, images = _matrix_safety(np.asarray(matrix))
+        if not arith_safe:
+            return False
+        image = _compose_images(images, len(qubits), x_bits, z_bits)
+        if image is None:
+            return False
+        delta, new_x, new_z = image
+        self.phase = (self.phase + delta) % 4
+        for position, qubit in enumerate(qubits):
+            self.x[qubit] = bool(new_x[position])
+            self.z[qubit] = bool(new_z[position])
+        return True
+
+    # -- application ---------------------------------------------------------
+
+    def apply_to_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        """Apply the frame to a ``(2,)*n`` amplitude tensor, exactly.
+
+        Returns a fresh C-contiguous array; ``tensor`` is not modified.
+        Z factors flip signs on the ``1`` slices, X factors reverse axes,
+        and the global ``i^phase`` is an exact quarter-turn — every step
+        is rounding-free, so the result is bitwise equal to applying the
+        same Paulis through the kernel path.
+        """
+        out = tensor.copy()
+        for qubit in np.nonzero(self.z)[0]:
+            index = [slice(None)] * out.ndim
+            index[qubit] = 1
+            out[tuple(index)] *= -1.0
+        x_axes = tuple(int(q) for q in np.nonzero(self.x)[0])
+        view = np.flip(out, axis=x_axes) if x_axes else out
+        if self.phase:
+            return np.ascontiguousarray(view * _UNITS[self.phase])
+        return np.ascontiguousarray(view)
+
+    def __repr__(self) -> str:
+        paulis = []
+        for qubit in range(self.num_qubits):
+            xb, zb = bool(self.x[qubit]), bool(self.z[qubit])
+            if xb or zb:
+                label = "Y" if xb and zb else "X" if xb else "Z"
+                paulis.append(f"{label}{qubit}")
+        body = ".".join(paulis) if paulis else "I"
+        return f"PauliFrame(i^{self.phase} * {body})"
 
 
 class StabilizerState:
@@ -275,15 +692,97 @@ class StabilizerState:
             str(self.measure(qubit, rng)) for qubit in range(self.num_qubits)
         )
 
+    def _forced_replay(
+        self, coins: Sequence[int]
+    ) -> Tuple[np.ndarray, int]:
+        """Replay ``measure_all`` on a copy with explicit coin bits.
+
+        Each random branch consumes the next entry of ``coins`` as its
+        forced outcome; deterministic branches consume nothing.  Returns
+        the outcome bits (qubit order) and the number of coins consumed.
+        """
+        scratch = self.copy()
+        n = self.num_qubits
+        outcomes = np.zeros(n, dtype=np.uint8)
+        consumed = 0
+        for qubit in range(n):
+            forced: Optional[int] = 0
+            if scratch.x[n:, qubit].any():
+                forced = int(coins[consumed]) if consumed < len(coins) else 0
+                consumed += 1
+            outcomes[qubit] = scratch.measure(
+                qubit, _REPLAY_RNG, forced_outcome=forced
+            )
+        return outcomes, consumed
+
     def sample_counts(
         self, shots: int, rng: np.random.Generator
     ) -> Dict[str, int]:
-        """Sample ``shots`` full measurements (each on a fresh copy)."""
-        counts: Dict[str, int] = {}
-        for _ in range(shots):
-            bits = self.copy().measure_all(rng)
-            counts[bits] = counts.get(bits, 0) + 1
-        return counts
+        """Sample ``shots`` full measurements, vectorized over shots.
+
+        Sequential measurement outcomes are affine over GF(2) in the
+        random coin bits: which branches are random (and the pivot
+        structure) depends only on the coin-independent x/z evolution,
+        and phase rows update by XOR.  So ``shots`` independent replays
+        collapse to ``k + 1`` forced replays (baseline plus one per
+        coin) and one boolean matrix product, tallied via ``np.unique``
+        — the same idiom ``Statevector.sample_counts`` uses.
+        """
+        if shots <= 0:
+            return {}
+        n = self.num_qubits
+        zeros = np.zeros(n, dtype=np.uint8)
+        base, num_coins = self._forced_replay(zeros)
+        if num_coins == 0:
+            bits = "".join(str(int(b)) for b in base)
+            return {bits: int(shots)}
+        columns = np.zeros((num_coins, n), dtype=np.uint8)
+        for coin in range(num_coins):
+            unit = zeros.copy()
+            unit[coin] = 1
+            outcome, _ = self._forced_replay(unit)
+            columns[coin] = outcome ^ base
+        draws = rng.integers(0, 2, size=(shots, num_coins), dtype=np.uint8)
+        parity = (draws.astype(np.int64) @ columns.astype(np.int64)) & 1
+        outcomes = base ^ parity.astype(np.uint8)
+        unique_rows, tallies = np.unique(outcomes, axis=0, return_counts=True)
+        return {
+            "".join(str(int(b)) for b in row): int(count)
+            for row, count in zip(unique_rows, tallies)
+        }
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense amplitudes of the stabilized state, shape ``(2**n,)``.
+
+        Projects a deterministic basis state onto the stabilizer group:
+        ``v = prod_i (I + S_i) |b>`` where ``b`` comes from a forced
+        all-zero-coin replay, then normalizes.  The global phase is fixed
+        by the ``b`` amplitude being real positive.  This is the
+        check-mode oracle (compare up to global phase) — the hybrid
+        executor's bit-exact materialization path never uses it.
+        """
+        n = self.num_qubits
+        base, _ = self._forced_replay(np.zeros(n, dtype=np.uint8))
+        tensor = np.zeros((2,) * n, dtype=np.complex128)
+        tensor[tuple(int(b) for b in base)] = 1.0
+        for row in range(n, 2 * n):
+            image = tensor.copy()
+            for qubit in np.nonzero(self.z[row])[0]:
+                index = [slice(None)] * n
+                index[qubit] = 1
+                image[tuple(index)] *= -1.0
+            x_axes = tuple(int(q) for q in np.nonzero(self.x[row])[0])
+            if x_axes:
+                image = np.flip(image, axis=x_axes)
+            unit = (
+                2 * int(self.r[row])
+                + int(np.count_nonzero(self.x[row] & self.z[row]))
+            ) % 4
+            if unit:
+                image = image * _UNITS[unit]
+            tensor = tensor + image
+        vector = tensor.reshape(-1)
+        return vector / np.linalg.norm(vector)
 
     # -- inspection ---------------------------------------------------------------
 
@@ -335,6 +834,8 @@ class StabilizerBackend(SimulationBackend):
     def _track_new_state(self) -> None:
         self.live_states += 1
         self.peak_live_states = max(self.peak_live_states, self.live_states)
+        if self.recorder:
+            self.recorder.gauge("tableau.live", self.live_states)
 
     def make_initial(self) -> StabilizerState:
         self._track_new_state()
@@ -346,6 +847,8 @@ class StabilizerBackend(SimulationBackend):
 
     def release_state(self, state: StabilizerState) -> None:
         self.live_states -= 1
+        if self.recorder:
+            self.recorder.gauge("tableau.live", self.live_states)
 
     def apply_layers(
         self, state: StabilizerState, start_layer: int, end_layer: int
@@ -363,6 +866,10 @@ class StabilizerBackend(SimulationBackend):
 
     def finish(self, state: StabilizerState) -> StabilizerState:
         return state.copy()
+
+    def finish_view(self, state: StabilizerState) -> StabilizerState:
+        """Payload without copying; caller must release ``state`` after."""
+        return state
 
     def sample_clbits(
         self,

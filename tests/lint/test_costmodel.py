@@ -230,3 +230,81 @@ class TestCertificateSerialization:
         scores = [c["score"] for c in certificate["candidates"]]
         assert scores == sorted(scores)
         assert certificate["advice"]["score"] == scores[0]
+
+
+class TestHybridCostModel:
+    """The certificate's hybrid section: flop split, cache shrink."""
+
+    @pytest.fixture(scope="class")
+    def bv5_case(self):
+        layered, trials = _setup("bv5")
+        plan = build_plan(layered, trials)
+        compiled = CompiledCircuit(layered)
+        from repro.lint import analyze_hybrid
+
+        hybrid = analyze_hybrid(layered, plan, compiled=compiled)
+        return layered, trials, plan, hybrid
+
+    def test_flop_components_sum(self, bv5_case):
+        _, _, _, hybrid = bv5_case
+        flops = hybrid["flops"]
+        assert (
+            flops["anchor"]
+            + flops["dense"]
+            + flops["materialize"]
+            + flops["frame"]
+            == flops["total"]
+        )
+        assert hybrid["modeled_speedup"] > 0
+
+    def test_gate_split_conserves_planned_ops(self, bv5_case):
+        _, _, _, hybrid = bv5_case
+        stats = hybrid["stats"]
+        assert (
+            stats["symbolic_gates"]
+            + stats["dense_gates"]
+            + stats["symbolic_injects"]
+            + stats["dense_injects"]
+            == stats["planned_ops"]
+        )
+
+    def test_cache_shrinks_strictly_with_symbolic_snapshots(self, bv5_case):
+        """The ISSUE's static peak-MSV claim: frame deltas beat states."""
+        _, _, _, hybrid = bv5_case
+        memory = hybrid["memory"]
+        assert memory["cache_frame_snapshots"] > 0
+        assert (
+            memory["cache_resident_bytes"]
+            < memory["dense_cache_resident_bytes"]
+        )
+        assert memory["cache_shrink"]
+        # Frame deltas are O(n), full snapshots are 16 * 2**n.
+        assert memory["frame_bytes"] < 16 * 2 ** 5
+
+    def test_certificate_carries_valid_hybrid_section(self):
+        layered, trials = _setup("bv5")
+        certificate = build_certificate(
+            layered, trials, benchmark="bv5", seed=2020
+        )
+        assert "hybrid" in certificate
+        assert isinstance(certificate["advice"]["hybrid"], dict | bool | type(None))
+        assert any(c.get("hybrid") for c in certificate["candidates"])
+        assert not validate_certificate(certificate)
+
+    def test_validate_rejects_tampered_hybrid_flops(self):
+        layered, trials = _setup("bv5")
+        certificate = build_certificate(
+            layered, trials, benchmark="bv5", seed=2020
+        )
+        broken = json.loads(json.dumps(certificate))
+        broken["hybrid"]["flops"]["total"] += 1
+        assert validate_certificate(broken)
+
+    def test_validate_rejects_tampered_cache_bytes(self):
+        layered, trials = _setup("bv5")
+        certificate = build_certificate(
+            layered, trials, benchmark="bv5", seed=2020
+        )
+        broken = json.loads(json.dumps(certificate))
+        broken["hybrid"]["memory"]["cache_resident_bytes"] += 8
+        assert validate_certificate(broken)
