@@ -29,7 +29,9 @@ from .circuits import QuantumCircuit, layerize, parse_qasm, to_qasm
 from .core import (
     ErrorEvent,
     NoisySimulator,
+    RunInterrupted,
     RunMetrics,
+    SharedPrefixStore,
     SimulationResult,
     Trial,
     build_plan,
@@ -69,7 +71,9 @@ __all__ = [
     "NoisySimulator",
     "NullRecorder",
     "QuantumCircuit",
+    "RunInterrupted",
     "RunMetrics",
+    "SharedPrefixStore",
     "SimulationResult",
     "Statevector",
     "TraceRecorder",

@@ -13,6 +13,9 @@ Examples::
     python -m repro lint circuit.qasm      # lint an OpenQASM file
     python -m repro bench --json BENCH.json  # compiled-vs-interpreted perf
     python -m repro trace grover           # recorded run -> .trace.json + profile
+    python -m repro serve /tmp/state       # crash-safe job server
+    python -m repro submit /tmp/state bv4 --trials 2048 --stream
+    python -m repro jobs /tmp/state        # list jobs on a running server
 """
 
 from __future__ import annotations
@@ -1268,6 +1271,97 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0 if status == "ok" else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        exec_threads=args.exec_threads,
+        shared_budget_bytes=(
+            None if args.shared_budget_mb == 0
+            else args.shared_budget_mb * 1024 * 1024
+        ),
+        shared_mode=args.shared_mode,
+        install_signal_handlers=True,
+    )
+    print(f"serving from {config.state_dir} on {config.host} "
+          f"(endpoint.json appears once bound; SIGTERM stops resumably)")
+    run_server(config)
+    print("server exited cleanly")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError
+
+    spec = {
+        "circuit": {"benchmark": args.benchmark},
+        "noise": "ibm_yorktown",
+        "trials": args.trials,
+        "seed": args.seed,
+        "workers": args.workers,
+        "priority": args.priority,
+        "label": args.label or args.benchmark,
+    }
+    if args.timeout is not None:
+        spec["timeout"] = args.timeout
+    client = ServeClient.from_state_dir(args.state_dir)
+    try:
+        if args.stream:
+            streamed = [0]
+
+            def tick(_index: int, _bits: str) -> None:
+                streamed[0] += 1
+
+            result = client.submit_streaming(spec, on_trial=tick)
+            print(f"streamed {streamed[0]} trials")
+        else:
+            accepted = client.submit_with_backoff(spec)
+            print(f"accepted as {accepted['job_id']} "
+                  f"(position {accepted['position']})")
+            outcome = client.wait(accepted["job_id"])
+            if outcome["state"] != "done":
+                print(f"job ended {outcome['state']}: "
+                      f"{outcome.get('message')}", file=sys.stderr)
+                return 1
+            result = outcome["result"]
+    except ServeError as exc:
+        print(f"submit failed ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    top = sorted(
+        result["counts"].items(), key=lambda item: -item[1]
+    )[: args.top]
+    print(f"job {result['job_id']}: {result['num_trials']} trials, "
+          f"{result['ops_applied']} ops applied, "
+          f"{result['ops_shared']} adopted from the shared store")
+    for bits, count in top:
+        print(f"  {bits}  {count}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient.from_state_dir(args.state_dir)
+    try:
+        jobs = client.list_jobs()
+    except (ServeError, OSError) as exc:
+        print(f"cannot reach server: {exc}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print("no jobs")
+        return 0
+    width = max(len(job["job_id"]) for job in jobs)
+    for job in jobs:
+        print(f"{job['job_id']:<{width}}  {job['state']:<11} "
+              f"{job['priority']:<11} trials={job['trials']:<6} "
+              f"streamed={job['trials_streamed']:<6} {job['label']}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -1645,6 +1739,67 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "microbenchmarks (default 3)",
     )
 
+    pserve = sub.add_parser(
+        "serve",
+        help="long-lived job server with cross-job prefix sharing",
+        description=(
+            "Run the crash-safe simulation service: accepts circuit+noise+"
+            "trials jobs over a line-delimited JSON socket (plus HTTP GET "
+            "/metrics on the same port), admits them through a bounded "
+            "two-class queue with 429-style backpressure, journals every "
+            "accepted job before execution, and shares prefix states "
+            "across jobs bit-identically.  A killed server resumes all "
+            "in-flight jobs from their journals on restart."
+        ),
+    )
+    pserve.add_argument("state_dir", help="service state directory")
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral, published in endpoint.json)",
+    )
+    pserve.add_argument(
+        "--max-pending", type=int, default=16,
+        help="admission bound on queued+running jobs (excess gets 429s)",
+    )
+    pserve.add_argument(
+        "--exec-threads", type=int, default=1,
+        help="concurrent job executors (1 maximizes cross-job sharing)",
+    )
+    pserve.add_argument(
+        "--shared-budget-mb", type=int, default=256, metavar="MB",
+        help="byte budget for the cross-job prefix store (0 = unbounded)",
+    )
+    pserve.add_argument(
+        "--shared-mode", choices=("spill", "drop"), default="spill",
+        help="eviction policy when the shared store exceeds its budget",
+    )
+
+    psubmit = sub.add_parser(
+        "submit", help="submit one benchmark job to a running server"
+    )
+    psubmit.add_argument("state_dir", help="server state directory")
+    psubmit.add_argument("benchmark", choices=all_benchmark_names())
+    psubmit.add_argument("--trials", type=int, default=1024)
+    psubmit.add_argument("--workers", type=int, default=0)
+    psubmit.add_argument(
+        "--priority", choices=("interactive", "batch"), default="interactive"
+    )
+    psubmit.add_argument("--timeout", type=float, default=None)
+    psubmit.add_argument("--label", default=None)
+    psubmit.add_argument(
+        "--stream", action="store_true",
+        help="consume the per-trial result stream instead of polling",
+    )
+    psubmit.add_argument(
+        "--top", type=int, default=8, help="result rows to print"
+    )
+
+    pjobs = sub.add_parser(
+        "jobs", help="list the jobs a running server knows about"
+    )
+    pjobs.add_argument("state_dir", help="server state directory")
+
     args = parser.parse_args(argv)
     handlers = {
         "advise": _cmd_advise,
@@ -1662,6 +1817,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }
     return handlers[args.command](args)
 

@@ -5,6 +5,7 @@ from .cache import CacheBudget, CacheStats, CorruptionError, StateCache
 from .events import PAULI_LABELS, ErrorEvent, Trial, make_trial
 from .executor import (
     ExecutionOutcome,
+    RunInterrupted,
     baseline_operation_count,
     run_baseline,
     run_optimized,
@@ -43,6 +44,7 @@ from .reorder import (
     reorder_trials_recursive,
 )
 from .runner import NoisySimulator, SimulationResult
+from .shared import SharedPrefixStore, SharedStoreStats, circuit_fingerprint
 from .schedule import (
     Advance,
     ExecutionPlan,
@@ -74,9 +76,12 @@ __all__ = [
     "PackedAnalysis",
     "PAULI_LABELS",
     "Restore",
+    "RunInterrupted",
     "RunJournal",
     "RunMetrics",
     "ScheduleError",
+    "SharedPrefixStore",
+    "SharedStoreStats",
     "SimulationResult",
     "Snapshot",
     "StateCache",
@@ -90,6 +95,7 @@ __all__ = [
     "build_plan",
     "build_plan_from_trie",
     "build_trie",
+    "circuit_fingerprint",
     "classify_plan",
     "compute_metrics",
     "journal_fingerprint",

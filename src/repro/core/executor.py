@@ -42,7 +42,7 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,11 +69,35 @@ from .schedule import (
     Snapshot,
     build_plan,
 )
+from .shared import SharedPrefixStore, advance_step, circuit_fingerprint, inject_step
 
-__all__ = ["ExecutionOutcome", "run_optimized", "run_baseline", "FinishCallback"]
+__all__ = [
+    "ExecutionOutcome",
+    "RunInterrupted",
+    "run_optimized",
+    "run_baseline",
+    "FinishCallback",
+]
 
 #: Called once per distinct final state: ``(state_payload, trial_indices)``.
 FinishCallback = Callable[[Any, Tuple[int, ...]], None]
+
+
+class RunInterrupted(RuntimeError):
+    """An execution was stopped cooperatively before finishing its trials.
+
+    Raised when a ``stop`` event passed to an executor (or to
+    :func:`~repro.core.parallel.run_parallel` via a signal handler) is
+    set.  The interrupt is *clean*: every finish delivered before the
+    exception was complete and in order, resources were released through
+    the normal ``finally`` paths, and a journaled run's committed tail
+    remains a valid resume point.  ``trials_completed`` counts the trials
+    whose finishes were delivered before the stop took effect.
+    """
+
+    def __init__(self, message: str, trials_completed: int = 0) -> None:
+        super().__init__(message)
+        self.trials_completed = trials_completed
 
 
 class ExecutionOutcome:
@@ -85,11 +109,17 @@ class ExecutionOutcome:
         num_trials: int,
         cache_stats: CacheStats,
         finish_calls: int,
+        ops_shared: int = 0,
     ) -> None:
         self.ops_applied = ops_applied
         self.num_trials = num_trials
         self.cache_stats = cache_stats
         self.finish_calls = finish_calls
+        #: Plan operations *not* executed because a cross-job
+        #: :class:`~repro.core.shared.SharedPrefixStore` supplied the
+        #: state; ``ops_applied + ops_shared`` equals the plan's
+        #: ``planned_operations``.
+        self.ops_shared = ops_shared
 
     @property
     def peak_msv(self) -> int:
@@ -288,6 +318,8 @@ def run_optimized(
     entry_layer: int = 0,
     entry_events: Tuple = (),
     cache_budget: Optional[CacheBudget] = None,
+    shared: Optional[SharedPrefixStore] = None,
+    stop=None,
 ) -> ExecutionOutcome:
     """Execute ``trials`` with prefix-state reuse.
 
@@ -330,6 +362,23 @@ def run_optimized(
         backends only).  Results and nominal peak-MSV accounting are
         unchanged; ``CacheStats`` reports the degradation counters and the
         resident peaks.
+    shared:
+        Optional cross-job :class:`~repro.core.shared.SharedPrefixStore`.
+        Before each ``Advance`` the executor probes the store with the
+        working state's provenance key extended by that advance; on a hit
+        it adopts the cached amplitudes (bit-identical by key equality —
+        see :mod:`repro.core.shared`) and counts the skipped gates into
+        ``ops_shared`` instead of executing them.  Prefix states are
+        published at every ``Snapshot`` and ``Finish``.  Requires a
+        statevector-family backend and is ignored (with exact results)
+        when ``entry_state`` is set, since a mid-circuit entry state has
+        no provenance key.
+    stop:
+        Optional ``threading.Event``-like object polled once per plan
+        instruction; when set, the run raises :class:`RunInterrupted`
+        after releasing its states.  Every finish delivered before the
+        interrupt is complete and in order, so a journal tee remains a
+        valid resume prefix.
     """
     if plan is None:
         plan = build_plan(layered, trials)
@@ -367,17 +416,73 @@ def run_optimized(
         working_layer = entry_layer
     cache.working_created()
     finish_calls = 0
+    trials_done = 0
+    ops_shared = 0
     working_moved = False  # working was moved into the cache (no copy taken)
+
+    # Cross-job sharing needs a provenance key rooted at |0...0>; an entry
+    # state resumes mid-circuit with unknown boundary history, so sharing
+    # is disabled there (results are unchanged — only reuse is lost).
+    share_active = shared is not None and entry_state is None
+    if share_active:
+        if getattr(working, "vector", None) is None:
+            raise ScheduleError(
+                "shared prefix store requires a statevector-family backend "
+                "(states must expose .vector)"
+            )
+        fingerprint = circuit_fingerprint(layered)
+        working_steps: Tuple[Any, ...] = ()
+        slot_steps: Dict[int, Tuple[Any, ...]] = {}
 
     instructions = plan.instructions
     try:
         for index, instr in enumerate(instructions):
+            if stop is not None and stop.is_set():
+                backend.release_state(working)
+                raise RunInterrupted(
+                    "optimized run interrupted by stop request",
+                    trials_completed=trials_done,
+                )
             if isinstance(instr, Advance):
                 if instr.start_layer != working_layer:
                     raise ScheduleError(
                         f"advance from layer {instr.start_layer} but working "
                         f"state is at layer {working_layer}"
                     )
+                if share_active:
+                    candidate = working_steps + (
+                        advance_step(instr.start_layer, instr.end_layer),
+                    )
+                    fetched = shared.fetch(fingerprint, candidate)
+                    if fetched is not None:
+                        # Another job already computed this exact segment
+                        # sequence; adopt its amplitudes instead of
+                        # re-executing.  The skipped gates go into
+                        # ops_shared, never ops_applied.
+                        gates = layered.gates_between(
+                            instr.start_layer, instr.end_layer
+                        )
+                        backend.release_state(working)
+                        working = backend.adopt_state(
+                            Statevector.from_buffer(
+                                fetched, layered.num_qubits
+                            )
+                        )
+                        working_layer = instr.end_layer
+                        working_steps = candidate
+                        ops_shared += gates
+                        shared.note_saved(gates)
+                        if recorder:
+                            recorder.instant(
+                                "shared.hit",
+                                cat="shared",
+                                start=instr.start_layer,
+                                end=instr.end_layer,
+                                gates=gates,
+                            )
+                            recorder.counter("ops.shared", gates)
+                        continue
+                    working_steps = candidate
                 if recorder:
                     span = f"advance[{instr.start_layer},{instr.end_layer})"
                     gates = layered.gates_between(
@@ -432,6 +537,15 @@ def run_optimized(
                     )
                     if moved:
                         recorder.counter("cache.store.moved", 1)
+                if share_active:
+                    # Publish before budget enforcement can spill this very
+                    # snapshot out from under us.
+                    slot_steps[instr.slot] = working_steps
+                    if shared.publish(
+                        fingerprint, working_steps, snapshot.vector,
+                        working_layer,
+                    ) and recorder:
+                        recorder.counter("shared.publish", 1)
                 if cache_budget is not None:
                     _enforce_budget(
                         cache, backend, cache_budget, spill_area, recorder
@@ -445,6 +559,8 @@ def run_optimized(
                 backend.apply_operator(working, event.gate, (event.qubit,))
                 if track_provenance:
                     working_events.append(event)
+                if share_active:
+                    working_steps = working_steps + (inject_step(event),)
                 if recorder:
                     recorder.instant(
                         "inject",
@@ -471,6 +587,8 @@ def run_optimized(
                         )
                     )
                     working_events = list(restored_events)
+                if share_active:
+                    working_steps = slot_steps.pop(instr.slot)
                 cache.working_created()
                 if recorder:
                     recorder.instant(
@@ -495,6 +613,14 @@ def run_optimized(
                 borrowed = index + 1 >= len(instructions) or isinstance(
                     instructions[index + 1], Restore
                 )
+                if share_active:
+                    # Publish the leaf state too: an identical concurrent
+                    # job then skips even its final segments.
+                    if shared.publish(
+                        fingerprint, working_steps, working.vector,
+                        working_layer,
+                    ) and recorder:
+                        recorder.counter("shared.publish", 1)
                 if on_finish is not None:
                     payload = (
                         backend.finish_view(working)
@@ -514,6 +640,7 @@ def run_optimized(
                     )
                     if borrowed:
                         recorder.counter("finish.moved", 1)
+                trials_done += len(instr.trial_indices)
             else:  # pragma: no cover - exhaustive over instruction kinds
                 raise ScheduleError(f"unknown plan instruction {instr!r}")
     finally:
@@ -528,6 +655,7 @@ def run_optimized(
         num_trials=len(trials),
         cache_stats=cache.stats(),
         finish_calls=finish_calls,
+        ops_shared=ops_shared,
     )
     if recorder:
         recorder.end(
@@ -546,6 +674,7 @@ def run_baseline(
     backend: SimulationBackend,
     on_finish: Optional[FinishCallback] = None,
     recorder=None,
+    stop=None,
 ) -> ExecutionOutcome:
     """Execute every trial independently from scratch (no reuse, no reorder).
 
@@ -564,6 +693,11 @@ def run_baseline(
         recorder.begin("run", cat="run")
 
     for index, trial in enumerate(trials):
+        if stop is not None and stop.is_set():
+            raise RunInterrupted(
+                "baseline run interrupted by stop request",
+                trials_completed=index,
+            )
         if recorder:
             recorder.begin(f"trial[{index}]", cat="trial", errors=trial.num_errors)
         state = backend.make_initial()

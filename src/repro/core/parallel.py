@@ -68,9 +68,12 @@ where finish payloads are borrowed or copied out).
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import queue as queue_module
+import signal as signal_module
+import threading
 import time
 from typing import (
     Any,
@@ -97,7 +100,12 @@ from .cache import (
     payload_checksum,
 )
 from .events import ErrorEvent, Trial
-from .executor import ExecutionOutcome, FinishCallback, run_optimized
+from .executor import (
+    ExecutionOutcome,
+    FinishCallback,
+    RunInterrupted,
+    run_optimized,
+)
 from .resilience import WorkerCrash
 from .schedule import (
     Advance,
@@ -120,6 +128,7 @@ __all__ = [
     "partition_plan",
     "run_parallel",
     "fork_available",
+    "graceful_stop",
 ]
 
 #: Exit code a worker uses for an injected (simulated) crash.
@@ -483,6 +492,37 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+@contextlib.contextmanager
+def graceful_stop(
+    signals: Sequence[int] = (signal_module.SIGTERM, signal_module.SIGINT),
+):
+    """Turn SIGTERM/SIGINT into a cooperative stop event for the block.
+
+    The default disposition of SIGTERM kills the process outright —
+    ``finally`` blocks never run, so a parallel run leaks its
+    shared-memory segments and a journal loses its in-flight tail.  Inside
+    this context the listed signals instead set the yielded
+    ``threading.Event``; executors polling it (``run_optimized(stop=...)``,
+    ``run_parallel(stop=...)``) drain in-flight work, commit what
+    completed, release every resource through their normal cleanup paths
+    and raise :class:`~repro.core.executor.RunInterrupted`.  Previous
+    handlers are restored on exit.  Signal handlers can only be installed
+    from the main thread; use a plain ``threading.Event`` (or the asyncio
+    loop's ``add_signal_handler``) elsewhere.
+    """
+    stop = threading.Event()
+    previous = {}
+    for sig in signals:
+        previous[sig] = signal_module.signal(
+            sig, lambda signum, frame: stop.set()
+        )
+    try:
+        yield stop
+    finally:
+        for sig, handler in previous.items():
+            signal_module.signal(sig, handler)
+
+
 def _run_prefix(
     partition: PlanPartition,
     layered: LayeredCircuit,
@@ -804,6 +844,9 @@ class _PoolResult(NamedTuple):
     wasted_ops: int
     tasks_retried: int
     workers_lost: int
+    #: A stop request ended dispatch early; ``completed`` holds whatever
+    #: drained cleanly and no parent fallback may run.
+    interrupted: bool = False
 
 
 def _drive_fork_pool(
@@ -823,6 +866,7 @@ def _drive_fork_pool(
     faults,
     retries: int,
     task_timeout: Optional[float],
+    stop=None,
 ) -> _PoolResult:
     """Dispatch tasks to forked workers with crash/hang recovery."""
     ctx = multiprocessing.get_context("fork")
@@ -892,8 +936,26 @@ def _drive_fork_pool(
         dead_workers.add(worker_id)
 
     poll = 0.05 if task_timeout is None else min(0.05, task_timeout / 4)
+    interrupted = False
     try:
         while pending - needs_parent:
+            if stop is not None and stop.is_set():
+                # Graceful shutdown: drop every unstarted task from the
+                # queue so workers stop at the sentinel after finishing
+                # their current task; the shutdown drain below still
+                # collects those in-flight completions.
+                interrupted = True
+                try:
+                    while True:
+                        task_queue.get_nowait()
+                except queue_module.Empty:
+                    pass
+                if recorder:
+                    recorder.instant(
+                        "pool.interrupted", cat="parallel",
+                        pending=len(pending),
+                    )
+                break
             try:
                 message = report_queue.get(timeout=poll)
             except queue_module.Empty:
@@ -1014,6 +1076,7 @@ def _drive_fork_pool(
         wasted_ops=wasted_ops,
         tasks_retried=tasks_retried,
         workers_lost=len(dead_workers),
+        interrupted=interrupted,
     )
 
 
@@ -1032,6 +1095,7 @@ def _drive_inline(
     batch_size: int,
     faults,
     retries: int,
+    stop=None,
 ) -> _PoolResult:
     """In-process pool: virtual workers, same recovery state machine.
 
@@ -1060,7 +1124,15 @@ def _drive_inline(
     wasted_ops = 0
     tasks_retried = 0
 
+    interrupted = False
     while work:
+        if stop is not None and stop.is_set():
+            interrupted = True
+            if recorder:
+                recorder.instant(
+                    "pool.interrupted", cat="parallel", pending=len(work)
+                )
+            break
         task_id, attempt = work.popleft()
         if task_id in completed:
             continue
@@ -1144,6 +1216,7 @@ def _drive_inline(
         wasted_ops=wasted_ops,
         tasks_retried=tasks_retried,
         workers_lost=len(dead),
+        interrupted=interrupted,
     )
 
 
@@ -1164,6 +1237,7 @@ def run_parallel(
     task_weights: Optional[Sequence[int]] = None,
     batch_size: int = 0,
     hybrid: bool = False,
+    stop=None,
 ) -> ParallelOutcome:
     """Execute ``trials`` with prefix reuse across ``workers`` processes.
 
@@ -1242,6 +1316,15 @@ def run_parallel(
         materialized from shared anchors instead of walked densely, and
         stay bitwise identical, so workers (always dense) produce the
         same results.  Requires a compiled statevector backend.
+    stop:
+        Optional ``threading.Event`` enabling graceful shutdown (pair it
+        with :func:`graceful_stop` to hook SIGTERM/SIGINT).  When set, no
+        new tasks are dispatched; in-flight tasks drain to completion,
+        finishes of the maximal completed task-id prefix (== the serial
+        finish-order prefix, so a journal tee stays a valid resume point)
+        are delivered through ``on_finish``, shared-memory segments are
+        released, workers are joined, and
+        :class:`~repro.core.executor.RunInterrupted` is raised.
     """
     if workers < 1:
         raise ValueError(f"need at least one worker, got {workers}")
@@ -1357,17 +1440,50 @@ def run_parallel(
                 partition, layered, trials, backend_factory, entries,
                 results, result_offsets, entry_checksums, order, workers,
                 recorder, cache_budget, batch_size, faults, retries,
-                task_timeout,
+                task_timeout, stop=stop,
             )
         else:
             pool = _drive_inline(
                 partition, layered, trials, backend_factory, entries,
                 results, result_offsets, entry_checksums, assignment,
                 recorder, cache_budget, batch_size, faults, retries,
+                stop=stop,
             )
         completed = dict(pool.completed)
         needs_parent = set(pool.needs_parent)
         wasted_ops += pool.wasted_ops
+
+        if pool.interrupted:
+            # Graceful shutdown: deliver the finishes of the maximal
+            # *verified* completed task-id prefix — task-id order equals
+            # the serial finish order, so the delivered stream (and any
+            # journal tee behind on_finish) is an exact prefix of the
+            # uninterrupted run — then surface the interrupt.  The
+            # enclosing ``finally`` releases both shared-memory segments.
+            if recorder:
+                for worker_id, worker_recorder in pool.recorders:
+                    recorder.merge(worker_recorder, worker=worker_id)
+            trials_delivered = 0
+            for task in partition.tasks:
+                report = completed.get(task.task_id)
+                if report is None or not _verify_payloads(
+                    task, results, result_offsets, report["checksums"]
+                ):
+                    break
+                base = result_offsets[task.task_id]
+                for position, global_indices in enumerate(task.finishes):
+                    if on_finish is not None:
+                        payload = Statevector.from_buffer(
+                            results[base + position], num_qubits
+                        )
+                        on_finish(payload, global_indices)
+                        del payload
+                    trials_delivered += len(global_indices)
+            raise RunInterrupted(
+                "parallel run interrupted by stop request "
+                f"({trials_delivered}/{len(trials)} trials committed)",
+                trials_completed=trials_delivered,
+            )
 
         # Final integrity sweep: accepted payloads must still verify (a
         # stale duplicate attempt could have scribbled after acceptance).

@@ -372,6 +372,8 @@ def run_journaled(
     retries: int = 2,
     task_timeout: Optional[float] = None,
     fsync: bool = True,
+    shared=None,
+    stop=None,
 ) -> Tuple[ExecutionOutcome, JournalSummary]:
     """Execute ``trials`` with a crash-safe journal, resuming if one exists.
 
@@ -383,6 +385,12 @@ def run_journaled(
     ``on_finish`` in their original order, and only the remaining trials
     are executed — the returned outcome's ``ops_applied`` covers exactly
     the remaining work, which is how tests assert zero recompute.
+
+    ``shared`` (a :class:`~repro.core.shared.SharedPrefixStore`, serial
+    executor only) and ``stop`` (a ``threading.Event``, serial and
+    parallel) are forwarded to the engine.  A stop raises
+    :class:`~repro.core.executor.RunInterrupted` *after* the journal tail
+    is committed and closed — the journal stays a valid resume point.
     """
     replay: Optional[JournalReplay] = None
     if os.path.exists(journal_path) and os.path.getsize(journal_path) > 0:
@@ -452,6 +460,7 @@ def run_journaled(
                     cache_budget=cache_budget,
                     retries=retries,
                     task_timeout=task_timeout,
+                    stop=stop,
                 )
             else:
                 outcome = run_optimized(
@@ -462,6 +471,8 @@ def run_journaled(
                     check=check,
                     recorder=recorder,
                     cache_budget=cache_budget,
+                    shared=shared,
+                    stop=stop,
                 )
     finally:
         recorded = journal.next_seq - replayed_finishes

@@ -66,6 +66,7 @@ class SimulationResult:
         trial_clbits: Optional[List[Dict[int, int]]] = None,
         final_states: Optional[List[Optional[Statevector]]] = None,
         journal=None,
+        ops_shared: int = 0,
     ) -> None:
         #: Aggregated measurement histogram (bitstring -> occurrences).
         self.counts = counts
@@ -79,6 +80,9 @@ class SimulationResult:
         self.final_states = final_states
         #: :class:`~repro.core.resilience.JournalSummary` of a journaled run.
         self.journal = journal
+        #: Plan operations satisfied by a cross-job shared prefix store
+        #: instead of execution (see :mod:`repro.core.shared`).
+        self.ops_shared = ops_shared
 
     @property
     def num_trials(self) -> int:
@@ -185,6 +189,9 @@ class NoisySimulator:
         task_weights: Optional[Sequence[int]] = None,
         batch_size: int = 0,
         hybrid: bool = False,
+        shared=None,
+        stop=None,
+        on_trial=None,
     ) -> SimulationResult:
         """Sample (or reuse) trials and execute them.
 
@@ -275,6 +282,28 @@ class NoisySimulator:
             statevectors).  Composes with ``workers`` (hybrid prefix)
             and ``batch_size`` (materialized fragments run through the
             wavefront executor).
+        shared:
+            Optional :class:`~repro.core.shared.SharedPrefixStore` for
+            cross-job prefix deduplication — the service tier passes one
+            store to every job on the same circuit family, so prefix
+            states computed by one job are adopted (bit-identically) by
+            the next instead of recomputed; skipped gates are reported as
+            ``result.ops_shared``.  Requires the optimized mode on a
+            statevector-family backend, serially (``workers == 0``, no
+            ``batch_size``, no ``hybrid`` — those executors do not walk
+            the per-trial provenance the store is keyed by).
+        stop:
+            Optional ``threading.Event``; when set mid-run the executor
+            raises :class:`~repro.core.executor.RunInterrupted` after the
+            finishes already streamed (and, for journaled runs, after the
+            journal tail is committed), so a stopped run is resumable.
+        on_trial:
+            Optional callback ``(trial_index, bits)`` invoked once per
+            trial as its measurement is sampled — the service tier's
+            incremental result stream.  For a resumed journal run the
+            replayed trials are delivered through it too, in their
+            original order.  Requires a backend with readout (not
+            ``"counting"``).
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
@@ -349,6 +378,28 @@ class NoisySimulator:
                     "symbolic snapshots are O(n) Pauli frames, not "
                     "budgetable statevectors"
                 )
+        if shared is not None:
+            if mode != "optimized":
+                raise ValueError(
+                    "shared requires mode='optimized' (the baseline walks "
+                    "no prefix states to share)"
+                )
+            if not statevector_family:
+                raise ValueError(
+                    f"shared requires a statevector-family backend "
+                    f"(amplitudes are published), got {backend!r}"
+                )
+            if workers or batch_size or hybrid:
+                raise ValueError(
+                    "shared requires the serial per-trial executor "
+                    "(workers=0, batch_size=0, hybrid=False); the batched "
+                    "and partitioned executors do not walk the provenance "
+                    "keys the store is shared under"
+                )
+        if on_trial is not None and backend == "counting":
+            raise ValueError(
+                "on_trial requires a backend with readout, got 'counting'"
+            )
         cache_budget = None
         if max_cache_bytes is not None:
             from .cache import CacheBudget
@@ -379,6 +430,8 @@ class NoisySimulator:
                 counts[bits] = counts.get(bits, 0) + 1
                 if collect_final_states:
                     final_states[index] = payload.copy()
+                if on_trial is not None:
+                    on_trial(index, bits)
 
         journal_summary = None
         if journal is not None:
@@ -397,6 +450,8 @@ class NoisySimulator:
                 cache_budget=cache_budget,
                 retries=retries,
                 task_timeout=task_timeout,
+                shared=shared,
+                stop=stop,
             )
         elif workers:
             from .parallel import run_parallel
@@ -416,6 +471,7 @@ class NoisySimulator:
                 task_weights=task_weights,
                 batch_size=batch_size,
                 hybrid=hybrid,
+                stop=stop,
             )
         elif mode == "optimized" and hybrid:
             from .hybrid import run_hybrid
@@ -451,10 +507,17 @@ class NoisySimulator:
                 check=check,
                 recorder=recorder,
                 cache_budget=cache_budget,
+                shared=shared,
+                stop=stop,
             )
         else:
             outcome = run_baseline(
-                self.layered, trial_list, engine, on_finish, recorder=recorder
+                self.layered,
+                trial_list,
+                engine,
+                on_finish,
+                recorder=recorder,
+                stop=stop,
             )
 
         if recorder:
@@ -478,6 +541,7 @@ class NoisySimulator:
             trial_clbits=trial_clbits if has_readout else None,
             final_states=final_states if collect_final_states else None,
             journal=journal_summary,
+            ops_shared=getattr(outcome, "ops_shared", 0),
         )
 
     def expectation(

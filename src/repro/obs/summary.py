@@ -25,6 +25,9 @@ name                   ph    cat       emitted by
 ``finish``             i     exec      executor, per ``Finish``
 ``cache.store``        i     cache     executor, per ``Snapshot``
 ``cache.hit``          i     cache     executor, per ``Restore`` (drop-on-use)
+``shared.hit``         i     shared    executor, per cross-job store hit
+``shared.publish``     C     counter   executor, per state published to the store
+``ops.shared``         C     counter   executor, gates skipped via shared hits
 ``ops.applied``        C     counter   executor (gates + injected operators)
 ``trials.finished``    C     counter   executor
 ``segment.hit``        C     counter   compiled circuit, memoized program reuse
@@ -319,6 +322,7 @@ def outcome_from_trace(recorder: InMemoryRecorder) -> ExecutionOutcome:
             snapshots_released=summary.cache_hits,
         ),
         finish_calls=summary.finish_calls,
+        ops_shared=int(recorder.counter_total("ops.shared")),
     )
 
 
@@ -367,6 +371,7 @@ def verify_trace(
     if outcome is not None:
         derived_outcome = outcome_from_trace(recorder)
         check("ops_applied", derived_outcome.ops_applied, outcome.ops_applied)
+        check("ops_shared", derived_outcome.ops_shared, outcome.ops_shared)
         check("num_trials", derived_outcome.num_trials, outcome.num_trials)
         check("finish_calls", derived_outcome.finish_calls, outcome.finish_calls)
         check("peak_msv", derived_outcome.peak_msv, outcome.peak_msv)

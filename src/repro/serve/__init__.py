@@ -1,0 +1,70 @@
+"""repro.serve — the crash-safe simulation service tier.
+
+A long-lived asyncio job server over the existing engines: jobs arrive
+as line-delimited JSON (circuit + noise + trials), pass a bounded
+two-class admission queue (explicit 429-style backpressure with
+``retry_after``), execute through the journaled/retried/degradable
+:func:`~repro.serve.jobs.execute_job` core, and share prefix states
+*across jobs* through one :class:`~repro.core.shared.SharedPrefixStore`
+— bit-identically to isolated runs, with the saving reported as
+``ops_shared``.  Every accepted job is committed to the state directory
+before execution, so a kill -9'd server resumes all in-flight jobs from
+their run journals with zero recomputation of committed trials.
+
+See ``docs/architecture.md`` §17 for the full design.
+"""
+
+from .admission import AdmissionController, QueueFull
+from .client import ServeClient, ServeError
+from .jobs import (
+    JOB_STATES,
+    PRIORITIES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    execute_job,
+    resolve_circuit,
+    resolve_noise,
+)
+from .protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPENMETRICS_CONTENT_TYPE,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    http_response,
+    ok_response,
+)
+from .registry import build_serve_registry, render_serve_metrics
+from .server import JobServer, ServeConfig, run_server
+
+__all__ = [
+    "AdmissionController",
+    "ERROR_CODES",
+    "JOB_STATES",
+    "JobRecord",
+    "JobServer",
+    "JobSpec",
+    "JobStore",
+    "MAX_LINE_BYTES",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PRIORITIES",
+    "ProtocolError",
+    "QueueFull",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "build_serve_registry",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "execute_job",
+    "http_response",
+    "ok_response",
+    "render_serve_metrics",
+    "resolve_circuit",
+    "resolve_noise",
+    "run_server",
+]

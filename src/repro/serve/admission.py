@@ -1,0 +1,128 @@
+"""Admission control: a bounded two-class priority queue with 429s.
+
+The service never buffers unbounded work.  :class:`AdmissionController`
+holds at most ``max_pending`` jobs (queued + running); a submit beyond
+that is rejected *immediately* with :class:`QueueFull`, which carries a
+client-visible ``retry_after`` estimate — explicit backpressure instead
+of silent latency.  Within the bound, ``interactive`` jobs always pop
+before ``batch`` jobs, FIFO within each class, so a storm of bulk
+submissions cannot starve interactive work.
+
+The controller is plain synchronous state under a lock: the asyncio
+server calls it from its single loop thread, and the chaos tests call
+it directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .jobs import PRIORITIES, JobRecord
+
+__all__ = ["QueueFull", "AdmissionController"]
+
+
+class QueueFull(RuntimeError):
+    """Backpressure rejection; ``retry_after`` is seconds to back off."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded priority admission for the job server.
+
+    Parameters
+    ----------
+    max_pending:
+        Hard cap on queued-plus-running jobs.  The cap counts running
+        jobs too: a server that is saturated executing must shed load at
+        the door, not stack an ever-deeper queue behind the executors.
+    service_estimate:
+        Seconds one queued job is assumed to occupy an executor, used
+        only for the ``retry_after`` hint (scheduling itself is
+        work-conserving and ignores it).
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 16,
+        exec_threads: int = 1,
+        service_estimate: float = 0.5,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.exec_threads = max(1, exec_threads)
+        self.service_estimate = service_estimate
+        self._lock = threading.Lock()
+        self._heap: List[Tuple[int, int, JobRecord]] = []
+        self._tick = 0
+        self._running = 0
+        self._rank: Dict[str, int] = {
+            name: position for position, name in enumerate(PRIORITIES)
+        }
+
+    # -- queries -----------------------------------------------------------
+
+    def depth(self, priority: Optional[str] = None) -> int:
+        with self._lock:
+            if priority is None:
+                return len(self._heap)
+            rank = self._rank[priority]
+            return sum(1 for item in self._heap if item[0] == rank)
+
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+    def load(self) -> int:
+        """Queued + running — the quantity the bound applies to."""
+        with self._lock:
+            return len(self._heap) + self._running
+
+    def retry_after(self, backlog: int) -> float:
+        """Deterministic back-off hint for a rejected submit."""
+        waves = (backlog + self.exec_threads) / self.exec_threads
+        return round(max(0.1, waves * self.service_estimate), 3)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, record: JobRecord, force: bool = False) -> int:
+        """Admit a job or raise :class:`QueueFull`; returns queue position.
+
+        ``force=True`` bypasses the bound — used only for crash-recovered
+        jobs, whose admission was already journaled before the crash and
+        must not be re-litigated against the current backlog.
+        """
+        with self._lock:
+            backlog = len(self._heap) + self._running
+            if not force and backlog >= self.max_pending:
+                raise QueueFull(
+                    f"queue is full ({backlog}/{self.max_pending} pending)",
+                    retry_after=self.retry_after(backlog),
+                )
+            rank = self._rank[record.spec.priority]
+            heapq.heappush(self._heap, (rank, self._tick, record))
+            self._tick += 1
+            return len(self._heap)
+
+    def pop(self) -> Optional[JobRecord]:
+        """Next job by (class, FIFO) order; marks it running."""
+        with self._lock:
+            if not self._heap:
+                return None
+            _, _, record = heapq.heappop(self._heap)
+            self._running += 1
+            return record
+
+    def finished(self) -> None:
+        """A popped job reached a terminal state; frees its load slot."""
+        with self._lock:
+            if self._running <= 0:
+                raise RuntimeError("finished() without a matching pop()")
+            self._running -= 1

@@ -1,0 +1,239 @@
+"""A small blocking client for the job server.
+
+One socket per request (the NDJSON dialect is stateless except for
+streams), discovery through the server's ``endpoint.json``, and typed
+failures: a rejected request raises :class:`ServeError` carrying the
+stable error code and, for backpressure rejections, the server's
+``retry_after`` hint.  :meth:`ServeClient.submit_with_backoff` is the
+reference retry loop — capped exponential backoff seeded by that hint.
+
+Example::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient.from_state_dir("/var/lib/repro-serve")
+    response = client.submit({
+        "circuit": {"benchmark": "bv4"},
+        "noise": "ibm_yorktown",
+        "trials": 256,
+        "seed": 7,
+    })
+    result = client.wait(response["job_id"])
+    print(result["result"]["counts"])
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .protocol import MAX_LINE_BYTES, decode_line, encode_message
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(RuntimeError):
+    """A server-reported failure; ``code``/``status`` are the wire values."""
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "internal",
+        status: int = 500,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+        self.retry_after = retry_after
+
+    @classmethod
+    def from_response(cls, response: Dict[str, Any]) -> "ServeError":
+        return cls(
+            str(response.get("message", "request failed")),
+            code=str(response.get("error", "internal")),
+            status=int(response.get("status", 500)),
+            retry_after=response.get("retry_after"),
+        )
+
+
+class _LineSocket:
+    """A connected socket with buffered line reads."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        self.sock.sendall(encode_message(payload))
+
+    def read_line(self) -> Dict[str, Any]:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ServeError("server response exceeds the line cap")
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ServeError("server closed the connection mid-response")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode_line(line)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ServeClient:
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_state_dir(
+        cls, state_dir: str, timeout: float = 30.0
+    ) -> "ServeClient":
+        """Discover a server through its published ``endpoint.json``."""
+        path = os.path.join(os.fspath(state_dir), "endpoint.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            endpoint = json.load(handle)
+        return cls(
+            host=endpoint["host"], port=int(endpoint["port"]), timeout=timeout
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        channel = _LineSocket(self.host, self.port, self.timeout)
+        try:
+            channel.send(payload)
+            response = channel.read_line()
+        finally:
+            channel.close()
+        if not response.get("ok", False):
+            raise ServeError.from_response(response)
+        return response
+
+    # -- API ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job; returns the acceptance (``job_id``, position).
+
+        Raises :class:`ServeError` with ``code == "queue_full"`` and a
+        ``retry_after`` hint when the server sheds load.
+        """
+        return self._request({"op": "submit", "spec": spec})
+
+    def submit_with_backoff(
+        self,
+        spec: Dict[str, Any],
+        max_attempts: int = 8,
+        backoff_cap: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Dict[str, Any]:
+        """Submit, honouring 429 backpressure with capped backoff.
+
+        The first delay is the server's ``retry_after`` hint; subsequent
+        delays double it, capped at ``backoff_cap``.
+        """
+        delay: Optional[float] = None
+        for attempt in range(max_attempts):
+            try:
+                return self.submit(spec)
+            except ServeError as exc:
+                if exc.code != "queue_full" or attempt + 1 == max_attempts:
+                    raise
+                if delay is None:
+                    delay = float(exc.retry_after or 0.1)
+                else:
+                    delay = min(backoff_cap, delay * 2)
+                sleep(delay)
+        raise ServeError("submit retries exhausted", code="queue_full")
+
+    def submit_streaming(
+        self,
+        spec: Dict[str, Any],
+        on_trial: Optional[Callable[[int, str], None]] = None,
+    ) -> Dict[str, Any]:
+        """Submit and consume the per-trial stream on one connection.
+
+        ``on_trial(trial_index, bits)`` fires with each trial's
+        measured bitstring as it streams (including journal replays
+        after a server resume); returns the terminal result payload, or
+        raises :class:`ServeError` if the job ends in a non-``done``
+        state.
+        """
+        channel = _LineSocket(self.host, self.port, self.timeout)
+        try:
+            channel.send({"op": "submit", "spec": spec, "stream": True})
+            accepted = channel.read_line()
+            if not accepted.get("ok", False):
+                raise ServeError.from_response(accepted)
+            while True:
+                event = channel.read_line()
+                kind = event.get("event")
+                if kind == "trial":
+                    if on_trial is not None:
+                        on_trial(int(event["trial"]), str(event["bits"]))
+                elif kind == "done":
+                    return event["result"]
+                elif kind == "error":
+                    raise ServeError(
+                        str(event.get("message", "job failed")),
+                        code="internal",
+                        status=500,
+                    )
+        finally:
+            channel.close()
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "status", "id": job_id})
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "result", "id": job_id})
+
+    def wait(self, job_id: str) -> Dict[str, Any]:
+        """Block server-side until the job is terminal, then fetch it."""
+        return self._request({"op": "result", "id": job_id, "wait": True})
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return self._request({"op": "list"})["jobs"]
+
+    def metrics(self) -> str:
+        """The OpenMetrics exposition, over the NDJSON dialect."""
+        return self._request({"op": "metrics"})["metrics"]
+
+    def metrics_http(self) -> str:
+        """The OpenMetrics exposition, over a real HTTP GET scrape."""
+        channel = _LineSocket(self.host, self.port, self.timeout)
+        try:
+            channel.sock.sendall(
+                b"GET /metrics HTTP/1.0\r\nHost: repro-serve\r\n\r\n"
+            )
+            chunks = []
+            while True:
+                chunk = channel.sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        finally:
+            channel.close()
+        raw = b"".join(chunks)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+        if " 200 " not in status_line + " ":
+            raise ServeError(f"scrape failed: {status_line}")
+        return body.decode("utf-8")
+
+    def shutdown(self, mode: str = "drain") -> Dict[str, Any]:
+        return self._request({"op": "shutdown", "mode": mode})

@@ -1,0 +1,134 @@
+"""Wire protocol for the simulation service: NDJSON requests, HTTP scrape.
+
+The server speaks two dialects over the same listener, disambiguated by
+the first bytes of the connection:
+
+* **NDJSON** — each request is one JSON object on one line; each
+  response is one JSON object on one line.  A streaming submit
+  additionally interleaves ``{"event": "trial", ...}`` lines before the
+  terminal ``{"event": "done"|"error", ...}`` line.  Responses always
+  carry ``ok`` (bool); failures add ``error`` (a stable code from
+  :data:`ERROR_CODES`) and ``status`` (the HTTP-ish numeric class, e.g.
+  ``429`` for backpressure rejections, which also carry a client-visible
+  ``retry_after`` in seconds).
+* **HTTP/1.0 GET** — a plain ``GET /metrics`` request (what a Prometheus
+  scraper or ``curl`` sends) receives an OpenMetrics exposition.  Any
+  other path is a 404.  This keeps the scrape endpoint on the same port
+  as the job API without an HTTP framework dependency.
+
+Lines are capped at :data:`MAX_LINE_BYTES`; oversized or non-JSON input
+raises :class:`ProtocolError`, which the server reports as a ``400``
+without dropping the connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPENMETRICS_CONTENT_TYPE",
+    "ERROR_CODES",
+    "ProtocolError",
+    "encode_message",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "http_response",
+]
+
+#: Hard cap on one NDJSON line (requests and responses).  Large enough
+#: for a multi-thousand-gate QASM body, small enough to bound memory per
+#: connection.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Content type the OpenMetrics specification mandates for scrapes.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Stable error codes with their HTTP-ish status classes.  Clients key
+#: retry behaviour off the code, not the human-readable message.
+ERROR_CODES: Dict[str, int] = {
+    "bad_request": 400,        # malformed JSON / unknown op / bad spec
+    "not_found": 404,          # unknown job id
+    "queue_full": 429,         # backpressure rejection; carries retry_after
+    "shutting_down": 503,      # server is draining; resubmit elsewhere/later
+    "internal": 500,           # unexpected server-side failure
+}
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be parsed into a valid message."""
+
+
+def encode_message(payload: Mapping[str, Any]) -> bytes:
+    """One message -> one newline-terminated UTF-8 JSON line."""
+    line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line cap"
+        )
+    return data
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte cap"
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(
+    code: str, message: str, retry_after: Optional[float] = None, **fields: Any
+) -> Dict[str, Any]:
+    """A failure response with its stable code and numeric status."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    response: Dict[str, Any] = {
+        "ok": False,
+        "error": code,
+        "status": ERROR_CODES[code],
+        "message": message,
+    }
+    if retry_after is not None:
+        response["retry_after"] = round(float(retry_after), 3)
+    response.update(fields)
+    return response
+
+
+_HTTP_REASONS = {200: "OK", 404: "Not Found", 500: "Internal Server Error"}
+
+
+def http_response(status: int, body: str, content_type: str) -> bytes:
+    """A minimal HTTP/1.0 response (the scrape endpoint's dialect)."""
+    payload = body.encode("utf-8")
+    reason = _HTTP_REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.0 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload

@@ -26,6 +26,8 @@ __all__ = [
     "random_trials",
     "assert_states_close",
     "ChaosPlan",
+    "ServerKilled",
+    "ServiceChaosPlan",
     "GATE_POOL_1Q",
     "GATE_POOL_2Q",
 ]
@@ -200,6 +202,77 @@ class ChaosPlan:
         if self.corrupt_entries:
             parts.append(f"corrupt_entries={self.corrupt_entries}")
         return f"ChaosPlan({', '.join(parts)})"
+
+
+class ServerKilled(BaseException):
+    """Simulated kill -9 of the serving process.
+
+    Deliberately a ``BaseException``: the service tier's retry/except
+    machinery catches ``Exception``, and a SIGKILL must blow straight
+    through it exactly as process death would.  Raised by
+    :class:`ServiceChaosPlan` from inside a job's trial stream — i.e.
+    *after* the run journal committed that trial — so the state the
+    "dead" server leaves behind is precisely a crash-consistent journal
+    tail, which the recovery tests then resume against.
+    """
+
+
+class ServiceChaosPlan:
+    """Deterministic fault schedule for the service tier.
+
+    Plugs into :func:`repro.serve.jobs.execute_job` via its ``chaos=``
+    hook, which calls :meth:`on_trial` once per streamed trial.  All
+    triggers are scripted up front and keyed by job *label* (the
+    client-chosen name in the spec), so a failing chaos test replays
+    exactly.
+
+    Parameters
+    ----------
+    kill_after:
+        ``{label: trials}`` — the "server" dies (:class:`ServerKilled`)
+        once the labelled job has streamed that many trials.  Consumed
+        when fired; a plan drives one server lifetime.
+    torn_labels:
+        Labels whose run journal should have garbage appended after the
+        kill (the test harness does the appending via
+        :meth:`tear_journal`) — modelling a crash mid-``write`` before
+        the commit fsync landed.
+    """
+
+    def __init__(
+        self,
+        kill_after: Optional[Dict[str, int]] = None,
+        torn_labels: Tuple[str, ...] = (),
+    ) -> None:
+        self.kill_after = dict(kill_after or {})
+        self.torn_labels = tuple(torn_labels)
+        self.killed: List[str] = []
+
+    def on_trial(self, record, index: int) -> None:
+        """Service hook: one trial of ``record`` is about to stream."""
+        label = record.spec.label
+        due = self.kill_after.get(label)
+        if due is not None and record.trials_streamed >= due:
+            del self.kill_after[label]
+            self.killed.append(label)
+            raise ServerKilled(
+                f"chaos: server killed during job {label!r} after "
+                f"{record.trials_streamed} streamed trials"
+            )
+
+    @staticmethod
+    def tear_journal(path: str, garbage: bytes = b"\x00\xffTORN") -> None:
+        """Append a torn (uncommitted, CRC-invalid) tail to a journal."""
+        with open(path, "ab") as handle:
+            handle.write(garbage)
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.kill_after:
+            parts.append(f"kill_after={self.kill_after}")
+        if self.torn_labels:
+            parts.append(f"torn_labels={self.torn_labels}")
+        return f"ServiceChaosPlan({', '.join(parts)})"
 
 
 def assert_states_close(state_a, state_b, atol: float = 1e-9) -> None:

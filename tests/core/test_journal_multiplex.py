@@ -1,0 +1,126 @@
+"""Journal identity: foreign-journal refusal and same-directory jobs."""
+
+import pytest
+
+from repro import NoisySimulator, ibm_yorktown
+from repro.bench import build_compiled_benchmark
+from repro.core.resilience import JournalError, journal_fingerprint
+from repro.core.shared import SharedPrefixStore
+from repro.serve import JobSpec, JobStore, execute_job
+
+
+def _sim(name="bv4", seed=7):
+    return NoisySimulator(
+        build_compiled_benchmark(name), ibm_yorktown(), seed=seed
+    )
+
+
+class TestForeignJournalRefusal:
+    def test_other_circuits_journal_is_refused(self, tmp_path):
+        journal = str(tmp_path / "run.journal")
+        _sim("qft4", seed=1).run(num_trials=32, journal=journal)
+        with pytest.raises(JournalError):
+            _sim("grover", seed=1).run(num_trials=32, journal=journal)
+
+    def test_other_seeds_journal_is_refused(self, tmp_path):
+        # Same circuit, different seed -> different trial set -> the
+        # journal fingerprint must not validate.
+        journal = str(tmp_path / "run.journal")
+        _sim(seed=1).run(num_trials=64, journal=journal)
+        with pytest.raises(JournalError):
+            _sim(seed=2).run(num_trials=64, journal=journal)
+
+    def test_other_trial_counts_journal_is_refused(self, tmp_path):
+        journal = str(tmp_path / "run.journal")
+        _sim(seed=1).run(num_trials=64, journal=journal)
+        with pytest.raises(JournalError):
+            _sim(seed=1).run(num_trials=65, journal=journal)
+
+    def test_non_journal_file_is_refused(self, tmp_path):
+        journal = tmp_path / "run.journal"
+        journal.write_bytes(b"definitely not a journal" * 4)
+        with pytest.raises(JournalError):
+            _sim().run(num_trials=16, journal=str(journal))
+
+    def test_fingerprint_separates_trial_sets(self):
+        from repro.circuits import layerize
+
+        layered = layerize(build_compiled_benchmark("bv4"))
+        sim_a, sim_b = _sim(seed=1), _sim(seed=2)
+        trials_a = sim_a.sample(64)
+        trials_b = sim_b.sample(64)
+        assert journal_fingerprint(layered, trials_a) != journal_fingerprint(
+            layered, trials_b
+        )
+
+
+class TestSameDirectoryJobs:
+    def _spec(self, label="x", seed=7, trials=64):
+        return JobSpec.from_dict(
+            {
+                "circuit": {"benchmark": "bv4"},
+                "noise": "ibm_yorktown",
+                "trials": trials,
+                "seed": seed,
+                "label": label,
+            }
+        )
+
+    def test_identical_specs_get_distinct_job_dirs(self, tmp_path):
+        # Identical specs share a content digest — the classic collision
+        # case — but the monotone sequence number keeps their journal
+        # directories (and hence their journals) apart.
+        store = JobStore(str(tmp_path))
+        rec_a = store.admit(self._spec())
+        rec_b = store.admit(self._spec())
+        assert rec_a.spec.digest() == rec_b.spec.digest()
+        assert rec_a.job_id != rec_b.job_id
+        assert store.journal_path(rec_a.job_id) != store.journal_path(
+            rec_b.job_id
+        )
+
+    def test_colliding_jobs_execute_without_cross_contamination(
+        self, tmp_path
+    ):
+        isolated = _sim().run(num_trials=64)
+        store = JobStore(str(tmp_path))
+        shared = SharedPrefixStore()
+        rec_a = store.admit(self._spec(label="twin-a"))
+        rec_b = store.admit(self._spec(label="twin-b"))
+        payload_a = execute_job(rec_a, store, shared=shared)
+        payload_b = execute_job(rec_b, store, shared=shared)
+        assert payload_a["counts"] == isolated.counts
+        assert payload_b["counts"] == isolated.counts
+        # The twin adopted prefixes instead of recomputing them...
+        assert payload_b["ops_shared"] > 0
+        # ...but its journal is its own: both resume independently.
+        pending, finished = store.recover()
+        assert not pending and len(finished) == 2
+
+    def test_store_seq_survives_restart_without_reuse(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        rec_a = store.admit(self._spec())
+        reopened = JobStore(str(tmp_path))
+        rec_b = reopened.admit(self._spec())
+        assert rec_b.seq == rec_a.seq + 1
+        assert rec_a.job_id != rec_b.job_id
+
+    def test_mixed_families_in_one_directory_stay_separate(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        shared = SharedPrefixStore()
+        spec_bv = self._spec(label="bv")
+        spec_qft = JobSpec.from_dict(
+            {
+                "circuit": {"benchmark": "qft4"},
+                "noise": "ibm_yorktown",
+                "trials": 64,
+                "seed": 7,
+                "label": "qft",
+            }
+        )
+        ref_bv = _sim("bv4").run(num_trials=64)
+        ref_qft = _sim("qft4").run(num_trials=64)
+        payload_bv = execute_job(store.admit(spec_bv), store, shared=shared)
+        payload_qft = execute_job(store.admit(spec_qft), store, shared=shared)
+        assert payload_bv["counts"] == ref_bv.counts
+        assert payload_qft["counts"] == ref_qft.counts

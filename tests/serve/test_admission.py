@@ -1,0 +1,90 @@
+"""Admission control: bounds, priority order, backpressure hints."""
+
+import pytest
+
+from repro.serve import AdmissionController, JobSpec, QueueFull
+from repro.serve.jobs import JobRecord
+
+
+def _record(label="job", priority="interactive", seq=0):
+    spec = JobSpec(
+        circuit={"benchmark": "bv4"},
+        noise="ibm_yorktown",
+        trials=8,
+        seed=1,
+        priority=priority,
+        label=label,
+    )
+    return JobRecord(f"j{seq:06d}-deadbeef", seq, spec)
+
+
+class TestBounds:
+    def test_rejects_past_the_cap_with_retry_after(self):
+        admission = AdmissionController(max_pending=2)
+        admission.submit(_record(seq=0))
+        admission.submit(_record(seq=1))
+        with pytest.raises(QueueFull) as info:
+            admission.submit(_record(seq=2))
+        assert info.value.retry_after > 0
+
+    def test_running_jobs_count_against_the_cap(self):
+        admission = AdmissionController(max_pending=2)
+        admission.submit(_record(seq=0))
+        admission.submit(_record(seq=1))
+        assert admission.pop() is not None  # one running, one queued
+        with pytest.raises(QueueFull):
+            admission.submit(_record(seq=2))
+        admission.finished()  # frees a slot
+        admission.submit(_record(seq=3))
+
+    def test_force_bypasses_the_cap_for_recovery(self):
+        admission = AdmissionController(max_pending=1)
+        admission.submit(_record(seq=0))
+        admission.submit(_record(seq=1), force=True)
+        assert admission.depth() == 2
+
+    def test_retry_after_grows_with_backlog(self):
+        admission = AdmissionController(max_pending=100, exec_threads=1)
+        assert admission.retry_after(10) > admission.retry_after(2)
+
+
+class TestPriority:
+    def test_interactive_pops_before_batch(self):
+        admission = AdmissionController(max_pending=10)
+        admission.submit(_record("slow", priority="batch", seq=0))
+        admission.submit(_record("fast", priority="interactive", seq=1))
+        popped = admission.pop()
+        assert popped is not None and popped.spec.label == "fast"
+
+    def test_fifo_within_a_class(self):
+        admission = AdmissionController(max_pending=10)
+        for index in range(4):
+            admission.submit(_record(f"b{index}", priority="batch", seq=index))
+        order = [admission.pop().spec.label for _ in range(4)]
+        assert order == ["b0", "b1", "b2", "b3"]
+
+    def test_depth_by_class(self):
+        admission = AdmissionController(max_pending=10)
+        admission.submit(_record(priority="batch", seq=0))
+        admission.submit(_record(priority="batch", seq=1))
+        admission.submit(_record(priority="interactive", seq=2))
+        assert admission.depth("batch") == 2
+        assert admission.depth("interactive") == 1
+        assert admission.depth() == 3
+
+
+class TestAccounting:
+    def test_finished_without_pop_is_a_bug(self):
+        admission = AdmissionController()
+        with pytest.raises(RuntimeError):
+            admission.finished()
+
+    def test_load_tracks_queued_plus_running(self):
+        admission = AdmissionController(max_pending=10)
+        admission.submit(_record(seq=0))
+        admission.submit(_record(seq=1))
+        assert admission.load() == 2
+        admission.pop()
+        assert admission.load() == 2
+        admission.finished()
+        assert admission.load() == 1

@@ -1,0 +1,72 @@
+"""Wire protocol: NDJSON framing, error codes, HTTP scrape responses."""
+
+import pytest
+
+from repro.serve import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    http_response,
+    ok_response,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"op": "submit", "spec": {"trials": 4}, "stream": True}
+        line = encode_message(message)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert decode_line(line[:-1]) == message
+
+    def test_oversized_message_is_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"blob": "x" * (MAX_LINE_BYTES + 1)})
+
+    def test_garbage_line_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json")
+
+    def test_non_object_request_is_refused(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]")
+
+    def test_oversized_line_is_refused(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b'"' + b"x" * MAX_LINE_BYTES + b'"')
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = ok_response(job_id="j1", position=2)
+        assert response == {"ok": True, "job_id": "j1", "position": 2}
+
+    def test_error_response_carries_code_and_status(self):
+        response = error_response("queue_full", "full", retry_after=1.25)
+        assert response["ok"] is False
+        assert response["error"] == "queue_full"
+        assert response["status"] == 429
+        assert response["retry_after"] == 1.25
+
+    def test_unknown_code_is_a_bug(self):
+        with pytest.raises(ValueError):
+            error_response("teapot", "won't brew")
+
+    def test_every_code_has_a_sane_status(self):
+        for code, status in ERROR_CODES.items():
+            assert 400 <= status < 600, (code, status)
+
+
+class TestHttp:
+    def test_response_has_content_length_and_body(self):
+        raw = http_response(200, "hello\n", "text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b"hello\n"
+        assert b"Content-Length: 6" in head
+        assert head.startswith(b"HTTP/1.0 200 OK")
+
+    def test_404_reason_phrase(self):
+        raw = http_response(404, "nope", "text/plain")
+        assert raw.startswith(b"HTTP/1.0 404 Not Found")
